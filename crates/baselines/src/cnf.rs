@@ -1,0 +1,416 @@
+//! Chomsky normal form transformation.
+//!
+//! The paper's related work (§7) covers Firsov and Uustalu's certified
+//! CYK parser, which "operates on CFGs in Chomsky normal form", paired
+//! with their later certified CNF normalization — together a verified
+//! parser for arbitrary CFGs. This module is that pipeline's first half:
+//! the classic START/TERM/BIN/DEL/UNIT transformation. Combined with
+//! [`crate::cyk_recognize`] it yields a third independent membership
+//! oracle (after Earley and the derivation-counting DP) used by the
+//! cross-validation test suites.
+//!
+//! Only the *language* is preserved (trees are not mapped back), which
+//! is all a recognition oracle needs.
+
+use costar_grammar::{Grammar, Symbol, Terminal};
+use std::collections::{HashMap, HashSet};
+
+/// A grammar in Chomsky normal form over dense internal symbol ids.
+#[derive(Debug, Clone)]
+pub struct CnfGrammar {
+    /// Number of CNF variables.
+    pub(crate) num_vars: usize,
+    /// The start variable.
+    pub(crate) start: usize,
+    /// `true` if the empty word is in the language.
+    pub(crate) nullable_start: bool,
+    /// Terminal rules `A → a`, grouped by terminal index.
+    pub(crate) by_terminal: HashMap<u32, Vec<usize>>,
+    /// Binary rules `A → B C`.
+    pub(crate) binary: Vec<(usize, usize, usize)>,
+}
+
+impl CnfGrammar {
+    /// Number of binary rules (size diagnostic).
+    pub fn num_binary_rules(&self) -> usize {
+        self.binary.len()
+    }
+
+    /// Is the empty word in the language?
+    pub fn accepts_empty(&self) -> bool {
+        self.nullable_start
+    }
+}
+
+/// Intermediate rule form: symbols are either variables (usize) or
+/// terminals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum S {
+    V(usize),
+    T(u32),
+}
+
+/// Converts a grammar to Chomsky normal form.
+///
+/// # Examples
+///
+/// ```
+/// use costar_baselines::to_cnf;
+/// use costar_grammar::GrammarBuilder;
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["a", "S", "b"]);
+/// gb.rule("S", &[]);
+/// let g = gb.start("S").build()?;
+/// let cnf = to_cnf(&g);
+/// assert!(cnf.accepts_empty());
+/// assert!(cnf.num_binary_rules() > 0);
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+pub fn to_cnf(g: &Grammar) -> CnfGrammar {
+    let num_nts = g.num_nonterminals();
+    // Variables 0..num_nts are the original nonterminals; fresh ones
+    // follow.
+    let mut next_var = num_nts;
+    let mut fresh = || {
+        let v = next_var;
+        next_var += 1;
+        v
+    };
+
+    // START: a fresh start variable (so the old start may appear on
+    // right-hand sides even when ε is in the language).
+    let start = fresh();
+    let mut rules: Vec<(usize, Vec<S>)> = vec![(start, vec![S::V(g.start().index())])];
+    for (_, p) in g.iter() {
+        let rhs = p
+            .rhs()
+            .iter()
+            .map(|&s| match s {
+                Symbol::Nt(x) => S::V(x.index()),
+                Symbol::T(t) => S::T(t.index() as u32),
+            })
+            .collect();
+        rules.push((p.lhs().index(), rhs));
+    }
+
+    // TERM: replace terminals in rules of length ≥ 2 with proxy
+    // variables.
+    let mut term_proxy: HashMap<u32, usize> = HashMap::new();
+    for (_, rhs) in &mut rules {
+        if rhs.len() >= 2 {
+            for s in rhs.iter_mut() {
+                if let S::T(t) = *s {
+                    let v = *term_proxy.entry(t).or_insert_with(&mut fresh);
+                    *s = S::V(v);
+                }
+            }
+        }
+    }
+    for (&t, &v) in &term_proxy {
+        rules.push((v, vec![S::T(t)]));
+    }
+
+    // BIN: binarize long rules.
+    let mut binarized: Vec<(usize, Vec<S>)> = Vec::with_capacity(rules.len());
+    for (lhs, rhs) in rules {
+        if rhs.len() <= 2 {
+            binarized.push((lhs, rhs));
+            continue;
+        }
+        // lhs → s0 R1, R1 → s1 R2, ..., R_{k-2} → s_{k-2} s_{k-1}.
+        let mut cur = lhs;
+        for sym in &rhs[..rhs.len() - 2] {
+            let cont = fresh();
+            binarized.push((cur, vec![sym.clone(), S::V(cont)]));
+            cur = cont;
+        }
+        binarized.push((
+            cur,
+            vec![rhs[rhs.len() - 2].clone(), rhs[rhs.len() - 1].clone()],
+        ));
+    }
+    let rules = binarized;
+
+    // DEL: compute nullable variables, then expand binary rules over
+    // nullable positions and drop ε-rules (remember start nullability).
+    let mut nullable: HashSet<usize> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (lhs, rhs) in &rules {
+            if nullable.contains(lhs) {
+                continue;
+            }
+            let all = rhs.iter().all(|s| match s {
+                S::V(v) => nullable.contains(v),
+                S::T(_) => false,
+            });
+            if all {
+                nullable.insert(*lhs);
+                changed = true;
+            }
+        }
+    }
+    let nullable_start = nullable.contains(&start);
+    let mut expanded: HashSet<(usize, Vec<S>)> = HashSet::new();
+    for (lhs, rhs) in &rules {
+        match rhs.len() {
+            0 => {}
+            1 => {
+                expanded.insert((*lhs, rhs.clone()));
+            }
+            2 => {
+                expanded.insert((*lhs, rhs.clone()));
+                for drop_idx in 0..2 {
+                    if let S::V(v) = &rhs[drop_idx] {
+                        if nullable.contains(v) {
+                            expanded.insert((*lhs, vec![rhs[1 - drop_idx].clone()]));
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("binarized"),
+        }
+    }
+
+    // UNIT: close over unit chains A →* B, attaching B's non-unit rules
+    // to A.
+    let mut unit_edges: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut proper: Vec<(usize, Vec<S>)> = Vec::new();
+    for (lhs, rhs) in expanded {
+        match rhs.as_slice() {
+            [S::V(v)] => unit_edges.entry(lhs).or_default().push(*v),
+            _ => proper.push((lhs, rhs)),
+        }
+    }
+    // Unit-reachability per variable (BFS; variable count is small).
+    let mut unit_reach: HashMap<usize, HashSet<usize>> = HashMap::new();
+    for &v in unit_edges.keys() {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut work = vec![v];
+        while let Some(u) = work.pop() {
+            for &w in unit_edges.get(&u).into_iter().flatten() {
+                if seen.insert(w) {
+                    work.push(w);
+                }
+            }
+        }
+        unit_reach.insert(v, seen);
+    }
+
+    let mut by_terminal: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut binary: Vec<(usize, usize, usize)> = Vec::new();
+    let mut seen_bin: HashSet<(usize, usize, usize)> = HashSet::new();
+    let mut seen_term: HashSet<(usize, u32)> = HashSet::new();
+    let add = |lhs: usize,
+                   rhs: &[S],
+                   by_terminal: &mut HashMap<u32, Vec<usize>>,
+                   binary: &mut Vec<(usize, usize, usize)>,
+                   seen_bin: &mut HashSet<(usize, usize, usize)>,
+                   seen_term: &mut HashSet<(usize, u32)>| {
+        match rhs {
+            [S::T(t)] => {
+                if seen_term.insert((lhs, *t)) {
+                    by_terminal.entry(*t).or_default().push(lhs);
+                }
+            }
+            [S::V(a), S::V(b)] => {
+                if seen_bin.insert((lhs, *a, *b)) {
+                    binary.push((lhs, *a, *b));
+                }
+            }
+            [S::T(_), _] | [_, S::T(_)] => unreachable!("TERM removed mixed rules"),
+            _ => unreachable!("CNF shapes only"),
+        }
+    };
+    for (lhs, rhs) in &proper {
+        add(*lhs, rhs, &mut by_terminal, &mut binary, &mut seen_bin, &mut seen_term);
+    }
+    for (from, reach) in &unit_reach {
+        for to in reach {
+            for (lhs, rhs) in &proper {
+                if lhs == to {
+                    add(*from, rhs, &mut by_terminal, &mut binary, &mut seen_bin, &mut seen_term);
+                }
+            }
+        }
+    }
+
+    CnfGrammar {
+        num_vars: next_var,
+        start,
+        nullable_start,
+        by_terminal,
+        binary,
+    }
+}
+
+/// CYK recognition over a CNF grammar: is `word` (given as terminals) in
+/// the language? O(n³·|rules|) time, O(n²·|vars|) space.
+///
+/// # Examples
+///
+/// ```
+/// use costar_baselines::{cyk_recognize, to_cnf};
+/// use costar_grammar::GrammarBuilder;
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["a", "S", "b"]);
+/// gb.rule("S", &["a", "b"]);
+/// let g = gb.start("S").build()?;
+/// let cnf = to_cnf(&g);
+/// let a = g.symbols().lookup_terminal("a").unwrap();
+/// let b = g.symbols().lookup_terminal("b").unwrap();
+/// assert!(cyk_recognize(&cnf, &[a, a, b, b]));
+/// assert!(!cyk_recognize(&cnf, &[a, b, b]));
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+pub fn cyk_recognize(cnf: &CnfGrammar, word: &[Terminal]) -> bool {
+    let n = word.len();
+    if n == 0 {
+        return cnf.nullable_start;
+    }
+    let vars = cnf.num_vars;
+    // table[i][len-1] = bitset of variables deriving word[i..i+len].
+    let words_per_set = vars.div_ceil(64);
+    let idx = |i: usize, len: usize| (i * n + (len - 1)) * words_per_set;
+    let mut table = vec![0u64; n * n * words_per_set];
+    let set = |t: &mut [u64], base: usize, v: usize| {
+        t[base + v / 64] |= 1 << (v % 64);
+    };
+    let get = |t: &[u64], base: usize, v: usize| t[base + v / 64] & (1 << (v % 64)) != 0;
+
+    for (i, t) in word.iter().enumerate() {
+        if let Some(vs) = cnf.by_terminal.get(&(t.index() as u32)) {
+            let base = idx(i, 1);
+            for &v in vs {
+                set(&mut table, base, v);
+            }
+        }
+    }
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let base = idx(i, len);
+            for split in 1..len {
+                let left = idx(i, split);
+                let right = idx(i + split, len - split);
+                for &(a, b, c) in &cnf.binary {
+                    if !get(&table, base, a)
+                        && get(&table, left, b)
+                        && get(&table, right, c)
+                    {
+                        set(&mut table, base, a);
+                    }
+                }
+            }
+        }
+    }
+    get(&table, idx(0, n), cnf.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::GrammarBuilder;
+
+    fn terminals(g: &Grammar, names: &[&str]) -> Vec<Terminal> {
+        names
+            .iter()
+            .map(|n| g.symbols().lookup_terminal(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn balanced_parens() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "S", "b", "S"]);
+        gb.rule("S", &[]);
+        let g = gb.start("S").build().unwrap();
+        let cnf = to_cnf(&g);
+        assert!(cnf.accepts_empty());
+        for (word, expect) in [
+            (vec!["a", "b"], true),
+            (vec!["a", "a", "b", "b"], true),
+            (vec!["a", "b", "a", "b"], true),
+            (vec!["a", "a", "b"], false),
+            (vec!["b", "a"], false),
+        ] {
+            assert_eq!(
+                cyk_recognize(&cnf, &terminals(&g, &word)),
+                expect,
+                "{word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_chains_resolved() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A"]);
+        gb.rule("A", &["B"]);
+        gb.rule("B", &["x"]);
+        let g = gb.start("S").build().unwrap();
+        let cnf = to_cnf(&g);
+        assert!(cyk_recognize(&cnf, &terminals(&g, &["x"])));
+        assert!(!cyk_recognize(&cnf, &terminals(&g, &["x", "x"])));
+        assert!(!cnf.accepts_empty());
+    }
+
+    #[test]
+    fn nullable_interleavings() {
+        // S -> A b A ; A -> ε | a.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "b", "A"]);
+        gb.rule("A", &[]);
+        gb.rule("A", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let cnf = to_cnf(&g);
+        for (word, expect) in [
+            (vec!["b"], true),
+            (vec!["a", "b"], true),
+            (vec!["b", "a"], true),
+            (vec!["a", "b", "a"], true),
+            (vec!["a", "a", "b"], false),
+            (vec![], false),
+        ] {
+            assert_eq!(
+                cyk_recognize(&cnf, &terminals(&g, &word)),
+                expect,
+                "{word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn left_recursive_grammars_work() {
+        // CYK has no trouble with left recursion.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("E", &["E", "p", "E"]);
+        gb.rule("E", &["i"]);
+        let g = gb.start("E").build().unwrap();
+        let cnf = to_cnf(&g);
+        assert!(cyk_recognize(&cnf, &terminals(&g, &["i"])));
+        assert!(cyk_recognize(&cnf, &terminals(&g, &["i", "p", "i"])));
+        assert!(!cyk_recognize(&cnf, &terminals(&g, &["i", "p"])));
+    }
+
+    #[test]
+    fn unit_cycles_terminate() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["S"]);
+        gb.rule("S", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let cnf = to_cnf(&g);
+        assert!(cyk_recognize(&cnf, &terminals(&g, &["a"])));
+        assert!(!cnf.accepts_empty());
+    }
+
+    #[test]
+    fn empty_language_start() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["S", "a"]); // unproductive
+        let g = gb.start("S").build().unwrap();
+        let cnf = to_cnf(&g);
+        assert!(!cyk_recognize(&cnf, &terminals(&g, &["a"])));
+        assert!(!cnf.accepts_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # costar-baselines — comparator parsers for the CoStar evaluation
+//!
+//! The paper positions CoStar against three families of prior work (§7)
+//! and measures it against ANTLR (§6.2). This crate implements a
+//! representative of each, all over the shared `costar-grammar`
+//! substrate:
+//!
+//! * [`earley_recognize`] / [`earley_parse`] — a general-CFG Earley
+//!   parser: handles *every* grammar (ambiguous, left-recursive), the
+//!   class of verified general parsers CoStar is contrasted with, and an
+//!   independent membership oracle for the test suites;
+//! * [`count_trees`] — a saturating derivation-counting oracle that
+//!   decides whether a word has zero, one, or many parse trees — the
+//!   ground truth for CoStar's `Unique`/`Ambig` labels;
+//! * [`to_cnf`] / [`cyk_recognize`] — Chomsky-normal-form conversion and
+//!   CYK recognition, the Firsov–Uustalu certified-parsing pipeline of
+//!   §7, here a third independent membership oracle;
+//! * [`Ll1Parser`] — the LL(1) parser generator of Lasser et al. (ITP
+//!   2019), CoStar's predecessor: fails on non-LL(1) grammars like the
+//!   paper's XML grammar, demonstrating the expressiveness gap;
+//! * [`AntlrSim`] — an imperative, optimized ALL(*) interpreter with a
+//!   persistent cross-input prediction cache: the stand-in for the ANTLR
+//!   parsers of the paper's Fig. 10/11.
+
+#![warn(missing_docs)]
+
+mod antlr_sim;
+mod cnf;
+mod earley;
+mod ll1;
+mod oracle;
+
+pub use antlr_sim::{AntlrSim, SimCacheStats, SimOutcome};
+pub use cnf::{cyk_recognize, to_cnf, CnfGrammar};
+pub use earley::{earley_parse, earley_recognize};
+pub use ll1::{Ll1Conflict, Ll1Parser};
+pub use oracle::{count_trees, TreeCount};

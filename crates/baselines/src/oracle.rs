@@ -1,0 +1,314 @@
+//! Ground-truth ambiguity oracle: saturating derivation counting.
+//!
+//! CoStar's correctness claims distinguish *unique* words (exactly one
+//! parse tree), *ambiguous* words (at least two), and non-members. To
+//! validate the parser's `Unique`/`Ambig` labels (paper Theorems 5.1,
+//! 5.6, 5.11, 5.12) we need an independent judge of which case holds.
+//! This module counts parse trees with a memoized dynamic program,
+//! saturating at "two or more" — distinguishing 0 / 1 / many is all the
+//! specification needs.
+//!
+//! Cyclic unit derivations (`A ⇒⁺ A` over the same span) yield infinitely
+//! many trees; the DP detects in-progress revisits and classifies any
+//! completable derivation that can absorb such a cycle as ambiguous.
+
+use costar_grammar::{Grammar, NonTerminal, Symbol, Token};
+use std::collections::HashMap;
+
+/// How many parse trees a word has (saturated at two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeCount {
+    /// Not in the language.
+    Zero,
+    /// Exactly one parse tree.
+    One,
+    /// Two or more (possibly infinitely many) parse trees.
+    Many,
+}
+
+impl TreeCount {
+    /// Is the word in the language?
+    pub fn is_member(self) -> bool {
+        !matches!(self, TreeCount::Zero)
+    }
+}
+
+/// Saturating count with a cycle flag: `cyclic` records that some
+/// derivation path re-entered the same (symbol, span) while it was being
+/// counted — evidence of a unit cycle whose presence turns any positive
+/// count into infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Count {
+    n: u8, // saturating at 2
+    cyclic: bool,
+}
+
+impl Count {
+    const ZERO: Count = Count {
+        n: 0,
+        cyclic: false,
+    };
+
+    fn add(self, other: Count) -> Count {
+        Count {
+            n: (self.n + other.n).min(2),
+            cyclic: self.cyclic || other.cyclic,
+        }
+    }
+
+    fn mul(self, other: Count) -> Count {
+        Count {
+            n: (self.n * other.n).min(2),
+            // A cycle matters only if the other factor is completable.
+            cyclic: (self.cyclic && other.n > 0) || (other.cyclic && self.n > 0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NtKey(u32, usize, usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SeqKey(u32, usize, usize, usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Memo {
+    InProgress,
+    Done(Count),
+}
+
+struct Counter<'a> {
+    g: &'a Grammar,
+    word: &'a [Token],
+    nt_memo: HashMap<NtKey, Memo>,
+    seq_memo: HashMap<SeqKey, Count>,
+}
+
+impl Counter<'_> {
+    fn count_nt(&mut self, x: NonTerminal, i: usize, j: usize) -> Count {
+        let key = NtKey(x.index() as u32, i, j);
+        match self.nt_memo.get(&key) {
+            Some(Memo::Done(c)) => return *c,
+            Some(Memo::InProgress) => {
+                // Unit cycle over the same span: contributes no finite
+                // trees itself, but flags potential infinity.
+                return Count { n: 0, cyclic: true };
+            }
+            None => {}
+        }
+        self.nt_memo.insert(key, Memo::InProgress);
+        let mut total = Count::ZERO;
+        for &pid in self.g.alternatives(x) {
+            let c = self.count_seq(pid.index() as u32, 0, i, j);
+            total = total.add(c);
+        }
+        self.nt_memo.insert(key, Memo::Done(total));
+        total
+    }
+
+    fn count_seq(&mut self, prod: u32, dot: usize, i: usize, j: usize) -> Count {
+        let rhs = self
+            .g
+            .production(costar_grammar::ProdId::from_index(prod as usize))
+            .rhs();
+        if dot == rhs.len() {
+            return if i == j {
+                Count {
+                    n: 1,
+                    cyclic: false,
+                }
+            } else {
+                Count::ZERO
+            };
+        }
+        let key = SeqKey(prod, dot, i, j);
+        if let Some(&c) = self.seq_memo.get(&key) {
+            return c;
+        }
+        // Conservative placeholder to cut re-entrancy through identical
+        // sequence states (possible via nullable cycles).
+        self.seq_memo.insert(key, Count::ZERO);
+        let mut total = Count::ZERO;
+        match rhs[dot] {
+            Symbol::T(a) => {
+                if i < j && self.word[i].terminal() == a {
+                    total = self.count_seq(prod, dot + 1, i + 1, j);
+                }
+            }
+            Symbol::Nt(y) => {
+                for k in i..=j {
+                    let head = self.count_nt(y, i, k);
+                    if head.n == 0 && !head.cyclic {
+                        continue;
+                    }
+                    let tail = self.count_seq(prod, dot + 1, k, j);
+                    total = total.add(head.mul(tail));
+                }
+            }
+        }
+        self.seq_memo.insert(key, total);
+        total
+    }
+}
+
+/// Counts the parse trees of `word` rooted at the grammar's start symbol.
+///
+/// # Examples
+///
+/// ```
+/// use costar_baselines::{count_trees, TreeCount};
+/// use costar_grammar::{GrammarBuilder, Token};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["X"]);
+/// gb.rule("S", &["Y"]);
+/// gb.rule("X", &["a"]);
+/// gb.rule("Y", &["a"]);
+/// let g = gb.start("S").build()?;
+/// let a = g.symbols().lookup_terminal("a").unwrap();
+/// assert_eq!(count_trees(&g, &[Token::new(a, "a")]), TreeCount::Many);
+/// assert_eq!(count_trees(&g, &[]), TreeCount::Zero);
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+pub fn count_trees(g: &Grammar, word: &[Token]) -> TreeCount {
+    let mut counter = Counter {
+        g,
+        word,
+        nt_memo: HashMap::new(),
+        seq_memo: HashMap::new(),
+    };
+    let c = counter.count_nt(g.start(), 0, word.len());
+    match (c.n, c.cyclic) {
+        (0, _) => TreeCount::Zero,
+        (1, false) => TreeCount::One,
+        // A completable derivation plus a reachable unit cycle means
+        // infinitely many trees.
+        _ => TreeCount::Many,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    fn count(build: impl FnOnce(&mut GrammarBuilder), word: &[(&str, &str)]) -> TreeCount {
+        let mut gb = GrammarBuilder::new();
+        build(&mut gb);
+        let g = gb.build().unwrap();
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, word);
+        count_trees(&g, &w)
+    }
+
+    #[test]
+    fn unambiguous_grammar_counts_one() {
+        let fig2 = |gb: &mut GrammarBuilder| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["A", "d"]);
+            gb.rule("A", &["a", "A"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        };
+        assert_eq!(
+            count(fig2, &[("a", "a"), ("b", "b"), ("d", "d")]),
+            TreeCount::One
+        );
+        assert_eq!(count(fig2, &[("b", "b"), ("c", "c")]), TreeCount::One);
+        assert_eq!(count(fig2, &[("a", "a")]), TreeCount::Zero);
+    }
+
+    #[test]
+    fn fig6_grammar_is_ambiguous() {
+        assert_eq!(
+            count(
+                |gb| {
+                    gb.rule("S", &["X"]);
+                    gb.rule("S", &["Y"]);
+                    gb.rule("X", &["a"]);
+                    gb.rule("Y", &["a"]);
+                    gb.start("S");
+                },
+                &[("a", "a")]
+            ),
+            TreeCount::Many
+        );
+    }
+
+    #[test]
+    fn dangling_else_style_ambiguity() {
+        // S -> S S | a : "aaa" has two association trees.
+        let g = |gb: &mut GrammarBuilder| {
+            gb.rule("S", &["S", "S"]);
+            gb.rule("S", &["a"]);
+            gb.start("S");
+        };
+        assert_eq!(count(g, &[("a", "a")]), TreeCount::One);
+        assert_eq!(count(g, &[("a", "a"), ("a", "a")]), TreeCount::One);
+        assert_eq!(
+            count(g, &[("a", "a"), ("a", "a"), ("a", "a")]),
+            TreeCount::Many
+        );
+    }
+
+    #[test]
+    fn unit_cycle_means_infinitely_many() {
+        // S -> S | a : every "a" has infinitely many trees.
+        let g = |gb: &mut GrammarBuilder| {
+            gb.rule("S", &["S"]);
+            gb.rule("S", &["a"]);
+            gb.start("S");
+        };
+        assert_eq!(count(g, &[("a", "a")]), TreeCount::Many);
+        assert_eq!(count(g, &[]), TreeCount::Zero);
+    }
+
+    #[test]
+    fn nullable_grammar_counts() {
+        let g = |gb: &mut GrammarBuilder| {
+            gb.rule("S", &["A", "B"]);
+            gb.rule("A", &[]);
+            gb.rule("A", &["a"]);
+            gb.rule("B", &["b"]);
+            gb.start("S");
+        };
+        assert_eq!(count(g, &[("b", "b")]), TreeCount::One);
+        assert_eq!(count(g, &[("a", "a"), ("b", "b")]), TreeCount::One);
+    }
+
+    #[test]
+    fn ambiguous_nullability() {
+        // S -> A A ; A -> ε | a : "a" splits two ways.
+        let g = |gb: &mut GrammarBuilder| {
+            gb.rule("S", &["A", "A"]);
+            gb.rule("A", &[]);
+            gb.rule("A", &["a"]);
+            gb.start("S");
+        };
+        assert_eq!(count(g, &[("a", "a")]), TreeCount::Many);
+        assert_eq!(count(g, &[]), TreeCount::One);
+    }
+
+    #[test]
+    fn left_recursive_grammars_are_handled() {
+        // The oracle is a DP, not a top-down parser: left recursion is
+        // fine here (unlike in CoStar itself).
+        let g = |gb: &mut GrammarBuilder| {
+            gb.rule("E", &["E", "p", "E"]);
+            gb.rule("E", &["i"]);
+            gb.start("E");
+        };
+        assert_eq!(count(g, &[("i", "i")]), TreeCount::One);
+        assert_eq!(
+            count(g, &[("i", "i"), ("p", "p"), ("i", "i")]),
+            TreeCount::One
+        );
+        // i p i p i: two association orders.
+        assert_eq!(
+            count(
+                g,
+                &[("i", "i"), ("p", "p"), ("i", "i"), ("p", "p"), ("i", "i")]
+            ),
+            TreeCount::Many
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Criterion benches: one group per paper table/figure plus the
+//! ablations. Each group wraps the same workloads as the corresponding
+//! `costar-bench` harness function, sized so `cargo bench --workspace`
+//! completes in minutes while still exercising every experiment.
+//!
+//! * `fig8_grammar_stats` — grammar construction + analysis per language
+//!   (the static half of the Fig. 8 table).
+//! * `fig9_costar_scaling` — CoStar parse time at three input sizes per
+//!   language: the linearity experiment's core measurement.
+//! * `fig10_slowdown` — CoStar vs AntlrSim vs lexing on the same file.
+//! * `fig11_cache_warmup` — cold-cache vs warmed-cache AntlrSim runs on
+//!   the Python corpus.
+//! * `ablation_*` — the design-choice ablations from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use costar::Parser;
+use costar_baselines::AntlrSim;
+use costar_bench::synthetic_grammar;
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_langs::all_languages;
+
+fn fig8_grammar_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_grammar_stats");
+    group.sample_size(10);
+    for (lang, _) in all_languages() {
+        let grammar = lang.grammar().clone();
+        group.bench_function(BenchmarkId::from_parameter(lang.name), |b| {
+            b.iter(|| GrammarAnalysis::compute(black_box(&grammar)))
+        });
+    }
+    group.finish();
+}
+
+fn fig9_costar_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_costar_scaling");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        for size in [500usize, 2_000, 8_000] {
+            let src = generate(42, size);
+            let word = lang.tokenize(&src).expect("corpus lexes");
+            let mut parser = Parser::new(lang.grammar().clone());
+            assert!(parser.parse(&word).is_accept());
+            group.throughput(Throughput::Elements(word.len() as u64));
+            group.bench_function(
+                BenchmarkId::new(lang.name, word.len()),
+                |b| b.iter(|| parser.parse(black_box(&word))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig10_slowdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_slowdown");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        let src = generate(7, 4_000);
+        let word = lang.tokenize(&src).expect("corpus lexes");
+        group.throughput(Throughput::Elements(word.len() as u64));
+
+        let mut costar = Parser::new(lang.grammar().clone());
+        assert!(costar.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("costar", lang.name), |b| {
+            b.iter(|| costar.parse(black_box(&word)))
+        });
+
+        let mut antlr = AntlrSim::with_cold_cache(lang.grammar().clone());
+        assert!(antlr.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("antlr_sim", lang.name), |b| {
+            b.iter(|| antlr.parse(black_box(&word)))
+        });
+
+        group.bench_function(BenchmarkId::new("lexer", lang.name), |b| {
+            b.iter(|| lang.tokenize(black_box(&src)))
+        });
+    }
+    group.finish();
+}
+
+fn fig11_cache_warmup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_cache_warmup");
+    group.sample_size(10);
+    let (lang, generate) = all_languages()
+        .into_iter()
+        .find(|(l, _)| l.name == "Python")
+        .expect("Python present");
+    for size in [300usize, 4_000] {
+        let src = generate(11, size);
+        let word = lang.tokenize(&src).expect("corpus lexes");
+        group.throughput(Throughput::Elements(word.len() as u64));
+
+        let mut cold = AntlrSim::with_cold_cache(lang.grammar().clone());
+        assert!(cold.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("cold", word.len()), |b| {
+            b.iter(|| cold.parse(black_box(&word)))
+        });
+
+        let mut warm = AntlrSim::new(lang.grammar().clone());
+        warm.warm_up(std::slice::from_ref(&word));
+        group.bench_function(BenchmarkId::new("warm", word.len()), |b| {
+            b.iter(|| warm.parse(black_box(&word)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_sll_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sll_cache");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        let src = generate(3, 1_500);
+        let word = lang.tokenize(&src).expect("corpus lexes");
+        group.throughput(Throughput::Elements(word.len() as u64));
+
+        let mut adaptive = Parser::new(lang.grammar().clone());
+        assert!(adaptive.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("adaptive", lang.name), |b| {
+            b.iter(|| adaptive.parse(black_box(&word)))
+        });
+
+        let mut ll_only = Parser::with_ll_only(lang.grammar().clone());
+        assert!(ll_only.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("ll_only", lang.name), |b| {
+            b.iter(|| ll_only.parse(black_box(&word)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_cache_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cache_reuse");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        // Many small files: where cross-input reuse pays.
+        let words: Vec<_> = (0..12u64)
+            .map(|s| {
+                let src = generate(s, 120);
+                lang.tokenize(&src).expect("corpus lexes")
+            })
+            .collect();
+
+        let mut fresh = Parser::new(lang.grammar().clone());
+        group.bench_function(BenchmarkId::new("per_input", lang.name), |b| {
+            b.iter(|| words.iter().map(|w| fresh.parse(black_box(w))).count())
+        });
+
+        let mut reuse = Parser::with_cache_reuse(lang.grammar().clone());
+        group.bench_function(BenchmarkId::new("reuse", lang.name), |b| {
+            b.iter(|| words.iter().map(|w| reuse.parse(black_box(w))).count())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_grammar_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grammar_size");
+    group.sample_size(10);
+    for width in [10usize, 40, 160] {
+        let (grammar, word) = synthetic_grammar(width);
+        let mut parser = Parser::new(grammar);
+        assert!(parser.parse(&word).is_accept());
+        group.throughput(Throughput::Elements(word.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(width), |b| {
+            b.iter(|| parser.parse(black_box(&word)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig8_grammar_stats,
+    fig9_costar_scaling,
+    fig10_slowdown,
+    fig11_cache_warmup,
+    ablation_sll_cache,
+    ablation_cache_reuse,
+    ablation_grammar_size
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates the tables and figures of the paper's evaluation (§6).
+//!
+//! ```text
+//! figures [--fig 8|9|10|11|ablations|all] [--quick|--standard]
+//! ```
+//!
+//! Prints each requested artifact as a text table. Run with `--release`
+//! for meaningful timings.
+
+use costar_bench::{
+    ablation_cache_reuse, ablation_general_cfg, ablation_grammar_size, ablation_sll_cache, fig10,
+    fig11, fig8, fig9, prediction_profile, Config,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut cfg = Config::standard();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                which = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--fig needs an argument");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => cfg = Config::quick(),
+            "--standard" => cfg = Config::standard(),
+            "--files" => {
+                i += 1;
+                cfg.files = args[i].parse().expect("--files takes a number");
+            }
+            "--max-size" => {
+                i += 1;
+                cfg.max_size = args[i].parse().expect("--max-size takes a number");
+            }
+            "--trials" => {
+                i += 1;
+                cfg.trials = args[i].parse().expect("--trials takes a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figures [--fig 8|9|10|11|profile|ablations|all] [--quick|--standard]");
+                eprintln!("               [--files N] [--max-size N] [--trials N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if cfg!(debug_assertions) {
+        eprintln!("note: running unoptimized; use `cargo run --release --bin figures`");
+    }
+    eprintln!(
+        "config: {} files/language, max size {}, {} trials",
+        cfg.files, cfg.max_size, cfg.trials
+    );
+
+    let all = which == "all";
+    if all || which == "8" {
+        println!("{}", fig8(&cfg));
+    }
+    if all || which == "9" {
+        println!("{}", fig9(&cfg));
+    }
+    if all || which == "10" {
+        println!("{}", fig10(&cfg));
+    }
+    if all || which == "11" {
+        println!("{}", fig11(&cfg));
+    }
+    if all || which == "profile" {
+        println!("{}", prediction_profile(&cfg));
+    }
+    if all || which == "ablations" {
+        println!("{}", ablation_sll_cache(&cfg));
+        println!("{}", ablation_cache_reuse(&cfg));
+        println!("{}", ablation_grammar_size(&cfg));
+        println!("{}", ablation_general_cfg(&cfg));
+    }
+}

@@ -1,0 +1,283 @@
+//! Hand-rolled argument parsing (the workspace keeps its dependency set
+//! to the offline essentials, so no clap).
+
+use costar_langs::{all_languages, Generator, Language};
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage:
+  costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens \"a b c\")
+                  [--tree] [--stats] [--time]
+  costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
+  costar generate --lang L [--size N] [--seed S]
+  costar tokens   --lang L FILE";
+
+/// Where the grammar comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarSource {
+    /// One of the built-in benchmark languages.
+    Lang(String),
+    /// An EBNF grammar file.
+    Ebnf(String),
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Parse input and report the outcome.
+    Parse {
+        /// Grammar source.
+        source: GrammarSource,
+        /// Input file (built-in language) or token names (`--tokens`).
+        input: Option<String>,
+        /// Print the parse tree.
+        tree: bool,
+        /// Print prediction statistics.
+        stats: bool,
+        /// Print parse time.
+        time: bool,
+    },
+    /// Run the static analyses.
+    Check {
+        /// Grammar source.
+        source: GrammarSource,
+        /// Also print a left-recursion-eliminated rewrite.
+        eliminate_lr: bool,
+    },
+    /// Emit a synthetic corpus file.
+    Generate {
+        /// Language name.
+        lang: String,
+        /// Size knob (roughly tokens).
+        size: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Dump a file's token stream.
+    Tokens {
+        /// Language name.
+        lang: String,
+        /// Input file.
+        file: String,
+    },
+}
+
+/// The full parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand.
+    pub command: Command,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the binary name).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = args.peekable();
+        let sub = args.next().ok_or("missing subcommand")?;
+        match sub.as_str() {
+            "parse" => {
+                let mut lang = None;
+                let mut grammar = None;
+                let mut tokens = None;
+                let mut file = None;
+                let (mut tree, mut stats, mut time) = (false, false, false);
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
+                        "--tokens" => tokens = Some(required(&mut args, "--tokens")?),
+                        "--tree" => tree = true,
+                        "--stats" => stats = true,
+                        "--time" => time = true,
+                        other if !other.starts_with('-') && file.is_none() => {
+                            file = Some(other.to_owned());
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                let (source, input) = match (lang, grammar) {
+                    (Some(l), None) => (GrammarSource::Lang(l), file),
+                    (None, Some(g)) => (GrammarSource::Ebnf(g), tokens),
+                    _ => return Err("parse needs exactly one of --lang or --grammar".into()),
+                };
+                Ok(Args {
+                    command: Command::Parse {
+                        source,
+                        input,
+                        tree,
+                        stats,
+                        time,
+                    },
+                })
+            }
+            "check" => {
+                let mut lang = None;
+                let mut grammar = None;
+                let mut eliminate_lr = false;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
+                        "--eliminate-lr" => eliminate_lr = true,
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                let source = match (lang, grammar) {
+                    (Some(l), None) => GrammarSource::Lang(l),
+                    (None, Some(g)) => GrammarSource::Ebnf(g),
+                    _ => return Err("check needs exactly one of --lang or --grammar".into()),
+                };
+                Ok(Args {
+                    command: Command::Check {
+                        source,
+                        eliminate_lr,
+                    },
+                })
+            }
+            "generate" => {
+                let mut lang = None;
+                let mut size = 1_000usize;
+                let mut seed = 0u64;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--size" => {
+                            size = required(&mut args, "--size")?
+                                .parse()
+                                .map_err(|_| "--size takes a number")?;
+                        }
+                        "--seed" => {
+                            seed = required(&mut args, "--seed")?
+                                .parse()
+                                .map_err(|_| "--seed takes a number")?;
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Generate {
+                        lang: lang.ok_or("generate needs --lang")?,
+                        size,
+                        seed,
+                    },
+                })
+            }
+            "tokens" => {
+                let mut lang = None;
+                let mut file = None;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        other if !other.starts_with('-') && file.is_none() => {
+                            file = Some(other.to_owned());
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Tokens {
+                        lang: lang.ok_or("tokens needs --lang")?,
+                        file: file.ok_or("tokens needs a FILE")?,
+                    },
+                })
+            }
+            other => Err(format!("unknown subcommand {other:?}")),
+        }
+    }
+}
+
+fn required(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Looks up a built-in language (and its generator) by name,
+/// case-insensitively.
+pub fn find_language(name: &str) -> Result<(Language, Generator), String> {
+    all_languages()
+        .into_iter()
+        .find(|(l, _)| l.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown language {name:?} (json, xml, dot, python)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parse_command_with_lang() {
+        let a = parse(&["parse", "--lang", "json", "file.json", "--tree", "--time"]).unwrap();
+        let Command::Parse {
+            source,
+            input,
+            tree,
+            stats,
+            time,
+        } = a.command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(source, GrammarSource::Lang("json".into()));
+        assert_eq!(input.as_deref(), Some("file.json"));
+        assert!(tree && time && !stats);
+    }
+
+    #[test]
+    fn parse_command_with_grammar_and_tokens() {
+        let a = parse(&["parse", "--grammar", "g.ebnf", "--tokens", "a b c"]).unwrap();
+        let Command::Parse { source, input, .. } = a.command else {
+            panic!("wrong command")
+        };
+        assert_eq!(source, GrammarSource::Ebnf("g.ebnf".into()));
+        assert_eq!(input.as_deref(), Some("a b c"));
+    }
+
+    #[test]
+    fn parse_requires_exactly_one_source() {
+        assert!(parse(&["parse", "file"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
+    }
+
+    #[test]
+    fn check_and_generate() {
+        let a = parse(&["check", "--grammar", "g.ebnf", "--eliminate-lr"]).unwrap();
+        assert!(matches!(
+            a.command,
+            Command::Check {
+                eliminate_lr: true,
+                ..
+            }
+        ));
+        let a = parse(&["generate", "--lang", "dot", "--size", "500", "--seed", "9"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Generate {
+                lang: "dot".into(),
+                size: 500,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["generate"]).is_err());
+        assert!(parse(&["generate", "--lang", "dot", "--size", "xyz"]).is_err());
+        assert!(parse(&["tokens", "--lang", "json"]).is_err());
+    }
+
+    #[test]
+    fn language_lookup_is_case_insensitive() {
+        assert!(find_language("JSON").is_ok());
+        assert!(find_language("Python").is_ok());
+        assert!(find_language("cobol").is_err());
+    }
+}

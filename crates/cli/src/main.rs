@@ -1,0 +1,232 @@
+//! `costar` — command-line front end for the CoStar ALL(*) parser.
+//!
+//! ```text
+//! costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens "a b c")
+//!                 [--tree] [--stats] [--time]
+//! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
+//! costar generate --lang L [--size N] [--seed S]
+//! costar tokens   --lang L FILE
+//! ```
+//!
+//! `parse` runs the verified-style ALL(*) parser and reports
+//! `Unique` / `Ambig` / `Reject` (with position) / `Error`; because the
+//! parser is a decision procedure (paper §1), those are the only possible
+//! outcomes. `check` runs the static analyses: grammar sizes, the
+//! left-recursion decision procedure (paper §8 future work), and an
+//! LL(1)-class check via the baseline generator.
+
+use costar::{ParseOutcome, Parser};
+use costar_baselines::Ll1Parser;
+use costar_grammar::transform::eliminate_left_recursion;
+use costar_grammar::{Grammar, Token};
+use std::process::ExitCode;
+use std::time::Instant;
+
+mod args;
+mod render;
+
+use args::{Args, Command, GrammarSource};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    match args.command {
+        Command::Parse {
+            source,
+            input,
+            tree,
+            stats,
+            time,
+        } => cmd_parse(source, input, tree, stats, time),
+        Command::Check {
+            source,
+            eliminate_lr,
+        } => cmd_check(source, eliminate_lr),
+        Command::Generate { lang, size, seed } => {
+            let (_, generate) = args::find_language(&lang)?;
+            print!("{}", generate(seed, size));
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Tokens { lang, file } => {
+            let (language, _) = args::find_language(&lang)?;
+            let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let tokens = language.tokenize(&src).map_err(|e| e.to_string())?;
+            for t in &tokens {
+                println!(
+                    "{}\t{:?}\t@{}",
+                    language.grammar().symbols().terminal_name(t.terminal()),
+                    t.lexeme(),
+                    t.offset()
+                );
+            }
+            eprintln!("{} tokens", tokens.len());
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+/// Loads a grammar and an input word from the parse-command sources.
+fn load(source: GrammarSource, input: Option<String>) -> Result<(Grammar, Vec<Token>), String> {
+    match source {
+        GrammarSource::Lang(name) => {
+            let (language, _) = args::find_language(&name)?;
+            let file = input.ok_or("parse --lang needs an input FILE")?;
+            let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let tokens = language.tokenize(&src).map_err(|e| e.to_string())?;
+            Ok((language.grammar().clone(), tokens))
+        }
+        GrammarSource::Ebnf(path) => {
+            let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let (grammar, _) = costar_ebnf::compile(&src)?;
+            let names = input.ok_or("parse --grammar needs --tokens \"name name ...\"")?;
+            let mut tokens = Vec::new();
+            for name in names.split_whitespace() {
+                let t = grammar
+                    .symbols()
+                    .lookup_terminal(name)
+                    .ok_or_else(|| format!("unknown terminal {name:?}"))?;
+                tokens.push(Token::new(t, name));
+            }
+            Ok((grammar, tokens))
+        }
+    }
+}
+
+fn cmd_parse(
+    source: GrammarSource,
+    input: Option<String>,
+    tree: bool,
+    stats: bool,
+    time: bool,
+) -> Result<ExitCode, String> {
+    let (grammar, tokens) = load(source, input)?;
+    let mut parser = Parser::new(grammar);
+    if !parser.grammar_is_safe() {
+        eprintln!(
+            "warning: grammar is left-recursive; the correctness theorems do not apply \
+             (try `costar check --eliminate-lr`)"
+        );
+    }
+    let start = Instant::now();
+    let outcome = parser.parse(&tokens);
+    let elapsed = start.elapsed();
+
+    let code = match &outcome {
+        ParseOutcome::Unique(t) => {
+            println!("unique parse ({} tokens, {} tree nodes)", tokens.len(), t.size());
+            if tree {
+                print!("{}", t.render(parser.grammar().symbols()));
+            }
+            ExitCode::SUCCESS
+        }
+        ParseOutcome::Ambig(t) => {
+            println!(
+                "AMBIGUOUS input ({} tokens); one of its parse trees has {} nodes",
+                tokens.len(),
+                t.size()
+            );
+            if tree {
+                print!("{}", t.render(parser.grammar().symbols()));
+            }
+            ExitCode::SUCCESS
+        }
+        ParseOutcome::Reject(reason) => {
+            println!("reject: {}", render::describe_reject(parser.grammar(), reason));
+            ExitCode::FAILURE
+        }
+        ParseOutcome::Error(e) => {
+            println!("error: {}", render::describe_error(parser.grammar(), e));
+            ExitCode::FAILURE
+        }
+    };
+    if stats {
+        let s = parser.prediction_stats();
+        println!(
+            "decisions: {} (+{} single-alt), SLL-resolved {}, failovers {}, \
+             lookahead mean {:.2} max {}",
+            s.predictions,
+            s.single_alternative,
+            s.sll_resolved,
+            s.failovers,
+            s.mean_lookahead(),
+            s.max_lookahead
+        );
+    }
+    if time {
+        let secs = elapsed.as_secs_f64();
+        println!(
+            "parse time: {:.3} ms ({:.0} tokens/sec)",
+            secs * 1e3,
+            tokens.len() as f64 / secs.max(1e-12)
+        );
+    }
+    Ok(code)
+}
+
+fn cmd_check(source: GrammarSource, eliminate_lr: bool) -> Result<ExitCode, String> {
+    let grammar = match source {
+        GrammarSource::Lang(name) => args::find_language(&name)?.0.grammar().clone(),
+        GrammarSource::Ebnf(path) => {
+            let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            costar_ebnf::compile(&src)?.0
+        }
+    };
+    let analysis = costar_grammar::analysis::GrammarAnalysis::compute(&grammar);
+    println!(
+        "grammar: |T| = {}, |N| = {}, |P| = {}, maxRhsLen = {}",
+        grammar.num_terminals(),
+        grammar.num_nonterminals(),
+        grammar.num_productions(),
+        grammar.max_rhs_len()
+    );
+
+    let lr = &analysis.left_recursion;
+    if lr.is_grammar_safe() {
+        println!("left recursion: none — CoStar's correctness theorems apply");
+    } else {
+        let culprits: Vec<String> = lr
+            .left_recursive_set()
+            .iter()
+            .map(|x| grammar.symbols().nonterminal_name(x).to_owned())
+            .collect();
+        println!("left recursion: YES — {}", culprits.join(", "));
+    }
+
+    match Ll1Parser::generate(&grammar) {
+        Ok(_) => println!("LL(1): yes (a table-driven LL(1) parser also covers this grammar)"),
+        Err(conflict) => println!(
+            "LL(1): no ({conflict}) — ALL(*) prediction is doing real work here"
+        ),
+    }
+
+    if eliminate_lr {
+        if lr.is_grammar_safe() {
+            println!("--eliminate-lr: grammar already safe; nothing to rewrite");
+        } else {
+            let rewritten = eliminate_left_recursion(&grammar).map_err(|e| e.to_string())?;
+            println!("\nrewritten grammar ({} productions):", rewritten.num_productions());
+            print!("{}", render::render_grammar(&rewritten));
+        }
+    }
+    Ok(if lr.is_grammar_safe() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

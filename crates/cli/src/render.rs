@@ -1,0 +1,158 @@
+//! Rendering grammars back to readable text (for `check --eliminate-lr`).
+
+use costar::{ParseError, RejectReason};
+use costar_grammar::{Grammar, Symbol};
+
+/// Renders a rejection with symbol names resolved through the grammar's
+/// table (the library's `Display` impls cannot see the table, so they
+/// print raw indices).
+pub fn describe_reject(g: &Grammar, reason: &RejectReason) -> String {
+    let t = |term: costar_grammar::Terminal| g.symbols().terminal_name(term).to_owned();
+    match reason {
+        RejectReason::TokenMismatch {
+            at,
+            expected,
+            found,
+        } => format!(
+            "token {at}: expected {}, found {}",
+            t(*expected),
+            t(*found)
+        ),
+        RejectReason::UnexpectedEnd { expected } => {
+            format!("unexpected end of input: expected {}", t(*expected))
+        }
+        RejectReason::TrailingInput { at } => {
+            format!("trailing input starting at token {at}")
+        }
+        RejectReason::NoViableAlternative { at, nonterminal } => format!(
+            "token {at}: no viable alternative for {}",
+            g.symbols().nonterminal_name(*nonterminal)
+        ),
+    }
+}
+
+/// Renders a parser error with symbol names resolved.
+pub fn describe_error(g: &Grammar, error: &ParseError) -> String {
+    match error {
+        ParseError::LeftRecursive(x) => format!(
+            "grammar nonterminal {} is left-recursive",
+            g.symbols().nonterminal_name(*x)
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// Renders a grammar as one `lhs : alt | alt ;` block per nonterminal, in
+/// the EBNF-ish notation of `costar-ebnf`. Terminal names that are not
+/// plain uppercase-leading identifiers are quoted.
+pub fn render_grammar(g: &Grammar) -> String {
+    let symbols = g.symbols();
+    let mut out = String::new();
+    for x in symbols.nonterminals() {
+        let alts = g.alternatives(x);
+        if alts.is_empty() {
+            continue;
+        }
+        let mut line = format!("{} :", symbols.nonterminal_name(x));
+        for (i, &pid) in alts.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" |");
+            }
+            let rhs = g.production(pid).rhs();
+            if rhs.is_empty() {
+                line.push_str(" /* empty */");
+            }
+            for &s in rhs {
+                line.push(' ');
+                match s {
+                    Symbol::Nt(y) => line.push_str(symbols.nonterminal_name(y)),
+                    Symbol::T(t) => {
+                        let name = symbols.terminal_name(t);
+                        if is_token_type_name(name) {
+                            line.push_str(name);
+                        } else {
+                            line.push('\'');
+                            for c in name.chars() {
+                                if c == '\'' || c == '\\' {
+                                    line.push('\\');
+                                }
+                                line.push(c);
+                            }
+                            line.push('\'');
+                        }
+                    }
+                }
+            }
+        }
+        line.push_str(" ;\n");
+        out.push_str(&line);
+    }
+    out
+}
+
+/// Can this terminal name appear bare in the EBNF notation (uppercase
+/// identifier)?
+fn is_token_type_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_uppercase())
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::GrammarBuilder;
+
+    #[test]
+    fn reject_descriptions_use_names() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("stmt", &["If", "Then"]);
+        let g = gb.start("stmt").build().unwrap();
+        let if_t = g.symbols().lookup_terminal("If").unwrap();
+        let then_t = g.symbols().lookup_terminal("Then").unwrap();
+        let msg = describe_reject(
+            &g,
+            &costar::RejectReason::TokenMismatch {
+                at: 1,
+                expected: then_t,
+                found: if_t,
+            },
+        );
+        assert_eq!(msg, "token 1: expected Then, found If");
+        let stmt = g.symbols().lookup_nonterminal("stmt").unwrap();
+        let msg = describe_error(&g, &costar::ParseError::LeftRecursive(stmt));
+        assert!(msg.contains("stmt"));
+    }
+
+    #[test]
+    fn renders_productions_grouped_by_lhs() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("s", &["Num", "s"]);
+        gb.rule("s", &[]);
+        let g = gb.start("s").build().unwrap();
+        let text = render_grammar(&g);
+        assert_eq!(text, "s : Num s | /* empty */ ;\n");
+    }
+
+    #[test]
+    fn quotes_punctuation_terminals() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("s", &["{", "}", "don't"]);
+        let g = gb.start("s").build().unwrap();
+        let text = render_grammar(&g);
+        assert!(text.contains("'{' '}'"));
+        assert!(text.contains(r"'don\'t'"));
+    }
+
+    #[test]
+    fn rewritten_grammar_renders() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("e", &["e", "Plus", "Num"]);
+        gb.rule("e", &["Num"]);
+        let g = gb.start("e").build().unwrap();
+        let r = costar_grammar::transform::eliminate_left_recursion(&g).unwrap();
+        let text = render_grammar(&r);
+        assert!(text.contains("e :"));
+        assert!(text.contains("__lr"));
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end smoke tests of the `costar` binary.
+
+use std::process::Command;
+
+fn costar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_costar"))
+}
+
+fn tmp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("costar-cli-test-{name}-{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+#[test]
+fn generate_then_parse_round_trip() {
+    let out = costar()
+        .args(["generate", "--lang", "json", "--size", "60", "--seed", "5"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.starts_with('{'));
+
+    let path = tmp_file("gen", &json);
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--stats", "--time"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("unique parse"), "{stdout}");
+    assert!(stdout.contains("decisions:"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn parse_rejects_invalid_input_with_nonzero_exit() {
+    let path = tmp_file("bad", "{\"a\": }");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("reject"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_reports_left_recursion_and_rewrite() {
+    let path = tmp_file("lr", "e : e '+' T | T ;\n");
+    let out = costar()
+        .args(["check", "--grammar"])
+        .arg(&path)
+        .arg("--eliminate-lr")
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(!out.status.success(), "left recursion must fail the check");
+    assert!(stdout.contains("left recursion: YES"), "{stdout}");
+    assert!(stdout.contains("rewritten grammar"), "{stdout}");
+    assert!(stdout.contains("__lr"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn parse_with_inline_grammar_and_tokens() {
+    let path = tmp_file("g", "s : A s | B ;\n");
+    let ok = costar()
+        .args(["parse", "--grammar"])
+        .arg(&path)
+        .args(["--tokens", "A A B"])
+        .output()
+        .expect("spawn");
+    assert!(ok.status.success());
+    let bad = costar()
+        .args(["parse", "--grammar"])
+        .arg(&path)
+        .args(["--tokens", "A A"])
+        .output()
+        .expect("spawn");
+    assert!(!bad.status.success());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    let out = costar().arg("bogus").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn tokens_dump_lists_kinds() {
+    let path = tmp_file("dot", "graph g { a -- b; }");
+    let out = costar()
+        .args(["tokens", "--lang", "dot"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("graph"), "{stdout}");
+    assert!(stdout.contains("ID"), "{stdout}");
+    assert!(stdout.contains("--"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,252 @@
+//! Arbitrary-precision natural numbers for the termination measure.
+//!
+//! The paper's `stackScore` (§4.3) computes `bᵉ · u` terms where the base
+//! is `1 + maxRhsLen(G)` and the exponent can be as large as the number of
+//! grammar nonterminals — hundreds for the Python grammar — so the score
+//! does not fit any machine integer. Coq's `nat` is arbitrary precision;
+//! this module is its Rust counterpart, with exactly the operations the
+//! measure needs: addition, multiplication by a small factor, powers, and
+//! comparison. It lives on the *instrumentation* path only, never on the
+//! parser's hot path.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision natural number (little-endian base-2⁶⁴ limbs,
+/// normalized: no trailing zero limbs).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigNat {
+    limbs: Vec<u64>,
+}
+
+impl BigNat {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigNat { limbs: Vec::new() }
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// In-place addition.
+    pub fn add_assign(&mut self, other: &BigNat) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let (s1, c1) = limb.overflowing_add(other.limbs.get(i).copied().unwrap_or(0));
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// In-place multiplication by a `u64` factor.
+    pub fn mul_u64_assign(&mut self, factor: u64) {
+        if factor == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in &mut self.limbs {
+            let prod = u128::from(*limb) * u128::from(factor) + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        while carry != 0 {
+            self.limbs.push(carry as u64);
+            carry >>= 64;
+        }
+        self.normalize();
+    }
+
+    /// `base ^ exp`, by repeated limb multiplication. `0^0 = 1`, matching
+    /// Coq's `Nat.pow`.
+    pub fn pow(base: u64, exp: usize) -> Self {
+        let mut out = BigNat::from(1u64);
+        for _ in 0..exp {
+            out.mul_u64_assign(base);
+        }
+        out
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        let mut n = BigNat { limbs: vec![v] };
+        n.normalize();
+        n
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self
+                .limbs
+                .iter()
+                .rev()
+                .cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigNat {
+    /// Decimal rendering (used only in diagnostics; O(n²) is fine).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut limbs = self.limbs.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !limbs.is_empty() {
+            let mut rem = 0u128;
+            for limb in limbs.iter_mut().rev() {
+                let cur = (rem << 64) | u128::from(*limb);
+                *limb = (cur / u128::from(CHUNK)) as u64;
+                rem = cur % u128::from(CHUNK);
+            }
+            while limbs.last() == Some(&0) {
+                limbs.pop();
+            }
+            chunks.push(rem as u64);
+        }
+        let mut iter = chunks.iter().rev();
+        if let Some(first) = iter.next() {
+            write!(f, "{first}")?;
+        }
+        for chunk in iter {
+            write!(f, "{chunk:019}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_properties() {
+        let z = BigNat::zero();
+        assert!(z.is_zero());
+        assert_eq!(z, BigNat::from(0u64));
+        assert_eq!(z.to_string(), "0");
+    }
+
+    #[test]
+    fn addition_with_carry() {
+        let mut a = BigNat::from(u64::MAX);
+        a.add_assign(&BigNat::from(1u64));
+        assert_eq!(a.to_string(), "18446744073709551616");
+        let mut b = a.clone();
+        b.add_assign(&a);
+        assert_eq!(b.to_string(), "36893488147419103232");
+    }
+
+    #[test]
+    fn multiplication_by_small() {
+        let mut a = BigNat::from(12_345u64);
+        a.mul_u64_assign(1_000_000);
+        assert_eq!(a.to_string(), "12345000000");
+        a.mul_u64_assign(0);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn pow_matches_u128_for_small_cases() {
+        for base in [0u64, 1, 2, 3, 10] {
+            for exp in 0..20usize {
+                let expected = (base as u128).pow(exp as u32);
+                assert_eq!(
+                    BigNat::pow(base, exp).to_string(),
+                    expected.to_string(),
+                    "{base}^{exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_handles_huge_exponents() {
+        // 11^300 has ~313 decimal digits; just sanity-check ordering.
+        let big = BigNat::pow(11, 300);
+        let bigger = BigNat::pow(11, 301);
+        assert!(big < bigger);
+        assert!(BigNat::pow(11, 300) == big);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = BigNat::pow(2, 64); // one limb longer than any u64
+        let b = BigNat::from(u64::MAX);
+        assert!(b < a);
+        assert!(BigNat::from(5u64) < BigNat::from(6u64));
+        assert_eq!(BigNat::from(7u64).cmp(&BigNat::from(7u64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_pads_interior_chunks() {
+        // 2^64 = 18446744073709551616 spans two 10^19 chunks; ensure no
+        // digits are dropped by the chunked renderer.
+        let mut v = BigNat::pow(10, 19);
+        v.add_assign(&BigNat::from(7u64));
+        assert_eq!(v.to_string(), "10000000000000000007");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Addition and small multiplication agree with u128 arithmetic
+        /// wherever u128 can represent the result.
+        #[test]
+        fn agrees_with_u128(a in any::<u64>(), b in any::<u64>(), f in 0u64..1_000_000) {
+            let mut sum = BigNat::from(a);
+            sum.add_assign(&BigNat::from(b));
+            prop_assert_eq!(sum.to_string(), (a as u128 + b as u128).to_string());
+
+            let mut prod = BigNat::from(a);
+            prod.mul_u64_assign(f);
+            prop_assert_eq!(prod.to_string(), (a as u128 * f as u128).to_string());
+        }
+
+        /// Ordering is total and agrees with u128 where comparable.
+        #[test]
+        fn ordering_agrees_with_u128(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(BigNat::from(a).cmp(&BigNat::from(b)), a.cmp(&b));
+        }
+
+        /// pow is multiplicative: base^(e1+e2) = base^e1 * base^e2,
+        /// checked via string decimal rendering against u128 where small.
+        #[test]
+        fn pow_splits(base in 2u64..12, e1 in 0usize..12, e2 in 0usize..12) {
+            let combined = BigNat::pow(base, e1 + e2);
+            let expected = (base as u128).pow(e1 as u32) * (base as u128).pow(e2 as u32);
+            prop_assert_eq!(combined.to_string(), expected.to_string());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Parser error and rejection values (paper Fig. 1).
+//!
+//! CoStar distinguishes *rejections* (the input word is not in the
+//! grammar's language) from *errors* (the machine reached an inconsistent
+//! state). Theorem 5.8 proves errors never occur for non-left-recursive
+//! grammars; the reproduction's property tests check the same claim.
+
+use costar_grammar::{NonTerminal, Terminal};
+use std::fmt;
+
+/// An internal parser error (`e ::= InvalidState | LeftRecursive(X)`).
+///
+/// For non-left-recursive grammars these never escape [`crate::parse`]
+/// (paper Theorem 5.8); encountering one with such a grammar is a bug in
+/// the parser, not in the caller's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The machine state became inconsistent (e.g. mismatched stack
+    /// heights, or a return with no caller nonterminal).
+    InvalidState {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
+    /// Dynamic left-recursion detection fired: the nonterminal is
+    /// left-recursive in the grammar (paper §4.1, Lemma 5.10 proves this
+    /// diagnosis sound).
+    LeftRecursive(NonTerminal),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::InvalidState { reason } => {
+                write!(f, "parser reached an inconsistent state: {reason}")
+            }
+            ParseError::LeftRecursive(x) => {
+                write!(f, "grammar nonterminal {x} is left-recursive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Why an input word was rejected (`w ∉ L(G)`), with position information
+/// for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The next token's terminal did not match the terminal at the top of
+    /// the suffix stack (a failed consume operation, paper §3.3).
+    TokenMismatch {
+        /// Index of the offending token in the input word.
+        at: usize,
+        /// The terminal the parser needed.
+        expected: Terminal,
+        /// The terminal it found.
+        found: Terminal,
+    },
+    /// Input ended while the parser still needed a terminal.
+    UnexpectedEnd {
+        /// The terminal the parser needed at end of input.
+        expected: Terminal,
+    },
+    /// The parse completed but tokens remain.
+    TrailingInput {
+        /// Index of the first unconsumed token.
+        at: usize,
+    },
+    /// Prediction found no viable right-hand side for a decision
+    /// nonterminal (`RejectP`, paper §3.4).
+    NoViableAlternative {
+        /// Index of the token at which prediction began.
+        at: usize,
+        /// The decision nonterminal.
+        nonterminal: NonTerminal,
+    },
+}
+
+impl RejectReason {
+    /// The input position (token index) associated with the rejection, if
+    /// meaningful.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            RejectReason::TokenMismatch { at, .. }
+            | RejectReason::TrailingInput { at }
+            | RejectReason::NoViableAlternative { at, .. } => Some(*at),
+            RejectReason::UnexpectedEnd { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::TokenMismatch {
+                at,
+                expected,
+                found,
+            } => write!(f, "token {at}: expected {expected}, found {found}"),
+            RejectReason::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input: expected {expected}")
+            }
+            RejectReason::TrailingInput { at } => {
+                write!(f, "trailing input starting at token {at}")
+            }
+            RejectReason::NoViableAlternative { at, nonterminal } => {
+                write!(f, "token {at}: no viable alternative for {nonterminal}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ParseError::LeftRecursive(NonTerminal::from_index(3));
+        assert!(e.to_string().contains("left-recursive"));
+        let e = ParseError::InvalidState {
+            reason: "stack height mismatch",
+        };
+        assert!(e.to_string().contains("stack height mismatch"));
+    }
+
+    #[test]
+    fn reject_positions() {
+        let r = RejectReason::TokenMismatch {
+            at: 7,
+            expected: Terminal::from_index(0),
+            found: Terminal::from_index(1),
+        };
+        assert_eq!(r.position(), Some(7));
+        let r = RejectReason::UnexpectedEnd {
+            expected: Terminal::from_index(0),
+        };
+        assert_eq!(r.position(), None);
+        let r = RejectReason::TrailingInput { at: 2 };
+        assert_eq!(r.position(), Some(2));
+        let r = RejectReason::NoViableAlternative {
+            at: 0,
+            nonterminal: NonTerminal::from_index(0),
+        };
+        assert_eq!(r.position(), Some(0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Instrumented execution: the dynamic counterpart of the paper's proofs.
+//!
+//! [`run_instrumented`] drives the machine one step at a time and, after
+//! every step, checks that:
+//!
+//! 1. `meas(σ′) <₃ meas(σ)` — every step strictly decreases the
+//!    termination measure (paper Lemma 4.2), which is what guarantees
+//!    `multistep` terminates;
+//! 2. the machine state still satisfies the structural invariants
+//!    (`StacksWf_I` and the visited-set invariant — paper Lemmas 5.2 and
+//!    5.10's supporting invariant).
+//!
+//! Production code calls [`crate::Parser::parse`], which skips all of
+//! this; the instrumented runner exists for the test suites, the property
+//! tests, and anyone studying the algorithm.
+
+use crate::invariants::{check_all_with_input, InvariantViolation};
+use crate::machine::{Machine, ParseOutcome, StepResult};
+use crate::measure::{meas, Measure};
+use crate::prediction::cache::SllCache;
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::{Grammar, Token};
+use std::fmt;
+
+/// Why an instrumented run aborted.
+#[derive(Debug, Clone)]
+pub enum InstrumentError {
+    /// A step failed to decrease the termination measure — a
+    /// counterexample to paper Lemma 4.2.
+    MeasureNotDecreased {
+        /// The measure before the offending step.
+        before: Measure,
+        /// The measure after it.
+        after: Measure,
+        /// Which step (0-based) failed.
+        step: usize,
+    },
+    /// A machine-state invariant failed — a counterexample to the
+    /// corresponding preservation lemma.
+    Invariant {
+        /// The violation.
+        violation: InvariantViolation,
+        /// Which step produced the bad state.
+        step: usize,
+    },
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::MeasureNotDecreased {
+                before,
+                after,
+                step,
+            } => write!(
+                f,
+                "step {step} did not decrease the measure: {before} -> {after}"
+            ),
+            InstrumentError::Invariant { violation, step } => {
+                write!(f, "after step {step}: {violation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+/// Statistics collected by an instrumented run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrumentReport {
+    /// Number of machine steps executed.
+    pub steps: usize,
+    /// Maximum suffix-stack height observed.
+    pub max_stack_height: usize,
+    /// Number of push operations (= prediction calls, §3.3).
+    pub pushes: usize,
+    /// Number of consume operations.
+    pub consumes: usize,
+    /// Number of return operations.
+    pub returns: usize,
+}
+
+/// Runs a full parse, checking the termination measure and the machine
+/// invariants after every step.
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] if any step increases (or fails to
+/// decrease) the measure, or leaves the machine in a state violating an
+/// invariant. For a correct parser this never happens; the error type
+/// exists so property tests can surface counterexamples.
+pub fn run_instrumented(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    word: &[Token],
+) -> Result<(ParseOutcome, InstrumentReport), InstrumentError> {
+    let mut cache = SllCache::new();
+    let mut machine = Machine::new(g, analysis, word);
+    let mut report = InstrumentReport::default();
+    let mut before = meas(g, machine.state(), word.len());
+
+    loop {
+        // Classify the upcoming operation for the report.
+        let top = machine
+            .state()
+            .suffix
+            .last()
+            .expect("suffix stack never empties");
+        let op = if top.is_exhausted() {
+            2 // return (or accept, which ends the loop anyway)
+        } else if top.head().expect("not exhausted").is_terminal() {
+            1 // consume
+        } else {
+            0 // push
+        };
+
+        match machine.step(&mut cache) {
+            StepResult::Cont => {
+                report.steps += 1;
+                match op {
+                    0 => report.pushes += 1,
+                    1 => report.consumes += 1,
+                    _ => report.returns += 1,
+                }
+                report.max_stack_height =
+                    report.max_stack_height.max(machine.state().stack_height());
+
+                let after = meas(g, machine.state(), word.len());
+                if after >= before {
+                    return Err(InstrumentError::MeasureNotDecreased {
+                        before,
+                        after,
+                        step: report.steps - 1,
+                    });
+                }
+                if let Err(violation) = check_all_with_input(g, machine.state(), word) {
+                    return Err(InstrumentError::Invariant {
+                        violation,
+                        step: report.steps - 1,
+                    });
+                }
+                before = after;
+            }
+            StepResult::Accept(tree) => {
+                let outcome = if machine.state().unique {
+                    ParseOutcome::Unique(tree)
+                } else {
+                    ParseOutcome::Ambig(tree)
+                };
+                return Ok((outcome, report));
+            }
+            StepResult::Reject(r) => return Ok((ParseOutcome::Reject(r), report)),
+            StepResult::Error(e) => return Ok((ParseOutcome::Error(e), report)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    fn instrumented(
+        build: impl FnOnce(&mut GrammarBuilder),
+        word: &[(&str, &str)],
+    ) -> (ParseOutcome, InstrumentReport) {
+        let mut gb = GrammarBuilder::new();
+        build(&mut gb);
+        let g = gb.build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, word);
+        run_instrumented(&g, &an, &w).expect("instrumentation checks must pass")
+    }
+
+    #[test]
+    fn fig2_run_reports_operation_counts() {
+        let (outcome, report) = instrumented(
+            |gb| {
+                gb.rule("S", &["A", "c"]);
+                gb.rule("S", &["A", "d"]);
+                gb.rule("A", &["a", "A"]);
+                gb.rule("A", &["b"]);
+                gb.start("S");
+            },
+            &[("a", "a"), ("b", "b"), ("d", "d")],
+        );
+        assert!(outcome.is_accept());
+        assert_eq!(report.consumes, 3);
+        assert_eq!(report.pushes, 3); // S, A, A
+        assert_eq!(report.returns, 3);
+        assert_eq!(report.steps, 9);
+        assert_eq!(report.max_stack_height, 4);
+    }
+
+    #[test]
+    fn measure_decreases_on_nullable_heavy_grammar() {
+        // Deep nullable chains stress the stackScore argument: pushes
+        // without consumes must still decrease the measure.
+        let (outcome, report) = instrumented(
+            |gb| {
+                gb.rule("S", &["A", "B", "C", "x"]);
+                gb.rule("A", &[]);
+                gb.rule("B", &["A", "A"]);
+                gb.rule("C", &["B", "B", "B"]);
+                gb.start("S");
+            },
+            &[("x", "x")],
+        );
+        assert!(outcome.is_accept());
+        assert!(report.pushes > report.consumes);
+    }
+
+    #[test]
+    fn rejecting_runs_also_check_cleanly() {
+        let (outcome, _) = instrumented(
+            |gb| {
+                gb.rule("S", &["a", "S"]);
+                gb.rule("S", &["b"]);
+                gb.start("S");
+            },
+            &[("a", "a"), ("a", "a"), ("c", "c")],
+        );
+        assert!(matches!(outcome, ParseOutcome::Reject(_)));
+    }
+
+    #[test]
+    fn error_outcome_surfaces_left_recursion() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["E"]);
+        gb.rule("E", &["E", "x"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, &[("x", "x")]);
+        let (outcome, _) = run_instrumented(&g, &an, &w).unwrap();
+        assert!(matches!(
+            outcome,
+            ParseOutcome::Error(crate::ParseError::LeftRecursive(_))
+        ));
+    }
+
+    #[test]
+    fn deep_recursion_keeps_measure_strict() {
+        // A long right-recursive chain: many consume/push/return cycles.
+        let word: Vec<(&str, &str)> = std::iter::repeat_n(("a", "a"), 64)
+            .chain(std::iter::once(("b", "b")))
+            .collect();
+        let (outcome, report) = instrumented(
+            |gb| {
+                gb.rule("S", &["a", "S"]);
+                gb.rule("S", &["b"]);
+                gb.start("S");
+            },
+            &word,
+        );
+        assert!(outcome.is_accept());
+        assert_eq!(report.consumes, 65);
+        assert!(report.max_stack_height > 60);
+    }
+}

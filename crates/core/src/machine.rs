@@ -1,0 +1,425 @@
+//! The CoStar stack machine: `step` and `multistep` (paper §3.1–3.3).
+//!
+//! The machine examines its state and performs one of three operations —
+//! **consume**, **push**, or **return** — or recognizes a final
+//! configuration. `multistep` simply iterates `step`. In Coq, `multistep`
+//! carries an accessibility proof of the termination measure as its
+//! structurally decreasing argument (§4.2); in Rust the loop needs no such
+//! ceremony, and the measure instead powers the instrumented runner in
+//! [`crate::instrument`], which asserts that every step strictly decreases
+//! it.
+
+use crate::error::{ParseError, RejectReason};
+use crate::prediction::cache::SllCache;
+use crate::prediction::{adaptive_predict, ll_only_predict, Prediction};
+use crate::state::{MachineState, PrefixFrame, SuffixFrame};
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::{Grammar, Symbol, Token, Tree};
+
+/// The outcome of a single machine step (`r` in paper Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// `AcceptS(v)`: the machine reached a final configuration; the tree's
+    /// uniqueness is reported separately by the machine's `unique` flag.
+    Accept(Tree),
+    /// `RejectS`: the input word is not in the language.
+    Reject(RejectReason),
+    /// `ErrorS(e)`: the machine state is inconsistent or the grammar is
+    /// left-recursive (never happens for well-formed, non-left-recursive
+    /// grammars — paper Theorem 5.8).
+    Error(ParseError),
+    /// `ContS(σ)`: one operation was performed; parsing continues.
+    Cont,
+}
+
+/// The final result of a parse (`R` in paper Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The word has exactly this parse tree.
+    Unique(Tree),
+    /// The word is ambiguous; this is one of its parse trees.
+    Ambig(Tree),
+    /// The word is not in the grammar's language.
+    Reject(RejectReason),
+    /// The parser reached an inconsistent state (impossible for
+    /// non-left-recursive grammars).
+    Error(ParseError),
+}
+
+impl ParseOutcome {
+    /// The parse tree, if the word was accepted (unique or ambiguous).
+    pub fn tree(&self) -> Option<&Tree> {
+        match self {
+            ParseOutcome::Unique(t) | ParseOutcome::Ambig(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the tree if the word was accepted.
+    pub fn into_tree(self) -> Option<Tree> {
+        match self {
+            ParseOutcome::Unique(t) | ParseOutcome::Ambig(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Unique` and `Ambig` outcomes.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, ParseOutcome::Unique(_) | ParseOutcome::Ambig(_))
+    }
+}
+
+/// Which prediction strategy the machine uses at decision points.
+///
+/// `Adaptive` is the paper's `adaptivePredict` (§3.4): cached SLL with LL
+/// failover. `LlOnly` disables SLL and its DFA cache entirely, running
+/// the precise LL simulation at every decision — the "no memoization"
+/// arm of the `ablation_sll_cache` benchmark, quantifying §2's claim that
+/// the cache is what makes ALL(*) fast in practice. Both modes produce
+/// identical outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictionMode {
+    /// SLL with DFA cache, failing over to LL (the paper's algorithm).
+    #[default]
+    Adaptive,
+    /// Precise LL simulation at every decision, no caching.
+    LlOnly,
+}
+
+/// The stack machine, borrowing the grammar, its analyses, and the input
+/// word. Step it manually (for traces and instrumentation) or drive it to
+/// completion with [`Machine::run`].
+#[derive(Debug)]
+pub struct Machine<'a> {
+    grammar: &'a Grammar,
+    analysis: &'a GrammarAnalysis,
+    tokens: &'a [Token],
+    state: MachineState,
+    mode: PredictionMode,
+}
+
+impl<'a> Machine<'a> {
+    /// Creates a machine in the initial configuration for the grammar's
+    /// start symbol.
+    pub fn new(grammar: &'a Grammar, analysis: &'a GrammarAnalysis, tokens: &'a [Token]) -> Self {
+        Machine::with_mode(grammar, analysis, tokens, PredictionMode::Adaptive)
+    }
+
+    /// Creates a machine with an explicit [`PredictionMode`].
+    pub fn with_mode(
+        grammar: &'a Grammar,
+        analysis: &'a GrammarAnalysis,
+        tokens: &'a [Token],
+        mode: PredictionMode,
+    ) -> Self {
+        Machine {
+            grammar,
+            analysis,
+            tokens,
+            state: MachineState::initial(grammar.start(), grammar.num_nonterminals()),
+            mode,
+        }
+    }
+
+    /// Read access to the current machine state.
+    pub fn state(&self) -> &MachineState {
+        &self.state
+    }
+
+    /// Mutable access to the machine state — for instrumentation and for
+    /// tests that need to construct the invariant-violating states
+    /// ordinary execution can never reach (see Theorem 5.8).
+    pub fn state_mut(&mut self) -> &mut MachineState {
+        &mut self.state
+    }
+
+    /// The input word being parsed.
+    pub fn tokens(&self) -> &'a [Token] {
+        self.tokens
+    }
+
+    /// Performs one machine operation (paper §3.3), mutating the state.
+    pub fn step(&mut self, cache: &mut SllCache) -> StepResult {
+        let st = &mut self.state;
+        if st.prefix.len() != st.suffix.len() {
+            return StepResult::Error(ParseError::InvalidState {
+                reason: "prefix and suffix stacks have different heights",
+            });
+        }
+        let top = st.suffix.len() - 1;
+
+        if st.suffix[top].is_exhausted() {
+            if top == 0 {
+                // Bottom frame exhausted: final configuration, or trailing
+                // input.
+                if st.cursor < self.tokens.len() {
+                    return StepResult::Reject(RejectReason::TrailingInput { at: st.cursor });
+                }
+                let frame = &mut st.prefix[0];
+                if frame.trees.len() != 1 {
+                    return StepResult::Error(ParseError::InvalidState {
+                        reason: "final prefix frame does not hold exactly one tree",
+                    });
+                }
+                return StepResult::Accept(frame.trees.pop().expect("just checked length"));
+            }
+            // Return operation.
+            let done = st.suffix.pop().expect("top checked nonempty");
+            let Some(x) = done.caller else {
+                return StepResult::Error(ParseError::InvalidState {
+                    reason: "return with no open nonterminal in the caller frame",
+                });
+            };
+            let children = st.prefix.pop().expect("heights checked equal").trees;
+            st.prefix
+                .last_mut()
+                .expect("bottom frame remains")
+                .trees
+                .push(Tree::Node(x, children));
+            st.visited.remove(x);
+            return StepResult::Cont;
+        }
+
+        match st.suffix[top].head().expect("frame not exhausted") {
+            Symbol::T(a) => {
+                // Consume operation.
+                match self.tokens.get(st.cursor) {
+                    None => StepResult::Reject(RejectReason::UnexpectedEnd { expected: a }),
+                    Some(t) if t.terminal() == a => {
+                        st.suffix[top].dot += 1;
+                        st.prefix[top].trees.push(Tree::Leaf(t.clone()));
+                        st.cursor += 1;
+                        st.visited.clear();
+                        StepResult::Cont
+                    }
+                    Some(t) => StepResult::Reject(RejectReason::TokenMismatch {
+                        at: st.cursor,
+                        expected: a,
+                        found: t.terminal(),
+                    }),
+                }
+            }
+            Symbol::Nt(x) => {
+                // Push operation, guarded by dynamic left-recursion
+                // detection (paper §4.1).
+                if st.visited.contains(x) {
+                    return StepResult::Error(ParseError::LeftRecursive(x));
+                }
+                let prediction = match self.mode {
+                    PredictionMode::Adaptive => adaptive_predict(
+                        self.grammar,
+                        self.analysis,
+                        x,
+                        &st.suffix,
+                        &self.tokens[st.cursor..],
+                        cache,
+                    ),
+                    PredictionMode::LlOnly => ll_only_predict(
+                        self.grammar,
+                        self.analysis,
+                        x,
+                        &st.suffix,
+                        &self.tokens[st.cursor..],
+                    ),
+                };
+                let (alt, ambig) = match prediction {
+                    Prediction::Unique(alt) => (alt, false),
+                    Prediction::Ambig(alt) => (alt, true),
+                    Prediction::Reject => {
+                        return StepResult::Reject(RejectReason::NoViableAlternative {
+                            at: st.cursor,
+                            nonterminal: x,
+                        })
+                    }
+                    Prediction::Error(e) => return StepResult::Error(e),
+                };
+                if ambig {
+                    st.unique = false;
+                }
+                st.suffix[top].dot += 1; // the caller's dot passes X now
+                st.suffix.push(SuffixFrame {
+                    caller: Some(x),
+                    rhs: self.grammar.rhs_arc(alt),
+                    dot: 0,
+                });
+                st.prefix.push(PrefixFrame::default());
+                st.visited.insert(x);
+                StepResult::Cont
+            }
+        }
+    }
+
+    /// `multistep`: iterates [`step`](Machine::step) to a final result.
+    ///
+    /// Termination is guaranteed for well-formed grammars by the measure
+    /// argument of paper §4 (every `Cont` step strictly decreases
+    /// `meas(σ)` in the lexicographic order) — see
+    /// [`crate::instrument::run_instrumented`], which checks exactly that.
+    pub fn run(mut self, cache: &mut SllCache) -> ParseOutcome {
+        loop {
+            match self.step(cache) {
+                StepResult::Cont => continue,
+                StepResult::Accept(tree) => {
+                    return if self.state.unique {
+                        ParseOutcome::Unique(tree)
+                    } else {
+                        ParseOutcome::Ambig(tree)
+                    }
+                }
+                StepResult::Reject(r) => return ParseOutcome::Reject(r),
+                StepResult::Error(e) => return ParseOutcome::Error(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::{check_tree, tokens, GrammarBuilder};
+
+    fn fig2() -> (Grammar, GrammarAnalysis) {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        (g, an)
+    }
+
+    fn run(g: &Grammar, an: &GrammarAnalysis, word: &[(&str, &str)]) -> ParseOutcome {
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, word);
+        let mut cache = SllCache::new();
+        Machine::new(g, an, &w).run(&mut cache)
+    }
+
+    #[test]
+    fn fig2_trace_accepts_abd() {
+        let (g, an) = fig2();
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let mut cache = SllCache::new();
+        let mut machine = Machine::new(&g, &an, &w);
+        // Count steps: per Fig. 2, the machine takes 7 operations
+        // (push, push, consume, push, consume, return, consume) and then
+        // two more returns before the final configuration.
+        let mut steps = 0;
+        let tree = loop {
+            match machine.step(&mut cache) {
+                StepResult::Cont => steps += 1,
+                StepResult::Accept(t) => break t,
+                other => panic!("unexpected result {other:?}"),
+            }
+        };
+        assert_eq!(steps, 9);
+        let s = g.symbols().lookup_nonterminal("S").unwrap();
+        assert!(check_tree(&g, s, &w, &tree).is_ok());
+        assert!(machine.state().unique);
+    }
+
+    #[test]
+    fn rejects_with_positions() {
+        let (g, an) = fig2();
+        // Wrong final terminal.
+        let ParseOutcome::Reject(r) = run(&g, &an, &[("a", "a"), ("b", "b"), ("b", "b")]) else {
+            panic!("expected reject")
+        };
+        assert!(matches!(r, RejectReason::TokenMismatch { at: 2, .. } | RejectReason::NoViableAlternative { at: 0, .. }));
+        // Early end of input.
+        let ParseOutcome::Reject(_) = run(&g, &an, &[("a", "a")]) else {
+            panic!("expected reject")
+        };
+        // Trailing input.
+        let ParseOutcome::Reject(_) = run(&g, &an, &[("b", "b"), ("c", "c"), ("c", "c")]) else {
+            panic!("expected reject")
+        };
+    }
+
+    #[test]
+    fn ambiguous_input_flagged() {
+        // Paper Fig. 6: S -> X | Y ; X -> a ; Y -> a.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["X"]);
+        gb.rule("S", &["Y"]);
+        gb.rule("X", &["a"]);
+        gb.rule("Y", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let ParseOutcome::Ambig(tree) = run(&g, &an, &[("a", "a")]) else {
+            panic!("expected ambiguous accept")
+        };
+        let s = g.symbols().lookup_nonterminal("S").unwrap();
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a")]);
+        assert!(check_tree(&g, s, &w, &tree).is_ok());
+    }
+
+    #[test]
+    fn left_recursive_grammar_detected_at_push() {
+        // Single-alternative chains bypass prediction, exercising the
+        // machine-level visited check: E has one alternative E -> E x.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["E"]);
+        gb.rule("E", &["E", "x"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let ParseOutcome::Error(ParseError::LeftRecursive(x)) = run(&g, &an, &[("x", "x")]) else {
+            panic!("expected left-recursion error")
+        };
+        assert_eq!(g.symbols().nonterminal_name(x), "E");
+    }
+
+    #[test]
+    fn sll_conflict_failover_parses_correctly() {
+        // See `prediction::tests::sll_conflict_fails_over_to_ll` for the
+        // full analysis of this grammar; end-to-end, the word belongs to
+        // the language and must parse uniquely despite the SLL conflict.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["p", "C1"]);
+        gb.rule("S", &["q", "C2"]);
+        gb.rule("C1", &["X", "b"]);
+        gb.rule("C2", &["X", "a", "b"]);
+        gb.rule("X", &["a", "a"]);
+        gb.rule("X", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let outcome = run(&g, &an, &[("q", "q"), ("a", "a"), ("a", "a"), ("b", "b")]);
+        let ParseOutcome::Unique(tree) = outcome else {
+            panic!("expected unique accept, got {outcome:?}")
+        };
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, &[("q", "q"), ("a", "a"), ("a", "a"), ("b", "b")]);
+        assert!(check_tree(&g, g.start(), &w, &tree).is_ok());
+    }
+
+    #[test]
+    fn empty_word_parses_nullable_grammar() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "B"]);
+        gb.rule("A", &[]);
+        gb.rule("B", &[]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let ParseOutcome::Unique(tree) = run(&g, &an, &[]) else {
+            panic!("expected unique accept of the empty word")
+        };
+        assert_eq!(tree.leaf_count(), 0);
+        assert!(check_tree(&g, g.start(), &[], &tree).is_ok());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let (g, an) = fig2();
+        let o = run(&g, &an, &[("b", "b"), ("c", "c")]);
+        assert!(o.is_accept());
+        assert!(o.tree().is_some());
+        assert!(o.into_tree().is_some());
+        let o = run(&g, &an, &[("c", "c")]);
+        assert!(!o.is_accept());
+        assert!(o.tree().is_none());
+        assert!(o.into_tree().is_none());
+    }
+}

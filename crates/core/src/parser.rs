@@ -1,0 +1,321 @@
+//! The top-level parsing API (paper §3.1).
+//!
+//! The entry point mirrors the paper's `parse` function: it takes a
+//! grammar, a start symbol (carried by the [`Grammar`] itself), and an
+//! input word, and returns a [`ParseOutcome`] — a tree labeled `Unique` or
+//! `Ambig`, a `Reject`, or an `Error` (the latter provably unreachable for
+//! well-formed, non-left-recursive grammars).
+//!
+//! [`Parser`] is the reusable form: it computes the grammar analyses once
+//! and owns the SLL prediction cache. The published CoStar rebuilds its
+//! cache for every input (paper §6.2); `Parser` reproduces that policy by
+//! default and additionally offers cross-input cache persistence — the
+//! optimization ANTLR uses and the paper measures in Fig. 11 — via
+//! [`Parser::with_cache_reuse`].
+
+use crate::machine::{Machine, ParseOutcome, PredictionMode};
+use crate::prediction::cache::{CacheStats, PredictionStats, SllCache};
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::{Grammar, NonTerminal, Token};
+
+/// Cache policy across inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachePolicy {
+    /// Fresh cache per input — the published CoStar behavior (§6.2).
+    PerInput,
+    /// Persistent cache across inputs — ANTLR's behavior, our extension.
+    Persistent,
+}
+
+/// A reusable ALL(*) parser for one grammar.
+///
+/// # Examples
+///
+/// ```
+/// use costar::{ParseOutcome, Parser};
+/// use costar_grammar::{GrammarBuilder, Token};
+///
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["A", "d"]);
+/// gb.rule("S", &["A", "c"]);
+/// gb.rule("A", &["a", "A"]);
+/// gb.rule("A", &["b"]);
+/// let g = gb.start("S").build()?;
+///
+/// let mut parser = Parser::new(g);
+/// let tok = |n: &str| Token::new(parser.grammar().symbols().lookup_terminal(n).unwrap(), n);
+/// let word = vec![tok("a"), tok("b"), tok("d")];
+/// let ParseOutcome::Unique(tree) = parser.parse(&word) else {
+///     panic!("expected a unique parse");
+/// };
+/// assert_eq!(tree.leaf_count(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Parser {
+    grammar: Grammar,
+    analysis: GrammarAnalysis,
+    cache: SllCache,
+    policy: CachePolicy,
+    mode: PredictionMode,
+}
+
+impl Parser {
+    /// Creates a parser that, like published CoStar, starts every parse
+    /// with an empty prediction cache.
+    pub fn new(grammar: Grammar) -> Self {
+        let analysis = GrammarAnalysis::compute(&grammar);
+        Parser {
+            grammar,
+            analysis,
+            cache: SllCache::new(),
+            policy: CachePolicy::PerInput,
+            mode: PredictionMode::Adaptive,
+        }
+    }
+
+    /// Creates a parser that runs precise LL prediction at every decision
+    /// point, bypassing SLL and its cache — the "memoization off" arm of
+    /// the cache ablation. Outcomes are identical to [`Parser::new`];
+    /// only performance differs.
+    pub fn with_ll_only(grammar: Grammar) -> Self {
+        let mut p = Parser::new(grammar);
+        p.mode = PredictionMode::LlOnly;
+        p
+    }
+
+    /// Creates a parser that keeps its SLL prediction cache warm across
+    /// inputs (the paper's §8 "reuse a cache across multiple inputs"
+    /// extension; ANTLR's default behavior).
+    pub fn with_cache_reuse(grammar: Grammar) -> Self {
+        let mut p = Parser::new(grammar);
+        p.policy = CachePolicy::Persistent;
+        p
+    }
+
+    /// The grammar this parser interprets.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The precomputed grammar analyses.
+    pub fn analysis(&self) -> &GrammarAnalysis {
+        &self.analysis
+    }
+
+    /// Is the grammar free of left recursion? When `true`, the paper's
+    /// correctness theorems apply: this parser is a decision procedure for
+    /// language membership, never returns [`ParseOutcome::Error`], and
+    /// labels every returned tree correctly as unique or ambiguous.
+    pub fn grammar_is_safe(&self) -> bool {
+        self.analysis.left_recursion.is_grammar_safe()
+    }
+
+    /// Parses `word`, starting from the grammar's start symbol.
+    pub fn parse(&mut self, word: &[Token]) -> ParseOutcome {
+        if self.policy == CachePolicy::PerInput {
+            self.cache.clear();
+        }
+        Machine::with_mode(&self.grammar, &self.analysis, word, self.mode).run(&mut self.cache)
+    }
+
+    /// SLL cache effectiveness counters (non-zero across calls only with
+    /// [`Parser::with_cache_reuse`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Prediction-behavior counters for the most recent parse (or, with
+    /// [`Parser::with_cache_reuse`], accumulated across parses): how many
+    /// decisions SLL resolved, how often LL failover ran, and how much
+    /// lookahead decisions needed.
+    pub fn prediction_stats(&self) -> PredictionStats {
+        self.cache.prediction_stats()
+    }
+
+    /// Nonterminal lookup convenience.
+    pub fn nonterminal(&self, name: &str) -> Option<NonTerminal> {
+        self.grammar.symbols().lookup_nonterminal(name)
+    }
+}
+
+/// One-shot convenience: parses `word` with grammar `g` from its start
+/// symbol, with a fresh prediction cache (the paper's top-level `parse`).
+///
+/// For repeated parsing, build a [`Parser`] instead so the grammar
+/// analyses are computed once.
+///
+/// # Examples
+///
+/// ```
+/// use costar::{parse, ParseOutcome};
+/// use costar_grammar::{GrammarBuilder, Token};
+///
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["a"]);
+/// let g = gb.start("S").build()?;
+/// let a = g.symbols().lookup_terminal("a").unwrap();
+/// assert!(matches!(parse(&g, &[Token::new(a, "a")]), ParseOutcome::Unique(_)));
+/// assert!(matches!(parse(&g, &[]), ParseOutcome::Reject(_)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse(g: &Grammar, word: &[Token]) -> ParseOutcome {
+    let analysis = GrammarAnalysis::compute(g);
+    let mut cache = SllCache::new();
+    Machine::new(g, &analysis, word).run(&mut cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    fn fig2_parser() -> Parser {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        Parser::new(gb.start("S").build().unwrap())
+    }
+
+    #[test]
+    fn parser_is_reusable() {
+        let mut p = fig2_parser();
+        let mut tab = p.grammar().symbols().clone();
+        let w1 = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let w2 = tokens(&mut tab, &[("b", "b"), ("c", "c")]);
+        assert!(p.parse(&w1).is_accept());
+        assert!(p.parse(&w2).is_accept());
+        assert!(!p.parse(&w1[..1]).is_accept());
+        // Per-input policy: cache is cleared before each parse, so stats
+        // reflect only the last word.
+        assert!(p.grammar_is_safe());
+    }
+
+    #[test]
+    fn cache_reuse_accumulates_hits() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let mut p = Parser::with_cache_reuse(g);
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        assert!(p.parse(&w).is_accept());
+        let first = p.cache_stats();
+        assert!(p.parse(&w).is_accept());
+        let second = p.cache_stats();
+        assert_eq!(
+            first.misses, second.misses,
+            "a warmed cache answers repeat predictions without new computation"
+        );
+        assert!(second.hits > first.hits);
+        assert_eq!(first.states, second.states);
+    }
+
+    #[test]
+    fn per_input_policy_resets_cache() {
+        let mut p = fig2_parser();
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        assert!(p.parse(&w).is_accept());
+        let s1 = p.cache_stats();
+        assert!(p.parse(&w).is_accept());
+        let s2 = p.cache_stats();
+        assert_eq!(s1.misses, s2.misses, "identical runs from cold caches");
+        assert_eq!(s1.hits, s2.hits);
+    }
+
+    #[test]
+    fn one_shot_parse_matches_parser() {
+        let mut p = fig2_parser();
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("b", "b"), ("d", "d")]);
+        let one_shot = parse(p.grammar(), &w);
+        let reusable = p.parse(&w);
+        assert!(one_shot.is_accept() && reusable.is_accept());
+        assert_eq!(one_shot.tree(), reusable.tree());
+    }
+
+    #[test]
+    fn unsafe_grammar_reported() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("E", &["E", "x"]);
+        gb.rule("E", &["y"]);
+        let p = Parser::new(gb.start("E").build().unwrap());
+        assert!(!p.grammar_is_safe());
+    }
+
+    #[test]
+    fn nonterminal_lookup() {
+        let p = fig2_parser();
+        assert!(p.nonterminal("S").is_some());
+        assert!(p.nonterminal("Z").is_none());
+    }
+}
+
+#[cfg(test)]
+mod prediction_stats_tests {
+    use super::*;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    #[test]
+    fn fig2_stats_counted() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        let mut p = Parser::new(gb.start("S").build().unwrap());
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        assert!(p.parse(&w).is_accept());
+        let stats = p.prediction_stats();
+        // Three pushes: S, A, A — all multi-alternative, all SLL-resolved.
+        assert_eq!(stats.predictions, 3);
+        assert_eq!(stats.sll_resolved, 3);
+        assert_eq!(stats.failovers, 0);
+        assert_eq!(stats.single_alternative, 0);
+        // Deciding S scans to the very end of "abd".
+        assert_eq!(stats.max_lookahead, 3);
+        assert!(stats.mean_lookahead() >= 1.0);
+    }
+
+    #[test]
+    fn failover_counted() {
+        // The SLL-conflict grammar from the prediction tests.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["p", "C1"]);
+        gb.rule("S", &["q", "C2"]);
+        gb.rule("C1", &["X", "b"]);
+        gb.rule("C2", &["X", "a", "b"]);
+        gb.rule("X", &["a", "a"]);
+        gb.rule("X", &["a"]);
+        let mut p = Parser::new(gb.start("S").build().unwrap());
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("q", "q"), ("a", "a"), ("a", "a"), ("b", "b")]);
+        assert!(p.parse(&w).is_accept());
+        let stats = p.prediction_stats();
+        assert_eq!(stats.failovers, 1, "the X decision must fail over to LL");
+        assert_eq!(stats.single_alternative, 1, "C2's push short-circuits");
+        assert!(stats.predictions >= 2);
+    }
+
+    #[test]
+    fn single_alternative_short_circuits_counted() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "A"]);
+        gb.rule("A", &["a"]);
+        let mut p = Parser::new(gb.start("S").build().unwrap());
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("a", "a")]);
+        assert!(p.parse(&w).is_accept());
+        let stats = p.prediction_stats();
+        assert_eq!(stats.predictions, 0);
+        assert_eq!(stats.single_alternative, 3); // S, A, A
+        assert_eq!(stats.mean_lookahead(), 0.0);
+    }
+}

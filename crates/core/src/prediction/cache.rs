@@ -1,0 +1,354 @@
+//! The SLL prediction cache `Δ` (paper §2, §3.4).
+//!
+//! `adaptivePredict` caches each SLL analysis step as a transition in a
+//! DFA whose states are canonical sets of subparser configurations. Before
+//! performing an analysis step, SLL prediction consults the cache; on a
+//! miss it computes the step (move + closure) and records the transition.
+//! This memoization is what makes ALL(*) fast in practice.
+//!
+//! CoStar as published rebuilds the cache for every input; ANTLR reuses it
+//! across inputs (the effect measured in the paper's Fig. 11). This
+//! implementation supports both policies — see
+//! [`Parser`](crate::Parser) — by making the cache an explicit value.
+
+use crate::prediction::sim::{distinct_alts, Config, SpState};
+use costar_grammar::{NonTerminal, ProdId, Terminal};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of an interned DFA state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct StateId(pub(crate) u32);
+
+/// What an interned state already tells us without reading more input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resolution {
+    /// Every surviving subparser votes for this alternative.
+    Unique(ProdId),
+    /// No subparser survives.
+    Reject,
+    /// Multiple alternatives still compete; more input is needed.
+    Pending,
+}
+
+/// What the state resolves to if the input ends here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EofResolution {
+    /// Exactly one alternative accepts at end of input.
+    Unique(ProdId),
+    /// No alternative accepts at end of input.
+    Reject,
+    /// Several alternatives accept: an SLL conflict — fail over to LL
+    /// (paper §3.4), which re-examines the decision with full context.
+    Conflict(ProdId),
+}
+
+#[derive(Debug)]
+pub(crate) struct StateData {
+    /// Canonically sorted configuration set.
+    pub configs: Arc<[Config]>,
+    pub resolution: Resolution,
+    eof: Option<EofResolution>,
+}
+
+/// Counters describing prediction behavior over the parses the cache has
+/// served: how decisions resolved and how much lookahead they needed.
+/// The original ALL(*) evaluation reports exactly these quantities (SLL
+/// suffices almost always; lookahead is usually 1–2 tokens), and the
+/// CoStar paper's §3.4 failover design is motivated by them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionStats {
+    /// Total `adaptivePredict` invocations (excluding single-alternative
+    /// short-circuits).
+    pub predictions: u64,
+    /// Decisions short-circuited because the nonterminal has one
+    /// alternative.
+    pub single_alternative: u64,
+    /// Decisions resolved by SLL (committed without failover).
+    pub sll_resolved: u64,
+    /// SLL conflicts that failed over to full LL prediction (§3.4).
+    pub failovers: u64,
+    /// Total lookahead tokens examined across decisions.
+    pub lookahead_tokens: u64,
+    /// The deepest lookahead any single decision needed.
+    pub max_lookahead: usize,
+}
+
+impl PredictionStats {
+    /// Mean lookahead per (non-short-circuited) decision.
+    pub fn mean_lookahead(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.lookahead_tokens as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// Counters describing cache effectiveness; used by the Fig. 11 style
+/// cache-warm-up experiments and the `ablation_sll_cache` bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of interned DFA states.
+    pub states: usize,
+    /// Number of recorded transitions.
+    pub transitions: usize,
+    /// Transition lookups answered from the cache.
+    pub hits: u64,
+    /// Transition lookups that required a fresh move+closure computation.
+    pub misses: u64,
+}
+
+/// The SLL prediction cache: interned DFA states, start states per
+/// decision nonterminal, and the transition table.
+///
+/// Create one with [`SllCache::new`] (or take it from a
+/// [`Parser`](crate::Parser)); it may be reused across any number of
+/// inputs *for the same grammar*.
+#[derive(Debug, Default)]
+pub struct SllCache {
+    states: Vec<StateData>,
+    intern: HashMap<Arc<[Config]>, StateId>,
+    starts: HashMap<NonTerminal, StateId>,
+    transitions: HashMap<(StateId, Terminal), StateId>,
+    hits: u64,
+    misses: u64,
+    prediction_stats: PredictionStats,
+}
+
+impl SllCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards all cached states and transitions (e.g. when switching
+    /// grammars; a cache must never be shared between grammars).
+    pub fn clear(&mut self) {
+        self.states.clear();
+        self.intern.clear();
+        self.starts.clear();
+        self.transitions.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.prediction_stats = PredictionStats::default();
+    }
+
+    /// Prediction-behavior counters accumulated since the last
+    /// [`SllCache::clear`] (or construction).
+    pub fn prediction_stats(&self) -> PredictionStats {
+        self.prediction_stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut PredictionStats {
+        &mut self.prediction_stats
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            states: self.states.len(),
+            transitions: self.transitions.len(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    pub(crate) fn state(&self, id: StateId) -> &StateData {
+        &self.states[id.0 as usize]
+    }
+
+    /// Interns a configuration set (sorting it into canonical order) and
+    /// computes its resolution.
+    pub(crate) fn intern(&mut self, mut configs: Vec<Config>) -> StateId {
+        configs.sort_unstable();
+        configs.dedup();
+        let key: Arc<[Config]> = configs.into();
+        if let Some(&id) = self.intern.get(&key) {
+            return id;
+        }
+        let alts = distinct_alts(&key);
+        let resolution = match alts.as_slice() {
+            [] => Resolution::Reject,
+            [only] => Resolution::Unique(*only),
+            _ => Resolution::Pending,
+        };
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateData {
+            configs: Arc::clone(&key),
+            resolution,
+            eof: None,
+        });
+        self.intern.insert(key, id);
+        id
+    }
+
+    /// The cached start state for decision nonterminal `x`, if present.
+    pub(crate) fn start_state(&self, x: NonTerminal) -> Option<StateId> {
+        self.starts.get(&x).copied()
+    }
+
+    /// Records the start state for `x`.
+    pub(crate) fn set_start_state(&mut self, x: NonTerminal, id: StateId) {
+        self.starts.insert(x, id);
+    }
+
+    /// Looks up a cached transition, bumping hit/miss counters.
+    pub(crate) fn transition(&mut self, from: StateId, t: Terminal) -> Option<StateId> {
+        match self.transitions.get(&(from, t)) {
+            Some(&to) => {
+                self.hits += 1;
+                Some(to)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a transition.
+    pub(crate) fn set_transition(&mut self, from: StateId, t: Terminal, to: StateId) {
+        self.transitions.insert((from, t), to);
+    }
+
+    /// The end-of-input resolution of a state, computed on first use and
+    /// cached thereafter.
+    pub(crate) fn eof_resolution(&mut self, id: StateId) -> EofResolution {
+        let data = &self.states[id.0 as usize];
+        if let Some(r) = data.eof {
+            return r;
+        }
+        let eof_alts: Vec<ProdId> = {
+            let mut alts: Vec<ProdId> = data
+                .configs
+                .iter()
+                .filter(|c| matches!(c.state, SpState::AcceptEof))
+                .map(|c| c.alt)
+                .collect();
+            alts.sort_unstable();
+            alts.dedup();
+            alts
+        };
+        let r = match eof_alts.as_slice() {
+            [] => EofResolution::Reject,
+            [only] => EofResolution::Unique(*only),
+            [first, ..] => EofResolution::Conflict(*first),
+        };
+        self.states[id.0 as usize].eof = Some(r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::sim::SimStack;
+
+    fn cfg(alt: u32, state: SpState) -> Config {
+        // ProdId is crate-private to costar-grammar; go through index 0..n
+        // of a real grammar to mint ids.
+        let g = {
+            let mut gb = costar_grammar::GrammarBuilder::new();
+            gb.rule("S", &["a"]);
+            gb.rule("S", &["b"]);
+            gb.rule("S", &["c"]);
+            gb.start("S").build().unwrap()
+        };
+        let s = g.symbols().lookup_nonterminal("S").unwrap();
+        Config {
+            alt: g.alternatives(s)[alt as usize],
+            state,
+        }
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut cache = SllCache::new();
+        let a = cfg(0, SpState::AcceptEof);
+        let b = cfg(1, SpState::AcceptEof);
+        let id1 = cache.intern(vec![a.clone(), b.clone()]);
+        let id2 = cache.intern(vec![b, a]);
+        assert_eq!(id1, id2);
+        assert_eq!(cache.stats().states, 1);
+    }
+
+    #[test]
+    fn resolution_classification() {
+        let mut cache = SllCache::new();
+        let empty = cache.intern(vec![]);
+        assert_eq!(cache.state(empty).resolution, Resolution::Reject);
+        let unique = cache.intern(vec![cfg(0, SpState::AcceptEof)]);
+        assert!(matches!(
+            cache.state(unique).resolution,
+            Resolution::Unique(_)
+        ));
+        let pending = cache.intern(vec![cfg(0, SpState::AcceptEof), cfg(1, SpState::AcceptEof)]);
+        assert_eq!(cache.state(pending).resolution, Resolution::Pending);
+    }
+
+    #[test]
+    fn eof_resolution_variants() {
+        let mut cache = SllCache::new();
+        // Both alternatives accept EOF: conflict, resolved to the first.
+        let conflict = cache.intern(vec![cfg(0, SpState::AcceptEof), cfg(1, SpState::AcceptEof)]);
+        assert!(matches!(
+            cache.eof_resolution(conflict),
+            EofResolution::Conflict(_)
+        ));
+        // A pending state whose configs need more input rejects at EOF.
+        let g = {
+            let mut gb = costar_grammar::GrammarBuilder::new();
+            gb.rule("S", &["a"]);
+            gb.rule("S", &["b"]);
+            gb.start("S").build().unwrap()
+        };
+        let s = g.symbols().lookup_nonterminal("S").unwrap();
+        let stack = SimStack::empty().push(crate::prediction::sim::SimFrame {
+            lhs: Some(s),
+            rhs: g.rhs_arc(g.alternatives(s)[0]),
+            dot: 0,
+        });
+        let not_eof = cache.intern(vec![
+            Config {
+                alt: g.alternatives(s)[0],
+                state: SpState::Stack(stack.clone()),
+            },
+            Config {
+                alt: g.alternatives(s)[1],
+                state: SpState::Stack(stack),
+            },
+        ]);
+        assert_eq!(cache.eof_resolution(not_eof), EofResolution::Reject);
+        // Cached on second call.
+        assert_eq!(cache.eof_resolution(not_eof), EofResolution::Reject);
+    }
+
+    #[test]
+    fn transition_hit_miss_accounting() {
+        let mut cache = SllCache::new();
+        let s0 = cache.intern(vec![cfg(0, SpState::AcceptEof)]);
+        let s1 = cache.intern(vec![cfg(1, SpState::AcceptEof)]);
+        let t = Terminal::from_index(0);
+        assert_eq!(cache.transition(s0, t), None);
+        cache.set_transition(s0, t, s1);
+        assert_eq!(cache.transition(s0, t), Some(s1));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.transitions, 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut cache = SllCache::new();
+        let s0 = cache.intern(vec![cfg(0, SpState::AcceptEof)]);
+        cache.set_start_state(NonTerminal::from_index(0), s0);
+        cache.set_transition(s0, Terminal::from_index(0), s0);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.states, 0);
+        assert_eq!(stats.transitions, 0);
+        assert!(cache.start_state(NonTerminal::from_index(0)).is_none());
+    }
+}

@@ -1,0 +1,514 @@
+//! The `adaptivePredict` mechanism (paper §3.4).
+//!
+//! ALL(*)'s distinguishing feature: at each decision point (a nonterminal
+//! at the top of the suffix stack), prediction launches one subparser per
+//! alternative and advances them in lockstep over the remaining input
+//! until a single alternative survives, none does, or ambiguity is
+//! detected at end of input.
+//!
+//! Two strategies cooperate:
+//!
+//! * **SLL** ([`sll_predict`]) is fast and imprecise: subparsers carry
+//!   only the stack frames created during the simulation, returning
+//!   through statically computed stable frames when their local stack
+//!   empties, and every analysis step is cached in a DFA
+//!   ([`SllCache`](crate::SllCache)).
+//! * **LL** ([`ll_predict`]) is slow and precise: subparsers carry the
+//!   machine's actual suffix stack, so a completed decision nonterminal
+//!   returns to its true context.
+//!
+//! SLL overapproximates LL: every LL-viable alternative is SLL-viable.
+//! `adaptivePredict` therefore commits to an SLL `Unique` result (LL would
+//! have agreed — paper Lemma 5.4), propagates an SLL `Reject` (LL could
+//! not have found more alternatives), and *fails over to LL* when SLL
+//! reports ambiguity, because the extra SLL alternatives might be
+//! artifacts of the lost context.
+
+pub(crate) mod cache;
+pub(crate) mod sim;
+
+use crate::error::ParseError;
+use crate::prediction::cache::{EofResolution, Resolution, SllCache, StateId};
+use crate::prediction::sim::{closure, distinct_alts, move_configs, Config, SimFrame, SimMode, SimStack, SpState};
+use crate::state::SuffixFrame;
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::{Grammar, NonTerminal, ProdId, Token};
+use std::sync::Arc;
+
+/// The result of a prediction (`p` in paper Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Prediction {
+    /// `UniqueP(γ)`: the sole alternative that may lead to a successful
+    /// parse.
+    Unique(ProdId),
+    /// `AmbigP(γ)`: this alternative succeeds, and so does at least one
+    /// other — the input is ambiguous.
+    Ambig(ProdId),
+    /// `RejectP`: no alternative can succeed.
+    Reject,
+    /// `ErrorP(e)`: prediction reached an inconsistent state or detected
+    /// left recursion.
+    Error(ParseError),
+}
+
+/// Builds the LL simulation base stack from the machine's suffix stack:
+/// the machine frames, with the top frame's dot advanced past the decision
+/// nonterminal (mirroring what the machine's own push operation does).
+fn machine_base_stack(suffix: &[SuffixFrame]) -> SimStack {
+    let mut stack = SimStack::empty();
+    for (i, frame) in suffix.iter().enumerate() {
+        let is_top = i + 1 == suffix.len();
+        stack = stack.push(SimFrame {
+            lhs: frame.caller,
+            rhs: Arc::clone(&frame.rhs),
+            dot: if is_top { frame.dot + 1 } else { frame.dot },
+        });
+    }
+    stack
+}
+
+/// Initial subparser configurations for decision nonterminal `x`: one per
+/// alternative, each with the alternative's frame pushed on `base`.
+fn initial_configs(g: &Grammar, x: NonTerminal, base: &SimStack) -> Vec<Config> {
+    g.alternatives(x)
+        .iter()
+        .map(|&q| Config {
+            alt: q,
+            state: SpState::Stack(base.push(SimFrame {
+                lhs: Some(x),
+                rhs: g.rhs_arc(q),
+                dot: 0,
+            })),
+        })
+        .collect()
+}
+
+/// LL prediction: precise, uncached lockstep simulation over the machine's
+/// real suffix stack.
+pub(crate) fn ll_predict(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    suffix: &[SuffixFrame],
+    remaining: &[Token],
+) -> Prediction {
+    let base = machine_base_stack(suffix);
+    let num_nts = g.num_nonterminals();
+    let mut configs = match closure(g, analysis, SimMode::Ll, initial_configs(g, x, &base), num_nts)
+    {
+        Ok(c) => c,
+        Err(e) => return Prediction::Error(e),
+    };
+    let mut input = remaining.iter();
+    loop {
+        let alts = distinct_alts(&configs);
+        match alts.as_slice() {
+            [] => return Prediction::Reject,
+            [only] => return Prediction::Unique(*only),
+            _ => {}
+        }
+        let Some(t) = input.next() else {
+            // End of input with several alternatives still alive: the
+            // survivors that accept EOF each derive the whole remaining
+            // word — ambiguity (paper §3.5: CoStar reports ambiguity only
+            // when subparsers for different alternatives reach the end of
+            // the input).
+            let mut eof_alts: Vec<ProdId> = configs
+                .iter()
+                .filter(|c| matches!(c.state, SpState::AcceptEof))
+                .map(|c| c.alt)
+                .collect();
+            eof_alts.sort_unstable();
+            eof_alts.dedup();
+            return match eof_alts.as_slice() {
+                [] => Prediction::Reject,
+                [only] => Prediction::Unique(*only),
+                [first, ..] => Prediction::Ambig(*first),
+            };
+        };
+        let moved = move_configs(&configs, t.terminal());
+        configs = match closure(g, analysis, SimMode::Ll, moved, num_nts) {
+            Ok(c) => c,
+            Err(e) => return Prediction::Error(e),
+        };
+    }
+}
+
+/// SLL prediction: context-insensitive lockstep simulation with every step
+/// cached as a DFA transition in `cache`.
+///
+/// An `Ambig` result here means "SLL conflict": several alternatives
+/// survived to end of input *under the overapproximated context*, so the
+/// caller must fail over to LL prediction.
+pub(crate) fn sll_predict(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    remaining: &[Token],
+    cache: &mut SllCache,
+) -> Prediction {
+    let num_nts = g.num_nonterminals();
+    let mut sid: StateId = match cache.start_state(x) {
+        Some(id) => id,
+        None => {
+            let configs = match closure(
+                g,
+                analysis,
+                SimMode::Sll,
+                initial_configs(g, x, &SimStack::empty()),
+                num_nts,
+            ) {
+                Ok(c) => c,
+                Err(e) => return Prediction::Error(e),
+            };
+            let id = cache.intern(configs);
+            cache.set_start_state(x, id);
+            id
+        }
+    };
+
+    let mut input = remaining.iter();
+    let mut lookahead = 0usize;
+    loop {
+        match cache.state(sid).resolution {
+            Resolution::Unique(alt) => {
+                record_lookahead(cache, lookahead);
+                return Prediction::Unique(alt);
+            }
+            Resolution::Reject => {
+                record_lookahead(cache, lookahead);
+                return Prediction::Reject;
+            }
+            Resolution::Pending => {}
+        }
+        let Some(t) = input.next() else {
+            record_lookahead(cache, lookahead);
+            return match cache.eof_resolution(sid) {
+                EofResolution::Unique(alt) => Prediction::Unique(alt),
+                EofResolution::Reject => Prediction::Reject,
+                EofResolution::Conflict(alt) => Prediction::Ambig(alt),
+            };
+        };
+        lookahead += 1;
+        let term = t.terminal();
+        sid = match cache.transition(sid, term) {
+            Some(next) => next,
+            None => {
+                let moved = move_configs(&cache.state(sid).configs, term);
+                let next_configs = match closure(g, analysis, SimMode::Sll, moved, num_nts) {
+                    Ok(c) => c,
+                    Err(e) => return Prediction::Error(e),
+                };
+                let next = cache.intern(next_configs);
+                cache.set_transition(sid, term, next);
+                next
+            }
+        };
+    }
+}
+
+/// LL-only prediction: the precise simulation at every decision, with no
+/// SLL phase and no cache. Semantically equivalent to
+/// [`adaptive_predict`]; exists for the cache ablation experiments.
+pub(crate) fn ll_only_predict(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    suffix: &[SuffixFrame],
+    remaining: &[Token],
+) -> Prediction {
+    match g.alternatives(x) {
+        [] => return Prediction::Reject,
+        [only] => return Prediction::Unique(*only),
+        _ => {}
+    }
+    ll_predict(g, analysis, x, suffix, remaining)
+}
+
+/// Folds one decision's lookahead depth into the cache's running
+/// prediction statistics.
+fn record_lookahead(cache: &mut SllCache, lookahead: usize) {
+    let stats = cache.stats_mut();
+    stats.lookahead_tokens += lookahead as u64;
+    stats.max_lookahead = stats.max_lookahead.max(lookahead);
+}
+
+/// `adaptivePredict` (paper §3.4): try SLL, commit to its unique and
+/// reject answers, and fail over to LL when SLL detects a conflict.
+///
+/// A decision nonterminal with a single alternative short-circuits to
+/// `Unique` without simulation — there is nothing to decide, and with no
+/// competing alternative the `Unique` label is trivially correct.
+pub(crate) fn adaptive_predict(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    suffix: &[SuffixFrame],
+    remaining: &[Token],
+    cache: &mut SllCache,
+) -> Prediction {
+    match g.alternatives(x) {
+        [] => return Prediction::Reject,
+        [only] => {
+            cache.stats_mut().single_alternative += 1;
+            return Prediction::Unique(*only);
+        }
+        _ => {}
+    }
+    cache.stats_mut().predictions += 1;
+    match sll_predict(g, analysis, x, remaining, cache) {
+        Prediction::Ambig(_) => {
+            cache.stats_mut().failovers += 1;
+            ll_predict(g, analysis, x, suffix, remaining)
+        }
+        committed => {
+            cache.stats_mut().sll_resolved += 1;
+            committed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    fn fig2() -> (Grammar, GrammarAnalysis) {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        (g, an)
+    }
+
+    fn start_suffix(g: &Grammar) -> Vec<SuffixFrame> {
+        vec![SuffixFrame {
+            caller: None,
+            rhs: Arc::from([costar_grammar::Symbol::Nt(g.start())]),
+            dot: 0,
+        }]
+    }
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    #[test]
+    fn ll_decides_fig2_prediction() {
+        // Paper Fig. 2: predicting S on "abd" must pick S -> A d, the
+        // grammar's second alternative, and requires scanning to the last
+        // token — the grammar is not LL(k) for k < 3 on this input family.
+        let (g, an) = fig2();
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let suffix = start_suffix(&g);
+        let s = nt(&g, "S");
+        let p = ll_predict(&g, &an, s, &suffix, &word);
+        let Prediction::Unique(alt) = p else {
+            panic!("expected unique prediction, got {p:?}")
+        };
+        assert_eq!(g.render_production(alt), "S -> A d");
+    }
+
+    #[test]
+    fn sll_agrees_with_ll_on_fig2() {
+        let (g, an) = fig2();
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("c", "c")]);
+        let s = nt(&g, "S");
+        let suffix = start_suffix(&g);
+        let mut cache = SllCache::new();
+        let sll = sll_predict(&g, &an, s, &word, &mut cache);
+        let ll = ll_predict(&g, &an, s, &suffix, &word);
+        assert_eq!(sll, ll);
+        let Prediction::Unique(alt) = sll else {
+            panic!("expected unique")
+        };
+        assert_eq!(g.render_production(alt), "S -> A c");
+    }
+
+    #[test]
+    fn sll_caches_transitions_across_calls() {
+        let (g, an) = fig2();
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("a", "a"), ("a", "a"), ("b", "b"), ("d", "d")]);
+        let s = nt(&g, "S");
+        let mut cache = SllCache::new();
+        let p1 = sll_predict(&g, &an, s, &word, &mut cache);
+        let misses_after_first = cache.stats().misses;
+        assert!(misses_after_first > 0);
+        let p2 = sll_predict(&g, &an, s, &word, &mut cache);
+        assert_eq!(p1, p2);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.misses, misses_after_first,
+            "second identical prediction must be answered from the cache"
+        );
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn prediction_rejects_unviable_input() {
+        let (g, an) = fig2();
+        let mut tab = g.symbols().clone();
+        // "ac" cannot be derived: A never ends with a.
+        let word = tokens(&mut tab, &[("a", "a"), ("c", "c")]);
+        let s = nt(&g, "S");
+        let suffix = start_suffix(&g);
+        let mut cache = SllCache::new();
+        assert_eq!(
+            adaptive_predict(&g, &an, s, &suffix, &word, &mut cache),
+            Prediction::Reject
+        );
+    }
+
+    #[test]
+    fn ambiguous_grammar_detected() {
+        // Fig. 6 of the paper: S -> X | Y; X -> a; Y -> a.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["X"]);
+        gb.rule("S", &["Y"]);
+        gb.rule("X", &["a"]);
+        gb.rule("Y", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("a", "a")]);
+        let suffix = start_suffix(&g);
+        let mut cache = SllCache::new();
+        let p = adaptive_predict(&g, &an, nt(&g, "S"), &suffix, &word, &mut cache);
+        let Prediction::Ambig(alt) = p else {
+            panic!("expected ambiguity, got {p:?}")
+        };
+        // CoStar picks one of the ambiguous alternatives; ours picks the
+        // first in grammar order.
+        assert_eq!(g.render_production(alt), "S -> X");
+    }
+
+    #[test]
+    fn single_alternative_short_circuits() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "b"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let suffix = start_suffix(&g);
+        let mut cache = SllCache::new();
+        // Even with empty input (which cannot parse), prediction commits
+        // to the sole alternative; the machine will reject at consume.
+        let p = adaptive_predict(&g, &an, g.start(), &suffix, &[], &mut cache);
+        assert!(matches!(p, Prediction::Unique(_)));
+        assert_eq!(cache.stats().states, 0, "no simulation should run");
+    }
+
+    #[test]
+    fn lockstep_scans_past_shared_prefixes() {
+        // S -> A x | B y ; A -> a ; B -> a : deciding S requires looking
+        // beyond the shared prefix "a" to the distinguishing x/y.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "x"]);
+        gb.rule("S", &["B", "y"]);
+        gb.rule("A", &["a"]);
+        gb.rule("B", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("a", "a"), ("y", "y")]);
+        let suffix = start_suffix(&g);
+        let mut cache = SllCache::new();
+        let p = adaptive_predict(&g, &an, g.start(), &suffix, &word, &mut cache);
+        let Prediction::Unique(alt) = p else {
+            panic!("expected unique, got {p:?}")
+        };
+        assert_eq!(g.render_production(alt), "S -> B y");
+    }
+
+    /// A grammar where SLL's merged contexts produce a genuine conflict
+    /// that LL's precise context resolves:
+    ///
+    /// ```text
+    /// S  -> p C1 | q C2 ;  C1 -> X b ;  C2 -> X a b ;  X -> a a | a
+    /// ```
+    ///
+    /// Deciding X inside C2 on remaining input "a a b": under SLL, the
+    /// alternative `X -> a a` survives to end of input through C1's
+    /// continuation ".b" (a context that is impossible here), while
+    /// `X -> a` survives through the true continuation ".a b" — an SLL
+    /// conflict whose minimum alternative (`X -> a a`, listed first) is
+    /// the *wrong* choice. LL failover restores the unique correct answer.
+    fn sll_conflict_grammar() -> (Grammar, GrammarAnalysis) {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["p", "C1"]);
+        gb.rule("S", &["q", "C2"]);
+        gb.rule("C1", &["X", "b"]);
+        gb.rule("C2", &["X", "a", "b"]);
+        gb.rule("X", &["a", "a"]);
+        gb.rule("X", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        (g, an)
+    }
+
+    #[test]
+    fn sll_conflict_fails_over_to_ll() {
+        let (g, an) = sll_conflict_grammar();
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("a", "a"), ("a", "a"), ("b", "b")]);
+        let x = nt(&g, "X");
+        // The machine context when X is decided inside C2: bottom frame
+        // [S] (exhausted past S... simplified: S frame dot 1), the C2
+        // frame with the dot at X.
+        let s_alt2 = g.alternatives(g.start())[1];
+        let c2 = nt(&g, "C2");
+        let c2_alt = g.alternatives(c2)[0];
+        let suffix = vec![
+            SuffixFrame {
+                caller: None,
+                rhs: Arc::from([costar_grammar::Symbol::Nt(g.start())]),
+                dot: 1,
+            },
+            SuffixFrame {
+                caller: Some(g.start()),
+                rhs: g.rhs_arc(s_alt2),
+                dot: 2, // past q and C2
+            },
+            SuffixFrame {
+                caller: Some(c2),
+                rhs: g.rhs_arc(c2_alt),
+                dot: 0, // at X
+            },
+        ];
+        let mut cache = SllCache::new();
+        // SLL alone conflicts and (wrongly) prefers X -> a a.
+        let sll = sll_predict(&g, &an, x, &word, &mut cache);
+        let Prediction::Ambig(sll_alt) = sll else {
+            panic!("expected an SLL conflict, got {sll:?}")
+        };
+        assert_eq!(g.render_production(sll_alt), "X -> a a");
+        // LL failover picks the correct unique alternative.
+        let p = adaptive_predict(&g, &an, x, &suffix, &word, &mut cache);
+        let Prediction::Unique(alt) = p else {
+            panic!("expected LL failover to produce Unique, got {p:?}")
+        };
+        assert_eq!(g.render_production(alt), "X -> a");
+    }
+
+    #[test]
+    fn left_recursion_inside_prediction_errors() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["E", "x"]);
+        gb.rule("S", &["E", "y"]);
+        gb.rule("E", &["E", "p"]);
+        gb.rule("E", &["i"]);
+        let g = gb.start("S").build().unwrap();
+        let an = GrammarAnalysis::compute(&g);
+        let mut tab = g.symbols().clone();
+        let word = tokens(&mut tab, &[("i", "i"), ("x", "x")]);
+        let suffix = start_suffix(&g);
+        let mut cache = SllCache::new();
+        let p = adaptive_predict(&g, &an, g.start(), &suffix, &word, &mut cache);
+        assert!(matches!(p, Prediction::Error(ParseError::LeftRecursive(_))));
+    }
+}

@@ -1,0 +1,184 @@
+//! Semantic actions over parse trees.
+//!
+//! The paper's §8 lists "support for user-defined semantic actions and
+//! predicates" as future work, noting that actions complicate the notion
+//! of ambiguity (two distinct trees can map to the same semantic value).
+//! This module implements the actions half: a [`Semantics`] visitor maps a
+//! parse tree bottom-up to a user-defined value type, and
+//! [`evaluate_outcome`] reports whether an `Ambig` parse is *semantically*
+//! ambiguous-by-construction or merely syntactically so — callers that
+//! only care about the value can accept `Ambig(v)` when their semantics is
+//! confluent.
+
+use crate::machine::ParseOutcome;
+use costar_grammar::{NonTerminal, Token, Tree};
+
+/// A bottom-up semantic analysis: how to value leaves and how to combine
+/// children at interior nodes.
+///
+/// # Examples
+///
+/// Counting tokens by classifying every leaf as `1`:
+///
+/// ```
+/// use costar::semantics::{evaluate, Semantics};
+/// use costar_grammar::{NonTerminal, SymbolTable, Token, Tree};
+///
+/// struct Count;
+/// impl Semantics for Count {
+///     type Value = usize;
+///     fn leaf(&mut self, _: &Token) -> usize { 1 }
+///     fn node(&mut self, _: NonTerminal, children: Vec<usize>) -> usize {
+///         children.into_iter().sum()
+///     }
+/// }
+///
+/// let mut tab = SymbolTable::new();
+/// let t = Token::new(tab.terminal("a"), "a");
+/// let tree = Tree::Node(tab.nonterminal("S"), vec![Tree::Leaf(t)]);
+/// assert_eq!(evaluate(&tree, &mut Count), 1);
+/// ```
+pub trait Semantics {
+    /// The semantic value type.
+    type Value;
+
+    /// Value of a consumed token.
+    fn leaf(&mut self, token: &Token) -> Self::Value;
+
+    /// Value of an interior node, given the nonterminal and its
+    /// children's values (one per symbol of the production's right-hand
+    /// side, in order).
+    fn node(&mut self, nonterminal: NonTerminal, children: Vec<Self::Value>) -> Self::Value;
+}
+
+/// Evaluates a tree bottom-up under the given semantics.
+pub fn evaluate<S: Semantics>(tree: &Tree, sem: &mut S) -> S::Value {
+    match tree {
+        Tree::Leaf(t) => sem.leaf(t),
+        Tree::Node(x, children) => {
+            let vals = children.iter().map(|c| evaluate(c, sem)).collect();
+            sem.node(*x, vals)
+        }
+    }
+}
+
+/// A semantic value labeled with the syntactic ambiguity evidence of the
+/// parse that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticOutcome<V> {
+    /// The word had a unique parse tree; the value is canonical.
+    Unique(V),
+    /// The word was syntactically ambiguous: the value was computed from
+    /// one of several trees, and a different tree might (or might not)
+    /// yield a different value — the caveat of paper §8.
+    Ambig(V),
+    /// The parse did not produce a tree.
+    NoParse(ParseOutcome),
+}
+
+impl<V> SemanticOutcome<V> {
+    /// The value, if one was computed.
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            SemanticOutcome::Unique(v) | SemanticOutcome::Ambig(v) => Some(v),
+            SemanticOutcome::NoParse(_) => None,
+        }
+    }
+}
+
+/// Applies a semantics to the tree inside a parse outcome, preserving the
+/// ambiguity label.
+pub fn evaluate_outcome<S: Semantics>(
+    outcome: ParseOutcome,
+    sem: &mut S,
+) -> SemanticOutcome<S::Value> {
+    match outcome {
+        ParseOutcome::Unique(tree) => SemanticOutcome::Unique(evaluate(&tree, sem)),
+        ParseOutcome::Ambig(tree) => SemanticOutcome::Ambig(evaluate(&tree, sem)),
+        other => SemanticOutcome::NoParse(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Parser;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    /// Integer sum semantics for a toy list grammar:
+    /// list -> Int Comma list | Int.
+    struct Sum;
+    impl Semantics for Sum {
+        type Value = i64;
+        fn leaf(&mut self, t: &Token) -> i64 {
+            t.lexeme().parse().unwrap_or(0)
+        }
+        fn node(&mut self, _x: NonTerminal, children: Vec<i64>) -> i64 {
+            children.into_iter().sum()
+        }
+    }
+
+    fn list_parser() -> Parser {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("list", &["Int", "Comma", "list"]);
+        gb.rule("list", &["Int"]);
+        Parser::new(gb.start("list").build().unwrap())
+    }
+
+    #[test]
+    fn evaluates_over_parse_trees() {
+        let mut p = list_parser();
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(
+            &mut tab,
+            &[("Int", "1"), ("Comma", ","), ("Int", "2"), ("Comma", ","), ("Int", "39")],
+        );
+        let out = evaluate_outcome(p.parse(&w), &mut Sum);
+        assert_eq!(out, SemanticOutcome::Unique(42));
+        assert_eq!(out.value(), Some(&42));
+    }
+
+    #[test]
+    fn no_parse_is_preserved() {
+        let mut p = list_parser();
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("Comma", ",")]);
+        let out = evaluate_outcome(p.parse(&w), &mut Sum);
+        assert!(matches!(out, SemanticOutcome::NoParse(_)));
+        assert!(out.value().is_none());
+    }
+
+    #[test]
+    fn ambiguous_parse_keeps_label() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["X"]);
+        gb.rule("S", &["Y"]);
+        gb.rule("X", &["Int"]);
+        gb.rule("Y", &["Int"]);
+        let mut p = Parser::new(gb.start("S").build().unwrap());
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("Int", "5")]);
+        // Both trees value to 5: semantically confluent, syntactically
+        // ambiguous — the distinction §8 of the paper is about.
+        let out = evaluate_outcome(p.parse(&w), &mut Sum);
+        assert_eq!(out, SemanticOutcome::Ambig(5));
+    }
+
+    #[test]
+    fn stateful_semantics_allowed() {
+        struct LeafLog(Vec<String>);
+        impl Semantics for LeafLog {
+            type Value = ();
+            fn leaf(&mut self, t: &Token) {
+                self.0.push(t.lexeme().to_owned());
+            }
+            fn node(&mut self, _: NonTerminal, _: Vec<()>) {}
+        }
+        let mut p = list_parser();
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("Int", "1"), ("Comma", ","), ("Int", "2")]);
+        let mut log = LeafLog(Vec::new());
+        evaluate_outcome(p.parse(&w), &mut log);
+        assert_eq!(log.0, vec!["1", ",", "2"]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Machine states (paper §3.2).
+//!
+//! A machine state `σ ∈ Φ × Ψ × Δ × w × S(N) × B` bundles the prefix
+//! stack, suffix stack, prediction cache, remaining tokens, visited
+//! nonterminal set, and uniqueness flag. The cache `Δ` is threaded
+//! separately in this implementation (see [`crate::SllCache`]) so that it
+//! can optionally persist across inputs; everything else lives in
+//! [`MachineState`].
+//!
+//! ## Frame representation
+//!
+//! The paper draws a suffix frame as its list of unprocessed symbols, with
+//! the caller's nonterminal still at the head of the caller frame (Fig. 4's
+//! `[Xβ₁]`). Like the Coq development, we instead advance the caller's dot
+//! *at push time* and record the pushed nonterminal in the new frame's
+//! `caller` field — the same information, arranged so that a frame's
+//! unprocessed count is exactly what the `stackScore` measure needs
+//! (§4.3): with this arrangement a push trades the caller's head symbol
+//! (weight `bᵉ`) for a new top frame worth at most `bᵉ⁻¹·(b-1) < bᵉ`,
+//! which is why pushes strictly decrease the score (Lemma 4.3).
+
+use costar_grammar::{NonTerminal, Symbol, Tree};
+use std::sync::Arc;
+
+/// A suffix-stack frame: a grammar right-hand side with a dot marking how
+/// far the machine has progressed, plus the nonterminal the frame was
+/// pushed for (`None` for the bottom frame, which holds the start symbol).
+#[derive(Debug, Clone)]
+pub struct SuffixFrame {
+    /// The nonterminal whose prediction created this frame; the "open
+    /// nonterminal" a return operation reduces (paper §3.3).
+    pub caller: Option<NonTerminal>,
+    /// The sentential form this frame processes (a production right-hand
+    /// side, or `[S]` for the bottom frame).
+    pub rhs: Arc<[Symbol]>,
+    /// Symbols before `dot` are processed; `rhs[dot..]` are unprocessed.
+    pub dot: usize,
+}
+
+impl SuffixFrame {
+    /// The unprocessed symbols of this frame.
+    pub fn unprocessed(&self) -> &[Symbol] {
+        &self.rhs[self.dot..]
+    }
+
+    /// The symbol at the dot, if the frame is not exhausted.
+    pub fn head(&self) -> Option<Symbol> {
+        self.rhs.get(self.dot).copied()
+    }
+
+    /// `true` when every symbol has been processed.
+    pub fn is_exhausted(&self) -> bool {
+        self.dot >= self.rhs.len()
+    }
+}
+
+/// A prefix-stack frame: the partial derivation (forest) for the processed
+/// symbols of the corresponding suffix frame.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixFrame {
+    /// One tree per processed symbol, in order. The roots of these trees
+    /// spell the processed symbols (`rhs[..dot]` of the matching suffix
+    /// frame) — the stack well-formedness invariant of paper Fig. 4.
+    pub trees: Vec<Tree>,
+}
+
+/// The mutable machine state threaded through [`crate::Machine::step`].
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    /// Prefix stack `Φ`, bottom at index 0, top at the end.
+    pub prefix: Vec<PrefixFrame>,
+    /// Suffix stack `Ψ`, bottom at index 0, top at the end.
+    pub suffix: Vec<SuffixFrame>,
+    /// Index of the next token to consume in the input word.
+    pub cursor: usize,
+    /// Visited nonterminals: opened but not fully processed since the last
+    /// consume (paper §4.1). Grows on push, shrinks on return, clears on
+    /// consume.
+    pub visited: costar_grammar::NtSet,
+    /// `false` once prediction has detected that the input is ambiguous.
+    pub unique: bool,
+}
+
+impl MachineState {
+    /// The initial state for a parse rooted at `start`: one empty prefix
+    /// frame and one suffix frame holding the start symbol (the paper's
+    /// `WfInit` configuration, Fig. 4).
+    pub fn initial(start: NonTerminal, num_nonterminals: usize) -> Self {
+        MachineState {
+            prefix: vec![PrefixFrame::default()],
+            suffix: vec![SuffixFrame {
+                caller: None,
+                rhs: Arc::from([Symbol::Nt(start)]),
+                dot: 0,
+            }],
+            cursor: 0,
+            visited: costar_grammar::NtSet::with_capacity(num_nonterminals),
+            unique: true,
+        }
+    }
+
+    /// Height of the suffix stack (third component of the termination
+    /// measure, §4.2).
+    pub fn stack_height(&self) -> usize {
+        self.suffix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_shape() {
+        let s = MachineState::initial(NonTerminal::from_index(0), 4);
+        assert_eq!(s.prefix.len(), 1);
+        assert_eq!(s.suffix.len(), 1);
+        assert!(s.prefix[0].trees.is_empty());
+        assert_eq!(s.suffix[0].rhs.len(), 1);
+        assert_eq!(s.suffix[0].dot, 0);
+        assert!(s.suffix[0].caller.is_none());
+        assert!(s.unique);
+        assert_eq!(s.cursor, 0);
+        assert!(s.visited.is_empty());
+    }
+
+    #[test]
+    fn frame_head_and_exhaustion() {
+        let mut f = SuffixFrame {
+            caller: None,
+            rhs: Arc::from([Symbol::Nt(NonTerminal::from_index(0))]),
+            dot: 0,
+        };
+        assert!(f.head().is_some());
+        assert!(!f.is_exhausted());
+        assert_eq!(f.unprocessed().len(), 1);
+        f.dot = 1;
+        assert!(f.head().is_none());
+        assert!(f.is_exhausted());
+        assert!(f.unprocessed().is_empty());
+    }
+}

@@ -1,0 +1,493 @@
+//! EBNF grammar text format: AST and parser.
+//!
+//! The paper's evaluation pipeline (§6.1) includes "a tool that converts a
+//! grammar in ANTLR's input format to the OCaml data structure that
+//! CoStar takes as input", desugaring EBNF operators into BNF. This
+//! module is the front half of that tool: a parser for an ANTLR-flavored
+//! grammar notation.
+//!
+//! ```text
+//! // a rule per line; the first rule's left-hand side is the start symbol
+//! json  : value ;
+//! value : obj | arr | STRING | NUMBER | 'true' | 'false' | 'null' ;
+//! obj   : '{' (pair (',' pair)*)? '}' ;
+//! pair  : STRING ':' value ;
+//! arr   : '[' (value (',' value)*)? ']' ;
+//! ```
+//!
+//! Lowercase identifiers are rule references (nonterminals), UPPERCASE
+//! identifiers are token types (terminals), and quoted literals are
+//! terminals named by their spelling. `*`, `+`, `?`, parenthesized groups,
+//! and `|` are the EBNF operators the back half desugars away.
+
+use std::fmt;
+
+/// An EBNF expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Reference to a rule (nonterminal), by name.
+    Rule(String),
+    /// A token type (terminal), by name.
+    TokenType(String),
+    /// A literal terminal, e.g. `'{'`; its terminal name is its spelling.
+    Literal(String),
+    /// Sequence of expressions.
+    Seq(Vec<Expr>),
+    /// Ordered alternatives.
+    Alt(Vec<Expr>),
+    /// Zero or more.
+    Star(Box<Expr>),
+    /// One or more.
+    Plus(Box<Expr>),
+    /// Zero or one.
+    Opt(Box<Expr>),
+}
+
+/// One EBNF rule: `name : body ;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The rule (nonterminal) name.
+    pub name: String,
+    /// The rule body.
+    pub body: Expr,
+}
+
+/// A parsed EBNF grammar: rules in source order; the first rule's
+/// left-hand side is the start symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EbnfGrammar {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+/// A syntax error in the EBNF source, with line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EbnfError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for EbnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for EbnfError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Literal(String),
+    Colon,
+    Semi,
+    Pipe,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Question,
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Scanner<'_> {
+    fn error(&self, message: impl Into<String>) -> EbnfError {
+        EbnfError {
+            line: self.line,
+            column: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn scan(&mut self) -> Result<Vec<(Tok, usize, usize)>, EbnfError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(b) if b.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                        while let Some(b) = self.bump() {
+                            if b == b'\n' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                        self.bump();
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                None => return Err(self.error("unterminated block comment")),
+                                Some(b'*') if self.peek() == Some(b'/') => {
+                                    self.bump();
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else { break };
+            let tok = match b {
+                b':' => {
+                    self.bump();
+                    Tok::Colon
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b'|' => {
+                    self.bump();
+                    Tok::Pipe
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                b'?' => {
+                    self.bump();
+                    Tok::Question
+                }
+                b'\'' => {
+                    self.bump();
+                    let mut lit = String::new();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.error("unterminated literal")),
+                            Some(b'\'') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'n') => lit.push('\n'),
+                                Some(b't') => lit.push('\t'),
+                                Some(b'r') => lit.push('\r'),
+                                Some(b'\\') => lit.push('\\'),
+                                Some(b'\'') => lit.push('\''),
+                                _ => return Err(self.error("bad escape in literal")),
+                            },
+                            Some(c) => lit.push(c as char),
+                        }
+                    }
+                    if lit.is_empty() {
+                        return Err(self.error("empty literal"));
+                    }
+                    Tok::Literal(lit)
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            name.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(name)
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push((tok, line, col));
+        }
+        Ok(out)
+    }
+}
+
+struct RuleParser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl RuleParser {
+    fn error_at(&self, message: impl Into<String>) -> EbnfError {
+        let (line, column) = self
+            .toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or((1, 1), |&(_, l, c)| (l, c));
+        EbnfError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), EbnfError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error_at(format!("expected {what}")))
+        }
+    }
+
+    fn parse_grammar(&mut self) -> Result<EbnfGrammar, EbnfError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.parse_rule()?);
+        }
+        if rules.is_empty() {
+            return Err(self.error_at("grammar has no rules"));
+        }
+        Ok(EbnfGrammar { rules })
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, EbnfError> {
+        let Some(Tok::Ident(name)) = self.bump() else {
+            return Err(self.error_at("expected rule name"));
+        };
+        self.expect(&Tok::Colon, "':'")?;
+        let body = self.parse_alt()?;
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(Rule { name, body })
+    }
+
+    fn parse_alt(&mut self) -> Result<Expr, EbnfError> {
+        let mut alts = vec![self.parse_seq()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            alts.push(self.parse_seq()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one alt")
+        } else {
+            Expr::Alt(alts)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<Expr, EbnfError> {
+        let mut parts = Vec::new();
+        while let Some(Tok::Ident(_) | Tok::Literal(_) | Tok::LParen) = self.peek() {
+            parts.push(self.parse_postfix()?);
+        }
+        Ok(match parts.len() {
+            0 => Expr::Seq(Vec::new()), // ε
+            1 => parts.pop().expect("one part"),
+            _ => Expr::Seq(parts),
+        })
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, EbnfError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    e = Expr::Star(Box::new(e));
+                }
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    e = Expr::Plus(Box::new(e));
+                }
+                Some(Tok::Question) => {
+                    self.pos += 1;
+                    e = Expr::Opt(Box::new(e));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, EbnfError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => {
+                // ANTLR convention: token types are UPPERCASE, rules are
+                // lowercase (first character decides).
+                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    Ok(Expr::TokenType(name))
+                } else {
+                    Ok(Expr::Rule(name))
+                }
+            }
+            Some(Tok::Literal(lit)) => Ok(Expr::Literal(lit)),
+            Some(Tok::LParen) => {
+                let inner = self.parse_alt()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => Err(self.error_at("expected an element")),
+        }
+    }
+}
+
+/// Parses EBNF grammar text.
+///
+/// # Errors
+///
+/// Returns [`EbnfError`] with a source position on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use costar_ebnf::parse_ebnf;
+/// let g = parse_ebnf("list : NUM (',' NUM)* ;")?;
+/// assert_eq!(g.rules.len(), 1);
+/// assert_eq!(g.rules[0].name, "list");
+/// # Ok::<(), costar_ebnf::EbnfError>(())
+/// ```
+pub fn parse_ebnf(src: &str) -> Result<EbnfGrammar, EbnfError> {
+    let mut scanner = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let toks = scanner.scan()?;
+    let mut parser = RuleParser { toks, pos: 0 };
+    parser.parse_grammar()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_rule() {
+        let g = parse_ebnf("s : A b 'x' ;").unwrap();
+        assert_eq!(g.rules.len(), 1);
+        let Expr::Seq(parts) = &g.rules[0].body else {
+            panic!("expected seq")
+        };
+        assert_eq!(parts[0], Expr::TokenType("A".into()));
+        assert_eq!(parts[1], Expr::Rule("b".into()));
+        assert_eq!(parts[2], Expr::Literal("x".into()));
+    }
+
+    #[test]
+    fn parses_alternatives_and_groups() {
+        let g = parse_ebnf("s : a | (b c)+ | ;").unwrap();
+        let Expr::Alt(alts) = &g.rules[0].body else {
+            panic!("expected alt")
+        };
+        assert_eq!(alts.len(), 3);
+        assert!(matches!(alts[1], Expr::Plus(_)));
+        assert_eq!(alts[2], Expr::Seq(vec![])); // explicit ε alternative
+    }
+
+    #[test]
+    fn parses_postfix_operators() {
+        let g = parse_ebnf("s : a* b+ c? ;").unwrap();
+        let Expr::Seq(parts) = &g.rules[0].body else {
+            panic!()
+        };
+        assert!(matches!(parts[0], Expr::Star(_)));
+        assert!(matches!(parts[1], Expr::Plus(_)));
+        assert!(matches!(parts[2], Expr::Opt(_)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let g = parse_ebnf(
+            "// header\n s : a ; /* mid\n comment */ t : b ; // trailing",
+        )
+        .unwrap();
+        assert_eq!(g.rules.len(), 2);
+    }
+
+    #[test]
+    fn literal_escapes() {
+        let g = parse_ebnf(r"s : '\n' '\'' '\\' ;").unwrap();
+        let Expr::Seq(parts) = &g.rules[0].body else {
+            panic!()
+        };
+        assert_eq!(parts[0], Expr::Literal("\n".into()));
+        assert_eq!(parts[1], Expr::Literal("'".into()));
+        assert_eq!(parts[2], Expr::Literal("\\".into()));
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_ebnf("s : a").unwrap_err();
+        assert!(err.message.contains("';'"));
+        let err = parse_ebnf("s a ;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("':'"));
+        let err = parse_ebnf("\n\ns : 'x ;").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn empty_grammar_rejected() {
+        assert!(parse_ebnf("  // nothing\n").is_err());
+    }
+
+    #[test]
+    fn case_decides_symbol_kind() {
+        let g = parse_ebnf("s : Upper lower _under ;").unwrap();
+        let Expr::Seq(parts) = &g.rules[0].body else {
+            panic!()
+        };
+        assert!(matches!(parts[0], Expr::TokenType(_)));
+        assert!(matches!(parts[1], Expr::Rule(_)));
+        assert!(matches!(parts[2], Expr::Rule(_))); // '_' is not uppercase
+    }
+
+    #[test]
+    fn nested_groups() {
+        let g = parse_ebnf("s : ((a | b) c)* ;").unwrap();
+        let Expr::Star(inner) = &g.rules[0].body else {
+            panic!()
+        };
+        let Expr::Seq(parts) = inner.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(parts[0], Expr::Alt(_)));
+    }
+}

@@ -1,0 +1,322 @@
+//! EBNF-to-BNF desugaring (paper §6.1).
+//!
+//! "The grammar conversion tool desugars EBNF elements into equivalent BNF
+//! structures, generating fresh nonterminals and adding new productions to
+//! the grammar as necessary." This module is that tool's back half:
+//!
+//! * `e*` becomes a fresh `R` with `R → ε | e R` (right recursion, never
+//!   left, so the result stays ALL(*)-friendly);
+//! * `e+` becomes `e R` where `R` is `e*`'s fresh nonterminal;
+//! * `e?` becomes a fresh `R` with `R → ε | e`;
+//! * a group with several alternatives becomes a fresh nonterminal with
+//!   one production per alternative;
+//! * literals become terminals named by their spelling.
+//!
+//! Like the paper's tool, we *do not prove* that desugaring preserves the
+//! language — instead the test suite checks it empirically by comparing
+//! words sampled from the desugared grammar against the original EBNF via
+//! an interpreter ([`crate::interp`]).
+
+use crate::ast::{EbnfGrammar, Expr};
+use costar_grammar::{Grammar, GrammarBuilder, GrammarError, NonTerminal, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Desugaring statistics: how much the grammar grew (reported in the
+/// Fig. 8 reproduction, whose `|N|`/`|P|` counts are "taken from the
+/// desugared BNF grammars").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DesugarStats {
+    /// Nonterminals introduced by desugaring.
+    pub fresh_nonterminals: usize,
+    /// Productions in the resulting BNF grammar.
+    pub productions: usize,
+}
+
+/// Errors arising during desugaring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesugarError {
+    /// A rule reference has no defining rule.
+    UndefinedRule(String),
+    /// The same rule is defined twice.
+    DuplicateRule(String),
+    /// The resulting BNF grammar failed validation.
+    Grammar(GrammarError),
+}
+
+impl fmt::Display for DesugarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesugarError::UndefinedRule(r) => write!(f, "rule {r} is referenced but not defined"),
+            DesugarError::DuplicateRule(r) => write!(f, "rule {r} is defined more than once"),
+            DesugarError::Grammar(e) => write!(f, "invalid desugared grammar: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesugarError {}
+
+impl From<GrammarError> for DesugarError {
+    fn from(e: GrammarError) -> Self {
+        DesugarError::Grammar(e)
+    }
+}
+
+struct Desugarer {
+    gb: GrammarBuilder,
+    rule_nts: HashMap<String, NonTerminal>,
+    fresh_count: usize,
+}
+
+impl Desugarer {
+    /// Lowers `expr` to a single grammar symbol, appending helper
+    /// productions as needed. `hint` seeds fresh nonterminal names.
+    fn lower_to_symbol(&mut self, expr: &Expr, hint: &str) -> Result<Symbol, DesugarError> {
+        match expr {
+            Expr::Rule(name) => self
+                .rule_nts
+                .get(name)
+                .map(|&x| Symbol::Nt(x))
+                .ok_or_else(|| DesugarError::UndefinedRule(name.clone())),
+            Expr::TokenType(name) => Ok(Symbol::T(self.gb.terminal(name))),
+            Expr::Literal(lit) => Ok(Symbol::T(self.gb.terminal(lit))),
+            Expr::Star(inner) => {
+                let item = self.lower_to_symbol(inner, hint)?;
+                let r = self.fresh(hint, "star");
+                self.gb.rule_syms(r, vec![]);
+                self.gb.rule_syms(r, vec![item, Symbol::Nt(r)]);
+                Ok(Symbol::Nt(r))
+            }
+            Expr::Plus(inner) => {
+                // e+ = e e* ; wrap in a fresh symbol so e+ is one symbol.
+                let item = self.lower_to_symbol(inner, hint)?;
+                let star = self.fresh(hint, "star");
+                self.gb.rule_syms(star, vec![]);
+                self.gb.rule_syms(star, vec![item, Symbol::Nt(star)]);
+                let plus = self.fresh(hint, "plus");
+                self.gb.rule_syms(plus, vec![item, Symbol::Nt(star)]);
+                Ok(Symbol::Nt(plus))
+            }
+            Expr::Opt(inner) => {
+                let r = self.fresh(hint, "opt");
+                self.gb.rule_syms(r, vec![]);
+                let seq = self.lower_to_form(inner, hint)?;
+                // Avoid a duplicate ε production when the body is itself ε.
+                if !seq.is_empty() {
+                    self.gb.rule_syms(r, seq);
+                }
+                Ok(Symbol::Nt(r))
+            }
+            Expr::Alt(_) => {
+                let r = self.fresh(hint, "group");
+                self.lower_alternatives(expr, r, hint)?;
+                Ok(Symbol::Nt(r))
+            }
+            Expr::Seq(parts) => match parts.len() {
+                1 => self.lower_to_symbol(&parts[0], hint),
+                _ => {
+                    let r = self.fresh(hint, "group");
+                    let form = self.lower_to_form(expr, hint)?;
+                    self.gb.rule_syms(r, form);
+                    Ok(Symbol::Nt(r))
+                }
+            },
+        }
+    }
+
+    /// Lowers `expr` to a sentential form (splicing sequences instead of
+    /// wrapping them).
+    fn lower_to_form(&mut self, expr: &Expr, hint: &str) -> Result<Vec<Symbol>, DesugarError> {
+        match expr {
+            Expr::Seq(parts) => {
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    out.extend(self.lower_to_form(p, hint)?);
+                }
+                Ok(out)
+            }
+            other => Ok(vec![self.lower_to_symbol(other, hint)?]),
+        }
+    }
+
+    /// Adds one production per alternative of `expr` to nonterminal `lhs`.
+    fn lower_alternatives(
+        &mut self,
+        expr: &Expr,
+        lhs: NonTerminal,
+        hint: &str,
+    ) -> Result<(), DesugarError> {
+        match expr {
+            Expr::Alt(alts) => {
+                for a in alts {
+                    let form = self.lower_to_form(a, hint)?;
+                    self.gb.rule_syms(lhs, form);
+                }
+            }
+            other => {
+                let form = self.lower_to_form(other, hint)?;
+                self.gb.rule_syms(lhs, form);
+            }
+        }
+        Ok(())
+    }
+
+    fn fresh(&mut self, hint: &str, op: &str) -> NonTerminal {
+        self.fresh_count += 1;
+        self.gb
+            .symbols_mut()
+            .fresh_nonterminal(&format!("{hint}__{op}"))
+    }
+}
+
+/// Desugars a parsed EBNF grammar into a BNF [`Grammar`], with the first
+/// rule's left-hand side as the start symbol.
+///
+/// # Errors
+///
+/// Returns [`DesugarError`] for undefined or duplicate rules, or if the
+/// produced grammar fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use costar_ebnf::{parse_ebnf, to_bnf};
+/// let ebnf = parse_ebnf("list : NUM (',' NUM)* ;")?;
+/// let (grammar, stats) = to_bnf(&ebnf)?;
+/// // One fresh nonterminal for the (',' NUM)* loop, plus the group.
+/// assert!(stats.fresh_nonterminals >= 1);
+/// assert!(grammar.num_productions() >= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_bnf(ebnf: &EbnfGrammar) -> Result<(Grammar, DesugarStats), DesugarError> {
+    let mut d = Desugarer {
+        gb: GrammarBuilder::new(),
+        rule_nts: HashMap::new(),
+        fresh_count: 0,
+    };
+    // Pass 1: declare all rule nonterminals (so references resolve).
+    for rule in &ebnf.rules {
+        let x = d.gb.nonterminal(&rule.name);
+        if d.rule_nts.insert(rule.name.clone(), x).is_some() {
+            return Err(DesugarError::DuplicateRule(rule.name.clone()));
+        }
+    }
+    // Pass 2: lower bodies.
+    for rule in &ebnf.rules {
+        let lhs = d.rule_nts[&rule.name];
+        let body = rule.body.clone();
+        d.lower_alternatives(&body, lhs, &rule.name)?;
+    }
+    let start = d.rule_nts[&ebnf.rules[0].name];
+    d.gb.start_sym(start);
+    let fresh = d.fresh_count;
+    let g = d.gb.build()?;
+    let stats = DesugarStats {
+        fresh_nonterminals: fresh,
+        productions: g.num_productions(),
+    };
+    Ok((g, stats))
+}
+
+/// Parses and desugars in one step.
+///
+/// # Errors
+///
+/// Propagates syntax errors as `Err(String)` renderings of
+/// [`crate::EbnfError`] / [`DesugarError`] for convenience at call sites
+/// that just need a grammar or a message.
+pub fn compile(src: &str) -> Result<(Grammar, DesugarStats), String> {
+    let ebnf = crate::parse_ebnf(src).map_err(|e| e.to_string())?;
+    to_bnf(&ebnf).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_ebnf;
+    use costar_grammar::analysis::GrammarAnalysis;
+
+    fn bnf(src: &str) -> (Grammar, DesugarStats) {
+        to_bnf(&parse_ebnf(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn plain_bnf_passes_through() {
+        let (g, stats) = bnf("s : A b | ; b : B ;");
+        assert_eq!(stats.fresh_nonterminals, 0);
+        assert_eq!(g.num_productions(), 3);
+        assert_eq!(g.num_nonterminals(), 2);
+        assert_eq!(g.num_terminals(), 2);
+    }
+
+    #[test]
+    fn star_desugars_to_right_recursion() {
+        let (g, stats) = bnf("s : A* ;");
+        assert_eq!(stats.fresh_nonterminals, 1);
+        // s -> R ; R -> ε ; R -> A R.
+        assert_eq!(g.num_productions(), 3);
+        let an = GrammarAnalysis::compute(&g);
+        assert!(an.left_recursion.is_grammar_safe(), "no left recursion introduced");
+    }
+
+    #[test]
+    fn plus_and_opt_desugar() {
+        let (g, _) = bnf("s : A+ B? ;");
+        let an = GrammarAnalysis::compute(&g);
+        assert!(an.left_recursion.is_grammar_safe());
+        // A+ : star(2) + plus(1); B? : opt(2); s itself: 1 → 6 productions.
+        assert_eq!(g.num_productions(), 6);
+    }
+
+    #[test]
+    fn groups_with_alternatives_get_fresh_nonterminals() {
+        let (g, stats) = bnf("s : (A | B C)+ ;");
+        assert!(stats.fresh_nonterminals >= 2);
+        let an = GrammarAnalysis::compute(&g);
+        assert!(an.left_recursion.is_grammar_safe());
+        let _ = g;
+    }
+
+    #[test]
+    fn literals_become_named_terminals() {
+        let (g, _) = bnf("s : '{' A '}' ;");
+        assert!(g.symbols().lookup_terminal("{").is_some());
+        assert!(g.symbols().lookup_terminal("}").is_some());
+    }
+
+    #[test]
+    fn undefined_rule_reported() {
+        let err = to_bnf(&parse_ebnf("s : t ;").unwrap()).unwrap_err();
+        assert_eq!(err, DesugarError::UndefinedRule("t".into()));
+    }
+
+    #[test]
+    fn duplicate_rule_reported() {
+        let err = to_bnf(&parse_ebnf("s : A ; s : B ;").unwrap()).unwrap_err();
+        assert_eq!(err, DesugarError::DuplicateRule("s".into()));
+    }
+
+    #[test]
+    fn first_rule_is_start() {
+        let (g, _) = bnf("top : sub ; sub : A ;");
+        assert_eq!(
+            g.start(),
+            g.symbols().lookup_nonterminal("top").unwrap()
+        );
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide_with_user_rules() {
+        // A user rule that looks like a generated name must not clash.
+        let (g, _) = bnf("s : A* ; s__star : B ;");
+        assert!(g.symbols().lookup_nonterminal("s__star").is_some());
+        assert!(g.symbols().lookup_nonterminal("s__star_1").is_some());
+    }
+
+    #[test]
+    fn compile_wrapper_reports_errors() {
+        assert!(compile("s : A ;").is_ok());
+        assert!(compile("s : ").unwrap_err().contains("expected"));
+        assert!(compile("s : t ;").unwrap_err().contains("not defined"));
+    }
+}

@@ -1,0 +1,277 @@
+//! A direct EBNF interpreter, used as a test oracle for desugaring.
+//!
+//! The paper's conversion tool comes with the caveat: "These
+//! transformations produce a grammar that accepts the same language as
+//! the original one, but we do not prove this fact" (§6.1). We also do
+//! not prove it — but we *test* it: this module recognizes token
+//! sequences directly against the EBNF (backtracking with fuel), and the
+//! crate's tests compare its verdicts with parses of the desugared BNF
+//! grammar.
+
+use crate::ast::{EbnfGrammar, Expr};
+use std::collections::HashMap;
+
+/// Result of an interpreted recognition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpResult {
+    /// The word is in the EBNF grammar's language.
+    Match,
+    /// It is not.
+    NoMatch,
+    /// The fuel budget ran out before a verdict (possible with
+    /// pathological nullable recursion); callers should treat this as
+    /// "unknown".
+    OutOfFuel,
+}
+
+/// Recognizes `word` (a sequence of terminal names: token-type names or
+/// literal spellings) against the EBNF grammar's start rule.
+///
+/// `fuel` bounds the total number of interpreter steps.
+///
+/// # Examples
+///
+/// ```
+/// use costar_ebnf::{interp_recognize, parse_ebnf, InterpResult};
+/// let g = parse_ebnf("list : NUM (',' NUM)* ;")?;
+/// let word = ["NUM", ",", "NUM"];
+/// assert_eq!(interp_recognize(&g, &word, 10_000), InterpResult::Match);
+/// assert_eq!(interp_recognize(&g, &["NUM", ","], 10_000), InterpResult::NoMatch);
+/// # Ok::<(), costar_ebnf::EbnfError>(())
+/// ```
+pub fn interp_recognize(g: &EbnfGrammar, word: &[&str], fuel: u64) -> InterpResult {
+    let rules: HashMap<&str, &Expr> = g
+        .rules
+        .iter()
+        .map(|r| (r.name.as_str(), &r.body))
+        .collect();
+    let mut interp = Interp {
+        rules,
+        word,
+        fuel,
+        depth: 0,
+        exhausted: false,
+    };
+    let start = &g.rules[0];
+    let mut matched_full = false;
+    interp.matches(&Expr::Rule(start.name.clone()), 0, &mut |end| {
+        if end == word.len() {
+            matched_full = true;
+        }
+        matched_full
+    });
+    if matched_full {
+        InterpResult::Match
+    } else if interp.exhausted {
+        InterpResult::OutOfFuel
+    } else {
+        InterpResult::NoMatch
+    }
+}
+
+struct Interp<'a> {
+    rules: HashMap<&'a str, &'a Expr>,
+    word: &'a [&'a str],
+    fuel: u64,
+    depth: u32,
+    exhausted: bool,
+}
+
+/// Recursion ceiling: beyond this the interpreter reports fuel
+/// exhaustion rather than risking a stack overflow on left-recursive
+/// EBNF rules.
+const MAX_DEPTH: u32 = 1_000;
+
+impl Interp<'_> {
+    /// Calls `k` with every end position reachable by matching `expr`
+    /// starting at `pos`; `k` returns `true` to stop the search.
+    fn matches(&mut self, expr: &Expr, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        if self.fuel == 0 || self.depth >= MAX_DEPTH {
+            self.exhausted = true;
+            return false;
+        }
+        self.fuel -= 1;
+        self.depth += 1;
+        let result = self.matches_inner(expr, pos, k);
+        self.depth -= 1;
+        result
+    }
+
+    fn matches_inner(
+        &mut self,
+        expr: &Expr,
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match expr {
+            Expr::TokenType(name) | Expr::Literal(name) => {
+                if self.word.get(pos) == Some(&name.as_str()) {
+                    k(pos + 1)
+                } else {
+                    false
+                }
+            }
+            Expr::Rule(name) => match self.rules.get(name.as_str()) {
+                Some(body) => {
+                    let body = *body;
+                    self.matches(body, pos, k)
+                }
+                None => false,
+            },
+            Expr::Seq(parts) => self.match_seq(parts, pos, k),
+            Expr::Alt(alts) => {
+                for a in alts {
+                    if self.matches(a, pos, k) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Expr::Opt(inner) => {
+                if k(pos) {
+                    return true;
+                }
+                self.matches(inner, pos, k)
+            }
+            Expr::Star(inner) => self.match_star(inner, pos, k, true),
+            Expr::Plus(inner) => {
+                // One mandatory iteration, then a star.
+                let mut mids = Vec::new();
+                self.matches(inner, pos, &mut |p| {
+                    mids.push(p);
+                    false
+                });
+                for p in mids {
+                    if self.match_star(inner, p, k, true) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn match_seq(
+        &mut self,
+        parts: &[Expr],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match parts.split_first() {
+            None => k(pos),
+            Some((first, rest)) => {
+                // Continuation style needs re-entrant self access; collect
+                // intermediate positions instead (words are short in the
+                // oracle's use, so this is fine).
+                let mut mids = Vec::new();
+                self.matches(first, pos, &mut |p| {
+                    mids.push(p);
+                    false
+                });
+                for p in mids {
+                    if self.match_seq(rest, p, k) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn match_star(
+        &mut self,
+        inner: &Expr,
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+        allow_empty: bool,
+    ) -> bool {
+        if allow_empty && k(pos) {
+            return true;
+        }
+        let mut mids = Vec::new();
+        self.matches(inner, pos, &mut |p| {
+            mids.push(p);
+            false
+        });
+        for p in mids {
+            // Guard against ε-loops: only recurse on progress.
+            if p > pos && self.match_star(inner, p, k, true) {
+                return true;
+            }
+            if p == pos && allow_empty {
+                // ε iteration adds nothing new; k(pos) already tried.
+            }
+        }
+        false
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_ebnf;
+
+    fn rec(src: &str, word: &[&str]) -> InterpResult {
+        let g = parse_ebnf(src).unwrap();
+        interp_recognize(&g, word, 100_000)
+    }
+
+    #[test]
+    fn terminals_and_sequences() {
+        assert_eq!(rec("s : A B ;", &["A", "B"]), InterpResult::Match);
+        assert_eq!(rec("s : A B ;", &["A"]), InterpResult::NoMatch);
+        assert_eq!(rec("s : A B ;", &["A", "B", "B"]), InterpResult::NoMatch);
+    }
+
+    #[test]
+    fn alternatives() {
+        assert_eq!(rec("s : A | B ;", &["B"]), InterpResult::Match);
+        assert_eq!(rec("s : A | B ;", &["C"]), InterpResult::NoMatch);
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        assert_eq!(rec("s : A* B ;", &["B"]), InterpResult::Match);
+        assert_eq!(rec("s : A* B ;", &["A", "A", "B"]), InterpResult::Match);
+        assert_eq!(rec("s : A+ ;", &[]), InterpResult::NoMatch);
+        assert_eq!(rec("s : A+ ;", &["A", "A"]), InterpResult::Match);
+        assert_eq!(rec("s : A? B ;", &["B"]), InterpResult::Match);
+        assert_eq!(rec("s : A? B ;", &["A", "B"]), InterpResult::Match);
+        assert_eq!(rec("s : A? B ;", &["A", "A", "B"]), InterpResult::NoMatch);
+    }
+
+    #[test]
+    fn rule_references_and_recursion() {
+        let src = "s : A s | B ;";
+        assert_eq!(rec(src, &["B"]), InterpResult::Match);
+        assert_eq!(rec(src, &["A", "A", "B"]), InterpResult::Match);
+        assert_eq!(rec(src, &["A"]), InterpResult::NoMatch);
+    }
+
+    #[test]
+    fn literals_match_by_spelling() {
+        assert_eq!(rec("s : '{' A '}' ;", &["{", "A", "}"]), InterpResult::Match);
+    }
+
+    #[test]
+    fn backtracking_across_group_choices() {
+        // Needs to try the second alternative of the group after the
+        // first one consumes too much.
+        let src = "s : (A | A B) C ;";
+        assert_eq!(rec(src, &["A", "B", "C"]), InterpResult::Match);
+        assert_eq!(rec(src, &["A", "C"]), InterpResult::Match);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        // Nullable self-recursion: s can loop forever without consuming.
+        let src = "s : s A | ;";
+        assert_eq!(rec(src, &["A"]), InterpResult::Match);
+        let g = parse_ebnf(src).unwrap();
+        assert_eq!(
+            interp_recognize(&g, &["B"], 50),
+            InterpResult::OutOfFuel
+        );
+    }
+}

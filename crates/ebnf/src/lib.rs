@@ -1,0 +1,35 @@
+//! # costar-ebnf — EBNF front-end and EBNF→BNF desugaring
+//!
+//! CoStar is parameterized by a plain BNF grammar, but real grammars are
+//! written in EBNF. The paper's evaluation (§6.1) used a conversion tool
+//! that "desugars EBNF elements into equivalent BNF structures, generating
+//! fresh nonterminals and adding new productions as necessary"; this crate
+//! is that tool:
+//!
+//! * [`parse_ebnf`] — parses an ANTLR-flavored grammar notation
+//!   (rules, `|`, groups, `*` `+` `?`, token types, quoted literals);
+//! * [`to_bnf`] — desugars to a [`costar_grammar::Grammar`], reporting
+//!   how many fresh nonterminals were introduced;
+//! * [`interp_recognize`] — a direct EBNF interpreter used as a test
+//!   oracle for the (unproven, but tested) claim that desugaring
+//!   preserves the language.
+//!
+//! # Example
+//!
+//! ```
+//! use costar_ebnf::compile;
+//! let (grammar, stats) = compile("list : NUM (',' NUM)* ;")?;
+//! assert!(grammar.num_productions() >= 3);
+//! assert!(stats.fresh_nonterminals >= 1);
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod desugar;
+mod interp;
+
+pub use ast::{parse_ebnf, EbnfError, EbnfGrammar, Expr, Rule};
+pub use desugar::{compile, to_bnf, DesugarError, DesugarStats};
+pub use interp::{interp_recognize, InterpResult};

@@ -1,0 +1,275 @@
+//! FIRST and FOLLOW set computation.
+//!
+//! These classic static analyses power the LL(1) baseline parser generator
+//! (Lasser et al. 2019, against which the paper positions CoStar's
+//! expressiveness) and the `AntlrSim` baseline's one-token fast-path
+//! decisions. CoStar itself does not need them — its prediction is dynamic —
+//! which is exactly the expressiveness story of the paper (§2).
+
+use crate::analysis::nullable::NullableSet;
+use crate::grammar::Grammar;
+use crate::sets::TermSet;
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// FIRST sets: for each nonterminal `X`, the terminals that can begin a
+/// word derived from `X`.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{GrammarBuilder, analysis::{FirstSets, NullableSet}};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["A", "x"]);
+/// gb.rule("A", &["y"]);
+/// gb.rule("A", &[]);
+/// let g = gb.start("S").build()?;
+/// let nullable = NullableSet::compute(&g);
+/// let first = FirstSets::compute(&g, &nullable);
+/// let s = g.symbols().lookup_nonterminal("S").unwrap();
+/// let x = g.symbols().lookup_terminal("x").unwrap();
+/// let y = g.symbols().lookup_terminal("y").unwrap();
+/// assert!(first.first(s).contains(x)); // via nullable A
+/// assert!(first.first(s).contains(y));
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstSets {
+    first: Vec<TermSet>,
+}
+
+impl FirstSets {
+    /// Computes FIRST sets with the standard fixpoint iteration.
+    pub fn compute(g: &Grammar, nullable: &NullableSet) -> Self {
+        let mut first = vec![TermSet::with_capacity(g.num_terminals()); g.num_nonterminals()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.iter() {
+                // FIRST(lhs) ⊇ FIRST(prefix of rhs up to the first
+                // non-nullable symbol, inclusive of its first terminal).
+                let lhs_idx = p.lhs().index();
+                for &s in p.rhs() {
+                    match s {
+                        Symbol::T(t) => {
+                            if first[lhs_idx].insert(t) {
+                                changed = true;
+                            }
+                            break;
+                        }
+                        Symbol::Nt(y) => {
+                            // Split borrows: take a snapshot of FIRST(y).
+                            let snapshot = first[y.index()].clone();
+                            if first[lhs_idx].union_with(&snapshot) {
+                                changed = true;
+                            }
+                            if !nullable.contains(y) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        FirstSets { first }
+    }
+
+    /// The FIRST set of nonterminal `x`.
+    pub fn first(&self, x: NonTerminal) -> &TermSet {
+        &self.first[x.index()]
+    }
+
+    /// FIRST of a sentential form: all terminals that can begin a word
+    /// derived from `form`.
+    pub fn first_of_form(&self, form: &[Symbol], nullable: &NullableSet) -> TermSet {
+        let mut out = TermSet::default();
+        for &s in form {
+            match s {
+                Symbol::T(t) => {
+                    out.insert(t);
+                    return out;
+                }
+                Symbol::Nt(x) => {
+                    out.union_with(self.first(x));
+                    if !nullable.contains(x) {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// FOLLOW sets: for each nonterminal `X`, the terminals that can appear
+/// immediately after `X` in a sentential form derivable from the start
+/// symbol, plus an end-of-input flag.
+#[derive(Debug, Clone)]
+pub struct FollowSets {
+    follow: Vec<TermSet>,
+    /// `true` if end-of-input can follow the nonterminal.
+    eof: Vec<bool>,
+}
+
+impl FollowSets {
+    /// Computes FOLLOW sets with the standard fixpoint iteration.
+    pub fn compute(g: &Grammar, nullable: &NullableSet, first: &FirstSets) -> Self {
+        let n = g.num_nonterminals();
+        let mut follow = vec![TermSet::with_capacity(g.num_terminals()); n];
+        let mut eof = vec![false; n];
+        eof[g.start().index()] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.iter() {
+                let rhs = p.rhs();
+                for (i, &s) in rhs.iter().enumerate() {
+                    let Symbol::Nt(x) = s else { continue };
+                    let tail = &rhs[i + 1..];
+                    let tail_first = first.first_of_form(tail, nullable);
+                    if follow[x.index()].union_with(&tail_first) {
+                        changed = true;
+                    }
+                    if nullable.form_nullable(tail) {
+                        // FOLLOW(x) ⊇ FOLLOW(lhs).
+                        let snapshot = follow[p.lhs().index()].clone();
+                        if follow[x.index()].union_with(&snapshot) {
+                            changed = true;
+                        }
+                        if eof[p.lhs().index()] && !eof[x.index()] {
+                            eof[x.index()] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        FollowSets { follow, eof }
+    }
+
+    /// The FOLLOW set of nonterminal `x` (terminals only; see
+    /// [`eof_follows`](FollowSets::eof_follows)).
+    pub fn follow(&self, x: NonTerminal) -> &TermSet {
+        &self.follow[x.index()]
+    }
+
+    /// Can end-of-input immediately follow `x`?
+    pub fn eof_follows(&self, x: NonTerminal) -> bool {
+        self.eof[x.index()]
+    }
+}
+
+/// Convenience: does terminal `t` belong to FIRST of `form`, or — when
+/// `form` is nullable — to the given FOLLOW set? This is the LL(1) table
+/// membership condition.
+pub fn ll1_selects(
+    form: &[Symbol],
+    t: Terminal,
+    nullable: &NullableSet,
+    first: &FirstSets,
+    follow_of_lhs: &TermSet,
+) -> bool {
+    let f = first.first_of_form(form, nullable);
+    if f.contains(t) {
+        return true;
+    }
+    nullable.form_nullable(form) && follow_of_lhs.contains(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn setup() -> (Grammar, NullableSet, FirstSets, FollowSets) {
+        // Classic expression grammar (right-recursive, LL(1)).
+        let mut gb = GrammarBuilder::new();
+        gb.rule("e", &["t", "e2"]);
+        gb.rule("e2", &["Plus", "t", "e2"]);
+        gb.rule("e2", &[]);
+        gb.rule("t", &["f", "t2"]);
+        gb.rule("t2", &["Star", "f", "t2"]);
+        gb.rule("t2", &[]);
+        gb.rule("f", &["LParen", "e", "RParen"]);
+        gb.rule("f", &["Int"]);
+        let g = gb.start("e").build().unwrap();
+        let n = NullableSet::compute(&g);
+        let f = FirstSets::compute(&g, &n);
+        let fo = FollowSets::compute(&g, &n, &f);
+        (g, n, f, fo)
+    }
+
+    fn t(g: &Grammar, name: &str) -> Terminal {
+        g.symbols().lookup_terminal(name).unwrap()
+    }
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    #[test]
+    fn first_sets_of_expression_grammar() {
+        let (g, _, first, _) = setup();
+        let e_first = first.first(nt(&g, "e"));
+        assert!(e_first.contains(t(&g, "LParen")));
+        assert!(e_first.contains(t(&g, "Int")));
+        assert!(!e_first.contains(t(&g, "Plus")));
+        let e2_first = first.first(nt(&g, "e2"));
+        assert!(e2_first.contains(t(&g, "Plus")));
+        assert_eq!(e2_first.len(), 1);
+    }
+
+    #[test]
+    fn follow_sets_of_expression_grammar() {
+        let (g, _, _, follow) = setup();
+        let e_follow = follow.follow(nt(&g, "e"));
+        assert!(e_follow.contains(t(&g, "RParen")));
+        assert!(follow.eof_follows(nt(&g, "e")));
+        // FOLLOW(t) = {Plus, RParen, EOF}
+        let t_follow = follow.follow(nt(&g, "t"));
+        assert!(t_follow.contains(t(&g, "Plus")));
+        assert!(t_follow.contains(t(&g, "RParen")));
+        assert!(follow.eof_follows(nt(&g, "t")));
+        assert!(!t_follow.contains(t(&g, "Star")));
+    }
+
+    #[test]
+    fn first_of_form_skips_nullables() {
+        let (g, n, first, _) = setup();
+        let form = [Symbol::Nt(nt(&g, "e2")), Symbol::T(t(&g, "Star"))];
+        let f = first.first_of_form(&form, &n);
+        assert!(f.contains(t(&g, "Plus")));
+        assert!(f.contains(t(&g, "Star")));
+    }
+
+    #[test]
+    fn ll1_select_condition() {
+        let (g, n, first, follow) = setup();
+        // e2 -> ε is selected on RParen (in FOLLOW(e2)) but not on Plus.
+        let e2 = nt(&g, "e2");
+        assert!(ll1_selects(&[], t(&g, "RParen"), &n, &first, follow.follow(e2)));
+        assert!(!ll1_selects(&[], t(&g, "Star"), &n, &first, follow.follow(e2)));
+        // e2 -> Plus t e2 is selected on Plus.
+        let plus_form = [
+            Symbol::T(t(&g, "Plus")),
+            Symbol::Nt(nt(&g, "t")),
+            Symbol::Nt(e2),
+        ];
+        assert!(ll1_selects(&plus_form, t(&g, "Plus"), &n, &first, follow.follow(e2)));
+    }
+
+    #[test]
+    fn eof_propagates_through_nullable_tails() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "B"]);
+        gb.rule("A", &["a"]);
+        gb.rule("B", &[]);
+        gb.rule("B", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let n = NullableSet::compute(&g);
+        let f = FirstSets::compute(&g, &n);
+        let fo = FollowSets::compute(&g, &n, &f);
+        // B nullable, so EOF follows A as well as B.
+        assert!(fo.eof_follows(nt(&g, "A")));
+        assert!(fo.eof_follows(nt(&g, "B")));
+    }
+}

@@ -1,0 +1,288 @@
+//! Static left-recursion decision procedure.
+//!
+//! All of CoStar's correctness theorems assume a non-left-recursive
+//! grammar; the paper (§8) lists a verified decision procedure for this
+//! property as future work. We implement it: a nonterminal `X` is
+//! left-recursive iff there is a *nullable path* from `X` back to `X`
+//! (Lasser et al. 2019, cited in paper §5.4.2) — i.e. `X` derives a
+//! sentential form beginning with `X` by a leftmost chain that only skips
+//! nullable material.
+//!
+//! Concretely, build the "left-corner" graph with an edge `X → Y` whenever
+//! some production `X → α Y β` has a nullable prefix `α`; then `X` is
+//! left-recursive iff `X` lies on a cycle of that graph (self-loops
+//! included). Cycles are found with Tarjan's strongly-connected-components
+//! algorithm.
+
+use crate::analysis::nullable::NullableSet;
+use crate::grammar::Grammar;
+use crate::sets::NtSet;
+use crate::symbol::{NonTerminal, Symbol};
+
+/// Result of the left-recursion analysis.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{GrammarBuilder, analysis::{LeftRecursion, NullableSet}};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("E", &["E", "Plus", "Int"]); // directly left-recursive
+/// gb.rule("E", &["Int"]);
+/// let g = gb.start("E").build()?;
+/// let nullable = NullableSet::compute(&g);
+/// let lr = LeftRecursion::compute(&g, &nullable);
+/// assert!(!lr.is_grammar_safe());
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeftRecursion {
+    left_recursive: NtSet,
+}
+
+impl LeftRecursion {
+    /// Runs the decision procedure.
+    pub fn compute(g: &Grammar, nullable: &NullableSet) -> Self {
+        let n = g.num_nonterminals();
+        // Left-corner edges X -> Y.
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (_, p) in g.iter() {
+            for &s in p.rhs() {
+                match s {
+                    Symbol::Nt(y) => {
+                        edges[p.lhs().index()].push(y.index());
+                        if !nullable.contains(y) {
+                            break;
+                        }
+                    }
+                    Symbol::T(_) => break,
+                }
+            }
+        }
+
+        // Tarjan SCC. Nonterminals in an SCC of size > 1, or with a
+        // self-loop, are left-recursive.
+        let mut state = Tarjan {
+            edges: &edges,
+            index: vec![usize::MAX; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            left_recursive: NtSet::with_capacity(n),
+        };
+        for v in 0..n {
+            if state.index[v] == usize::MAX {
+                state.strongconnect(v);
+            }
+        }
+        // Self-loops: an edge X -> X is a cycle even in a singleton SCC.
+        for (v, vs) in edges.iter().enumerate() {
+            if vs.contains(&v) {
+                state.left_recursive.insert(NonTerminal::from_index(v));
+            }
+        }
+
+        LeftRecursion {
+            left_recursive: state.left_recursive,
+        }
+    }
+
+    /// Is `x` left-recursive?
+    pub fn is_left_recursive(&self, x: NonTerminal) -> bool {
+        self.left_recursive.contains(x)
+    }
+
+    /// Is the grammar free of left recursion — the precondition of every
+    /// CoStar correctness theorem (paper §5)?
+    pub fn is_grammar_safe(&self) -> bool {
+        self.left_recursive.is_empty()
+    }
+
+    /// All left-recursive nonterminals.
+    pub fn left_recursive_set(&self) -> &NtSet {
+        &self.left_recursive
+    }
+}
+
+struct Tarjan<'a> {
+    edges: &'a [Vec<usize>],
+    index: Vec<usize>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    left_recursive: NtSet,
+}
+
+impl Tarjan<'_> {
+    // Iterative Tarjan to avoid stack overflow on deep grammars.
+    fn strongconnect(&mut self, v0: usize) {
+        // Each frame is (node, next-edge-index).
+        let mut call_stack: Vec<(usize, usize)> = vec![(v0, 0)];
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            if *ei == 0 {
+                self.index[v] = self.next_index;
+                self.lowlink[v] = self.next_index;
+                self.next_index += 1;
+                self.stack.push(v);
+                self.on_stack[v] = true;
+            }
+            if let Some(&w) = self.edges[v].get(*ei) {
+                *ei += 1;
+                if self.index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if self.on_stack[w] {
+                    self.lowlink[v] = self.lowlink[v].min(self.index[w]);
+                }
+            } else {
+                // All edges of v processed: close the SCC if v is a root.
+                if self.lowlink[v] == self.index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("tarjan stack underflow");
+                        self.on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if scc.len() > 1 {
+                        for w in scc {
+                            self.left_recursive.insert(NonTerminal::from_index(w));
+                        }
+                    }
+                }
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[v]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn analyze(build: impl FnOnce(&mut GrammarBuilder)) -> (Grammar, LeftRecursion) {
+        let mut gb = GrammarBuilder::new();
+        build(&mut gb);
+        let g = gb.build().unwrap();
+        let n = NullableSet::compute(&g);
+        let lr = LeftRecursion::compute(&g, &n);
+        (g, lr)
+    }
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    #[test]
+    fn direct_left_recursion() {
+        let (g, lr) = analyze(|gb| {
+            gb.rule("E", &["E", "Plus", "Int"]);
+            gb.rule("E", &["Int"]);
+            gb.start("E");
+        });
+        assert!(lr.is_left_recursive(nt(&g, "E")));
+        assert!(!lr.is_grammar_safe());
+    }
+
+    #[test]
+    fn indirect_left_recursion() {
+        let (g, lr) = analyze(|gb| {
+            gb.rule("A", &["B", "x"]);
+            gb.rule("B", &["C", "y"]);
+            gb.rule("C", &["A", "z"]);
+            gb.rule("C", &["w"]);
+            gb.start("A");
+        });
+        for name in ["A", "B", "C"] {
+            assert!(lr.is_left_recursive(nt(&g, name)), "{name}");
+        }
+    }
+
+    #[test]
+    fn hidden_left_recursion_through_nullable() {
+        // S -> N S x, where N is nullable: S is (hidden) left-recursive.
+        let (g, lr) = analyze(|gb| {
+            gb.rule("S", &["N", "S", "x"]);
+            gb.rule("S", &["y"]);
+            gb.rule("N", &[]);
+            gb.rule("N", &["n"]);
+            gb.start("S");
+        });
+        assert!(lr.is_left_recursive(nt(&g, "S")));
+        assert!(!lr.is_left_recursive(nt(&g, "N")));
+    }
+
+    #[test]
+    fn right_recursion_is_safe() {
+        let (g, lr) = analyze(|gb| {
+            gb.rule("L", &["Int", "Comma", "L"]);
+            gb.rule("L", &["Int"]);
+            gb.start("L");
+        });
+        assert!(lr.is_grammar_safe());
+        assert!(!lr.is_left_recursive(nt(&g, "L")));
+    }
+
+    #[test]
+    fn fig2_grammar_is_safe() {
+        let (_, lr) = analyze(|gb| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["A", "d"]);
+            gb.rule("A", &["a", "A"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        });
+        assert!(lr.is_grammar_safe());
+    }
+
+    #[test]
+    fn non_nullable_prefix_blocks_edge() {
+        // S -> T S | x with T -> t : S's recursive occurrence is guarded by
+        // a non-nullable T, so no left recursion.
+        let (g, lr) = analyze(|gb| {
+            gb.rule("S", &["T", "S"]);
+            gb.rule("S", &["x"]);
+            gb.rule("T", &["t"]);
+            gb.start("S");
+        });
+        assert!(lr.is_grammar_safe());
+        assert!(!lr.is_left_recursive(nt(&g, "S")));
+    }
+
+    #[test]
+    fn mutual_cycle_with_nullable_middle() {
+        // A -> N B, B -> A x, N nullable: cycle A -> B -> A.
+        let (g, lr) = analyze(|gb| {
+            gb.rule("A", &["N", "B"]);
+            gb.rule("A", &["a"]);
+            gb.rule("B", &["A", "x"]);
+            gb.rule("N", &[]);
+            gb.start("A");
+        });
+        assert!(lr.is_left_recursive(nt(&g, "A")));
+        assert!(lr.is_left_recursive(nt(&g, "B")));
+        assert!(!lr.is_left_recursive(nt(&g, "N")));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // A_0 -> A_1 -> ... -> A_999 -> x : deep but acyclic.
+        let mut gb = GrammarBuilder::new();
+        for i in 0..999 {
+            let a = format!("A{i}");
+            let b = format!("A{}", i + 1);
+            gb.rule(&a, &[&b]);
+        }
+        gb.rule("A999", &["x"]);
+        let g = gb.start("A0").build().unwrap();
+        let n = NullableSet::compute(&g);
+        let lr = LeftRecursion::compute(&g, &n);
+        assert!(lr.is_grammar_safe());
+    }
+}

@@ -1,0 +1,93 @@
+//! Static grammar analyses used by the parser and the baselines.
+//!
+//! CoStar computes some grammar information statically (paper §3.5 notes
+//! that the SLL stable-return frames are "computed statically from the
+//! grammar"); the LL(1) baseline and the left-recursion decision procedure
+//! are entirely static. This module bundles:
+//!
+//! * [`NullableSet`] — which nonterminals derive ε;
+//! * [`FirstSets`] / [`FollowSets`] — classic predictive-parsing sets;
+//! * [`LeftRecursion`] — the decision procedure for the paper's
+//!   "non-left-recursive" precondition (its §8 future work);
+//! * [`StableFrames`] — SLL stable return destinations (§3.5).
+
+mod first_follow;
+mod left_recursion;
+mod nullable;
+mod stable_frames;
+
+pub use first_follow::{ll1_selects, FirstSets, FollowSets};
+pub use left_recursion::LeftRecursion;
+pub use nullable::NullableSet;
+pub use stable_frames::{Position, StableDests, StableFrames};
+
+use crate::grammar::Grammar;
+
+/// All analyses bundled, computed once per grammar.
+///
+/// The CoStar machine consults [`StableFrames`] during SLL prediction and
+/// [`LeftRecursion`] when validating the theorem precondition; baselines use
+/// the rest.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{analysis::GrammarAnalysis, GrammarBuilder};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["a"]);
+/// let g = gb.start("S").build()?;
+/// let a = GrammarAnalysis::compute(&g);
+/// assert!(a.left_recursion.is_grammar_safe());
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrammarAnalysis {
+    /// Nullable nonterminals.
+    pub nullable: NullableSet,
+    /// FIRST sets.
+    pub first: FirstSets,
+    /// FOLLOW sets.
+    pub follow: FollowSets,
+    /// Left-recursion decision.
+    pub left_recursion: LeftRecursion,
+    /// SLL stable return frames.
+    pub stable_frames: StableFrames,
+}
+
+impl GrammarAnalysis {
+    /// Runs every analysis on `g`.
+    pub fn compute(g: &Grammar) -> Self {
+        let nullable = NullableSet::compute(g);
+        let first = FirstSets::compute(g, &nullable);
+        let follow = FollowSets::compute(g, &nullable, &first);
+        let left_recursion = LeftRecursion::compute(g, &nullable);
+        let stable_frames = StableFrames::compute(g, &nullable);
+        GrammarAnalysis {
+            nullable,
+            first,
+            follow,
+            left_recursion,
+            stable_frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    #[test]
+    fn bundle_computes_consistently() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &[]);
+        let g = gb.start("S").build().unwrap();
+        let a = GrammarAnalysis::compute(&g);
+        let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
+        assert!(a.nullable.contains(a_nt));
+        assert!(a.left_recursion.is_grammar_safe());
+        assert!(!a.stable_frames.dests(a_nt).positions.is_empty());
+    }
+}

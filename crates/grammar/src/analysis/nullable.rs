@@ -1,0 +1,148 @@
+//! Nullable-nonterminal analysis.
+//!
+//! A nonterminal is *nullable* if it derives the empty word. Nullability
+//! feeds the left-recursion decision procedure (a nullable path, paper
+//! §5.4.2, skips over nullable prefixes), FIRST/FOLLOW computation, and the
+//! SLL stable-frame analysis.
+
+use crate::grammar::Grammar;
+use crate::sets::NtSet;
+use crate::symbol::{NonTerminal, Symbol};
+
+/// The set of nullable nonterminals of a grammar.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{GrammarBuilder, analysis::NullableSet};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["A", "x"]);
+/// gb.rule("A", &[]);
+/// let g = gb.start("S").build()?;
+/// let nullable = NullableSet::compute(&g);
+/// let a = g.symbols().lookup_nonterminal("A").unwrap();
+/// let s = g.symbols().lookup_nonterminal("S").unwrap();
+/// assert!(nullable.contains(a));
+/// assert!(!nullable.contains(s));
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NullableSet {
+    set: NtSet,
+}
+
+impl NullableSet {
+    /// Computes the nullable set by the standard worklist fixpoint: a
+    /// nonterminal is nullable iff it has a production whose right-hand
+    /// side consists entirely of nullable nonterminals.
+    pub fn compute(g: &Grammar) -> Self {
+        let mut set = NtSet::with_capacity(g.num_nonterminals());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in g.iter() {
+                if set.contains(p.lhs()) {
+                    continue;
+                }
+                let all_nullable = p.rhs().iter().all(|&s| match s {
+                    Symbol::T(_) => false,
+                    Symbol::Nt(x) => set.contains(x),
+                });
+                if all_nullable {
+                    set.insert(p.lhs());
+                    changed = true;
+                }
+            }
+        }
+        NullableSet { set }
+    }
+
+    /// Is nonterminal `x` nullable?
+    pub fn contains(&self, x: NonTerminal) -> bool {
+        self.set.contains(x)
+    }
+
+    /// Is every symbol in `form` nullable? (Terminals never are.) The empty
+    /// form is trivially nullable.
+    pub fn form_nullable(&self, form: &[Symbol]) -> bool {
+        form.iter().all(|&s| match s {
+            Symbol::T(_) => false,
+            Symbol::Nt(x) => self.contains(x),
+        })
+    }
+
+    /// The underlying set.
+    pub fn as_set(&self) -> &NtSet {
+        &self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    #[test]
+    fn direct_epsilon() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &[]);
+        let g = gb.start("S").build().unwrap();
+        let n = NullableSet::compute(&g);
+        assert!(n.contains(nt(&g, "S")));
+    }
+
+    #[test]
+    fn transitive_nullability() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "B"]);
+        gb.rule("A", &[]);
+        gb.rule("B", &["A", "A"]);
+        let g = gb.start("S").build().unwrap();
+        let n = NullableSet::compute(&g);
+        for name in ["S", "A", "B"] {
+            assert!(n.contains(nt(&g, name)), "{name} should be nullable");
+        }
+    }
+
+    #[test]
+    fn terminal_blocks_nullability() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "x"]);
+        gb.rule("A", &[]);
+        let g = gb.start("S").build().unwrap();
+        let n = NullableSet::compute(&g);
+        assert!(!n.contains(nt(&g, "S")));
+        assert!(n.contains(nt(&g, "A")));
+    }
+
+    #[test]
+    fn non_nullable_recursive_grammar() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "S"]);
+        gb.rule("S", &["a"]);
+        let g = gb.start("S").build().unwrap();
+        let n = NullableSet::compute(&g);
+        assert!(!n.contains(nt(&g, "S")));
+        assert!(n.as_set().is_empty());
+    }
+
+    #[test]
+    fn form_nullable_handles_mixed_forms() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A"]);
+        gb.rule("A", &[]);
+        let g = gb.start("S").build().unwrap();
+        let n = NullableSet::compute(&g);
+        let a = Symbol::Nt(nt(&g, "A"));
+        let term = g.symbols().terminals().next();
+        assert!(n.form_nullable(&[]));
+        assert!(n.form_nullable(&[a, a]));
+        if let Some(t) = term {
+            assert!(!n.form_nullable(&[a, Symbol::T(t)]));
+        }
+    }
+}

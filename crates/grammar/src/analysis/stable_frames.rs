@@ -1,0 +1,301 @@
+//! Static "stable return frame" analysis for SLL prediction.
+//!
+//! Original ALL(*) lets an SLL subparser with an empty simulated stack
+//! return to *all possible caller frames*. CoStar (paper §3.5) instead
+//! precomputes, for each nonterminal `X`, the *stable* grammar positions
+//! that are closure-reachable (via push and return operations that consume
+//! no input) from every possible caller of `X`. When an SLL subparser
+//! finishes simulating `X` with an empty local stack, it resumes from each
+//! of those positions. Computing them statically is what keeps CoStar's SLL
+//! termination proof tractable — and here, what keeps the SLL simulation a
+//! simple bounded loop.
+//!
+//! A *stable position* is a grammar position `(production, dot)` whose dot
+//! sits immediately before a terminal: a position where the subparser must
+//! consume input to make further progress. Additionally, "end of parse" is
+//! a stable destination when some caller chain is nullable all the way to
+//! the completion of the start symbol.
+
+use crate::analysis::nullable::NullableSet;
+use crate::grammar::{Grammar, ProdId};
+use crate::symbol::{NonTerminal, Symbol};
+use std::collections::BTreeSet;
+
+/// A grammar position: the dot sits before `rhs(production)[dot]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// The production the dot is inside.
+    pub production: ProdId,
+    /// Index into the production's right-hand side (0 ≤ dot < len).
+    pub dot: u32,
+}
+
+/// The stable destinations of one nonterminal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StableDests {
+    /// Stable positions (dot before a terminal), deduplicated and ordered.
+    pub positions: Vec<Position>,
+    /// `true` if end-of-input is an acceptable continuation after the
+    /// nonterminal completes (some caller chain reaches the end of the
+    /// start production through nullable material only).
+    pub can_end: bool,
+}
+
+/// Per-nonterminal stable return destinations (paper §3.5).
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{GrammarBuilder, analysis::{NullableSet, StableFrames}};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["A", "d"]);
+/// gb.rule("A", &["b"]);
+/// let g = gb.start("S").build()?;
+/// let nullable = NullableSet::compute(&g);
+/// let sf = StableFrames::compute(&g, &nullable);
+/// let a = g.symbols().lookup_nonterminal("A").unwrap();
+/// // After A completes, the only stable continuation is "S -> A . d".
+/// assert_eq!(sf.dests(a).positions.len(), 1);
+/// assert!(!sf.dests(a).can_end);
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableFrames {
+    dests: Vec<StableDests>,
+}
+
+impl StableFrames {
+    /// Computes stable destinations for every nonterminal by a monotone
+    /// fixpoint over three mutually recursive set families:
+    ///
+    /// * `SD[X]` — stable destinations of `X` (the result);
+    /// * `SF[p, j]` — stable positions closure-reachable from position
+    ///   `(p, j)` without consuming input;
+    /// * `FS[Z]` — stable positions reachable from the start of any of
+    ///   `Z`'s right-hand sides (the push case of closure).
+    pub fn compute(g: &Grammar, nullable: &NullableSet) -> Self {
+        let num_nts = g.num_nonterminals();
+        let num_prods = g.num_productions();
+
+        // Flatten SF variables: sf_index(p, j) for 0 <= j <= len(rhs(p)).
+        let mut sf_base = vec![0usize; num_prods + 1];
+        for (i, p) in g.productions().iter().enumerate() {
+            sf_base[i + 1] = sf_base[i] + p.rhs().len() + 1;
+        }
+        let num_sf = sf_base[num_prods];
+        let sf_index = |p: ProdId, j: usize| sf_base[p.index()] + j;
+
+        #[derive(Default, Clone, PartialEq)]
+        struct SetVal {
+            positions: BTreeSet<Position>,
+            can_end: bool,
+        }
+
+        impl SetVal {
+            fn union_from(&mut self, other: &SetVal) -> bool {
+                let before = (self.positions.len(), self.can_end);
+                self.positions.extend(other.positions.iter().copied());
+                self.can_end |= other.can_end;
+                before != (self.positions.len(), self.can_end)
+            }
+        }
+
+        let mut sd: Vec<SetVal> = vec![SetVal::default(); num_nts];
+        let mut sf: Vec<SetVal> = vec![SetVal::default(); num_sf];
+        let mut fs: Vec<SetVal> = vec![SetVal::default(); num_nts];
+
+        // Seed: completing the start symbol may be followed by EOF, and the
+        // base case of SF at a terminal position is that position itself.
+        sd[g.start().index()].can_end = true;
+        for (pid, p) in g.iter() {
+            for (j, &s) in p.rhs().iter().enumerate() {
+                if s.is_terminal() {
+                    sf[sf_index(pid, j)].positions.insert(Position {
+                        production: pid,
+                        dot: j as u32,
+                    });
+                }
+            }
+        }
+
+        // Fixpoint iteration. Each constraint is monotone over finite sets,
+        // so iteration terminates.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (pid, p) in g.iter() {
+                let rhs = p.rhs();
+                // SF[p, len] ⊇ SD[lhs(p)] — returning out of p.
+                {
+                    let src = sd[p.lhs().index()].clone();
+                    changed |= sf[sf_index(pid, rhs.len())].union_from(&src);
+                }
+                for (j, &s) in rhs.iter().enumerate().rev() {
+                    match s {
+                        Symbol::T(_) => {
+                            // Base case already seeded; nothing flows in.
+                        }
+                        Symbol::Nt(z) => {
+                            // Push case: SF[p, j] ⊇ FS[Z].
+                            let src = fs[z.index()].clone();
+                            changed |= sf[sf_index(pid, j)].union_from(&src);
+                            // Nullable skip: SF[p, j] ⊇ SF[p, j+1].
+                            if nullable.contains(z) {
+                                let src = sf[sf_index(pid, j + 1)].clone();
+                                changed |= sf[sf_index(pid, j)].union_from(&src);
+                            }
+                        }
+                    }
+                }
+                // FS[lhs(p)] ⊇ SF[p, 0].
+                {
+                    let src = sf[sf_index(pid, 0)].clone();
+                    changed |= fs[p.lhs().index()].union_from(&src);
+                }
+                // Caller constraint: for each Nt(X) at (p, i),
+                // SD[X] ⊇ SF[p, i+1].
+                for (i, &s) in rhs.iter().enumerate() {
+                    if let Symbol::Nt(x) = s {
+                        let src = sf[sf_index(pid, i + 1)].clone();
+                        changed |= sd[x.index()].union_from(&src);
+                    }
+                }
+            }
+        }
+
+        StableFrames {
+            dests: sd
+                .into_iter()
+                .map(|v| StableDests {
+                    positions: v.positions.into_iter().collect(),
+                    can_end: v.can_end,
+                })
+                .collect(),
+        }
+    }
+
+    /// The stable destinations of nonterminal `x`.
+    pub fn dests(&self, x: NonTerminal) -> &StableDests {
+        &self.dests[x.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    fn compute(build: impl FnOnce(&mut GrammarBuilder)) -> (Grammar, StableFrames) {
+        let mut gb = GrammarBuilder::new();
+        build(&mut gb);
+        let g = gb.build().unwrap();
+        let n = NullableSet::compute(&g);
+        let sf = StableFrames::compute(&g, &n);
+        (g, sf)
+    }
+
+    #[test]
+    fn start_symbol_can_end() {
+        let (g, sf) = compute(|gb| {
+            gb.rule("S", &["a"]);
+            gb.start("S");
+        });
+        let d = sf.dests(nt(&g, "S"));
+        assert!(d.can_end);
+        assert!(d.positions.is_empty());
+    }
+
+    #[test]
+    fn single_caller_terminal_continuation() {
+        // Fig. 2 grammar: after A completes, continuations are "S -> A . c"
+        // and "S -> A . d" and, recursively, nothing else (c/d are
+        // terminals). A also occurs in "A -> a A ." whose completion
+        // returns to A's own callers (already covered).
+        let (g, sf) = compute(|gb| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["A", "d"]);
+            gb.rule("A", &["a", "A"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        });
+        let d = sf.dests(nt(&g, "A"));
+        assert_eq!(d.positions.len(), 2);
+        assert!(!d.can_end);
+        for pos in &d.positions {
+            let p = g.production(pos.production);
+            assert_eq!(g.symbols().nonterminal_name(p.lhs()), "S");
+            assert_eq!(pos.dot, 1);
+        }
+    }
+
+    #[test]
+    fn nullable_tail_reaches_eof() {
+        // S -> A B, B nullable: after A, both "inside B" positions and EOF
+        // are stable destinations.
+        let (g, sf) = compute(|gb| {
+            gb.rule("S", &["A", "B"]);
+            gb.rule("A", &["a"]);
+            gb.rule("B", &["b"]);
+            gb.rule("B", &[]);
+            gb.start("S");
+        });
+        let d = sf.dests(nt(&g, "A"));
+        assert!(d.can_end, "nullable B then end of S");
+        // Position "B -> . b" is reachable by pushing B.
+        assert_eq!(d.positions.len(), 1);
+        let pos = d.positions[0];
+        assert_eq!(
+            g.symbols()
+                .nonterminal_name(g.production(pos.production).lhs()),
+            "B"
+        );
+        assert_eq!(pos.dot, 0);
+    }
+
+    #[test]
+    fn transitive_return_through_caller() {
+        // C completes inside B which completes inside S: C's stable
+        // destinations include the terminal after B in S.
+        let (g, sf) = compute(|gb| {
+            gb.rule("S", &["B", "x"]);
+            gb.rule("B", &["C"]);
+            gb.rule("C", &["c"]);
+            gb.start("S");
+        });
+        let d = sf.dests(nt(&g, "C"));
+        assert!(!d.can_end);
+        assert_eq!(d.positions.len(), 1);
+        let p = g.production(d.positions[0].production);
+        assert_eq!(g.symbols().nonterminal_name(p.lhs()), "S");
+        assert_eq!(d.positions[0].dot, 1);
+    }
+
+    #[test]
+    fn multiple_callers_union() {
+        // X called from two places with different continuations.
+        let (g, sf) = compute(|gb| {
+            gb.rule("S", &["X", "a"]);
+            gb.rule("S", &["X", "b"]);
+            gb.rule("X", &["x"]);
+            gb.start("S");
+        });
+        let d = sf.dests(nt(&g, "X"));
+        assert_eq!(d.positions.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_nonterminal_has_no_dests() {
+        let (g, sf) = compute(|gb| {
+            gb.rule("S", &["a"]);
+            gb.rule("U", &["u"]);
+            gb.start("S");
+        });
+        let d = sf.dests(nt(&g, "U"));
+        assert!(d.positions.is_empty());
+        assert!(!d.can_end);
+    }
+}

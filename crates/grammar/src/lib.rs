@@ -1,0 +1,66 @@
+//! Grammar substrate for the CoStar ALL(*) parser reproduction.
+//!
+//! This crate provides everything the parser in the `costar` crate is
+//! parameterized over (paper Fig. 1, "Basic definitions"):
+//!
+//! * interned [`Terminal`] / [`NonTerminal`] / [`Symbol`] values and the
+//!   [`SymbolTable`] they live in;
+//! * [`Token`]s `(a, l)` and parse [`Tree`]s / forests;
+//! * indexed BNF [`Grammar`]s built with [`GrammarBuilder`];
+//! * static analyses in [`analysis`]: nullability, FIRST/FOLLOW, the
+//!   left-recursion decision procedure (the paper's §8 future work), and
+//!   the SLL stable-return-frame computation (§3.5);
+//! * the executable derivation relation ([`check_tree`]) that serves as the
+//!   correctness specification (paper Fig. 3).
+//!
+//! # Example
+//!
+//! Build the grammar from Fig. 2 of the paper and check a hand-made tree
+//! against the derivation relation:
+//!
+//! ```
+//! use costar_grammar::{check_tree, GrammarBuilder, Token, Tree};
+//!
+//! let mut gb = GrammarBuilder::new();
+//! gb.rule("S", &["A", "c"]);
+//! gb.rule("S", &["A", "d"]);
+//! gb.rule("A", &["a", "A"]);
+//! gb.rule("A", &["b"]);
+//! let g = gb.start("S").build()?;
+//!
+//! let s = g.symbols().lookup_nonterminal("S").unwrap();
+//! let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
+//! let tok = |name: &str| Token::new(g.symbols().lookup_terminal(name).unwrap(), name);
+//! let word = vec![tok("a"), tok("b"), tok("d")];
+//!
+//! let tree = Tree::Node(s, vec![
+//!     Tree::Node(a_nt, vec![
+//!         Tree::Leaf(word[0].clone()),
+//!         Tree::Node(a_nt, vec![Tree::Leaf(word[1].clone())]),
+//!     ]),
+//!     Tree::Leaf(word[2].clone()),
+//! ]);
+//! assert!(check_tree(&g, s, &word, &tree).is_ok());
+//! # Ok::<(), costar_grammar::GrammarError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod derivation;
+pub mod sampler;
+pub mod transform;
+mod grammar;
+mod sets;
+mod symbol;
+mod token;
+mod tree;
+
+pub use derivation::{
+    check_tree, has_production, production_of_node, terminal_form_matches, DerivationError,
+};
+pub use grammar::{Grammar, GrammarBuilder, GrammarError, ProdId, Production};
+pub use sets::{BitSet, NtSet, TermSet};
+pub use symbol::{NonTerminal, Symbol, SymbolTable, Terminal};
+pub use token::{tokens, Token};
+pub use tree::{forest_roots, forest_yield, Forest, Tree};

@@ -1,0 +1,281 @@
+//! Random derivation sampling: generating words *from* a grammar.
+//!
+//! The completeness theorems (paper 5.11/5.12) quantify over words that
+//! *have* a parse tree. To test them we need inputs known to be in the
+//! language, together with a witness tree; this module derives such words
+//! by walking the grammar top-down with a seeded PRNG, steering toward
+//! low-height productions as a depth budget runs out so that sampling
+//! terminates even on heavily recursive grammars.
+//!
+//! The sampler is deliberately dependency-free (a SplitMix64 generator)
+//! so that test utilities and benchmark workload generators across the
+//! workspace can share it.
+
+use crate::grammar::{Grammar, ProdId};
+use crate::symbol::{NonTerminal, Symbol};
+use crate::token::Token;
+use crate::tree::Tree;
+
+/// A small, fast, seedable PRNG (SplitMix64). Not cryptographic; used
+/// only to drive sampling decisions reproducibly.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Samples derivations from a grammar.
+#[derive(Debug)]
+pub struct DerivationSampler<'g> {
+    grammar: &'g Grammar,
+    /// Minimum derivation-tree height per nonterminal (usize::MAX if the
+    /// nonterminal derives no finite word).
+    min_height: Vec<usize>,
+}
+
+impl<'g> DerivationSampler<'g> {
+    /// Prepares a sampler by computing, for every nonterminal, the height
+    /// of its shortest derivation tree (the classic "productivity"
+    /// fixpoint).
+    pub fn new(grammar: &'g Grammar) -> Self {
+        let n = grammar.num_nonterminals();
+        let mut min_height = vec![usize::MAX; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (_, p) in grammar.iter() {
+                let mut worst = 0usize;
+                let mut productive = true;
+                for &s in p.rhs() {
+                    match s {
+                        Symbol::T(_) => worst = worst.max(1),
+                        Symbol::Nt(x) => {
+                            let h = min_height[x.index()];
+                            if h == usize::MAX {
+                                productive = false;
+                                break;
+                            }
+                            worst = worst.max(h);
+                        }
+                    }
+                }
+                if productive {
+                    let candidate = worst + 1;
+                    let cur = &mut min_height[p.lhs().index()];
+                    if candidate < *cur {
+                        *cur = candidate;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DerivationSampler {
+            grammar,
+            min_height,
+        }
+    }
+
+    /// `true` if `x` derives at least one finite word.
+    pub fn is_productive(&self, x: NonTerminal) -> bool {
+        self.min_height[x.index()] != usize::MAX
+    }
+
+    /// Minimum derivation height of `x`, if productive.
+    pub fn min_height(&self, x: NonTerminal) -> Option<usize> {
+        match self.min_height[x.index()] {
+            usize::MAX => None,
+            h => Some(h),
+        }
+    }
+
+    fn min_prod_height(&self, pid: ProdId) -> usize {
+        let p = self.grammar.production(pid);
+        let mut worst = 0usize;
+        for &s in p.rhs() {
+            match s {
+                Symbol::T(_) => worst = worst.max(1),
+                Symbol::Nt(x) => match self.min_height[x.index()] {
+                    usize::MAX => return usize::MAX,
+                    h => worst = worst.max(h),
+                },
+            }
+        }
+        worst.saturating_add(1)
+    }
+
+    /// Samples a derivation tree rooted at the grammar's start symbol.
+    /// Returns `None` if the start symbol derives no finite word.
+    ///
+    /// `budget` bounds the tree height: while the budget lasts, random
+    /// alternatives are chosen uniformly; once the subtree's minimum
+    /// height exceeds the remaining budget minus one, only
+    /// height-minimal alternatives are eligible, so the walk always
+    /// terminates.
+    pub fn sample_tree(&self, rng: &mut SplitMix64, budget: usize) -> Option<Tree> {
+        self.sample_nt(self.grammar.start(), rng, budget)
+    }
+
+    /// Samples a word (token sequence) from the start symbol, together
+    /// with its witness tree.
+    pub fn sample_word(&self, rng: &mut SplitMix64, budget: usize) -> Option<(Vec<Token>, Tree)> {
+        let tree = self.sample_tree(rng, budget)?;
+        Some((tree.yield_tokens(), tree))
+    }
+
+    fn sample_nt(&self, x: NonTerminal, rng: &mut SplitMix64, budget: usize) -> Option<Tree> {
+        if !self.is_productive(x) {
+            return None;
+        }
+        let alts = self.grammar.alternatives(x);
+        // Eligible alternatives: those whose minimal expansion fits the
+        // remaining budget; if none fit (tiny budget), fall back to the
+        // globally minimal one so sampling still terminates.
+        let eligible: Vec<ProdId> = alts
+            .iter()
+            .copied()
+            .filter(|&q| self.min_prod_height(q) <= budget)
+            .collect();
+        let pid = if eligible.is_empty() {
+            alts.iter()
+                .copied()
+                .min_by_key(|&q| self.min_prod_height(q))
+                .expect("productive nonterminal has alternatives")
+        } else {
+            eligible[rng.below(eligible.len())]
+        };
+        let p = self.grammar.production(pid);
+        let child_budget = budget.saturating_sub(1);
+        let mut children = Vec::with_capacity(p.rhs().len());
+        for &s in p.rhs() {
+            match s {
+                Symbol::T(t) => {
+                    let name = self.grammar.symbols().terminal_name(t).to_owned();
+                    children.push(Tree::Leaf(Token::new(t, &name)));
+                }
+                Symbol::Nt(y) => children.push(self.sample_nt(y, rng, child_budget)?),
+            }
+        }
+        Some(Tree::Node(x, children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derivation::check_tree;
+    use crate::grammar::GrammarBuilder;
+
+    fn fig2() -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S").build().unwrap()
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn min_heights() {
+        let g = fig2();
+        let s = DerivationSampler::new(&g);
+        let s_nt = g.symbols().lookup_nonterminal("S").unwrap();
+        let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
+        // A -> b has height 2 (leaf + node); S -> A c has height 3.
+        assert_eq!(s.min_height(a_nt), Some(2));
+        assert_eq!(s.min_height(s_nt), Some(3));
+    }
+
+    #[test]
+    fn unproductive_nonterminal_detected() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["U"]);
+        gb.rule("U", &["U", "x"]); // U never bottoms out
+        let g = gb.start("S").build().unwrap();
+        let s = DerivationSampler::new(&g);
+        assert!(!s.is_productive(g.start()));
+        let mut rng = SplitMix64::new(1);
+        assert!(s.sample_tree(&mut rng, 10).is_none());
+    }
+
+    #[test]
+    fn sampled_trees_satisfy_derivation_relation() {
+        let g = fig2();
+        let sampler = DerivationSampler::new(&g);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            let (word, tree) = sampler.sample_word(&mut rng, 12).expect("productive");
+            assert!(check_tree(&g, g.start(), &word, &tree).is_ok());
+        }
+    }
+
+    #[test]
+    fn budget_bounds_height() {
+        let g = fig2();
+        let sampler = DerivationSampler::new(&g);
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..100 {
+            let tree = sampler.sample_tree(&mut rng, 8).unwrap();
+            assert!(tree.height() <= 8, "height {} > 8", tree.height());
+        }
+    }
+
+    #[test]
+    fn tiny_budget_still_terminates() {
+        let g = fig2();
+        let sampler = DerivationSampler::new(&g);
+        let mut rng = SplitMix64::new(5);
+        // Budget below the minimal height: falls back to minimal
+        // productions and still yields a valid tree.
+        let tree = sampler.sample_tree(&mut rng, 1).unwrap();
+        assert!(check_tree(&g, g.start(), &tree.yield_tokens(), &tree).is_ok());
+    }
+
+    #[test]
+    fn larger_budgets_reach_longer_words() {
+        let g = fig2();
+        let sampler = DerivationSampler::new(&g);
+        let mut rng = SplitMix64::new(3);
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let (word, _) = sampler.sample_word(&mut rng, 30).unwrap();
+            max_len = max_len.max(word.len());
+        }
+        assert!(max_len > 5, "expected some long samples, got {max_len}");
+    }
+}

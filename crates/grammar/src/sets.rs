@@ -1,0 +1,306 @@
+//! Compact bitsets over interned symbols.
+//!
+//! The machine state's visited-nonterminal set (paper §4.1) and the
+//! FIRST/FOLLOW analyses need fast set operations over a dense symbol
+//! universe; a `u64`-word bitset gives O(1) insert/contains and cheap
+//! union/clear without any external dependency.
+
+use crate::symbol::{NonTerminal, Terminal};
+use std::fmt;
+
+/// A dense bitset over indices `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Inserts `i`, growing the set if needed. Returns `true` if `i` was
+    /// not already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Removes `i`. Returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes all elements (keeps capacity).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        let mut len = 0usize;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let merged = *w | other.words.get(i).copied().unwrap_or(0);
+            if merged != *w {
+                changed = true;
+                *w = merged;
+            }
+            len += w.count_ones() as usize;
+        }
+        self.len = len;
+        changed
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+macro_rules! symbol_set {
+    ($(#[$doc:meta])* $name:ident, $sym:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash, Default)]
+        pub struct $name(BitSet);
+
+        impl $name {
+            /// Creates an empty set sized for a universe of `capacity` symbols.
+            pub fn with_capacity(capacity: usize) -> Self {
+                $name(BitSet::with_capacity(capacity))
+            }
+
+            /// Inserts a symbol; returns `true` if newly added.
+            pub fn insert(&mut self, s: $sym) -> bool {
+                self.0.insert(s.index())
+            }
+
+            /// Removes a symbol; returns `true` if it was present.
+            pub fn remove(&mut self, s: $sym) -> bool {
+                self.0.remove(s.index())
+            }
+
+            /// Membership test.
+            pub fn contains(&self, s: $sym) -> bool {
+                self.0.contains(s.index())
+            }
+
+            /// Removes all elements.
+            pub fn clear(&mut self) {
+                self.0.clear()
+            }
+
+            /// Number of elements.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// `true` if empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Unions `other` into `self`; `true` if `self` changed.
+            pub fn union_with(&mut self, other: &Self) -> bool {
+                self.0.union_with(&other.0)
+            }
+
+            /// Iterates over elements in index order.
+            pub fn iter(&self) -> impl Iterator<Item = $sym> + '_ {
+                self.0.iter().map($sym::from_index)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_set().entries(self.iter()).finish()
+            }
+        }
+
+        impl FromIterator<$sym> for $name {
+            fn from_iter<I: IntoIterator<Item = $sym>>(iter: I) -> Self {
+                let mut s = Self::default();
+                for x in iter {
+                    s.insert(x);
+                }
+                s
+            }
+        }
+
+        impl Extend<$sym> for $name {
+            fn extend<I: IntoIterator<Item = $sym>>(&mut self, iter: I) {
+                for x in iter {
+                    self.insert(x);
+                }
+            }
+        }
+    };
+}
+
+symbol_set!(
+    /// A set of nonterminals, e.g. the machine's visited set `V` (paper
+    /// §4.1) or the universe difference `U \ V` in `stackScore` (§4.3).
+    NtSet,
+    NonTerminal
+);
+
+symbol_set!(
+    /// A set of terminals, e.g. a FIRST or FOLLOW set.
+    TermSet,
+    Terminal
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::with_capacity(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_beyond_capacity() {
+        let mut s = BitSet::with_capacity(1);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let a: BitSet = [1usize, 2, 3].into_iter().collect();
+        let mut b: BitSet = [3usize].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert_eq!(b.len(), 3);
+        assert!(!b.union_with(&a));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [70usize, 3, 64, 5].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![3, 5, 64, 70]);
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut s: BitSet = [1usize, 2].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.insert(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn nt_set_roundtrip() {
+        let mut s = NtSet::with_capacity(4);
+        let x = NonTerminal::from_index(2);
+        assert!(s.insert(x));
+        assert!(s.contains(x));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![x]);
+        assert!(s.remove(x));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn term_set_union() {
+        let a: TermSet = (0..5).map(Terminal::from_index).collect();
+        let mut b = TermSet::default();
+        assert!(b.union_with(&a));
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn debug_formats_as_set() {
+        let s: BitSet = [1usize].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Grammar symbols and the symbol table.
+//!
+//! CoStar (Fig. 1 of the paper) works with terminals `a, b ∈ T`,
+//! nonterminals `X, Y ∈ N`, and symbols `s ::= a | X`. We intern both kinds
+//! of symbol as dense `u32` indices so that the parser's hot paths (symbol
+//! comparison, set membership, map lookup) are integer operations. The paper
+//! observes (§6.1) that symbol comparisons dominate CoStar's running time on
+//! large grammars; interning is the standard engineering answer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned terminal symbol.
+///
+/// Terminals are what tokens are classified as; a [`crate::Token`] carries a
+/// `Terminal` plus the matched literal. Use a [`SymbolTable`] to create
+/// terminals from names and to recover names for display.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::SymbolTable;
+/// let mut tab = SymbolTable::new();
+/// let int = tab.terminal("Int");
+/// assert_eq!(tab.terminal_name(int), "Int");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Terminal(pub(crate) u32);
+
+/// An interned nonterminal symbol.
+///
+/// Nonterminals are grammar left-hand sides. They are created through a
+/// [`SymbolTable`], which guarantees that equal names map to equal indices.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::SymbolTable;
+/// let mut tab = SymbolTable::new();
+/// let s = tab.nonterminal("S");
+/// assert_eq!(tab.nonterminal_name(s), "S");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NonTerminal(pub(crate) u32);
+
+impl Terminal {
+    /// The dense index of this terminal, suitable for indexing
+    /// `0..table.num_terminals()` arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a terminal from a dense index previously obtained from
+    /// [`Terminal::index`].
+    ///
+    /// The caller is responsible for the index having come from the same
+    /// [`SymbolTable`]; this is a plain data constructor, not a checked one.
+    pub fn from_index(index: usize) -> Self {
+        Terminal(index as u32)
+    }
+}
+
+impl NonTerminal {
+    /// The dense index of this nonterminal, suitable for indexing
+    /// `0..table.num_nonterminals()` arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a nonterminal from a dense index previously obtained from
+    /// [`NonTerminal::index`].
+    pub fn from_index(index: usize) -> Self {
+        NonTerminal(index as u32)
+    }
+}
+
+/// A grammar symbol: either a terminal or a nonterminal (`s ::= a | X`).
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{Symbol, SymbolTable};
+/// let mut tab = SymbolTable::new();
+/// let sym = Symbol::Nt(tab.nonterminal("Expr"));
+/// assert!(sym.is_nonterminal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// A terminal symbol.
+    T(Terminal),
+    /// A nonterminal symbol.
+    Nt(NonTerminal),
+}
+
+impl Symbol {
+    /// Returns `true` if this symbol is a terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Symbol::T(_))
+    }
+
+    /// Returns `true` if this symbol is a nonterminal.
+    pub fn is_nonterminal(self) -> bool {
+        matches!(self, Symbol::Nt(_))
+    }
+
+    /// The terminal inside, if any.
+    pub fn as_terminal(self) -> Option<Terminal> {
+        match self {
+            Symbol::T(t) => Some(t),
+            Symbol::Nt(_) => None,
+        }
+    }
+
+    /// The nonterminal inside, if any.
+    pub fn as_nonterminal(self) -> Option<NonTerminal> {
+        match self {
+            Symbol::Nt(x) => Some(x),
+            Symbol::T(_) => None,
+        }
+    }
+}
+
+impl From<Terminal> for Symbol {
+    fn from(t: Terminal) -> Self {
+        Symbol::T(t)
+    }
+}
+
+impl From<NonTerminal> for Symbol {
+    fn from(x: NonTerminal) -> Self {
+        Symbol::Nt(x)
+    }
+}
+
+/// Interner mapping symbol names to dense [`Terminal`] / [`NonTerminal`]
+/// indices and back.
+///
+/// Terminal and nonterminal namespaces are independent: `tab.terminal("X")`
+/// and `tab.nonterminal("X")` coexist and are unrelated symbols.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::SymbolTable;
+/// let mut tab = SymbolTable::new();
+/// let a = tab.terminal("a");
+/// let a2 = tab.terminal("a");
+/// assert_eq!(a, a2);
+/// assert_eq!(tab.num_terminals(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    terminal_names: Vec<String>,
+    nonterminal_names: Vec<String>,
+    terminals: HashMap<String, Terminal>,
+    nonterminals: HashMap<String, NonTerminal>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or looks up) a terminal by name.
+    pub fn terminal(&mut self, name: &str) -> Terminal {
+        if let Some(&t) = self.terminals.get(name) {
+            return t;
+        }
+        let t = Terminal(self.terminal_names.len() as u32);
+        self.terminal_names.push(name.to_owned());
+        self.terminals.insert(name.to_owned(), t);
+        t
+    }
+
+    /// Interns (or looks up) a nonterminal by name.
+    pub fn nonterminal(&mut self, name: &str) -> NonTerminal {
+        if let Some(&x) = self.nonterminals.get(name) {
+            return x;
+        }
+        let x = NonTerminal(self.nonterminal_names.len() as u32);
+        self.nonterminal_names.push(name.to_owned());
+        self.nonterminals.insert(name.to_owned(), x);
+        x
+    }
+
+    /// Looks up a terminal by name without interning it.
+    pub fn lookup_terminal(&self, name: &str) -> Option<Terminal> {
+        self.terminals.get(name).copied()
+    }
+
+    /// Looks up a nonterminal by name without interning it.
+    pub fn lookup_nonterminal(&self, name: &str) -> Option<NonTerminal> {
+        self.nonterminals.get(name).copied()
+    }
+
+    /// The name this terminal was interned under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` did not come from this table.
+    pub fn terminal_name(&self, t: Terminal) -> &str {
+        &self.terminal_names[t.index()]
+    }
+
+    /// The name this nonterminal was interned under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` did not come from this table.
+    pub fn nonterminal_name(&self, x: NonTerminal) -> &str {
+        &self.nonterminal_names[x.index()]
+    }
+
+    /// A human-readable name for any symbol.
+    pub fn symbol_name(&self, s: Symbol) -> &str {
+        match s {
+            Symbol::T(t) => self.terminal_name(t),
+            Symbol::Nt(x) => self.nonterminal_name(x),
+        }
+    }
+
+    /// Number of distinct terminals interned so far (`|T|` in Fig. 8).
+    pub fn num_terminals(&self) -> usize {
+        self.terminal_names.len()
+    }
+
+    /// Number of distinct nonterminals interned so far (`|N|` in Fig. 8).
+    pub fn num_nonterminals(&self) -> usize {
+        self.nonterminal_names.len()
+    }
+
+    /// Iterates over all interned terminals.
+    pub fn terminals(&self) -> impl Iterator<Item = Terminal> + '_ {
+        (0..self.terminal_names.len()).map(|i| Terminal(i as u32))
+    }
+
+    /// Iterates over all interned nonterminals.
+    pub fn nonterminals(&self) -> impl Iterator<Item = NonTerminal> + '_ {
+        (0..self.nonterminal_names.len()).map(|i| NonTerminal(i as u32))
+    }
+
+    /// Generates a nonterminal with a name not currently in the table,
+    /// derived from `base` (used by EBNF desugaring to create fresh
+    /// nonterminals).
+    pub fn fresh_nonterminal(&mut self, base: &str) -> NonTerminal {
+        if !self.nonterminals.contains_key(base) {
+            return self.nonterminal(base);
+        }
+        let mut n = 1usize;
+        loop {
+            let candidate = format!("{base}_{n}");
+            if !self.nonterminals.contains_key(&candidate) {
+                return self.nonterminal(&candidate);
+            }
+            n += 1;
+        }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for NonTerminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::T(t) => t.fmt(f),
+            Symbol::Nt(x) => x.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut tab = SymbolTable::new();
+        let a = tab.terminal("a");
+        let b = tab.terminal("b");
+        assert_ne!(a, b);
+        assert_eq!(tab.terminal("a"), a);
+        assert_eq!(tab.num_terminals(), 2);
+    }
+
+    #[test]
+    fn terminal_and_nonterminal_namespaces_are_disjoint() {
+        let mut tab = SymbolTable::new();
+        let t = tab.terminal("X");
+        let n = tab.nonterminal("X");
+        assert_eq!(tab.terminal_name(t), "X");
+        assert_eq!(tab.nonterminal_name(n), "X");
+        assert_eq!(t.index(), 0);
+        assert_eq!(n.index(), 0);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut tab = SymbolTable::new();
+        for name in ["If", "Then", "Else", "Int"] {
+            let t = tab.terminal(name);
+            assert_eq!(tab.terminal_name(t), name);
+        }
+        for name in ["S", "Stmt", "Expr"] {
+            let x = tab.nonterminal(name);
+            assert_eq!(tab.nonterminal_name(x), name);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut tab = SymbolTable::new();
+        assert!(tab.lookup_terminal("a").is_none());
+        let a = tab.terminal("a");
+        assert_eq!(tab.lookup_terminal("a"), Some(a));
+        assert!(tab.lookup_nonterminal("a").is_none());
+    }
+
+    #[test]
+    fn fresh_nonterminal_avoids_collisions() {
+        let mut tab = SymbolTable::new();
+        let s = tab.nonterminal("S");
+        let f1 = tab.fresh_nonterminal("S");
+        let f2 = tab.fresh_nonterminal("S");
+        assert_ne!(s, f1);
+        assert_ne!(f1, f2);
+        assert_eq!(tab.nonterminal_name(f1), "S_1");
+        assert_eq!(tab.nonterminal_name(f2), "S_2");
+    }
+
+    #[test]
+    fn symbol_accessors() {
+        let mut tab = SymbolTable::new();
+        let a: Symbol = tab.terminal("a").into();
+        let x: Symbol = tab.nonterminal("X").into();
+        assert!(a.is_terminal() && !a.is_nonterminal());
+        assert!(x.is_nonterminal() && !x.is_terminal());
+        assert!(a.as_terminal().is_some() && a.as_nonterminal().is_none());
+        assert!(x.as_nonterminal().is_some() && x.as_terminal().is_none());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let t = Terminal::from_index(7);
+        assert_eq!(t.index(), 7);
+        let n = NonTerminal::from_index(3);
+        assert_eq!(n.index(), 3);
+    }
+
+    #[test]
+    fn iterators_cover_all_symbols() {
+        let mut tab = SymbolTable::new();
+        tab.terminal("a");
+        tab.terminal("b");
+        tab.nonterminal("X");
+        assert_eq!(tab.terminals().count(), 2);
+        assert_eq!(tab.nonterminals().count(), 1);
+    }
+}

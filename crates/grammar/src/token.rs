@@ -1,0 +1,120 @@
+//! Tokens: the parser's input alphabet.
+//!
+//! A token `t ::= (a, l)` (paper Fig. 1) pairs a [`Terminal`] with the
+//! literal string it matched. CoStar parses pre-tokenized input, so a word
+//! `w` is simply a sequence of tokens.
+
+use crate::symbol::Terminal;
+use std::fmt;
+
+/// A token: a terminal symbol plus the matched literal.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{SymbolTable, Token};
+/// let mut tab = SymbolTable::new();
+/// let int = tab.terminal("Int");
+/// let t = Token::new(int, "42");
+/// assert_eq!(t.terminal(), int);
+/// assert_eq!(t.lexeme(), "42");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    terminal: Terminal,
+    lexeme: Box<str>,
+    /// Byte offset of the lexeme in the source text, when known.
+    offset: usize,
+}
+
+impl Token {
+    /// Creates a token with no source position.
+    pub fn new(terminal: Terminal, lexeme: &str) -> Self {
+        Token {
+            terminal,
+            lexeme: lexeme.into(),
+            offset: 0,
+        }
+    }
+
+    /// Creates a token recording the byte offset of the lexeme in its
+    /// source text.
+    pub fn with_offset(terminal: Terminal, lexeme: &str, offset: usize) -> Self {
+        Token {
+            terminal,
+            lexeme: lexeme.into(),
+            offset,
+        }
+    }
+
+    /// The terminal symbol this token was classified as.
+    pub fn terminal(&self) -> Terminal {
+        self.terminal
+    }
+
+    /// The literal text the token matched.
+    pub fn lexeme(&self) -> &str {
+        &self.lexeme
+    }
+
+    /// Byte offset of the lexeme in the source text (0 when unknown).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {:?})", self.terminal, &*self.lexeme)
+    }
+}
+
+/// Builds a token sequence from `(terminal-name, lexeme)` pairs, interning
+/// terminal names in `tab`. A convenience for tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{tokens, SymbolTable};
+/// let mut tab = SymbolTable::new();
+/// let word = tokens(&mut tab, &[("Int", "1"), ("Plus", "+"), ("Int", "2")]);
+/// assert_eq!(word.len(), 3);
+/// ```
+pub fn tokens(tab: &mut crate::SymbolTable, pairs: &[(&str, &str)]) -> Vec<Token> {
+    pairs
+        .iter()
+        .map(|&(name, lexeme)| Token::new(tab.terminal(name), lexeme))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolTable;
+
+    #[test]
+    fn token_accessors() {
+        let mut tab = SymbolTable::new();
+        let t = Token::with_offset(tab.terminal("Int"), "42", 10);
+        assert_eq!(t.lexeme(), "42");
+        assert_eq!(t.offset(), 10);
+        assert_eq!(tab.terminal_name(t.terminal()), "Int");
+    }
+
+    #[test]
+    fn tokens_helper_interns_terminals() {
+        let mut tab = SymbolTable::new();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("a", "a2")]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].terminal(), w[2].terminal());
+        assert_ne!(w[0].terminal(), w[1].terminal());
+        assert_eq!(w[2].lexeme(), "a2");
+    }
+
+    #[test]
+    fn display_contains_lexeme() {
+        let mut tab = SymbolTable::new();
+        let t = Token::new(tab.terminal("Int"), "42");
+        assert!(format!("{t}").contains("42"));
+    }
+}

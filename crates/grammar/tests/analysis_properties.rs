@@ -1,0 +1,173 @@
+//! Property tests tying the static analyses to actual derivations:
+//! every fact the fixpoints compute must be witnessed (or never
+//! contradicted) by trees sampled from the grammar.
+
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::sampler::{DerivationSampler, SplitMix64};
+use costar_grammar::{Grammar, GrammarBuilder, NonTerminal, Symbol, Terminal, Tree};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum SymSpec {
+    T(usize),
+    Nt(usize),
+}
+
+#[derive(Debug, Clone)]
+struct GrammarSpec {
+    num_terminals: usize,
+    rules: Vec<Vec<Vec<SymSpec>>>,
+}
+
+impl GrammarSpec {
+    fn build(&self) -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        let nts: Vec<_> = (0..self.rules.len())
+            .map(|i| gb.nonterminal(&format!("n{i}")))
+            .collect();
+        let ts: Vec<_> = (0..self.num_terminals)
+            .map(|i| gb.terminal(&format!("T{i}")))
+            .collect();
+        for (i, alts) in self.rules.iter().enumerate() {
+            for alt in alts {
+                let rhs: Vec<Symbol> = alt
+                    .iter()
+                    .map(|s| match s {
+                        SymSpec::T(k) => Symbol::T(ts[k % ts.len()]),
+                        SymSpec::Nt(k) => Symbol::Nt(nts[k % nts.len()]),
+                    })
+                    .collect();
+                gb.rule_syms(nts[i], rhs);
+            }
+        }
+        gb.start_sym(nts[0]);
+        gb.build().expect("well-formed")
+    }
+}
+
+fn sym_spec() -> impl Strategy<Value = SymSpec> {
+    prop_oneof![
+        3 => (0usize..6).prop_map(SymSpec::T),
+        2 => (0usize..6).prop_map(SymSpec::Nt),
+    ]
+}
+
+fn grammar_spec() -> impl Strategy<Value = GrammarSpec> {
+    (
+        1usize..5,
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(sym_spec(), 0..4), 1..4),
+            1..5,
+        ),
+    )
+        .prop_map(|(num_terminals, rules)| GrammarSpec {
+            num_terminals,
+            rules,
+        })
+}
+
+/// Walks a tree collecting, for every interior node, the nonterminal and
+/// its yield's first terminal (if any), plus (nonterminal, following
+/// terminal) pairs read off the whole-tree token sequence.
+fn collect_node_facts(
+    tree: &Tree,
+    facts: &mut Vec<(NonTerminal, Option<Terminal>, usize, usize)>,
+    at: usize,
+) -> usize {
+    match tree {
+        Tree::Leaf(_) => at + 1,
+        Tree::Node(x, children) => {
+            let mut pos = at;
+            for c in children {
+                pos = collect_node_facts(c, facts, pos);
+            }
+            let toks = tree.yield_tokens();
+            facts.push((*x, toks.first().map(|t| t.terminal()), at, pos));
+            pos
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness of the analyses against sampled derivations:
+    /// * a node with an empty yield ⇒ its nonterminal is nullable;
+    /// * a node's first yielded terminal ∈ FIRST(its nonterminal);
+    /// * the terminal right after a node's yield ∈ FOLLOW(its
+    ///   nonterminal), and end-of-input after the yield ⇒ the FOLLOW
+    ///   analysis flags EOF.
+    #[test]
+    fn analyses_agree_with_sampled_trees(spec in grammar_spec(), seed in any::<u64>()) {
+        let g = spec.build();
+        let an = GrammarAnalysis::compute(&g);
+        let sampler = DerivationSampler::new(&g);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..8 {
+            let Some(tree) = sampler.sample_tree(&mut rng, 8) else { return Ok(()); };
+            let word = tree.yield_tokens();
+            let mut facts = Vec::new();
+            collect_node_facts(&tree, &mut facts, 0);
+            for (x, first_term, start, end) in facts {
+                if start == end {
+                    prop_assert!(an.nullable.contains(x), "{x} derived ε but not nullable");
+                }
+                if let Some(t) = first_term {
+                    prop_assert!(an.first.first(x).contains(t), "FIRST misses {t} for {x}");
+                }
+                match word.get(end) {
+                    Some(next) => prop_assert!(
+                        an.follow.follow(x).contains(next.terminal()),
+                        "FOLLOW misses successor for {x}"
+                    ),
+                    None if end == word.len() => prop_assert!(
+                        an.follow.eof_follows(x),
+                        "EOF follows {x} in a derivation but analysis disagrees"
+                    ),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Completeness of nullability: the analysis never claims more than
+    /// derivations deliver. For every nullable nonterminal reachable from
+    /// the start, some grammar production chain witnesses ε — checked by
+    /// running the sampler on a copy of the grammar restarted at that
+    /// nonterminal.
+    #[test]
+    fn nullable_claims_are_witnessed(spec in grammar_spec()) {
+        let g = spec.build();
+        let an = GrammarAnalysis::compute(&g);
+        for x in g.symbols().nonterminals() {
+            if g.alternatives(x).is_empty() || !an.nullable.contains(x) {
+                continue;
+            }
+            // Rebuild with x as start and sample until an ε-yield shows
+            // up; nullable implies a finite ε-derivation exists, and the
+            // budget-bounded sampler preferring minimal productions finds
+            // it within a small budget almost surely — we verify
+            // constructively with an explicit search instead of sampling.
+            prop_assert!(derives_epsilon(&g, x), "{x} flagged nullable without witness");
+        }
+    }
+}
+
+/// Explicit ε-derivability search (independent of the analysis code).
+fn derives_epsilon(g: &Grammar, x: NonTerminal) -> bool {
+    fn go(g: &Grammar, x: NonTerminal, path: &mut HashSet<NonTerminal>) -> bool {
+        if !path.insert(x) {
+            return false; // cycle without progress
+        }
+        let ok = g.alternatives(x).iter().any(|&pid| {
+            g.production(pid).rhs().iter().all(|&s| match s {
+                Symbol::T(_) => false,
+                Symbol::Nt(y) => go(g, y, path),
+            })
+        });
+        path.remove(&x);
+        ok
+    }
+    go(g, x, &mut HashSet::new())
+}

@@ -1,0 +1,186 @@
+//! # costar-langs — the four benchmark languages of the CoStar evaluation
+//!
+//! The paper evaluates CoStar on JSON, XML, DOT, and Python 3 (§6.1,
+//! Fig. 8). This crate reproduces that setup end to end, with one module
+//! per language providing:
+//!
+//! * an EBNF grammar (compiled through `costar-ebnf`, mirroring the
+//!   paper's ANTLR-grammar conversion pipeline; the XML grammar keeps the
+//!   non-LL(k) element rule quoted in §6.1, and DOT follows the Graphviz
+//!   grammar the original ANTLR evaluation used);
+//! * a lexer built with `costar-lexer` (standing in for the ANTLR lexers
+//!   the paper used to pre-tokenize input) — Python additionally layers
+//!   the INDENT/DEDENT/NEWLINE logical-line discipline on top of the DFA
+//!   scanner, like CPython's tokenizer;
+//! * a seeded synthetic source generator. The paper's corpora (Open
+//!   American National Corpus XML, the ANTLR evaluation's DOT files, the
+//!   Python 3.6 standard library) are not redistributable here, so each
+//!   generator produces realistically nested documents across a spread of
+//!   sizes — Fig. 9/10/11 depend only on token-count scaling behavior,
+//!   which the generators preserve.
+
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod json;
+pub mod python;
+pub mod xml;
+
+use costar_grammar::{Grammar, SymbolTable, Token};
+use costar_lexer::{LexError, Lexer, LexerSpec};
+
+/// How a language turns source text into the token word CoStar consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokenizerKind {
+    /// Run the DFA lexer over the whole input.
+    Plain,
+    /// Logical-line tokenization with INDENT/DEDENT/NEWLINE synthesis
+    /// (Python).
+    PythonIndent,
+}
+
+/// A benchmark language: its grammar, lexer, and synthetic generator.
+#[derive(Debug)]
+pub struct Language {
+    /// Display name ("JSON", "XML", "DOT", "Python").
+    pub name: &'static str,
+    grammar: Grammar,
+    lexer: Lexer,
+    tokenizer: TokenizerKind,
+    /// Nonterminals the EBNF desugaring introduced (for Fig. 8 notes).
+    pub fresh_nonterminals: usize,
+}
+
+impl Language {
+    fn build(
+        name: &'static str,
+        ebnf_src: &str,
+        spec: &LexerSpec,
+        tokenizer: TokenizerKind,
+    ) -> Language {
+        let (grammar, stats) = costar_ebnf::compile(ebnf_src)
+            .unwrap_or_else(|e| panic!("{name} grammar: {e}"));
+        // Compile the lexer against a copy of the grammar's symbol table
+        // so token terminals share the grammar's interned identities.
+        let mut tab: SymbolTable = grammar.symbols().clone();
+        let before = tab.num_terminals();
+        let lexer = Lexer::compile(spec, &mut tab)
+            .unwrap_or_else(|e| panic!("{name} lexer: {e}"));
+        assert_eq!(
+            tab.num_terminals(),
+            before,
+            "{name}: lexer emits a terminal the grammar does not mention"
+        );
+        Language {
+            name,
+            grammar,
+            lexer,
+            tokenizer,
+            fresh_nonterminals: stats.fresh_nonterminals,
+        }
+    }
+
+    /// The language's (desugared BNF) grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The language's compiled lexer.
+    pub fn lexer(&self) -> &Lexer {
+        &self.lexer
+    }
+
+    /// Tokenizes source text into the word the parser consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexError`] on unmatchable input (or, for Python,
+    /// inconsistent indentation).
+    pub fn tokenize(&self, source: &str) -> Result<Vec<Token>, LexError> {
+        match self.tokenizer {
+            TokenizerKind::Plain => self.lexer.tokenize(source),
+            TokenizerKind::PythonIndent => python::tokenize_indented(self, source),
+        }
+    }
+
+    /// Grammar-size statistics for the Fig. 8 table: `(|T|, |N|, |P|)` of
+    /// the desugared BNF grammar.
+    pub fn grammar_stats(&self) -> (usize, usize, usize) {
+        (
+            self.grammar.num_terminals(),
+            self.grammar.num_nonterminals(),
+            self.grammar.num_productions(),
+        )
+    }
+}
+
+/// A synthetic source generator: `(seed, approximate size knob) → source`.
+/// Larger knob values produce longer documents, roughly linearly.
+pub type Generator = fn(u64, usize) -> String;
+
+/// All four benchmark languages with their generators, in the paper's
+/// Fig. 8 order.
+pub fn all_languages() -> Vec<(Language, Generator)> {
+    vec![
+        (json::language(), json::generate as Generator),
+        (xml::language(), xml::generate as Generator),
+        (dot::language(), dot::generate as Generator),
+        (python::language(), python::generate as Generator),
+    ]
+}
+
+/// Generates a corpus of files across a spread of sizes, mirroring the
+/// paper's many-files-of-varying-size data sets (§6.1, footnote 6:
+/// "Testing CoStar on many files of varying size gave us a clearer
+/// picture of the tool's asymptotic behavior").
+pub fn corpus(generate: Generator, seed: u64, num_files: usize, max_size: usize) -> Vec<String> {
+    (0..num_files)
+        .map(|i| {
+            // Sizes spread linearly from ~max/num_files up to ~max.
+            let size = (max_size * (i + 1)).div_ceil(num_files).max(1);
+            generate(seed.wrapping_add(i as u64), size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_languages_build() {
+        let langs = all_languages();
+        assert_eq!(langs.len(), 4);
+        let names: Vec<&str> = langs.iter().map(|(l, _)| l.name).collect();
+        assert_eq!(names, vec!["JSON", "XML", "DOT", "Python"]);
+    }
+
+    #[test]
+    fn corpora_scale_with_the_size_knob() {
+        for (lang, generate) in all_languages() {
+            let files = corpus(generate, 1, 5, 200);
+            let sizes: Vec<usize> = files
+                .iter()
+                .map(|f| lang.tokenize(f).expect("generated files lex").len())
+                .collect();
+            assert!(sizes.iter().all(|&s| s > 0), "{}: empty file", lang.name);
+            let smallest = *sizes.iter().min().unwrap();
+            let largest = *sizes.iter().max().unwrap();
+            assert!(
+                largest >= smallest * 2,
+                "{}: sizes do not spread: {sizes:?}",
+                lang.name
+            );
+        }
+    }
+
+    #[test]
+    fn grammar_stats_are_nontrivial() {
+        for (lang, _) in all_languages() {
+            let (t, n, p) = lang.grammar_stats();
+            assert!(t >= 10, "{}: |T| = {t}", lang.name);
+            assert!(n >= 7, "{}: |N| = {n}", lang.name);
+            assert!(p >= 17, "{}: |P| = {p}", lang.name);
+        }
+    }
+}

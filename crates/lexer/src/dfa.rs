@@ -1,0 +1,285 @@
+//! Subset construction and DFA minimization.
+//!
+//! The combined rule NFA is determinized (subset construction over an
+//! alphabet compressed into byte equivalence classes) and then minimized
+//! by partition refinement, preserving each state's accept-rule tag. The
+//! result is the dense table the lexer's inner loop runs on: one
+//! `next[state][class]` lookup per input byte.
+
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// Sentinel for "no transition".
+pub(crate) const DEAD: u32 = u32::MAX;
+
+/// A deterministic finite automaton with rule-tagged accepting states and
+/// a compressed alphabet.
+#[derive(Debug, Clone)]
+pub(crate) struct Dfa {
+    /// Byte -> equivalence class.
+    pub class_of: [u16; 256],
+    /// Number of classes.
+    pub num_classes: usize,
+    /// `next[state * num_classes + class]`, `DEAD` when undefined.
+    pub next: Vec<u32>,
+    /// Accepting rule per state (lower index = higher priority).
+    pub accept: Vec<Option<usize>>,
+    /// The start state.
+    pub start: u32,
+}
+
+impl Dfa {
+    /// Determinizes `nfa` and minimizes the result.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let class_of = byte_classes(nfa);
+        let num_classes = (*class_of.iter().max().expect("256 entries") + 1) as usize;
+        // One representative byte per class.
+        let mut rep = vec![0u8; num_classes];
+        for b in (0u16..=255).rev() {
+            rep[class_of[b as usize] as usize] = b as u8;
+        }
+
+        // Subset construction.
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        let mut ids: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        let mut next: Vec<u32> = Vec::new();
+        let mut accept: Vec<Option<usize>> = Vec::new();
+
+        ids.insert(start_set.clone(), 0);
+        sets.push(start_set);
+        next.extend(std::iter::repeat_n(DEAD, num_classes));
+        accept.push(None);
+
+        let mut work = vec![0u32];
+        while let Some(sid) = work.pop() {
+            let set = sets[sid as usize].clone();
+            accept[sid as usize] = nfa.accept_of(&set);
+            for (c, &b) in rep.iter().enumerate() {
+                let moved = nfa.eps_closure(&nfa.step(&set, b));
+                if moved.is_empty() {
+                    continue;
+                }
+                let tid = match ids.get(&moved) {
+                    Some(&t) => t,
+                    None => {
+                        let t = sets.len() as u32;
+                        ids.insert(moved.clone(), t);
+                        sets.push(moved);
+                        next.extend(std::iter::repeat_n(DEAD, num_classes));
+                        accept.push(None);
+                        work.push(t);
+                        t
+                    }
+                };
+                next[sid as usize * num_classes + c] = tid;
+            }
+        }
+
+        let dfa = Dfa {
+            class_of,
+            num_classes,
+            next,
+            accept,
+            start: 0,
+        };
+        minimize(&dfa)
+    }
+
+    /// The next state on byte `b`, or `DEAD`.
+    #[inline]
+    pub fn step(&self, state: u32, b: u8) -> u32 {
+        self.next[state as usize * self.num_classes + self.class_of[b as usize] as usize]
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+}
+
+/// Computes byte equivalence classes: two bytes are equivalent if no NFA
+/// edge distinguishes them.
+fn byte_classes(nfa: &Nfa) -> [u16; 256] {
+    // Signature of a byte: the set of NFA edges it enables. Hash the
+    // membership bit vector across all edges.
+    let mut signatures: Vec<Vec<bool>> = vec![Vec::new(); 256];
+    for s in &nfa.states {
+        for (set, _) in &s.edges {
+            for (b, sig) in signatures.iter_mut().enumerate() {
+                sig.push(set.contains(b as u8));
+            }
+        }
+    }
+    let mut class_ids: HashMap<&[bool], u16> = HashMap::new();
+    let mut out = [0u16; 256];
+    for b in 0..256 {
+        let n = class_ids.len() as u16;
+        let id = *class_ids.entry(&signatures[b]).or_insert(n);
+        out[b] = id;
+    }
+    out
+}
+
+/// Moore-style partition refinement minimization.
+fn minimize(dfa: &Dfa) -> Dfa {
+    let n = dfa.num_states();
+    // Initial partition: by accept tag. Reserve partition 0 for the
+    // implicit dead state so "no transition" stays distinguishable.
+    let mut part: Vec<u32> = dfa
+        .accept
+        .iter()
+        .map(|a| match a {
+            None => 1,
+            Some(r) => 2 + *r as u32,
+        })
+        .collect();
+
+    loop {
+        // Signature: (current partition, partitions of all successors).
+        let mut sig_ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut new_part = vec![0u32; n];
+        for (s, new_p) in new_part.iter_mut().enumerate() {
+            let mut sig = Vec::with_capacity(dfa.num_classes + 1);
+            sig.push(part[s]);
+            for c in 0..dfa.num_classes {
+                let t = dfa.next[s * dfa.num_classes + c];
+                sig.push(if t == DEAD { 0 } else { part[t as usize] });
+            }
+            let fresh = sig_ids.len() as u32 + 1;
+            *new_p = *sig_ids.entry(sig).or_insert(fresh);
+        }
+        let stable = {
+            // Same number of blocks means no refinement happened (each
+            // old block maps to exactly one new block by construction).
+            let old_blocks: std::collections::HashSet<u32> = part.iter().copied().collect();
+            sig_ids.len() == old_blocks.len()
+        };
+        part = new_part;
+        if stable {
+            break;
+        }
+    }
+
+    // Renumber blocks densely, keeping the start state's block first.
+    let mut block_to_state: HashMap<u32, u32> = HashMap::new();
+    block_to_state.insert(part[dfa.start as usize], 0);
+    for s in 0..n {
+        let fresh = block_to_state.len() as u32;
+        block_to_state.entry(part[s]).or_insert(fresh);
+    }
+    let num_blocks = block_to_state.len();
+    let mut next = vec![DEAD; num_blocks * dfa.num_classes];
+    let mut accept = vec![None; num_blocks];
+    for s in 0..n {
+        let b = block_to_state[&part[s]] as usize;
+        accept[b] = dfa.accept[s];
+        for c in 0..dfa.num_classes {
+            let t = dfa.next[s * dfa.num_classes + c];
+            next[b * dfa.num_classes + c] = if t == DEAD {
+                DEAD
+            } else {
+                block_to_state[&part[t as usize]]
+            };
+        }
+    }
+    Dfa {
+        class_of: dfa.class_of,
+        num_classes: dfa.num_classes,
+        next,
+        accept,
+        start: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse_regex;
+
+    fn dfa_of(patterns: &[&str]) -> Dfa {
+        let rules: Vec<_> = patterns.iter().map(|p| parse_regex(p).unwrap()).collect();
+        Dfa::from_nfa(&Nfa::compile(&rules))
+    }
+
+    fn matches(dfa: &Dfa, input: &[u8]) -> Option<usize> {
+        let mut s = dfa.start;
+        for &b in input {
+            s = dfa.step(s, b);
+            if s == DEAD {
+                return None;
+            }
+        }
+        dfa.accept[s as usize]
+    }
+
+    #[test]
+    fn agrees_with_simple_patterns() {
+        let dfa = dfa_of(&["(ab|cd)+"]);
+        assert_eq!(matches(&dfa, b"abcd"), Some(0));
+        assert_eq!(matches(&dfa, b"ab"), Some(0));
+        assert_eq!(matches(&dfa, b""), None);
+        assert_eq!(matches(&dfa, b"abc"), None);
+    }
+
+    #[test]
+    fn rule_priority_preserved() {
+        let dfa = dfa_of(&["if", "[a-z]+"]);
+        assert_eq!(matches(&dfa, b"if"), Some(0));
+        assert_eq!(matches(&dfa, b"iffy"), Some(1));
+        assert_eq!(matches(&dfa, b"i"), Some(1));
+    }
+
+    #[test]
+    fn minimization_shrinks_redundant_states() {
+        // (a|b)(a|b) has equivalent intermediate branches; the minimal
+        // DFA has 3 live states.
+        let dfa = dfa_of(&["(a|b)(a|b)"]);
+        assert_eq!(dfa.num_states(), 3);
+        assert_eq!(matches(&dfa, b"ab"), Some(0));
+        assert_eq!(matches(&dfa, b"ba"), Some(0));
+        assert_eq!(matches(&dfa, b"a"), None);
+    }
+
+    #[test]
+    fn byte_classes_compress_alphabet() {
+        let dfa = dfa_of(&["[0-9]+"]);
+        // Two classes: digits and everything else.
+        assert_eq!(dfa.num_classes, 2);
+        assert_eq!(dfa.class_of[b'3' as usize], dfa.class_of[b'7' as usize]);
+        assert_ne!(dfa.class_of[b'3' as usize], dfa.class_of[b'x' as usize]);
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_nfa_oracle() {
+        // Compare DFA and NFA decisions on every string over {a,b,c} up
+        // to length 5 for a mixed rule set.
+        let patterns = ["a(b|c)*", "abc", "c+", "(ab)+c?"];
+        let rules: Vec<_> = patterns.iter().map(|p| parse_regex(p).unwrap()).collect();
+        let nfa = Nfa::compile(&rules);
+        let dfa = Dfa::from_nfa(&nfa);
+        let alphabet = [b'a', b'b', b'c'];
+        let mut inputs: Vec<Vec<u8>> = vec![Vec::new()];
+        let mut frontier: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..5 {
+            let mut next_frontier = Vec::new();
+            for i in &frontier {
+                for &b in &alphabet {
+                    let mut v = i.clone();
+                    v.push(b);
+                    next_frontier.push(v);
+                }
+            }
+            inputs.extend(next_frontier.iter().cloned());
+            frontier = next_frontier;
+        }
+        for input in &inputs {
+            let mut cur = nfa.eps_closure(&[nfa.start]);
+            for &b in input {
+                cur = nfa.eps_closure(&nfa.step(&cur, b));
+            }
+            let expected = nfa.accept_of(&cur);
+            assert_eq!(matches(&dfa, input), expected, "input {input:?}");
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The lexer itself: rule specifications, compilation, and tokenization.
+//!
+//! A [`LexerSpec`] lists rules in priority order; [`Lexer::compile`] turns
+//! them into one minimized DFA; [`Lexer::tokenize`] scans input with the
+//! standard maximal-munch discipline (longest match wins, ties broken by
+//! rule order) and produces the pre-tokenized word that the CoStar parser
+//! consumes (paper §6.1: "CoStar takes pre-tokenized input").
+
+use crate::dfa::{Dfa, DEAD};
+use crate::nfa::Nfa;
+use crate::regex::{escape_literal, parse_regex, RegexError};
+use costar_grammar::{SymbolTable, Terminal, Token};
+use std::fmt;
+
+/// What to do when a rule matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexAction {
+    /// Emit a token classified as the named terminal.
+    Emit(String),
+    /// Discard the match (whitespace, comments).
+    Skip,
+}
+
+/// One lexer rule: a name (for diagnostics), a pattern, and an action.
+#[derive(Debug, Clone)]
+pub struct LexRule {
+    name: String,
+    pattern: String,
+    action: LexAction,
+}
+
+/// An ordered list of lexer rules. Earlier rules win length ties, so
+/// keywords should precede the identifier rule that would also match them.
+///
+/// # Examples
+///
+/// ```
+/// use costar_lexer::{Lexer, LexerSpec};
+/// use costar_grammar::SymbolTable;
+///
+/// let mut spec = LexerSpec::new();
+/// spec.token_literal("If", "if");
+/// spec.token("Ident", "[a-z]+");
+/// spec.token("Int", "[0-9]+");
+/// spec.skip("ws", "[ \\t\\n]+");
+///
+/// let mut tab = SymbolTable::new();
+/// let lexer = Lexer::compile(&spec, &mut tab)?;
+/// let toks = lexer.tokenize("if x 42")?;
+/// assert_eq!(toks.len(), 3);
+/// assert_eq!(tab.terminal_name(toks[0].terminal()), "If");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LexerSpec {
+    rules: Vec<LexRule>,
+}
+
+impl LexerSpec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a token rule: matches of `pattern` emit terminal `terminal`.
+    pub fn token(&mut self, terminal: &str, pattern: &str) -> &mut Self {
+        self.rules.push(LexRule {
+            name: terminal.to_owned(),
+            pattern: pattern.to_owned(),
+            action: LexAction::Emit(terminal.to_owned()),
+        });
+        self
+    }
+
+    /// Adds a token rule matching a literal spelling (escaped
+    /// automatically) — for keywords and punctuation.
+    pub fn token_literal(&mut self, terminal: &str, literal: &str) -> &mut Self {
+        self.rules.push(LexRule {
+            name: terminal.to_owned(),
+            pattern: escape_literal(literal),
+            action: LexAction::Emit(terminal.to_owned()),
+        });
+        self
+    }
+
+    /// Adds a skip rule (whitespace, comments).
+    pub fn skip(&mut self, name: &str, pattern: &str) -> &mut Self {
+        self.rules.push(LexRule {
+            name: name.to_owned(),
+            pattern: pattern.to_owned(),
+            action: LexAction::Skip,
+        });
+        self
+    }
+
+    /// The rules, in priority order.
+    pub fn rules(&self) -> impl Iterator<Item = (&str, &str, &LexAction)> {
+        self.rules
+            .iter()
+            .map(|r| (r.name.as_str(), r.pattern.as_str(), &r.action))
+    }
+}
+
+/// Errors arising while compiling a [`LexerSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexerBuildError {
+    /// A rule's pattern failed to parse.
+    BadPattern {
+        /// The rule's name.
+        rule: String,
+        /// The underlying regex error.
+        error: RegexError,
+    },
+    /// The specification has no rules.
+    Empty,
+    /// A rule matches the empty string, which would make the scanner loop.
+    EmptyMatch {
+        /// The rule's name.
+        rule: String,
+    },
+}
+
+impl fmt::Display for LexerBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexerBuildError::BadPattern { rule, error } => {
+                write!(f, "rule {rule}: {error}")
+            }
+            LexerBuildError::Empty => write!(f, "lexer specification has no rules"),
+            LexerBuildError::EmptyMatch { rule } => {
+                write!(f, "rule {rule} matches the empty string")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexerBuildError {}
+
+/// A tokenization failure: no rule matches at the given byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the first unmatchable input.
+    pub at: usize,
+    /// A short snippet of the offending input for diagnostics.
+    pub snippet: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no token matches at byte {}: {:?}…", self.at, self.snippet)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompiledAction {
+    Emit(Terminal),
+    Skip,
+}
+
+/// A compiled lexer: one minimized DFA plus per-rule actions.
+#[derive(Debug, Clone)]
+pub struct Lexer {
+    dfa: Dfa,
+    actions: Vec<CompiledAction>,
+}
+
+impl Lexer {
+    /// Compiles a specification, interning emitted terminal names in
+    /// `symbols` (so the lexer and a grammar built over the same table
+    /// agree on terminal identities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexerBuildError`] for empty specs, malformed patterns,
+    /// or rules that match the empty string.
+    pub fn compile(spec: &LexerSpec, symbols: &mut SymbolTable) -> Result<Lexer, LexerBuildError> {
+        if spec.rules.is_empty() {
+            return Err(LexerBuildError::Empty);
+        }
+        let mut regexes = Vec::with_capacity(spec.rules.len());
+        let mut actions = Vec::with_capacity(spec.rules.len());
+        for rule in &spec.rules {
+            let re = parse_regex(&rule.pattern).map_err(|error| LexerBuildError::BadPattern {
+                rule: rule.name.clone(),
+                error,
+            })?;
+            regexes.push(re);
+            actions.push(match &rule.action {
+                LexAction::Emit(name) => CompiledAction::Emit(symbols.terminal(name)),
+                LexAction::Skip => CompiledAction::Skip,
+            });
+        }
+        let dfa = Dfa::from_nfa(&Nfa::compile(&regexes));
+        // A start-state accept means some rule matches ε.
+        if let Some(r) = dfa.accept[dfa.start as usize] {
+            return Err(LexerBuildError::EmptyMatch {
+                rule: spec.rules[r].name.clone(),
+            });
+        }
+        Ok(Lexer { dfa, actions })
+    }
+
+    /// Scans `input` into tokens using maximal munch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexError`] at the first position where no rule matches.
+    pub fn tokenize(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        let bytes = input.as_bytes();
+        let mut tokens = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let (len, rule) = self.longest_match(&bytes[pos..]).ok_or_else(|| LexError {
+                at: pos,
+                snippet: input[pos..].chars().take(12).collect(),
+            })?;
+            debug_assert!(len > 0, "empty matches rejected at compile time");
+            if let CompiledAction::Emit(t) = self.actions[rule] {
+                tokens.push(Token::with_offset(t, &input[pos..pos + len], pos));
+            }
+            pos += len;
+        }
+        Ok(tokens)
+    }
+
+    /// The longest prefix of `input` matched by any rule, with the winning
+    /// rule index.
+    fn longest_match(&self, input: &[u8]) -> Option<(usize, usize)> {
+        let mut state = self.dfa.start;
+        let mut best: Option<(usize, usize)> = None;
+        for (i, &b) in input.iter().enumerate() {
+            state = self.dfa.step(state, b);
+            if state == DEAD {
+                break;
+            }
+            if let Some(rule) = self.dfa.accept[state as usize] {
+                best = Some((i + 1, rule));
+            }
+        }
+        best
+    }
+
+    /// Number of DFA states (after minimization) — exposed for the
+    /// evaluation harness's substrate statistics.
+    pub fn num_states(&self) -> usize {
+        self.dfa.num_states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_lexer() -> (Lexer, SymbolTable) {
+        let mut spec = LexerSpec::new();
+        spec.token_literal("If", "if");
+        spec.token_literal("LParen", "(");
+        spec.token_literal("RParen", ")");
+        spec.token_literal("EqEq", "==");
+        spec.token_literal("Eq", "=");
+        spec.token("Ident", "[a-z][a-z0-9_]*");
+        spec.token("Int", "[0-9]+");
+        spec.skip("ws", "[ \\t\\r\\n]+");
+        spec.skip("comment", "#[^\\n]*");
+        let mut tab = SymbolTable::new();
+        let lexer = Lexer::compile(&spec, &mut tab).unwrap();
+        (lexer, tab)
+    }
+
+    fn kinds(lexer: &Lexer, tab: &SymbolTable, input: &str) -> Vec<String> {
+        lexer
+            .tokenize(input)
+            .unwrap()
+            .iter()
+            .map(|t| tab.terminal_name(t.terminal()).to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        let (lexer, tab) = simple_lexer();
+        assert_eq!(
+            kinds(&lexer, &tab, "if (x == 42)"),
+            vec!["If", "LParen", "Ident", "EqEq", "Int", "RParen"]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_prefers_longer() {
+        let (lexer, tab) = simple_lexer();
+        // "==" must lex as EqEq, not Eq Eq; "iffy" as Ident, not If + fy.
+        assert_eq!(kinds(&lexer, &tab, "=="), vec!["EqEq"]);
+        assert_eq!(kinds(&lexer, &tab, "= ="), vec!["Eq", "Eq"]);
+        assert_eq!(kinds(&lexer, &tab, "iffy"), vec!["Ident"]);
+        assert_eq!(kinds(&lexer, &tab, "if fy"), vec!["If", "Ident"]);
+    }
+
+    #[test]
+    fn rule_order_breaks_ties() {
+        let (lexer, tab) = simple_lexer();
+        // "if" matches both If (rule 0) and Ident; If wins.
+        assert_eq!(kinds(&lexer, &tab, "if"), vec!["If"]);
+    }
+
+    #[test]
+    fn skip_rules_drop_content() {
+        let (lexer, tab) = simple_lexer();
+        assert_eq!(
+            kinds(&lexer, &tab, "x # trailing comment\ny"),
+            vec!["Ident", "Ident"]
+        );
+        assert_eq!(lexer.tokenize("   \t\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn offsets_and_lexemes_recorded() {
+        let (lexer, _) = simple_lexer();
+        let toks = lexer.tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].lexeme(), "ab");
+        assert_eq!(toks[0].offset(), 0);
+        assert_eq!(toks[1].lexeme(), "cd");
+        assert_eq!(toks[1].offset(), 4);
+    }
+
+    #[test]
+    fn lex_error_has_position() {
+        let (lexer, _) = simple_lexer();
+        let err = lexer.tokenize("ab £x").unwrap_err();
+        assert_eq!(err.at, 3);
+        assert!(err.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn empty_matching_rule_rejected() {
+        let mut spec = LexerSpec::new();
+        spec.token("Star", "a*");
+        let mut tab = SymbolTable::new();
+        let err = Lexer::compile(&spec, &mut tab).unwrap_err();
+        assert!(matches!(err, LexerBuildError::EmptyMatch { .. }));
+    }
+
+    #[test]
+    fn bad_pattern_reported_with_rule_name() {
+        let mut spec = LexerSpec::new();
+        spec.token("Broken", "[a-");
+        let mut tab = SymbolTable::new();
+        let err = Lexer::compile(&spec, &mut tab).unwrap_err();
+        let LexerBuildError::BadPattern { rule, .. } = err else {
+            panic!("expected BadPattern")
+        };
+        assert_eq!(rule, "Broken");
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let mut tab = SymbolTable::new();
+        assert_eq!(
+            Lexer::compile(&LexerSpec::new(), &mut tab).unwrap_err(),
+            LexerBuildError::Empty
+        );
+    }
+
+    #[test]
+    fn terminals_are_interned_in_shared_table() {
+        let (_, tab) = simple_lexer();
+        assert!(tab.lookup_terminal("If").is_some());
+        assert!(tab.lookup_terminal("Int").is_some());
+        assert!(tab.lookup_terminal("ws").is_none(), "skip rules intern nothing");
+    }
+}

@@ -1,0 +1,43 @@
+//! # costar-lexer — tokenization substrate for the CoStar reproduction
+//!
+//! CoStar parses *pre-tokenized* input; in the paper's evaluation (§6.1)
+//! ANTLR lexers produced the token streams. This crate is the equivalent
+//! substrate built from scratch: a classic lexer-generator pipeline
+//!
+//! ```text
+//! rule patterns ──parse──▶ Regex AST ──Thompson──▶ NFA
+//!        ──subset construction──▶ DFA ──minimize──▶ scanner table
+//! ```
+//!
+//! with maximal-munch scanning (longest match wins, rule order breaks
+//! ties) and skip rules for whitespace and comments. Emitted terminals are
+//! interned in the same [`costar_grammar::SymbolTable`] the grammar uses,
+//! so lexer output plugs directly into the parser.
+//!
+//! # Example
+//!
+//! ```
+//! use costar_lexer::{Lexer, LexerSpec};
+//! use costar_grammar::SymbolTable;
+//!
+//! let mut spec = LexerSpec::new();
+//! spec.token("Int", "[0-9]+")
+//!     .token_literal("Plus", "+")
+//!     .skip("ws", " +");
+//! let mut symbols = SymbolTable::new();
+//! let lexer = Lexer::compile(&spec, &mut symbols)?;
+//! let tokens = lexer.tokenize("1 + 23")?;
+//! assert_eq!(tokens.len(), 3);
+//! assert_eq!(tokens[2].lexeme(), "23");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dfa;
+mod lexer;
+mod nfa;
+mod regex;
+
+pub use lexer::{LexAction, LexError, LexRule, Lexer, LexerBuildError, LexerSpec};
+pub use regex::{escape_literal, parse_regex, ByteSet, Regex, RegexError};

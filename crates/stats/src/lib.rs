@@ -1,0 +1,19 @@
+//! # costar-stats — evaluation statistics substrate
+//!
+//! The paper's Fig. 9 argues CoStar is linear-time by overlaying each
+//! scatter plot with a least-squares regression line and a LOWESS curve
+//! (Cleveland 1979): when the unconstrained LOWESS smoother coincides
+//! with the straight line, the relationship is linear. This crate
+//! implements both, plus the summary statistics the other figures need
+//! (means, standard deviations for Fig. 10's error bars, per-group
+//! slowdown ratios).
+
+#![warn(missing_docs)]
+
+mod lowess;
+mod regression;
+mod summary;
+
+pub use lowess::{lowess, max_relative_deviation};
+pub use regression::{linear_fit, LinearFit};
+pub use summary::{mean, ratio_stats, std_dev, RatioStats};

@@ -1,0 +1,170 @@
+//! LOWESS: locally weighted scatterplot smoothing (Cleveland 1979).
+//!
+//! The paper (Fig. 9) fits a LOWESS curve with hyperparameter `f = 0.1`
+//! to each benchmark's scatter plot: "LOWESS is a method for
+//! approximating a scatter plot with a smooth curve that is not
+//! constrained to be linear. The close correspondence between LOWESS
+//! curves and regression lines in our results indicates a linear
+//! relationship between input size and parse time."
+//!
+//! This is the classic single-pass (non-robust) variant: for each point,
+//! fit a weighted least-squares line over its `⌈f·n⌉` nearest neighbors
+//! with tricube weights, and take the fitted value at that point.
+
+/// Computes the LOWESS smoothed values at each `x`.
+///
+/// `xs` must be sorted ascending; `f ∈ (0, 1]` is the fraction of points
+/// in each local window (the paper uses 0.1). Returns one smoothed `y`
+/// per input point.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths, are empty, or `f` is not
+/// in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use costar_stats::lowess;
+/// let xs: Vec<f64> = (0..20).map(f64::from).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+/// let smooth = lowess(&xs, &ys, 0.5);
+/// // On perfectly linear data the smoother reproduces the line.
+/// for (s, y) in smooth.iter().zip(&ys) {
+///     assert!((s - y).abs() < 1e-9);
+/// }
+/// ```
+pub fn lowess(xs: &[f64], ys: &[f64], f: f64) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(!xs.is_empty(), "empty sample");
+    assert!(f > 0.0 && f <= 1.0, "f must be in (0, 1]");
+    let n = xs.len();
+    let window = ((f * n as f64).ceil() as usize).clamp(2.min(n), n);
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Nearest `window` points by |x - xs[i]|, found with a sliding
+        // interval since xs is sorted.
+        let (mut lo, mut hi) = (i, i);
+        while hi - lo + 1 < window {
+            let extend_left = lo > 0
+                && (hi + 1 >= n || xs[i] - xs[lo - 1] <= xs[hi + 1] - xs[i]);
+            if extend_left {
+                lo -= 1;
+            } else {
+                hi += 1;
+            }
+        }
+        let d_max = (xs[i] - xs[lo]).abs().max((xs[hi] - xs[i]).abs());
+
+        // Tricube weights over the window.
+        let mut sw = 0.0;
+        let mut swx = 0.0;
+        let mut swy = 0.0;
+        let mut swxx = 0.0;
+        let mut swxy = 0.0;
+        for k in lo..=hi {
+            let w = if d_max == 0.0 {
+                1.0
+            } else {
+                let u = ((xs[k] - xs[i]).abs() / d_max).min(1.0);
+                let t = 1.0 - u * u * u;
+                t * t * t
+            };
+            sw += w;
+            swx += w * xs[k];
+            swy += w * ys[k];
+            swxx += w * xs[k] * xs[k];
+            swxy += w * xs[k] * ys[k];
+        }
+        let denom = sw * swxx - swx * swx;
+        let y_hat = if denom.abs() < 1e-12 {
+            // Degenerate window (coincident x): weighted mean.
+            swy / sw
+        } else {
+            let slope = (sw * swxy - swx * swy) / denom;
+            let intercept = (swy - slope * swx) / sw;
+            intercept + slope * xs[i]
+        };
+        out.push(y_hat);
+    }
+    out
+}
+
+/// Maximum relative deviation between a LOWESS curve and a fitted line —
+/// the quantitative form of the paper's "LOWESS curves coincide with
+/// regression lines" linearity argument.
+pub fn max_relative_deviation(smooth: &[f64], fitted: &[f64]) -> f64 {
+    smooth
+        .iter()
+        .zip(fitted)
+        .map(|(s, l)| {
+            let scale = l.abs().max(1e-12);
+            (s - l).abs() / scale
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::linear_fit;
+
+    #[test]
+    fn linear_data_reproduced_exactly() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x + 3.0).collect();
+        let smooth = lowess(&xs, &ys, 0.1);
+        for (s, y) in smooth.iter().zip(&ys) {
+            assert!((s - y).abs() < 1e-8, "{s} vs {y}");
+        }
+    }
+
+    #[test]
+    fn smoother_tracks_curvature_a_line_cannot() {
+        // Quadratic data: LOWESS must deviate from the global line — the
+        // very signal Fig. 9 would show if parse time were nonlinear.
+        let xs: Vec<f64> = (0..200).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let smooth = lowess(&xs, &ys, 0.1);
+        let fit = linear_fit(&xs, &ys).unwrap();
+        let fitted: Vec<f64> = xs.iter().map(|&x| fit.predict(x)).collect();
+        let dev = max_relative_deviation(&smooth, &fitted);
+        assert!(dev > 0.5, "expected large deviation, got {dev}");
+        // But LOWESS stays close to the true quadratic locally.
+        let mid = 100;
+        assert!((smooth[mid] - ys[mid]).abs() / ys[mid] < 0.05);
+    }
+
+    #[test]
+    fn noisy_linear_data_smooths_to_near_line() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let smooth = lowess(&xs, &ys, 0.2);
+        let fit = linear_fit(&xs, &ys).unwrap();
+        let fitted: Vec<f64> = xs.iter().map(|&x| fit.predict(x)).collect();
+        // Interior points hug the line even though the raw data zigzags.
+        for i in 10..90 {
+            assert!((smooth[i] - fitted[i]).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn single_point_and_duplicates() {
+        assert_eq!(lowess(&[1.0], &[5.0], 0.5), vec![5.0]);
+        let s = lowess(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1.0);
+        for v in s {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "f must be in")]
+    fn invalid_f_panics() {
+        lowess(&[1.0, 2.0], &[1.0, 2.0], 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Ordinary least-squares linear regression.
+
+/// A fitted line `y = intercept + slope·x` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1.0 = perfect linear fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a least-squares line through `(x, y)` pairs.
+///
+/// Returns `None` when fewer than two points are given or all `x` values
+/// coincide (the slope would be undefined).
+///
+/// # Examples
+///
+/// ```
+/// use costar_stats::linear_fit;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [2.0, 4.0, 6.0, 8.0];
+/// let fit = linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // constant y: the flat line fits perfectly
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 7.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.5).abs() < 1e-9);
+        assert!((fit.intercept + 7.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(100.0) - 343.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        // Deterministic "noise" via alternating offsets.
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn quadratic_data_has_low_r2_against_line_through_origin_symmetry() {
+        // Symmetric parabola: slope ~0, poor R².
+        let xs: Vec<f64> = (-50..=50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.slope.abs() < 1e-9);
+        assert!(fit.r_squared < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

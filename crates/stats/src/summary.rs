@@ -1,0 +1,124 @@
+//! Summary statistics: means, standard deviations, and slowdown ratios.
+//!
+//! Fig. 10 of the paper reports "average slowdown" bars with standard
+//! deviations as error bars; [`ratio_stats`] computes exactly that from
+//! paired per-file timings.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use costar_stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0.0 for fewer than two
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// use costar_stats::std_dev;
+/// assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.001);
+/// ```
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Per-group slowdown statistics: the mean and standard deviation of the
+/// pointwise ratios `numerator[i] / denominator[i]` (Fig. 10's bars and
+/// error bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioStats {
+    /// Mean of the pointwise ratios.
+    pub mean: f64,
+    /// Sample standard deviation of the pointwise ratios.
+    pub std_dev: f64,
+    /// Number of pairs used.
+    pub n: usize,
+}
+
+/// Computes slowdown statistics from paired measurements, skipping pairs
+/// whose denominator is non-positive.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use costar_stats::ratio_stats;
+/// let slow = [10.0, 20.0, 30.0];
+/// let fast = [2.0, 4.0, 6.0];
+/// let r = ratio_stats(&slow, &fast);
+/// assert_eq!(r.mean, 5.0);
+/// assert_eq!(r.std_dev, 0.0);
+/// assert_eq!(r.n, 3);
+/// ```
+pub fn ratio_stats(numerator: &[f64], denominator: &[f64]) -> RatioStats {
+    assert_eq!(
+        numerator.len(),
+        denominator.len(),
+        "mismatched sample lengths"
+    );
+    let ratios: Vec<f64> = numerator
+        .iter()
+        .zip(denominator)
+        .filter(|&(_, &d)| d > 0.0)
+        .map(|(&n, &d)| n / d)
+        .collect();
+    RatioStats {
+        mean: mean(&ratios),
+        std_dev: std_dev(&ratios),
+        n: ratios.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[7.0]), 7.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[7.0]), 0.0);
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Variance of [1,2,3,4] (sample) = 5/3.
+        let sd = std_dev(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_stats_varied() {
+        let r = ratio_stats(&[10.0, 30.0], &[2.0, 3.0]);
+        assert_eq!(r.mean, 7.5);
+        assert!(r.std_dev > 0.0);
+        assert_eq!(r.n, 2);
+    }
+
+    #[test]
+    fn zero_denominators_skipped() {
+        let r = ratio_stats(&[10.0, 30.0], &[0.0, 3.0]);
+        assert_eq!(r.n, 1);
+        assert_eq!(r.mean, 10.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Ambiguity detection: the paper's Fig. 6 scenario and a classic
+//! expression ambiguity.
+//!
+//! CoStar's contract for ambiguous input (paper Theorems 5.6/5.12): it
+//! returns *one* correct tree and labels it `Ambig` — exactly what a
+//! grammar developer debugging an unfinished grammar needs (§3.5: "for
+//! computer languages, ambiguity is almost always an error"). This
+//! example also cross-checks the labels against the independent
+//! derivation-counting oracle from `costar-baselines`.
+//!
+//! Run with: `cargo run --example ambiguity`
+
+use costar::{ParseOutcome, Parser};
+use costar_baselines::{count_trees, TreeCount};
+use costar_grammar::{GrammarBuilder, Token};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Paper Fig. 6: S -> X | Y ; X -> a ; Y -> a. The word "a" has two
+    // distinct parse trees.
+    let mut gb = GrammarBuilder::new();
+    gb.rule("S", &["X"]);
+    gb.rule("S", &["Y"]);
+    gb.rule("X", &["a"]);
+    gb.rule("Y", &["a"]);
+    let grammar = gb.start("S").build()?;
+
+    let mut parser = Parser::new(grammar);
+    let a = parser.grammar().symbols().lookup_terminal("a").expect("terminal a");
+    let word = vec![Token::new(a, "a")];
+
+    match parser.parse(&word) {
+        ParseOutcome::Ambig(tree) => {
+            println!("Fig. 6 grammar: input \"a\" is AMBIGUOUS; one of its trees:");
+            print!("{}", tree.render(parser.grammar().symbols()));
+        }
+        other => panic!("expected Ambig, got {other:?}"),
+    }
+    // The oracle agrees there are multiple trees.
+    assert_eq!(count_trees(parser.grammar(), &word), TreeCount::Many);
+
+    // A classic grammar-design bug: flat self-concatenation. "a a a" can
+    // associate two ways.
+    let mut gb = GrammarBuilder::new();
+    gb.rule("E", &["E'", "E"]);
+    gb.rule("E", &["E'"]);
+    gb.rule("E'", &["a"]);
+    gb.rule("E'", &["LParen", "E", "RParen"]);
+    let grammar = gb.start("E").build()?;
+    let mut parser = Parser::new(grammar);
+    let symbols = parser.grammar().symbols().clone();
+    let tok = |n: &str| Token::new(symbols.lookup_terminal(n).unwrap(), n);
+
+    // Unambiguous input: concatenation of two atoms.
+    let two = vec![tok("a"), tok("a")];
+    println!("\nconcat grammar: \"a a\"   -> {}", label(&parser.parse(&two)));
+    assert_eq!(count_trees(parser.grammar(), &two), TreeCount::One);
+
+    // Parenthesized input is also unique.
+    let paren = vec![tok("LParen"), tok("a"), tok("RParen"), tok("a")];
+    println!("concat grammar: \"(a) a\" -> {}", label(&parser.parse(&paren)));
+
+    println!("\nBoth verdicts match the derivation-counting oracle.");
+    Ok(())
+}
+
+fn label(outcome: &ParseOutcome) -> &'static str {
+    match outcome {
+        ParseOutcome::Unique(_) => "Unique",
+        ParseOutcome::Ambig(_) => "Ambig",
+        ParseOutcome::Reject(_) => "Reject",
+        ParseOutcome::Error(_) => "Error",
+    }
+}

@@ -1,0 +1,132 @@
+//! A calculator: EBNF front-end + semantic actions over parse trees.
+//!
+//! Demonstrates two extensions beyond the published CoStar:
+//!
+//! * the grammar is written in EBNF and desugared to BNF by
+//!   `costar-ebnf` (the paper's §6.1 conversion-tool pipeline);
+//! * the resulting parse tree is evaluated with a user-defined
+//!   [`Semantics`] — the paper's §8 "semantic actions" future work.
+//!
+//! Run with: `cargo run --example calculator "1 + 2 * (3 - 4)"`
+
+use costar::semantics::{evaluate_outcome, Semantics, SemanticOutcome};
+use costar::Parser;
+use costar_grammar::{NonTerminal, SymbolTable, Token};
+use costar_lexer::{Lexer, LexerSpec};
+
+/// Arithmetic with the usual precedence, written as EBNF. The repetition
+/// operators keep the grammar free of left recursion, which CoStar
+/// requires (paper §4.1).
+const GRAMMAR: &str = r"
+expr   : term (('+' | '-') term)* ;
+term   : factor (('*' | '/') factor)* ;
+factor : NUM | '-' factor | '(' expr ')' ;
+";
+
+/// Evaluates parse trees to 64-bit floats by folding bottom-up over the
+/// (nonterminal, children-values) structure.
+struct Eval<'a> {
+    symbols: &'a SymbolTable,
+}
+
+/// A semantic value. EBNF desugaring introduces helper nonterminals for
+/// the `(op term)*` loops; their nodes return flattened [`Val::Seq`]
+/// fragments that the enclosing `expr`/`term` node splices and folds.
+#[derive(Debug, Clone)]
+enum Val {
+    Num(f64),
+    Op(char),
+    Seq(Vec<Val>),
+    None,
+}
+
+/// Splices nested `Seq` fragments and drops punctuation.
+fn flatten(children: Vec<Val>, out: &mut Vec<Val>) {
+    for c in children {
+        match c {
+            Val::Seq(inner) => out.extend(inner),
+            Val::None => {}
+            v => out.push(v),
+        }
+    }
+}
+
+/// Left-associative fold of `value (op value)*`.
+fn eval_chain(flat: &[Val]) -> Val {
+    let mut iter = flat.iter();
+    let Some(Val::Num(mut acc)) = iter.next().cloned() else {
+        return Val::None;
+    };
+    while let (Some(Val::Op(op)), Some(Val::Num(v))) = (iter.next(), iter.next()) {
+        match op {
+            '+' => acc += v,
+            '-' => acc -= v,
+            '*' => acc *= v,
+            '/' => acc /= v,
+            _ => unreachable!("grammar admits only arithmetic operators"),
+        }
+    }
+    Val::Num(acc)
+}
+
+impl Semantics for Eval<'_> {
+    type Value = Val;
+
+    fn leaf(&mut self, token: &Token) -> Val {
+        match self.symbols.terminal_name(token.terminal()) {
+            "NUM" => Val::Num(token.lexeme().parse().expect("lexer validated the number")),
+            "(" | ")" => Val::None,
+            op => Val::Op(op.chars().next().expect("single-char operator")),
+        }
+    }
+
+    fn node(&mut self, nt: NonTerminal, children: Vec<Val>) -> Val {
+        let mut flat = Vec::with_capacity(children.len());
+        flatten(children, &mut flat);
+        match self.symbols.nonterminal_name(nt) {
+            "expr" | "term" => eval_chain(&flat),
+            "factor" => match flat.as_slice() {
+                [Val::Op('-'), Val::Num(v)] => Val::Num(-v), // unary minus
+                [v @ Val::Num(_)] => v.clone(),              // NUM or ( expr )
+                other => unreachable!("factor shape: {other:?}"),
+            },
+            // Desugaring helpers (`expr__group`, `term__star`, …): pass
+            // the fragment up for the real rule to fold.
+            _ => Val::Seq(flat),
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "1 + 2 * (3 - 4) / 2 - -5".to_owned());
+
+    // Compile grammar and lexer against a shared symbol table.
+    let (grammar, _) = costar_ebnf::compile(GRAMMAR)?;
+    let mut symbols = grammar.symbols().clone();
+    let mut spec = LexerSpec::new();
+    spec.token("NUM", r"[0-9]+(\.[0-9]+)?")
+        .token_literal("+", "+")
+        .token_literal("-", "-")
+        .token_literal("*", "*")
+        .token_literal("/", "/")
+        .token_literal("(", "(")
+        .token_literal(")", ")")
+        .skip("ws", " +");
+    let lexer = Lexer::compile(&spec, &mut symbols)?;
+
+    let tokens = lexer.tokenize(&input)?;
+    let mut parser = Parser::new(grammar);
+    let symbols = parser.grammar().symbols().clone();
+    let outcome = evaluate_outcome(parser.parse(&tokens), &mut Eval { symbols: &symbols });
+    match outcome {
+        SemanticOutcome::Unique(Val::Num(v)) => println!("{input} = {v}"),
+        SemanticOutcome::NoParse(o) => {
+            println!("not an arithmetic expression: {o:?}");
+            std::process::exit(1);
+        }
+        other => println!("unexpected evaluation: {other:?}"),
+    }
+    Ok(())
+}

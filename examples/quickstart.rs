@@ -1,0 +1,51 @@
+//! Quickstart: build a grammar, parse a word, inspect the tree.
+//!
+//! Uses the running example of the paper (Fig. 2): the grammar
+//! `S → A c | A d ; A → a A | b` and the input word `abd`. Deciding
+//! between the two `S` alternatives requires scanning to the *last*
+//! token, so the grammar is not LL(k) for any fixed k — yet ALL(*)
+//! prediction handles it with no grammar annotations.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use costar::{ParseOutcome, Parser};
+use costar_grammar::{GrammarBuilder, Token};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the grammar. Names that appear as left-hand sides are
+    //    nonterminals; everything else is a terminal.
+    let mut gb = GrammarBuilder::new();
+    gb.rule("S", &["A", "c"]);
+    gb.rule("S", &["A", "d"]);
+    gb.rule("A", &["a", "A"]);
+    gb.rule("A", &["b"]);
+    let grammar = gb.start("S").build()?;
+
+    // 2. Build a reusable parser. It checks the paper's precondition for
+    //    us: no left recursion means every theorem applies.
+    let mut parser = Parser::new(grammar);
+    assert!(parser.grammar_is_safe(), "grammar is non-left-recursive");
+
+    // 3. Parse the word "abd" (CoStar consumes pre-tokenized input).
+    let symbols = parser.grammar().symbols().clone();
+    let tok = |name: &str| {
+        Token::new(symbols.lookup_terminal(name).expect("known terminal"), name)
+    };
+    let word = vec![tok("a"), tok("b"), tok("d")];
+
+    match parser.parse(&word) {
+        ParseOutcome::Unique(tree) => {
+            println!("unique parse tree for \"abd\":");
+            print!("{}", tree.render(&symbols));
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+
+    // 4. Invalid words are rejected with a diagnosis, never an error.
+    let bad = vec![tok("a"), tok("c")];
+    match parser.parse(&bad) {
+        ParseOutcome::Reject(reason) => println!("\n\"ac\" rejected: {reason}"),
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    Ok(())
+}

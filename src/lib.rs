@@ -1,0 +1,16 @@
+//! # costar-suite — umbrella crate for the CoStar reproduction
+//!
+//! Re-exports the workspace crates under one roof so the examples in
+//! `examples/` and the cross-crate integration tests in `tests/` have a
+//! single dependency. Library users should depend on the individual
+//! crates (`costar`, `costar-grammar`, …) directly.
+
+#![warn(missing_docs)]
+
+pub use costar;
+pub use costar_baselines as baselines;
+pub use costar_ebnf as ebnf;
+pub use costar_grammar as grammar;
+pub use costar_langs as langs;
+pub use costar_lexer as lexer;
+pub use costar_stats as stats;
