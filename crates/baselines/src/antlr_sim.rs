@@ -345,7 +345,11 @@ impl AntlrSim {
                     .iter()
                     .enumerate()
                     .map(|(i, f)| {
-                        let dot = if i + 1 == stack.len() { f.dot + 1 } else { f.dot } as u32;
+                        let dot = if i + 1 == stack.len() {
+                            f.dot + 1
+                        } else {
+                            f.dot
+                        } as u32;
                         (f.prod, dot)
                     })
                     .collect();
@@ -435,10 +439,7 @@ impl AntlrSim {
 
     fn frame_syms(&self, frame: SimFrame) -> (Option<NonTerminal>, Arc<[Symbol]>) {
         if frame.0 == BOTTOM {
-            (
-                None,
-                Arc::from([Symbol::Nt(self.grammar.start())]),
-            )
+            (None, Arc::from([Symbol::Nt(self.grammar.start())]))
         } else {
             let pid = ProdId::from_index(frame.0 as usize);
             let p = self.grammar.production(pid);
@@ -622,16 +623,19 @@ fn build_quick_rows(g: &Grammar, an: &GrammarAnalysis) -> Vec<Option<QuickRow>> 
             let rhs = g.production(pid).rhs();
             for t in g.symbols().terminals() {
                 if ll1_selects(rhs, t, &an.nullable, &an.first, an.follow.follow(x))
-                    && row.by_term.insert(t, pid).is_some() {
-                        ok = false;
-                        break 'build;
-                    }
-            }
-            if an.nullable.form_nullable(rhs) && an.follow.eof_follows(x)
-                && row.at_eof.replace(pid).is_some() {
+                    && row.by_term.insert(t, pid).is_some()
+                {
                     ok = false;
                     break 'build;
                 }
+            }
+            if an.nullable.form_nullable(rhs)
+                && an.follow.eof_follows(x)
+                && row.at_eof.replace(pid).is_some()
+            {
+                ok = false;
+                break 'build;
+            }
         }
         rows.push(if ok { Some(row) } else { None });
     }

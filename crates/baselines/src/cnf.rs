@@ -203,11 +203,11 @@ pub fn to_cnf(g: &Grammar) -> CnfGrammar {
     let mut seen_bin: HashSet<(usize, usize, usize)> = HashSet::new();
     let mut seen_term: HashSet<(usize, u32)> = HashSet::new();
     let add = |lhs: usize,
-                   rhs: &[S],
-                   by_terminal: &mut HashMap<u32, Vec<usize>>,
-                   binary: &mut Vec<(usize, usize, usize)>,
-                   seen_bin: &mut HashSet<(usize, usize, usize)>,
-                   seen_term: &mut HashSet<(usize, u32)>| {
+               rhs: &[S],
+               by_terminal: &mut HashMap<u32, Vec<usize>>,
+               binary: &mut Vec<(usize, usize, usize)>,
+               seen_bin: &mut HashSet<(usize, usize, usize)>,
+               seen_term: &mut HashSet<(usize, u32)>| {
         match rhs {
             [S::T(t)] => {
                 if seen_term.insert((lhs, *t)) {
@@ -224,13 +224,27 @@ pub fn to_cnf(g: &Grammar) -> CnfGrammar {
         }
     };
     for (lhs, rhs) in &proper {
-        add(*lhs, rhs, &mut by_terminal, &mut binary, &mut seen_bin, &mut seen_term);
+        add(
+            *lhs,
+            rhs,
+            &mut by_terminal,
+            &mut binary,
+            &mut seen_bin,
+            &mut seen_term,
+        );
     }
     for (from, reach) in &unit_reach {
         for to in reach {
             for (lhs, rhs) in &proper {
                 if lhs == to {
-                    add(*from, rhs, &mut by_terminal, &mut binary, &mut seen_bin, &mut seen_term);
+                    add(
+                        *from,
+                        rhs,
+                        &mut by_terminal,
+                        &mut binary,
+                        &mut seen_bin,
+                        &mut seen_term,
+                    );
                 }
             }
         }
@@ -294,10 +308,7 @@ pub fn cyk_recognize(cnf: &CnfGrammar, word: &[Terminal]) -> bool {
                 let left = idx(i, split);
                 let right = idx(i + split, len - split);
                 for &(a, b, c) in &cnf.binary {
-                    if !get(&table, base, a)
-                        && get(&table, left, b)
-                        && get(&table, right, c)
-                    {
+                    if !get(&table, base, a) && get(&table, left, b) && get(&table, right, c) {
                         set(&mut table, base, a);
                     }
                 }

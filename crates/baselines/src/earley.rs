@@ -325,7 +325,10 @@ mod tests {
         gb.rule("E", &["i"]);
         let g = gb.start("E").build().unwrap();
         let mut tab = g.symbols().clone();
-        let w = tokens(&mut tab, &[("i", "i"), ("p", "p"), ("i", "i"), ("p", "p"), ("i", "i")]);
+        let w = tokens(
+            &mut tab,
+            &[("i", "i"), ("p", "p"), ("i", "i"), ("p", "p"), ("i", "i")],
+        );
         assert!(earley_recognize(&g, &w));
         let tree = earley_parse(&g, &w).expect("in language");
         assert!(check_tree(&g, g.start(), &w, &tree).is_ok());
@@ -340,7 +343,12 @@ mod tests {
         gb.rule("B", &["b"]);
         let g = gb.start("S").build().unwrap();
         let mut tab = g.symbols().clone();
-        for word in [vec![("b", "b")], vec![("a", "a"), ("b", "b")], vec![("b", "b"), ("a", "a")], vec![("a", "a"), ("b", "b"), ("a", "a")]] {
+        for word in [
+            vec![("b", "b")],
+            vec![("a", "a"), ("b", "b")],
+            vec![("b", "b"), ("a", "a")],
+            vec![("a", "a"), ("b", "b"), ("a", "a")],
+        ] {
             let w = tokens(&mut tab, &word);
             assert!(earley_recognize(&g, &w), "{word:?}");
             let tree = earley_parse(&g, &w).unwrap();

@@ -263,10 +263,7 @@ mod tests {
         gb.rule("S", &["a", "c"]);
         let g = gb.start("S").build().unwrap();
         let err = Ll1Parser::generate(&g).unwrap_err();
-        assert_eq!(
-            g.symbols().nonterminal_name(err.nonterminal),
-            "S"
-        );
+        assert_eq!(g.symbols().nonterminal_name(err.nonterminal), "S");
         assert!(err.lookahead.is_some());
     }
 

@@ -10,12 +10,14 @@
 //! * `fig10_slowdown` — CoStar vs AntlrSim vs lexing on the same file.
 //! * `fig11_cache_warmup` — cold-cache vs warmed-cache AntlrSim runs on
 //!   the Python corpus.
-//! * `ablation_*` — the design-choice ablations from DESIGN.md.
+//! * `ablation_*` — the design-choice ablations from DESIGN.md, plus
+//!   `ablation_budget_overhead`, which prices the resource-governance
+//!   layer (budget metering and cache caps) against an ungoverned parse.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use costar::Parser;
+use costar::{Budget, Parser};
 use costar_baselines::AntlrSim;
 use costar_bench::synthetic_grammar;
 use costar_grammar::analysis::GrammarAnalysis;
@@ -43,10 +45,9 @@ fn fig9_costar_scaling(c: &mut Criterion) {
             let mut parser = Parser::new(lang.grammar().clone());
             assert!(parser.parse(&word).is_accept());
             group.throughput(Throughput::Elements(word.len() as u64));
-            group.bench_function(
-                BenchmarkId::new(lang.name, word.len()),
-                |b| b.iter(|| parser.parse(black_box(&word))),
-            );
+            group.bench_function(BenchmarkId::new(lang.name, word.len()), |b| {
+                b.iter(|| parser.parse(black_box(&word)))
+            });
         }
     }
     group.finish();
@@ -169,6 +170,45 @@ fn ablation_grammar_size(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_budget_overhead(c: &mut Criterion) {
+    // Cost of resource governance on the hot path: an unlimited budget
+    // (one saturating counter add per step), a derived fuel bound plus
+    // deadline (counter compare + amortized clock read), and a capped
+    // cache (LRU bookkeeping on every intern/lookup). All three must
+    // accept the same inputs; the delta is the bench's entire point.
+    let mut group = c.benchmark_group("ablation_budget_overhead");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        let src = generate(11, 1_500);
+        let word = lang.tokenize(&src).expect("corpus lexes");
+        group.throughput(Throughput::Elements(word.len() as u64));
+
+        let mut unlimited = Parser::new(lang.grammar().clone());
+        assert!(unlimited.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("unlimited", lang.name), |b| {
+            b.iter(|| unlimited.parse(black_box(&word)))
+        });
+
+        let budget = Budget::derived(lang.grammar(), word.len())
+            .with_deadline(std::time::Duration::from_secs(600));
+        let mut governed = Parser::with_budget(lang.grammar().clone(), budget);
+        assert!(governed.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("derived_budget", lang.name), |b| {
+            b.iter(|| governed.parse(black_box(&word)))
+        });
+
+        let mut capped = Parser::with_budget(
+            lang.grammar().clone(),
+            Budget::unlimited().with_max_cache_entries(64),
+        );
+        assert!(capped.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("cache_cap_64", lang.name), |b| {
+            b.iter(|| capped.parse(black_box(&word)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fig8_grammar_stats,
@@ -177,6 +217,7 @@ criterion_group!(
     fig11_cache_warmup,
     ablation_sll_cache,
     ablation_cache_reuse,
-    ablation_grammar_size
+    ablation_grammar_size,
+    ablation_budget_overhead
 );
 criterion_main!(benches);

@@ -42,7 +42,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [--fig 8|9|10|11|profile|ablations|all] [--quick|--standard]");
+                eprintln!(
+                    "usage: figures [--fig 8|9|10|11|profile|ablations|all] [--quick|--standard]"
+                );
                 eprintln!("               [--files N] [--max-size N] [--trials N]");
                 std::process::exit(2);
             }

@@ -241,10 +241,7 @@ pub fn fig9(cfg: &Config) -> Fig9 {
                     // Normalize by the fitted range rather than pointwise
                     // (pointwise deviation explodes near the origin where
                     // fixed per-parse overhead dominates tiny files).
-                    let scale = fitted
-                        .iter()
-                        .fold(0.0f64, |m, v| m.max(v.abs()))
-                        .max(1e-12);
+                    let scale = fitted.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
                     smooth
                         .iter()
                         .zip(&fitted)
@@ -683,12 +680,9 @@ pub fn ablation_cache_reuse(cfg: &Config) -> Ablation {
                     lang.name
                 );
             }
-            let base_secs = time_avg(cfg.trials, || {
-                words.iter().map(|w| fresh.parse(w)).count()
-            });
-            let variant_secs = time_avg(cfg.trials, || {
-                words.iter().map(|w| reuse.parse(w)).count()
-            });
+            let base_secs = time_avg(cfg.trials, || words.iter().map(|w| fresh.parse(w)).count());
+            let variant_secs =
+                time_avg(cfg.trials, || words.iter().map(|w| reuse.parse(w)).count());
             AblationRow {
                 label: lang.name.to_owned(),
                 base_secs,

@@ -8,6 +8,7 @@ pub const USAGE: &str = "\
 usage:
   costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens \"a b c\")
                   [--tree] [--stats] [--time]
+                  [--max-steps N] [--deadline-ms N] [--cache-cap N]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
   costar generate --lang L [--size N] [--seed S]
   costar tokens   --lang L FILE";
@@ -36,6 +37,12 @@ pub enum Command {
         stats: bool,
         /// Print parse time.
         time: bool,
+        /// Budget: abort after this many machine steps + lookahead tokens.
+        max_steps: Option<u64>,
+        /// Budget: abort once this many milliseconds have elapsed.
+        deadline_ms: Option<u64>,
+        /// Budget: cap the SLL cache at this many DFA states (LRU evict).
+        cache_cap: Option<usize>,
     },
     /// Run the static analyses.
     Check {
@@ -81,6 +88,9 @@ impl Args {
                 let mut tokens = None;
                 let mut file = None;
                 let (mut tree, mut stats, mut time) = (false, false, false);
+                let mut max_steps = None;
+                let mut deadline_ms = None;
+                let mut cache_cap = None;
                 while let Some(a) = args.next() {
                     match a.as_str() {
                         "--lang" => lang = Some(required(&mut args, "--lang")?),
@@ -89,6 +99,11 @@ impl Args {
                         "--tree" => tree = true,
                         "--stats" => stats = true,
                         "--time" => time = true,
+                        "--max-steps" => max_steps = Some(number(&mut args, "--max-steps")?),
+                        "--deadline-ms" => deadline_ms = Some(number(&mut args, "--deadline-ms")?),
+                        "--cache-cap" => {
+                            cache_cap = Some(number::<usize>(&mut args, "--cache-cap")?)
+                        }
                         other if !other.starts_with('-') && file.is_none() => {
                             file = Some(other.to_owned());
                         }
@@ -107,6 +122,9 @@ impl Args {
                         tree,
                         stats,
                         time,
+                        max_steps,
+                        deadline_ms,
+                        cache_cap,
                     },
                 })
             }
@@ -193,6 +211,15 @@ fn required(
     args.next().ok_or_else(|| format!("{flag} needs a value"))
 }
 
+fn number<T: std::str::FromStr>(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<T, String> {
+    required(args, flag)?
+        .parse()
+        .map_err(|_| format!("{flag} takes a number"))
+}
+
 /// Looks up a built-in language (and its generator) by name,
 /// case-insensitively.
 pub fn find_language(name: &str) -> Result<(Language, Generator), String> {
@@ -219,6 +246,9 @@ mod tests {
             tree,
             stats,
             time,
+            max_steps,
+            deadline_ms,
+            cache_cap,
         } = a.command
         else {
             panic!("wrong command")
@@ -226,6 +256,43 @@ mod tests {
         assert_eq!(source, GrammarSource::Lang("json".into()));
         assert_eq!(input.as_deref(), Some("file.json"));
         assert!(tree && time && !stats);
+        assert!(max_steps.is_none() && deadline_ms.is_none() && cache_cap.is_none());
+    }
+
+    #[test]
+    fn parse_command_budget_flags() {
+        let a = parse(&[
+            "parse",
+            "--lang",
+            "json",
+            "file.json",
+            "--max-steps",
+            "5000",
+            "--deadline-ms",
+            "250",
+            "--cache-cap",
+            "64",
+        ])
+        .unwrap();
+        let Command::Parse {
+            max_steps,
+            deadline_ms,
+            cache_cap,
+            ..
+        } = a.command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(max_steps, Some(5000));
+        assert_eq!(deadline_ms, Some(250));
+        assert_eq!(cache_cap, Some(64));
+    }
+
+    #[test]
+    fn budget_flags_reject_garbage() {
+        assert!(parse(&["parse", "--lang", "json", "f", "--max-steps", "lots"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "f", "--deadline-ms"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "f", "--cache-cap", "-3"]).is_err());
     }
 
     #[test]

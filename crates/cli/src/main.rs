@@ -3,6 +3,7 @@
 //! ```text
 //! costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens "a b c")
 //!                 [--tree] [--stats] [--time]
+//!                 [--max-steps N] [--deadline-ms N] [--cache-cap N]
 //! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
 //! costar generate --lang L [--size N] [--seed S]
 //! costar tokens   --lang L FILE
@@ -11,11 +12,16 @@
 //! `parse` runs the verified-style ALL(*) parser and reports
 //! `Unique` / `Ambig` / `Reject` (with position) / `Error`; because the
 //! parser is a decision procedure (paper §1), those are the only possible
-//! outcomes. `check` runs the static analyses: grammar sizes, the
-//! left-recursion decision procedure (paper §8 future work), and an
-//! LL(1)-class check via the baseline generator.
+//! outcomes with an unlimited budget. The budget flags bound the work the
+//! parser may do: `--max-steps` caps machine operations plus prediction
+//! lookahead, `--deadline-ms` sets a wall-clock limit, and `--cache-cap`
+//! bounds the SLL cache (which degrades by LRU eviction, never by abort).
+//! A spent step or time budget reports `aborted` — neither accept nor
+//! reject — and exits with code 3. `check` runs the static analyses:
+//! grammar sizes, the left-recursion decision procedure (paper §8 future
+//! work), and an LL(1)-class check via the baseline generator.
 
-use costar::{ParseOutcome, Parser};
+use costar::{Budget, ParseOutcome, Parser};
 use costar_baselines::Ll1Parser;
 use costar_grammar::transform::eliminate_left_recursion;
 use costar_grammar::{Grammar, Token};
@@ -53,7 +59,22 @@ fn run(args: Args) -> Result<ExitCode, String> {
             tree,
             stats,
             time,
-        } => cmd_parse(source, input, tree, stats, time),
+            max_steps,
+            deadline_ms,
+            cache_cap,
+        } => {
+            let mut budget = Budget::unlimited();
+            if let Some(n) = max_steps {
+                budget = budget.with_max_steps(n);
+            }
+            if let Some(ms) = deadline_ms {
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(n) = cache_cap {
+                budget = budget.with_max_cache_entries(n);
+            }
+            cmd_parse(source, input, tree, stats, time, budget)
+        }
         Command::Check {
             source,
             eliminate_lr,
@@ -114,9 +135,10 @@ fn cmd_parse(
     tree: bool,
     stats: bool,
     time: bool,
+    budget: Budget,
 ) -> Result<ExitCode, String> {
     let (grammar, tokens) = load(source, input)?;
-    let mut parser = Parser::new(grammar);
+    let mut parser = Parser::with_budget(grammar, budget);
     if !parser.grammar_is_safe() {
         eprintln!(
             "warning: grammar is left-recursive; the correctness theorems do not apply \
@@ -129,7 +151,11 @@ fn cmd_parse(
 
     let code = match &outcome {
         ParseOutcome::Unique(t) => {
-            println!("unique parse ({} tokens, {} tree nodes)", tokens.len(), t.size());
+            println!(
+                "unique parse ({} tokens, {} tree nodes)",
+                tokens.len(),
+                t.size()
+            );
             if tree {
                 print!("{}", t.render(parser.grammar().symbols()));
             }
@@ -147,12 +173,22 @@ fn cmd_parse(
             ExitCode::SUCCESS
         }
         ParseOutcome::Reject(reason) => {
-            println!("reject: {}", render::describe_reject(parser.grammar(), reason));
+            println!(
+                "reject: {}",
+                render::describe_reject(parser.grammar(), reason)
+            );
             ExitCode::FAILURE
         }
         ParseOutcome::Error(e) => {
             println!("error: {}", render::describe_error(parser.grammar(), e));
             ExitCode::FAILURE
+        }
+        ParseOutcome::Aborted(r) => {
+            println!(
+                "aborted: {r} — input neither accepted nor rejected \
+                 (raise --max-steps/--deadline-ms to resolve it)"
+            );
+            ExitCode::from(3)
         }
     };
     if stats {
@@ -210,9 +246,9 @@ fn cmd_check(source: GrammarSource, eliminate_lr: bool) -> Result<ExitCode, Stri
 
     match Ll1Parser::generate(&grammar) {
         Ok(_) => println!("LL(1): yes (a table-driven LL(1) parser also covers this grammar)"),
-        Err(conflict) => println!(
-            "LL(1): no ({conflict}) — ALL(*) prediction is doing real work here"
-        ),
+        Err(conflict) => {
+            println!("LL(1): no ({conflict}) — ALL(*) prediction is doing real work here")
+        }
     }
 
     if eliminate_lr {
@@ -220,7 +256,10 @@ fn cmd_check(source: GrammarSource, eliminate_lr: bool) -> Result<ExitCode, Stri
             println!("--eliminate-lr: grammar already safe; nothing to rewrite");
         } else {
             let rewritten = eliminate_left_recursion(&grammar).map_err(|e| e.to_string())?;
-            println!("\nrewritten grammar ({} productions):", rewritten.num_productions());
+            println!(
+                "\nrewritten grammar ({} productions):",
+                rewritten.num_productions()
+            );
             print!("{}", render::render_grammar(&rewritten));
         }
     }

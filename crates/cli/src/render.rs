@@ -13,11 +13,7 @@ pub fn describe_reject(g: &Grammar, reason: &RejectReason) -> String {
             at,
             expected,
             found,
-        } => format!(
-            "token {at}: expected {}, found {}",
-            t(*expected),
-            t(*found)
-        ),
+        } => format!("token {at}: expected {}, found {}", t(*expected), t(*found)),
         RejectReason::UnexpectedEnd { expected } => {
             format!("unexpected end of input: expected {}", t(*expected))
         }

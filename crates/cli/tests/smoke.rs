@@ -110,3 +110,75 @@ fn tokens_dump_lists_kinds() {
     assert!(stdout.contains("--"), "{stdout}");
     let _ = std::fs::remove_file(path);
 }
+
+#[test]
+fn budget_abort_reports_distinctly_with_exit_3() {
+    let out = costar()
+        .args(["generate", "--lang", "json", "--size", "200", "--seed", "7"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let path = tmp_file("budget", &json);
+
+    // One step of fuel cannot resolve a 200-token input: distinct
+    // "aborted" report, exit code 3 (not the rejection/error code 1).
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--max-steps", "1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("aborted"), "{stdout}");
+    assert!(stdout.contains("step budget"), "{stdout}");
+    assert!(!stdout.starts_with("reject"), "{stdout}");
+
+    // An expired deadline aborts the same way.
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--deadline-ms", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("aborted"), "{stdout}");
+
+    // A generous budget resolves the same input normally.
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--max-steps", "100000000", "--deadline-ms", "600000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("unique parse"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn cache_cap_degrades_without_changing_the_verdict() {
+    let out = costar()
+        .args(["generate", "--lang", "json", "--size", "120", "--seed", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let path = tmp_file("cap", &json);
+
+    // A tiny cache cap forces LRU eviction but must not change outcomes
+    // (degradation order: evict, then failover, and only budgets abort).
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--cache-cap", "4", "--stats"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("unique parse"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}

@@ -99,11 +99,7 @@ impl PartialOrd for BigNat {
 impl Ord for BigNat {
     fn cmp(&self, other: &Self) -> Ordering {
         match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => self
-                .limbs
-                .iter()
-                .rev()
-                .cmp(other.limbs.iter().rev()),
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
             ord => ord,
         }
     }

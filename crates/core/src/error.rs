@@ -6,6 +6,7 @@
 //! grammars; the reproduction's property tests check the same claim.
 
 use costar_grammar::{NonTerminal, Terminal};
+use std::borrow::Cow;
 use std::fmt;
 
 /// An internal parser error (`e ::= InvalidState | LeftRecursive(X)`).
@@ -16,15 +17,28 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The machine state became inconsistent (e.g. mismatched stack
-    /// heights, or a return with no caller nonterminal).
+    /// heights, or a return with no caller nonterminal). Also the mapped
+    /// form of any panic caught at the [`crate::Parser::parse`] boundary.
     InvalidState {
-        /// Human-readable description of the inconsistency.
-        reason: &'static str,
+        /// Human-readable description of the inconsistency. Borrowed for
+        /// the static diagnostics the machine produces itself; owned for
+        /// messages recovered from caught panics.
+        reason: Cow<'static, str>,
     },
     /// Dynamic left-recursion detection fired: the nonterminal is
     /// left-recursive in the grammar (paper §4.1, Lemma 5.10 proves this
     /// diagnosis sound).
     LeftRecursive(NonTerminal),
+}
+
+impl ParseError {
+    /// Builds an [`ParseError::InvalidState`] from either a static or an
+    /// owned message.
+    pub fn invalid_state(reason: impl Into<Cow<'static, str>>) -> Self {
+        ParseError::InvalidState {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -118,9 +132,7 @@ mod tests {
     fn display_messages_are_informative() {
         let e = ParseError::LeftRecursive(NonTerminal::from_index(3));
         assert!(e.to_string().contains("left-recursive"));
-        let e = ParseError::InvalidState {
-            reason: "stack height mismatch",
-        };
+        let e = ParseError::invalid_state("stack height mismatch");
         assert!(e.to_string().contains("stack height mismatch"));
     }
 

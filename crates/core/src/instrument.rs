@@ -14,6 +14,7 @@
 //! this; the instrumented runner exists for the test suites, the property
 //! tests, and anyone studying the algorithm.
 
+use crate::budget::Budget;
 use crate::invariants::{check_all_with_input, InvariantViolation};
 use crate::machine::{Machine, ParseOutcome, StepResult};
 use crate::measure::{meas, Measure};
@@ -94,8 +95,24 @@ pub fn run_instrumented(
     analysis: &GrammarAnalysis,
     word: &[Token],
 ) -> Result<(ParseOutcome, InstrumentReport), InstrumentError> {
+    run_instrumented_with(g, analysis, word, &Budget::unlimited())
+}
+
+/// [`run_instrumented`] under a resource [`Budget`]: cache capacity limits
+/// are applied to the run's [`SllCache`], and a spent budget surfaces as
+/// `Ok((ParseOutcome::Aborted(..), report))` — the instrumentation checks
+/// still hold on every step taken before the abort, which is exactly the
+/// property the fault-injection and adversarial-input suites rely on.
+pub fn run_instrumented_with(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    word: &[Token],
+    budget: &Budget,
+) -> Result<(ParseOutcome, InstrumentReport), InstrumentError> {
     let mut cache = SllCache::new();
-    let mut machine = Machine::new(g, analysis, word);
+    cache.set_capacity(budget.max_cache_entries(), budget.max_cache_bytes());
+    let mut machine =
+        Machine::with_budget(g, analysis, word, crate::PredictionMode::Adaptive, budget);
     let mut report = InstrumentReport::default();
     let mut before = meas(g, machine.state(), word.len());
 
@@ -151,6 +168,7 @@ pub fn run_instrumented(
             }
             StepResult::Reject(r) => return Ok((ParseOutcome::Reject(r), report)),
             StepResult::Error(e) => return Ok((ParseOutcome::Error(e), report)),
+            StepResult::Abort(r) => return Ok((ParseOutcome::Aborted(r), report)),
         }
     }
 }

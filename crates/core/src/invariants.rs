@@ -49,10 +49,7 @@ fn violation(invariant: &'static str, detail: String) -> Result<(), InvariantVio
 /// # Errors
 ///
 /// Returns the first violation found, scanning bottom-up.
-pub fn check_stacks_wf(
-    g: &Grammar,
-    state: &MachineState,
-) -> Result<(), InvariantViolation> {
+pub fn check_stacks_wf(g: &Grammar, state: &MachineState) -> Result<(), InvariantViolation> {
     const NAME: &str = "StacksWf_I";
     if state.prefix.len() != state.suffix.len() {
         return violation(
@@ -73,7 +70,10 @@ pub fn check_stacks_wf(
         return violation(NAME, "bottom frame has a caller".to_owned());
     }
     if bottom.rhs.as_ref() != [Symbol::Nt(g.start())] {
-        return violation(NAME, "bottom frame does not hold the start symbol".to_owned());
+        return violation(
+            NAME,
+            "bottom frame does not hold the start symbol".to_owned(),
+        );
     }
 
     let top = state.suffix.len() - 1;
@@ -113,10 +113,7 @@ pub fn check_stacks_wf(
             return violation(NAME, format!("upper frame {i} has no caller"));
         };
         if !has_production(g, x, &frame.rhs) {
-            return violation(
-                NAME,
-                format!("frame {i} is not a production of its caller"),
-            );
+            return violation(NAME, format!("frame {i} is not a production of its caller"));
         }
         let below = &state.suffix[i - 1];
         if below.dot == 0 || below.rhs.get(below.dot - 1) != Some(&Symbol::Nt(x)) {
@@ -133,15 +130,10 @@ pub fn check_stacks_wf(
 /// (§5.4.2), in its checkable structural form: every visited nonterminal
 /// is the caller of some suffix frame above the last consume — i.e. it has
 /// been opened and not yet fully processed.
-pub fn check_visited(
-    state: &MachineState,
-) -> Result<(), InvariantViolation> {
+pub fn check_visited(state: &MachineState) -> Result<(), InvariantViolation> {
     const NAME: &str = "Visited_I";
     for x in state.visited.iter() {
-        let open = state
-            .suffix
-            .iter()
-            .any(|f| f.caller == Some(x));
+        let open = state.suffix.iter().any(|f| f.caller == Some(x));
         if !open {
             return violation(
                 NAME,
@@ -302,9 +294,7 @@ mod tests {
         st.prefix.push(PrefixFrame::default());
         // The bottom prefix frame must spell [S] processed... it doesn't,
         // so fix that part up first to reach the production check.
-        st.prefix[0]
-            .trees
-            .push(Tree::Node(s, vec![]));
+        st.prefix[0].trees.push(Tree::Node(s, vec![]));
         let err = check_stacks_wf(&g, &st).unwrap_err();
         // Either the forest-roots rule (bottom holds Node(S) but S -> ε is
         // not relevant here) or the production rule fires; both are

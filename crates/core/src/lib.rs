@@ -50,11 +50,18 @@
 //!   the invariants after every machine operation.
 //! * [`semantics`] — semantic actions over parse trees (the paper's §8
 //!   future work).
+//! * [`budget`] — resource governance (not in the paper): step fuel
+//!   derived from the §4 termination measure, wall-clock deadlines, stack
+//!   depth and cache capacity limits, surfacing as
+//!   [`ParseOutcome::Aborted`] instead of unbounded work.
 
 #![warn(missing_docs)]
 
 pub mod bignat;
+pub mod budget;
 mod error;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod instrument;
 pub mod invariants;
 pub mod machine;
@@ -64,7 +71,10 @@ mod prediction;
 pub mod semantics;
 pub mod state;
 
+pub use budget::{AbortReason, Budget};
 pub use error::{ParseError, RejectReason};
+#[cfg(feature = "faults")]
+pub use faults::FaultPlan;
 pub use machine::{Machine, ParseOutcome, PredictionMode, StepResult};
 pub use parser::{parse, Parser};
 pub use prediction::cache::{CacheStats, PredictionStats, SllCache};

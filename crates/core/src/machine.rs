@@ -9,6 +9,7 @@
 //! [`crate::instrument`], which asserts that every step strictly decreases
 //! it.
 
+use crate::budget::{AbortReason, Budget, Meter};
 use crate::error::{ParseError, RejectReason};
 use crate::prediction::cache::SllCache;
 use crate::prediction::{adaptive_predict, ll_only_predict, Prediction};
@@ -30,6 +31,11 @@ pub enum StepResult {
     Error(ParseError),
     /// `ContS(σ)`: one operation was performed; parsing continues.
     Cont,
+    /// The configured [`Budget`] ran out (fuel, deadline, or stack depth).
+    /// Not a paper result: the machine state is still consistent, the
+    /// input is neither accepted nor rejected, and rerunning with a larger
+    /// budget may resolve it either way.
+    Abort(AbortReason),
 }
 
 /// The final result of a parse (`R` in paper Fig. 1).
@@ -44,6 +50,13 @@ pub enum ParseOutcome {
     /// The parser reached an inconsistent state (impossible for
     /// non-left-recursive grammars).
     Error(ParseError),
+    /// The configured [`Budget`] was exhausted before the parse resolved.
+    /// Unlike `Reject` this says nothing about language membership, and
+    /// unlike `Error` it is not a bug: the caller asked for bounded
+    /// resources and the bound was reached. Degradation is ordered —
+    /// cache pressure first evicts, SLL conflicts fail over to LL, and
+    /// only a spent budget aborts.
+    Aborted(AbortReason),
 }
 
 impl ParseOutcome {
@@ -96,6 +109,7 @@ pub struct Machine<'a> {
     tokens: &'a [Token],
     state: MachineState,
     mode: PredictionMode,
+    meter: Meter,
 }
 
 impl<'a> Machine<'a> {
@@ -112,12 +126,28 @@ impl<'a> Machine<'a> {
         tokens: &'a [Token],
         mode: PredictionMode,
     ) -> Self {
+        Machine::with_budget(grammar, analysis, tokens, mode, &Budget::unlimited())
+    }
+
+    /// Creates a machine governed by a [`Budget`]. Machine steps and
+    /// prediction lookahead draw from one shared fuel pool; the deadline
+    /// and stack-depth limits are checked as the machine runs. Cache
+    /// capacity limits are applied by the caller to the [`SllCache`] it
+    /// supplies (see [`SllCache::set_capacity`]).
+    pub fn with_budget(
+        grammar: &'a Grammar,
+        analysis: &'a GrammarAnalysis,
+        tokens: &'a [Token],
+        mode: PredictionMode,
+        budget: &Budget,
+    ) -> Self {
         Machine {
             grammar,
             analysis,
             tokens,
             state: MachineState::initial(grammar.start(), grammar.num_nonterminals()),
             mode,
+            meter: Meter::new(budget),
         }
     }
 
@@ -138,15 +168,38 @@ impl<'a> Machine<'a> {
         self.tokens
     }
 
+    /// Units of fuel spent so far: machine operations plus prediction
+    /// lookahead tokens, the quantity [`Budget::with_max_steps`] bounds.
+    pub fn steps_taken(&self) -> u64 {
+        self.meter.steps_taken()
+    }
+
     /// Performs one machine operation (paper §3.3), mutating the state.
+    ///
+    /// Charges one unit of budget fuel per call; prediction charges more
+    /// for its lookahead. Returns [`StepResult::Abort`] the moment the
+    /// budget is exhausted — the machine state is left consistent but the
+    /// parse is unresolved.
     pub fn step(&mut self, cache: &mut SllCache) -> StepResult {
+        if let Err(r) = self.meter.charge(1) {
+            return StepResult::Abort(r);
+        }
+        #[cfg(feature = "faults")]
+        {
+            let step_index = self.meter.steps_taken() - 1;
+            if cache.fault_panic_due(step_index) {
+                panic!("injected fault: panic at machine step {step_index}");
+            }
+        }
         let st = &mut self.state;
         if st.prefix.len() != st.suffix.len() {
-            return StepResult::Error(ParseError::InvalidState {
-                reason: "prefix and suffix stacks have different heights",
-            });
+            return StepResult::Error(ParseError::invalid_state(
+                "prefix and suffix stacks have different heights",
+            ));
         }
-        let top = st.suffix.len() - 1;
+        let Some(top) = st.suffix.len().checked_sub(1) else {
+            return StepResult::Error(ParseError::invalid_state("machine has no suffix frames"));
+        };
 
         if st.suffix[top].is_exhausted() {
             if top == 0 {
@@ -157,30 +210,49 @@ impl<'a> Machine<'a> {
                 }
                 let frame = &mut st.prefix[0];
                 if frame.trees.len() != 1 {
-                    return StepResult::Error(ParseError::InvalidState {
-                        reason: "final prefix frame does not hold exactly one tree",
-                    });
+                    return StepResult::Error(ParseError::invalid_state(
+                        "final prefix frame does not hold exactly one tree",
+                    ));
                 }
-                return StepResult::Accept(frame.trees.pop().expect("just checked length"));
+                let Some(tree) = frame.trees.pop() else {
+                    return StepResult::Error(ParseError::invalid_state(
+                        "final prefix frame emptied between check and pop",
+                    ));
+                };
+                return StepResult::Accept(tree);
             }
             // Return operation.
-            let done = st.suffix.pop().expect("top checked nonempty");
-            let Some(x) = done.caller else {
-                return StepResult::Error(ParseError::InvalidState {
-                    reason: "return with no open nonterminal in the caller frame",
-                });
+            let Some(done) = st.suffix.pop() else {
+                return StepResult::Error(ParseError::invalid_state(
+                    "suffix stack emptied during a return operation",
+                ));
             };
-            let children = st.prefix.pop().expect("heights checked equal").trees;
-            st.prefix
-                .last_mut()
-                .expect("bottom frame remains")
-                .trees
-                .push(Tree::Node(x, children));
+            let Some(x) = done.caller else {
+                return StepResult::Error(ParseError::invalid_state(
+                    "return with no open nonterminal in the caller frame",
+                ));
+            };
+            let Some(popped) = st.prefix.pop() else {
+                return StepResult::Error(ParseError::invalid_state(
+                    "prefix stack emptied during a return operation",
+                ));
+            };
+            let Some(caller_frame) = st.prefix.last_mut() else {
+                return StepResult::Error(ParseError::invalid_state(
+                    "return left the machine with no caller frame",
+                ));
+            };
+            caller_frame.trees.push(Tree::Node(x, popped.trees));
             st.visited.remove(x);
             return StepResult::Cont;
         }
 
-        match st.suffix[top].head().expect("frame not exhausted") {
+        let Some(head) = st.suffix[top].head() else {
+            return StepResult::Error(ParseError::invalid_state(
+                "exhausted frame reached symbol dispatch",
+            ));
+        };
+        match head {
             Symbol::T(a) => {
                 // Consume operation.
                 match self.tokens.get(st.cursor) {
@@ -205,6 +277,9 @@ impl<'a> Machine<'a> {
                 if st.visited.contains(x) {
                     return StepResult::Error(ParseError::LeftRecursive(x));
                 }
+                if let Err(r) = self.meter.check_depth(st.suffix.len() + 1) {
+                    return StepResult::Abort(r);
+                }
                 let prediction = match self.mode {
                     PredictionMode::Adaptive => adaptive_predict(
                         self.grammar,
@@ -213,6 +288,7 @@ impl<'a> Machine<'a> {
                         &st.suffix,
                         &self.tokens[st.cursor..],
                         cache,
+                        &mut self.meter,
                     ),
                     PredictionMode::LlOnly => ll_only_predict(
                         self.grammar,
@@ -220,6 +296,7 @@ impl<'a> Machine<'a> {
                         x,
                         &st.suffix,
                         &self.tokens[st.cursor..],
+                        &mut self.meter,
                     ),
                 };
                 let (alt, ambig) = match prediction {
@@ -232,6 +309,7 @@ impl<'a> Machine<'a> {
                         })
                     }
                     Prediction::Error(e) => return StepResult::Error(e),
+                    Prediction::Abort(r) => return StepResult::Abort(r),
                 };
                 if ambig {
                     st.unique = false;
@@ -268,6 +346,7 @@ impl<'a> Machine<'a> {
                 }
                 StepResult::Reject(r) => return ParseOutcome::Reject(r),
                 StepResult::Error(e) => return ParseOutcome::Error(e),
+                StepResult::Abort(r) => return ParseOutcome::Aborted(r),
             }
         }
     }
@@ -327,7 +406,11 @@ mod tests {
         let ParseOutcome::Reject(r) = run(&g, &an, &[("a", "a"), ("b", "b"), ("b", "b")]) else {
             panic!("expected reject")
         };
-        assert!(matches!(r, RejectReason::TokenMismatch { at: 2, .. } | RejectReason::NoViableAlternative { at: 0, .. }));
+        assert!(matches!(
+            r,
+            RejectReason::TokenMismatch { at: 2, .. }
+                | RejectReason::NoViableAlternative { at: 0, .. }
+        ));
         // Early end of input.
         let ParseOutcome::Reject(_) = run(&g, &an, &[("a", "a")]) else {
             panic!("expected reject")

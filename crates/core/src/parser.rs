@@ -12,11 +12,20 @@
 //! default and additionally offers cross-input cache persistence — the
 //! optimization ANTLR uses and the paper measures in Fig. 11 — via
 //! [`Parser::with_cache_reuse`].
+//!
+//! [`Parser::parse`] is additionally a *panic-safe* boundary: any panic
+//! raised below it (a bug in the parser, not in the caller's input) is
+//! caught, the prediction cache is discarded, and the panic surfaces as a
+//! typed [`ParseOutcome::Error`] with
+//! [`ParseError::InvalidState`](crate::ParseError::InvalidState).
 
+use crate::budget::Budget;
+use crate::error::ParseError;
 use crate::machine::{Machine, ParseOutcome, PredictionMode};
 use crate::prediction::cache::{CacheStats, PredictionStats, SllCache};
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::{Grammar, NonTerminal, Token};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Cache policy across inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +67,7 @@ pub struct Parser {
     cache: SllCache,
     policy: CachePolicy,
     mode: PredictionMode,
+    budget: Budget,
 }
 
 impl Parser {
@@ -71,7 +81,19 @@ impl Parser {
             cache: SllCache::new(),
             policy: CachePolicy::PerInput,
             mode: PredictionMode::Adaptive,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Creates a parser governed by a resource [`Budget`]: every parse
+    /// draws machine steps and prediction lookahead from the budget's
+    /// fuel, honors its deadline and stack-depth limits (surfacing
+    /// exhaustion as [`ParseOutcome::Aborted`]), and caps the SLL cache at
+    /// its entry/byte limits (degrading by LRU eviction, never by abort).
+    pub fn with_budget(grammar: Grammar, budget: Budget) -> Self {
+        let mut p = Parser::new(grammar);
+        p.budget = budget;
+        p
     }
 
     /// Creates a parser that runs precise LL prediction at every decision
@@ -111,12 +133,64 @@ impl Parser {
         self.analysis.left_recursion.is_grammar_safe()
     }
 
+    /// The budget governing this parser's parses.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Replaces the budget for subsequent parses. Cache capacity limits
+    /// take effect at the start of the next [`Parser::parse`] call.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Installs a deterministic [`FaultPlan`](crate::FaultPlan) on this
+    /// parser's prediction cache (test-only; feature `faults`). The plan
+    /// survives per-input cache clearing, so every parse replays the same
+    /// fault schedule.
+    #[cfg(feature = "faults")]
+    pub fn install_fault_plan(&mut self, plan: crate::FaultPlan) {
+        self.cache.install_fault_plan(plan);
+    }
+
     /// Parses `word`, starting from the grammar's start symbol.
+    ///
+    /// This is the crate's panic-safe boundary: a panic anywhere below
+    /// (which for a well-formed grammar indicates a parser bug, never a
+    /// property of the input) is caught, the possibly-inconsistent
+    /// prediction cache is discarded, and the result is
+    /// [`ParseOutcome::Error`] rather than an unwinding panic.
     pub fn parse(&mut self, word: &[Token]) -> ParseOutcome {
         if self.policy == CachePolicy::PerInput {
             self.cache.clear();
         }
-        Machine::with_mode(&self.grammar, &self.analysis, word, self.mode).run(&mut self.cache)
+        self.cache.set_capacity(
+            self.budget.max_cache_entries(),
+            self.budget.max_cache_bytes(),
+        );
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &self.budget)
+                .run(&mut self.cache)
+        }));
+        match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // The panic may have interrupted a cache mutation; drop
+                // everything cached so the parser stays usable (this is
+                // what makes the AssertUnwindSafe above sound).
+                self.cache.clear();
+                let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.as_str()
+                } else {
+                    "non-string panic payload"
+                };
+                ParseOutcome::Error(ParseError::invalid_state(format!(
+                    "panic during parse: {msg}"
+                )))
+            }
+        }
     }
 
     /// SLL cache effectiveness counters (non-zero across calls only with
@@ -254,6 +328,81 @@ mod tests {
         let p = fig2_parser();
         assert!(p.nonterminal("S").is_some());
         assert!(p.nonterminal("Z").is_none());
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::budget::AbortReason;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    fn fig2() -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S").build().unwrap()
+    }
+
+    #[test]
+    fn tight_step_budget_aborts_and_recovers() {
+        let mut p = Parser::with_budget(fig2(), Budget::unlimited().with_max_steps(2));
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let ParseOutcome::Aborted(AbortReason::StepLimit { limit: 2 }) = p.parse(&w) else {
+            panic!("expected a step-limit abort");
+        };
+        // An abort is not sticky: a bigger budget resolves the same input.
+        p.set_budget(Budget::unlimited());
+        assert!(p.parse(&w).is_accept());
+    }
+
+    #[test]
+    fn derived_budget_admits_every_valid_parse() {
+        let g = fig2();
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("a", "a"), ("b", "b"), ("c", "c")]);
+        let budget = Budget::derived(&g, w.len());
+        let mut p = Parser::with_budget(g, budget);
+        assert!(
+            p.parse(&w).is_accept(),
+            "the derived fuel bound must admit any terminating parse"
+        );
+    }
+
+    #[test]
+    fn stack_depth_limit_aborts_deep_nesting() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "S"]);
+        gb.rule("S", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let mut p = Parser::with_budget(g, Budget::unlimited().with_max_stack_depth(8));
+        let mut tab = p.grammar().symbols().clone();
+        let mut word: Vec<(&str, &str)> = vec![("a", "a"); 32];
+        word.push(("b", "b"));
+        let w = tokens(&mut tab, &word);
+        let ParseOutcome::Aborted(AbortReason::StackDepth { limit: 8, .. }) = p.parse(&w) else {
+            panic!("expected a stack-depth abort");
+        };
+        // Shallow input fits under the same limit.
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b")]);
+        assert!(p.parse(&w).is_accept());
+    }
+
+    #[test]
+    fn cache_caps_degrade_without_changing_outcomes() {
+        let mut p = Parser::with_budget(fig2(), Budget::unlimited().with_max_cache_entries(2));
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("a", "a"), ("b", "b"), ("d", "d")]);
+        assert!(p.parse(&w).is_accept());
+        let stats = p.cache_stats();
+        assert!(
+            stats.states <= 2,
+            "cap not enforced: {} states",
+            stats.states
+        );
     }
 }
 

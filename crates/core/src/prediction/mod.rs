@@ -27,15 +27,19 @@
 pub(crate) mod cache;
 pub(crate) mod sim;
 
+use crate::budget::{AbortReason, Meter};
 use crate::error::ParseError;
 use crate::prediction::cache::{EofResolution, Resolution, SllCache, StateId};
-use crate::prediction::sim::{closure, distinct_alts, move_configs, Config, SimFrame, SimMode, SimStack, SpState};
+use crate::prediction::sim::{
+    closure, distinct_alts, move_configs, Config, SimFrame, SimMode, SimStack, SpState,
+};
 use crate::state::SuffixFrame;
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::{Grammar, NonTerminal, ProdId, Token};
 use std::sync::Arc;
 
-/// The result of a prediction (`p` in paper Fig. 1).
+/// The result of a prediction (`p` in paper Fig. 1, extended with the
+/// budget-abort outcome).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Prediction {
     /// `UniqueP(γ)`: the sole alternative that may lead to a successful
@@ -49,6 +53,9 @@ pub(crate) enum Prediction {
     /// `ErrorP(e)`: prediction reached an inconsistent state or detected
     /// left recursion.
     Error(ParseError),
+    /// The resource budget ran out mid-prediction; the decision is
+    /// unresolved and the machine must abort.
+    Abort(AbortReason),
 }
 
 /// Builds the LL simulation base stack from the machine's suffix stack:
@@ -84,18 +91,25 @@ fn initial_configs(g: &Grammar, x: NonTerminal, base: &SimStack) -> Vec<Config> 
 }
 
 /// LL prediction: precise, uncached lockstep simulation over the machine's
-/// real suffix stack.
+/// real suffix stack. Charges one unit of fuel per lookahead token
+/// examined.
 pub(crate) fn ll_predict(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     x: NonTerminal,
     suffix: &[SuffixFrame],
     remaining: &[Token],
+    meter: &mut Meter,
 ) -> Prediction {
     let base = machine_base_stack(suffix);
     let num_nts = g.num_nonterminals();
-    let mut configs = match closure(g, analysis, SimMode::Ll, initial_configs(g, x, &base), num_nts)
-    {
+    let mut configs = match closure(
+        g,
+        analysis,
+        SimMode::Ll,
+        initial_configs(g, x, &base),
+        num_nts,
+    ) {
         Ok(c) => c,
         Err(e) => return Prediction::Error(e),
     };
@@ -106,6 +120,9 @@ pub(crate) fn ll_predict(
             [] => return Prediction::Reject,
             [only] => return Prediction::Unique(*only),
             _ => {}
+        }
+        if let Err(r) = meter.charge(1) {
+            return Prediction::Abort(r);
         }
         let Some(t) = input.next() else {
             // End of input with several alternatives still alive: the
@@ -126,7 +143,10 @@ pub(crate) fn ll_predict(
                 [first, ..] => Prediction::Ambig(*first),
             };
         };
-        let moved = move_configs(&configs, t.terminal());
+        let moved = match move_configs(&configs, t.terminal()) {
+            Ok(m) => m,
+            Err(e) => return Prediction::Error(e),
+        };
         configs = match closure(g, analysis, SimMode::Ll, moved, num_nts) {
             Ok(c) => c,
             Err(e) => return Prediction::Error(e),
@@ -135,17 +155,23 @@ pub(crate) fn ll_predict(
 }
 
 /// SLL prediction: context-insensitive lockstep simulation with every step
-/// cached as a DFA transition in `cache`.
+/// cached as a DFA transition in `cache`. Charges one unit of fuel per
+/// lookahead token examined.
 ///
 /// An `Ambig` result here means "SLL conflict": several alternatives
 /// survived to end of input *under the overapproximated context*, so the
 /// caller must fail over to LL prediction.
+///
+/// The in-flight state id is passed to the cache as a protection set on
+/// every intern, so capacity-driven eviction can never invalidate the
+/// state this simulation is standing on.
 pub(crate) fn sll_predict(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     x: NonTerminal,
     remaining: &[Token],
     cache: &mut SllCache,
+    meter: &mut Meter,
 ) -> Prediction {
     let num_nts = g.num_nonterminals();
     let mut sid: StateId = match cache.start_state(x) {
@@ -181,6 +207,10 @@ pub(crate) fn sll_predict(
             }
             Resolution::Pending => {}
         }
+        if let Err(r) = meter.charge(1) {
+            record_lookahead(cache, lookahead);
+            return Prediction::Abort(r);
+        }
         let Some(t) = input.next() else {
             record_lookahead(cache, lookahead);
             return match cache.eof_resolution(sid) {
@@ -194,12 +224,15 @@ pub(crate) fn sll_predict(
         sid = match cache.transition(sid, term) {
             Some(next) => next,
             None => {
-                let moved = move_configs(&cache.state(sid).configs, term);
+                let moved = match move_configs(&cache.state(sid).configs, term) {
+                    Ok(m) => m,
+                    Err(e) => return Prediction::Error(e),
+                };
                 let next_configs = match closure(g, analysis, SimMode::Sll, moved, num_nts) {
                     Ok(c) => c,
                     Err(e) => return Prediction::Error(e),
                 };
-                let next = cache.intern(next_configs);
+                let next = cache.intern_protected(next_configs, &[sid]);
                 cache.set_transition(sid, term, next);
                 next
             }
@@ -216,13 +249,14 @@ pub(crate) fn ll_only_predict(
     x: NonTerminal,
     suffix: &[SuffixFrame],
     remaining: &[Token],
+    meter: &mut Meter,
 ) -> Prediction {
     match g.alternatives(x) {
         [] => return Prediction::Reject,
         [only] => return Prediction::Unique(*only),
         _ => {}
     }
-    ll_predict(g, analysis, x, suffix, remaining)
+    ll_predict(g, analysis, x, suffix, remaining, meter)
 }
 
 /// Folds one decision's lookahead depth into the cache's running
@@ -246,6 +280,7 @@ pub(crate) fn adaptive_predict(
     suffix: &[SuffixFrame],
     remaining: &[Token],
     cache: &mut SllCache,
+    meter: &mut Meter,
 ) -> Prediction {
     match g.alternatives(x) {
         [] => return Prediction::Reject,
@@ -256,11 +291,12 @@ pub(crate) fn adaptive_predict(
         _ => {}
     }
     cache.stats_mut().predictions += 1;
-    match sll_predict(g, analysis, x, remaining, cache) {
+    match sll_predict(g, analysis, x, remaining, cache, meter) {
         Prediction::Ambig(_) => {
             cache.stats_mut().failovers += 1;
-            ll_predict(g, analysis, x, suffix, remaining)
+            ll_predict(g, analysis, x, suffix, remaining, meter)
         }
+        Prediction::Abort(r) => Prediction::Abort(r),
         committed => {
             cache.stats_mut().sll_resolved += 1;
             committed
@@ -306,7 +342,7 @@ mod tests {
         let word = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
         let suffix = start_suffix(&g);
         let s = nt(&g, "S");
-        let p = ll_predict(&g, &an, s, &suffix, &word);
+        let p = ll_predict(&g, &an, s, &suffix, &word, &mut Meter::unlimited());
         let Prediction::Unique(alt) = p else {
             panic!("expected unique prediction, got {p:?}")
         };
@@ -321,8 +357,8 @@ mod tests {
         let s = nt(&g, "S");
         let suffix = start_suffix(&g);
         let mut cache = SllCache::new();
-        let sll = sll_predict(&g, &an, s, &word, &mut cache);
-        let ll = ll_predict(&g, &an, s, &suffix, &word);
+        let sll = sll_predict(&g, &an, s, &word, &mut cache, &mut Meter::unlimited());
+        let ll = ll_predict(&g, &an, s, &suffix, &word, &mut Meter::unlimited());
         assert_eq!(sll, ll);
         let Prediction::Unique(alt) = sll else {
             panic!("expected unique")
@@ -337,10 +373,10 @@ mod tests {
         let word = tokens(&mut tab, &[("a", "a"), ("a", "a"), ("b", "b"), ("d", "d")]);
         let s = nt(&g, "S");
         let mut cache = SllCache::new();
-        let p1 = sll_predict(&g, &an, s, &word, &mut cache);
+        let p1 = sll_predict(&g, &an, s, &word, &mut cache, &mut Meter::unlimited());
         let misses_after_first = cache.stats().misses;
         assert!(misses_after_first > 0);
-        let p2 = sll_predict(&g, &an, s, &word, &mut cache);
+        let p2 = sll_predict(&g, &an, s, &word, &mut cache, &mut Meter::unlimited());
         assert_eq!(p1, p2);
         let stats = cache.stats();
         assert_eq!(
@@ -360,7 +396,15 @@ mod tests {
         let suffix = start_suffix(&g);
         let mut cache = SllCache::new();
         assert_eq!(
-            adaptive_predict(&g, &an, s, &suffix, &word, &mut cache),
+            adaptive_predict(
+                &g,
+                &an,
+                s,
+                &suffix,
+                &word,
+                &mut cache,
+                &mut Meter::unlimited()
+            ),
             Prediction::Reject
         );
     }
@@ -379,7 +423,15 @@ mod tests {
         let word = tokens(&mut tab, &[("a", "a")]);
         let suffix = start_suffix(&g);
         let mut cache = SllCache::new();
-        let p = adaptive_predict(&g, &an, nt(&g, "S"), &suffix, &word, &mut cache);
+        let p = adaptive_predict(
+            &g,
+            &an,
+            nt(&g, "S"),
+            &suffix,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+        );
         let Prediction::Ambig(alt) = p else {
             panic!("expected ambiguity, got {p:?}")
         };
@@ -398,7 +450,15 @@ mod tests {
         let mut cache = SllCache::new();
         // Even with empty input (which cannot parse), prediction commits
         // to the sole alternative; the machine will reject at consume.
-        let p = adaptive_predict(&g, &an, g.start(), &suffix, &[], &mut cache);
+        let p = adaptive_predict(
+            &g,
+            &an,
+            g.start(),
+            &suffix,
+            &[],
+            &mut cache,
+            &mut Meter::unlimited(),
+        );
         assert!(matches!(p, Prediction::Unique(_)));
         assert_eq!(cache.stats().states, 0, "no simulation should run");
     }
@@ -418,7 +478,15 @@ mod tests {
         let word = tokens(&mut tab, &[("a", "a"), ("y", "y")]);
         let suffix = start_suffix(&g);
         let mut cache = SllCache::new();
-        let p = adaptive_predict(&g, &an, g.start(), &suffix, &word, &mut cache);
+        let p = adaptive_predict(
+            &g,
+            &an,
+            g.start(),
+            &suffix,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+        );
         let Prediction::Unique(alt) = p else {
             panic!("expected unique, got {p:?}")
         };
@@ -482,13 +550,21 @@ mod tests {
         ];
         let mut cache = SllCache::new();
         // SLL alone conflicts and (wrongly) prefers X -> a a.
-        let sll = sll_predict(&g, &an, x, &word, &mut cache);
+        let sll = sll_predict(&g, &an, x, &word, &mut cache, &mut Meter::unlimited());
         let Prediction::Ambig(sll_alt) = sll else {
             panic!("expected an SLL conflict, got {sll:?}")
         };
         assert_eq!(g.render_production(sll_alt), "X -> a a");
         // LL failover picks the correct unique alternative.
-        let p = adaptive_predict(&g, &an, x, &suffix, &word, &mut cache);
+        let p = adaptive_predict(
+            &g,
+            &an,
+            x,
+            &suffix,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+        );
         let Prediction::Unique(alt) = p else {
             panic!("expected LL failover to produce Unique, got {p:?}")
         };
@@ -508,7 +584,15 @@ mod tests {
         let word = tokens(&mut tab, &[("i", "i"), ("x", "x")]);
         let suffix = start_suffix(&g);
         let mut cache = SllCache::new();
-        let p = adaptive_predict(&g, &an, g.start(), &suffix, &word, &mut cache);
+        let p = adaptive_predict(
+            &g,
+            &an,
+            g.start(),
+            &suffix,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+        );
         assert!(matches!(p, Prediction::Error(ParseError::LeftRecursive(_))));
     }
 }

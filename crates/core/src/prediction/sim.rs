@@ -37,7 +37,11 @@ pub(crate) struct SimFrame {
 impl SimFrame {
     fn key(&self) -> (u32, usize, usize) {
         let lhs = self.lhs.map_or(u32::MAX, |x| x.index() as u32);
-        (lhs, Arc::as_ptr(&self.rhs) as *const Symbol as usize, self.dot)
+        (
+            lhs,
+            Arc::as_ptr(&self.rhs) as *const Symbol as usize,
+            self.dot,
+        )
     }
 
     /// The symbol at the dot, if any.
@@ -355,9 +359,11 @@ pub(crate) fn closure(
                         SimMode::Sll => {
                             // Return through the statically computed stable
                             // frames of the finished nonterminal (§3.5).
-                            let x = finished_lhs.expect(
-                                "SLL stacks only contain production frames",
-                            );
+                            let Some(x) = finished_lhs else {
+                                return Err(ParseError::invalid_state(
+                                    "SLL simulation frame has no production label",
+                                ));
+                            };
                             let dests = analysis.stable_frames.dests(x);
                             for pos in &dests.positions {
                                 let frame = SimFrame {
@@ -398,11 +404,21 @@ pub(crate) fn closure(
 /// The move (consume) step: keeps the subparsers whose next terminal
 /// matches `t`, advancing their dots. `AcceptEof` subparsers die — they
 /// needed the input to end.
-pub(crate) fn move_configs(configs: &[Config], t: Terminal) -> Vec<Config> {
+///
+/// # Errors
+///
+/// Only stable configurations (produced by [`closure`]) are valid inputs;
+/// a config with an empty simulated stack indicates internal corruption
+/// and is reported as a typed `InvalidState` rather than a panic.
+pub(crate) fn move_configs(configs: &[Config], t: Terminal) -> Result<Vec<Config>, ParseError> {
     let mut out = Vec::new();
     for c in configs {
         if let SpState::Stack(stack) = &c.state {
-            let top = stack.top().expect("stable configs have a top frame");
+            let Some(top) = stack.top() else {
+                return Err(ParseError::invalid_state(
+                    "unstable configuration (empty simulated stack) in move step",
+                ));
+            };
             if top.head() == Some(Symbol::T(t)) {
                 let advanced = SimFrame {
                     lhs: top.lhs,
@@ -416,7 +432,7 @@ pub(crate) fn move_configs(configs: &[Config], t: Terminal) -> Vec<Config> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// The distinct alternatives among a config set, ascending.
@@ -527,7 +543,7 @@ mod tests {
         let configs = initial_configs(&g, "S", &SimStack::empty());
         let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
         let b = g.symbols().lookup_terminal("b").unwrap();
-        let moved = move_configs(&stable, b);
+        let moved = move_configs(&stable, b).unwrap();
         // Only the A -> b expansions survive (one per S alternative).
         assert_eq!(moved.len(), 2);
         assert_eq!(distinct_alts(&moved).len(), 2);
@@ -542,7 +558,7 @@ mod tests {
         let configs = initial_configs(&g, "A", &SimStack::empty());
         let stable = closure(&g, &an, SimMode::Sll, configs, g.num_nonterminals()).unwrap();
         let b = g.symbols().lookup_terminal("b").unwrap();
-        let moved = move_configs(&stable, b);
+        let moved = move_configs(&stable, b).unwrap();
         let after = closure(&g, &an, SimMode::Sll, moved, g.num_nonterminals()).unwrap();
         // Two stable resumptions, both for the alternative A -> b.
         assert_eq!(after.len(), 2);
@@ -561,7 +577,7 @@ mod tests {
         let configs = initial_configs(&g, "S", &SimStack::empty());
         let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
         let a = g.symbols().lookup_terminal("a").unwrap();
-        let moved = move_configs(&stable, a);
+        let moved = move_configs(&stable, a).unwrap();
         let after = closure(&g, &an, SimMode::Ll, moved, g.num_nonterminals()).unwrap();
         assert_eq!(after.len(), 1);
         assert!(matches!(after[0].state, SpState::AcceptEof));

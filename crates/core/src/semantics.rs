@@ -131,7 +131,13 @@ mod tests {
         let mut tab = p.grammar().symbols().clone();
         let w = tokens(
             &mut tab,
-            &[("Int", "1"), ("Comma", ","), ("Int", "2"), ("Comma", ","), ("Int", "39")],
+            &[
+                ("Int", "1"),
+                ("Comma", ","),
+                ("Int", "2"),
+                ("Comma", ","),
+                ("Int", "39"),
+            ],
         );
         let out = evaluate_outcome(p.parse(&w), &mut Sum);
         assert_eq!(out, SemanticOutcome::Unique(42));

@@ -76,10 +76,7 @@ fn grammar_spec() -> impl Strategy<Value = GrammarSpec> {
     (
         1usize..5,
         proptest::collection::vec(
-            proptest::collection::vec(
-                proptest::collection::vec(sym_spec(), 0..3),
-                1..4,
-            ),
+            proptest::collection::vec(proptest::collection::vec(sym_spec(), 0..3), 1..4),
             1..5,
         ),
     )

@@ -434,10 +434,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let g = parse_ebnf(
-            "// header\n s : a ; /* mid\n comment */ t : b ; // trailing",
-        )
-        .unwrap();
+        let g = parse_ebnf("// header\n s : a ; /* mid\n comment */ t : b ; // trailing").unwrap();
         assert_eq!(g.rules.len(), 2);
     }
 

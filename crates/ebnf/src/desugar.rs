@@ -256,7 +256,10 @@ mod tests {
         // s -> R ; R -> ε ; R -> A R.
         assert_eq!(g.num_productions(), 3);
         let an = GrammarAnalysis::compute(&g);
-        assert!(an.left_recursion.is_grammar_safe(), "no left recursion introduced");
+        assert!(
+            an.left_recursion.is_grammar_safe(),
+            "no left recursion introduced"
+        );
     }
 
     #[test]
@@ -299,10 +302,7 @@ mod tests {
     #[test]
     fn first_rule_is_start() {
         let (g, _) = bnf("top : sub ; sub : A ;");
-        assert_eq!(
-            g.start(),
-            g.symbols().lookup_nonterminal("top").unwrap()
-        );
+        assert_eq!(g.start(), g.symbols().lookup_nonterminal("top").unwrap());
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub enum InterpResult {
 /// # Ok::<(), costar_ebnf::EbnfError>(())
 /// ```
 pub fn interp_recognize(g: &EbnfGrammar, word: &[&str], fuel: u64) -> InterpResult {
-    let rules: HashMap<&str, &Expr> = g
-        .rules
-        .iter()
-        .map(|r| (r.name.as_str(), &r.body))
-        .collect();
+    let rules: HashMap<&str, &Expr> = g.rules.iter().map(|r| (r.name.as_str(), &r.body)).collect();
     let mut interp = Interp {
         rules,
         word,
@@ -97,12 +93,7 @@ impl Interp<'_> {
         result
     }
 
-    fn matches_inner(
-        &mut self,
-        expr: &Expr,
-        pos: usize,
-        k: &mut dyn FnMut(usize) -> bool,
-    ) -> bool {
+    fn matches_inner(&mut self, expr: &Expr, pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
         match expr {
             Expr::TokenType(name) | Expr::Literal(name) => {
                 if self.word.get(pos) == Some(&name.as_str()) {
@@ -151,12 +142,7 @@ impl Interp<'_> {
         }
     }
 
-    fn match_seq(
-        &mut self,
-        parts: &[Expr],
-        pos: usize,
-        k: &mut dyn FnMut(usize) -> bool,
-    ) -> bool {
+    fn match_seq(&mut self, parts: &[Expr], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
         match parts.split_first() {
             None => k(pos),
             Some((first, rest)) => {
@@ -204,7 +190,6 @@ impl Interp<'_> {
         }
         false
     }
-
 }
 
 #[cfg(test)]
@@ -251,7 +236,10 @@ mod tests {
 
     #[test]
     fn literals_match_by_spelling() {
-        assert_eq!(rec("s : '{' A '}' ;", &["{", "A", "}"]), InterpResult::Match);
+        assert_eq!(
+            rec("s : '{' A '}' ;", &["{", "A", "}"]),
+            InterpResult::Match
+        );
     }
 
     #[test]
@@ -269,9 +257,6 @@ mod tests {
         let src = "s : s A | ;";
         assert_eq!(rec(src, &["A"]), InterpResult::Match);
         let g = parse_ebnf(src).unwrap();
-        assert_eq!(
-            interp_recognize(&g, &["B"], 50),
-            InterpResult::OutOfFuel
-        );
+        assert_eq!(interp_recognize(&g, &["B"], 50), InterpResult::OutOfFuel);
     }
 }

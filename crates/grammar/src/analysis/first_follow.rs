@@ -246,15 +246,33 @@ mod tests {
         let (g, n, first, follow) = setup();
         // e2 -> ε is selected on RParen (in FOLLOW(e2)) but not on Plus.
         let e2 = nt(&g, "e2");
-        assert!(ll1_selects(&[], t(&g, "RParen"), &n, &first, follow.follow(e2)));
-        assert!(!ll1_selects(&[], t(&g, "Star"), &n, &first, follow.follow(e2)));
+        assert!(ll1_selects(
+            &[],
+            t(&g, "RParen"),
+            &n,
+            &first,
+            follow.follow(e2)
+        ));
+        assert!(!ll1_selects(
+            &[],
+            t(&g, "Star"),
+            &n,
+            &first,
+            follow.follow(e2)
+        ));
         // e2 -> Plus t e2 is selected on Plus.
         let plus_form = [
             Symbol::T(t(&g, "Plus")),
             Symbol::Nt(nt(&g, "t")),
             Symbol::Nt(e2),
         ];
-        assert!(ll1_selects(&plus_form, t(&g, "Plus"), &n, &first, follow.follow(e2)));
+        assert!(ll1_selects(
+            &plus_form,
+            t(&g, "Plus"),
+            &n,
+            &first,
+            follow.follow(e2)
+        ));
     }
 
     #[test]

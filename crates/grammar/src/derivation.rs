@@ -43,7 +43,10 @@ impl fmt::Display for DerivationError {
                 write!(f, "leaf token mismatch at word position {at}")
             }
             DerivationError::NoSuchProduction { lhs } => {
-                write!(f, "node for {lhs} uses a right-hand side not in the grammar")
+                write!(
+                    f,
+                    "node for {lhs} uses a right-hand side not in the grammar"
+                )
             }
             DerivationError::WrongRoot => write!(f, "tree root is not the start symbol"),
             DerivationError::YieldMismatch => {
@@ -97,7 +100,12 @@ pub fn check_tree(
 
 /// Checks a subtree starting at word position `at`; returns the position
 /// after the subtree's yield.
-fn check_sym(g: &Grammar, tree: &Tree, word: &[Token], at: usize) -> Result<usize, DerivationError> {
+fn check_sym(
+    g: &Grammar,
+    tree: &Tree,
+    word: &[Token],
+    at: usize,
+) -> Result<usize, DerivationError> {
     match tree {
         Tree::Leaf(t) => match word.get(at) {
             Some(w) if w.terminal() == t.terminal() => Ok(at + 1),

@@ -220,8 +220,10 @@ impl GrammarBuilder {
     /// [`build`](GrammarBuilder::build) time: any name that appears as a
     /// left-hand side is a nonterminal; every other name is a terminal.
     pub fn rule(&mut self, lhs: &str, rhs: &[&str]) -> &mut Self {
-        self.named_rules
-            .push((lhs.to_owned(), rhs.iter().map(|s| (*s).to_owned()).collect()));
+        self.named_rules.push((
+            lhs.to_owned(),
+            rhs.iter().map(|s| (*s).to_owned()).collect(),
+        ));
         self
     }
 
@@ -415,10 +417,7 @@ mod tests {
         gb.rule("expr", &["Int"]);
         gb.rule("other", &["expr"]);
         let g = gb.build().unwrap();
-        assert_eq!(
-            g.start(),
-            g.symbols().lookup_nonterminal("expr").unwrap()
-        );
+        assert_eq!(g.start(), g.symbols().lookup_nonterminal("expr").unwrap());
     }
 
     #[test]

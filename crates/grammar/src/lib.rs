@@ -48,12 +48,12 @@
 
 pub mod analysis;
 mod derivation;
-pub mod sampler;
-pub mod transform;
 mod grammar;
+pub mod sampler;
 mod sets;
 mod symbol;
 mod token;
+pub mod transform;
 mod tree;
 
 pub use derivation::{

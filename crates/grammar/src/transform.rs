@@ -526,8 +526,11 @@ mod tests {
         // succeeds with e gone.
         let r = eliminate_left_recursion(&g).unwrap();
         assert!(safe(&r));
-        assert!(r.symbols().lookup_nonterminal("e").is_none()
-            || r.alternatives(r.symbols().lookup_nonterminal("e").unwrap()).is_empty());
+        assert!(
+            r.symbols().lookup_nonterminal("e").is_none()
+                || r.alternatives(r.symbols().lookup_nonterminal("e").unwrap())
+                    .is_empty()
+        );
     }
 
     #[test]

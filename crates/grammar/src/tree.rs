@@ -80,9 +80,7 @@ impl Tree {
     pub fn height(&self) -> usize {
         match self {
             Tree::Leaf(_) => 1,
-            Tree::Node(_, children) => {
-                1 + children.iter().map(Tree::height).max().unwrap_or(0)
-            }
+            Tree::Node(_, children) => 1 + children.iter().map(Tree::height).max().unwrap_or(0),
         }
     }
 

@@ -96,7 +96,12 @@ pub fn generate(seed: u64, size: usize) -> String {
                     budget -= 2;
                 }
                 if rng.random_bool(0.4) {
-                    let _ = write!(out, " [label=\"e{}\", weight={}]", rng.random_range(0..20), rng.random_range(1..10));
+                    let _ = write!(
+                        out,
+                        " [label=\"e{}\", weight={}]",
+                        rng.random_range(0..20),
+                        rng.random_range(1..10)
+                    );
                     budget -= 9;
                 }
                 out.push_str(";\n");
@@ -111,11 +116,7 @@ pub fn generate(seed: u64, size: usize) -> String {
                     budget -= 2;
                 }
                 if rng.random_bool(0.7) {
-                    let _ = write!(
-                        out,
-                        " [label=\"v{}\" color=red]",
-                        rng.random_range(0..100)
-                    );
+                    let _ = write!(out, " [label=\"v{}\" color=red]", rng.random_range(0..100));
                     budget -= 8;
                 }
                 out.push_str(";\n");
@@ -131,7 +132,12 @@ pub fn generate(seed: u64, size: usize) -> String {
                 let _ = write!(out, "  subgraph cluster{} {{ ", rng.random_range(0..10));
                 let n = rng.random_range(1..=3);
                 for _ in 0..n {
-                    let _ = write!(out, "n{} {op} n{}; ", rng.random_range(0..50), rng.random_range(0..50));
+                    let _ = write!(
+                        out,
+                        "n{} {op} n{}; ",
+                        rng.random_range(0..50),
+                        rng.random_range(0..50)
+                    );
                     budget -= 4;
                 }
                 out.push_str("}\n");
@@ -229,9 +235,7 @@ digraph g {
     #[test]
     fn comments_are_skipped() {
         let lang = language();
-        let tokens = lang
-            .tokenize("graph /* block */ g { // line\n }")
-            .unwrap();
+        let tokens = lang.tokenize("graph /* block */ g { // line\n }").unwrap();
         assert_eq!(tokens.len(), 4); // graph g { }
     }
 }

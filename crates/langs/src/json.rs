@@ -106,10 +106,19 @@ fn gen_value(rng: &mut SmallRng, out: &mut String, depth: usize, budget: &mut i6
             let _ = write!(out, "{}", rng.random_range(-1000..1000));
         }
         4 => {
-            let _ = write!(out, "{}.{}", rng.random_range(0..100), rng.random_range(0..100));
+            let _ = write!(
+                out,
+                "{}.{}",
+                rng.random_range(0..100),
+                rng.random_range(0..100)
+            );
         }
         5 => out.push_str("true"),
-        _ => out.push_str(if rng.random_bool(0.5) { "false" } else { "null" }),
+        _ => out.push_str(if rng.random_bool(0.5) {
+            "false"
+        } else {
+            "null"
+        }),
     }
 }
 

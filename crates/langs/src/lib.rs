@@ -58,14 +58,13 @@ impl Language {
         spec: &LexerSpec,
         tokenizer: TokenizerKind,
     ) -> Language {
-        let (grammar, stats) = costar_ebnf::compile(ebnf_src)
-            .unwrap_or_else(|e| panic!("{name} grammar: {e}"));
+        let (grammar, stats) =
+            costar_ebnf::compile(ebnf_src).unwrap_or_else(|e| panic!("{name} grammar: {e}"));
         // Compile the lexer against a copy of the grammar's symbol table
         // so token terminals share the grammar's interned identities.
         let mut tab: SymbolTable = grammar.symbols().clone();
         let before = tab.num_terminals();
-        let lexer = Lexer::compile(spec, &mut tab)
-            .unwrap_or_else(|e| panic!("{name} lexer: {e}"));
+        let lexer = Lexer::compile(spec, &mut tab).unwrap_or_else(|e| panic!("{name} lexer: {e}"));
         assert_eq!(
             tab.num_terminals(),
             before,

@@ -107,32 +107,28 @@ fn lexer_spec() -> LexerSpec {
     let mut spec = LexerSpec::new();
     // Keywords before NAME so they win length ties.
     for kw in [
-        "del", "pass", "break", "continue", "return", "raise", "import", "from", "as",
-        "global", "assert", "if", "elif", "else", "while", "for", "in", "try", "except",
-        "finally", "with", "def", "class", "lambda", "or", "and", "not", "is", "None",
-        "True", "False",
+        "del", "pass", "break", "continue", "return", "raise", "import", "from", "as", "global",
+        "assert", "if", "elif", "else", "while", "for", "in", "try", "except", "finally", "with",
+        "def", "class", "lambda", "or", "and", "not", "is", "None", "True", "False",
     ] {
         spec.token_literal(kw, kw);
     }
     // Multi-character operators before their prefixes.
     for op in [
-        "**=", "//=", "<<=", ">>=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "==",
-        "!=", ">=", "<=", "<<", ">>", "**", "//", "->", "...",
+        "**=", "//=", "<<=", ">>=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=",
+        ">=", "<=", "<<", ">>", "**", "//", "->", "...",
     ] {
         spec.token_literal(op, op);
     }
     for op in [
-        "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "(", ")", "[", "]",
-        "{", "}", ",", ":", ";", ".",
+        "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "(", ")", "[", "]", "{", "}",
+        ",", ":", ";", ".",
     ] {
         spec.token_literal(op, op);
     }
     spec.token("NAME", "[a-zA-Z_][a-zA-Z0-9_]*")
         .token("NUMBER", r"[0-9]+(\.[0-9]*)?([eE][+\-]?[0-9]+)?")
-        .token(
-            "STRING",
-            r#"'([^'\\\n]|\\.)*'|"([^"\\\n]|\\.)*""#,
-        )
+        .token("STRING", r#"'([^'\\\n]|\\.)*'|"([^"\\\n]|\\.)*""#)
         .skip("ws", "[ \\t]+")
         .skip("comment", "#[^\\n]*");
     spec
@@ -140,7 +136,12 @@ fn lexer_spec() -> LexerSpec {
 
 /// Builds the Python-like [`Language`].
 pub fn language() -> Language {
-    Language::build("Python", GRAMMAR, &lexer_spec(), TokenizerKind::PythonIndent)
+    Language::build(
+        "Python",
+        GRAMMAR,
+        &lexer_spec(),
+        TokenizerKind::PythonIndent,
+    )
 }
 
 /// CPython-style logical-line tokenization: runs the DFA lexer on each
@@ -362,8 +363,7 @@ fn gen_expr(rng: &mut SmallRng, out: &mut String, depth: usize, budget: &mut i64
     match rng.random_range(0..8) {
         0..=2 => {
             gen_expr(rng, out, depth - 1, budget);
-            let op = ["+", "-", "*", "//", "%", "==", "<", "and", "or"]
-                [rng.random_range(0..9)];
+            let op = ["+", "-", "*", "//", "%", "==", "<", "and", "or"][rng.random_range(0..9)];
             let _ = write!(out, " {op} ");
             gen_expr(rng, out, depth - 1, budget);
             *budget -= 1;
@@ -388,7 +388,12 @@ fn gen_expr(rng: &mut SmallRng, out: &mut String, depth: usize, budget: &mut i64
         }
         5 => {
             // Attribute / call trailer chain.
-            let _ = write!(out, "x{}.attr{}(", rng.random_range(0..20), rng.random_range(0..5));
+            let _ = write!(
+                out,
+                "x{}.attr{}(",
+                rng.random_range(0..20),
+                rng.random_range(0..5)
+            );
             gen_expr(rng, out, depth - 1, budget);
             out.push(')');
             *budget -= 5;
@@ -445,8 +450,8 @@ mod tests {
         assert_eq!(
             ks,
             vec![
-                "if", "NAME", ":", "NEWLINE", "INDENT", "NAME", "=", "NUMBER", "NEWLINE",
-                "DEDENT", "NAME", "=", "NUMBER", "NEWLINE"
+                "if", "NAME", ":", "NEWLINE", "INDENT", "NAME", "=", "NUMBER", "NEWLINE", "DEDENT",
+                "NAME", "=", "NUMBER", "NEWLINE"
             ]
         );
     }

@@ -80,7 +80,14 @@ pub fn generate(seed: u64, size: usize) -> String {
 
 const TAGS: [&str; 6] = ["doc", "section", "p", "span", "item", "data"];
 const WORDS: [&str; 8] = [
-    "lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing", "elit",
+    "lorem",
+    "ipsum",
+    "dolor",
+    "sit",
+    "amet",
+    "consectetur",
+    "adipiscing",
+    "elit",
 ];
 
 fn gen_element(rng: &mut SmallRng, out: &mut String, depth: usize, budget: &mut i64) {

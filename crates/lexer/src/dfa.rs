@@ -164,9 +164,9 @@ fn minimize(dfa: &Dfa) -> Dfa {
     // Renumber blocks densely, keeping the start state's block first.
     let mut block_to_state: HashMap<u32, u32> = HashMap::new();
     block_to_state.insert(part[dfa.start as usize], 0);
-    for s in 0..n {
+    for &block in part.iter().take(n) {
         let fresh = block_to_state.len() as u32;
-        block_to_state.entry(part[s]).or_insert(fresh);
+        block_to_state.entry(block).or_insert(fresh);
     }
     let num_blocks = block_to_state.len();
     let mut next = vec![DEAD; num_blocks * dfa.num_classes];

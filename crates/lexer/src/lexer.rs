@@ -147,7 +147,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no token matches at byte {}: {:?}…", self.at, self.snippet)
+        write!(
+            f,
+            "no token matches at byte {}: {:?}…",
+            self.at, self.snippet
+        )
     }
 }
 
@@ -367,6 +371,9 @@ mod tests {
         let (_, tab) = simple_lexer();
         assert!(tab.lookup_terminal("If").is_some());
         assert!(tab.lookup_terminal("Int").is_some());
-        assert!(tab.lookup_terminal("ws").is_none(), "skip rules intern nothing");
+        assert!(
+            tab.lookup_terminal("ws").is_none(),
+            "skip rules intern nothing"
+        );
     }
 }

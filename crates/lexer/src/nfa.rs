@@ -221,10 +221,7 @@ mod tests {
     #[test]
     fn priority_goes_to_earlier_rule() {
         // Both rules match "if": the earlier (keyword) rule wins.
-        let rules = [
-            parse_regex("if").unwrap(),
-            parse_regex("[a-z]+").unwrap(),
-        ];
+        let rules = [parse_regex("if").unwrap(), parse_regex("[a-z]+").unwrap()];
         let nfa = Nfa::compile(&rules);
         assert_eq!(nfa_matches(&nfa, b"if"), Some(0));
         assert_eq!(nfa_matches(&nfa, b"iff"), Some(1));

@@ -277,12 +277,10 @@ impl Parser<'_> {
                 Ok(Regex::Class(ByteSet::single(b'\n').complement()))
             }
             Some(b'\\') => {
-                let b = self
-                    .bump()
-                    .ok_or_else(|| self.error("dangling escape"))?;
-                Ok(Regex::Class(ByteSet::single(unescape(b).ok_or_else(
-                    || self.error("unknown escape"),
-                )?)))
+                let b = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                Ok(Regex::Class(ByteSet::single(
+                    unescape(b).ok_or_else(|| self.error("unknown escape"))?,
+                )))
             }
             Some(b @ (b'*' | b'+' | b'?' | b')')) => Err(RegexError {
                 at: self.pos - 1,

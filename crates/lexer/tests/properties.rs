@@ -9,9 +9,8 @@ use proptest::prelude::*;
 /// to pattern syntax.
 fn regex_ast() -> impl Strategy<Value = Regex> {
     let leaf = prop_oneof![
-        proptest::sample::select(vec!['a', 'b', 'c']).prop_map(|c| {
-            parse_regex(&c.to_string()).expect("single char parses")
-        }),
+        proptest::sample::select(vec!['a', 'b', 'c'])
+            .prop_map(|c| { parse_regex(&c.to_string()).expect("single char parses") }),
         Just(parse_regex("[ab]").expect("class parses")),
         Just(parse_regex("[^c]").expect("negated class parses")),
     ];

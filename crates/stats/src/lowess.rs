@@ -47,8 +47,7 @@ pub fn lowess(xs: &[f64], ys: &[f64], f: f64) -> Vec<f64> {
         // interval since xs is sorted.
         let (mut lo, mut hi) = (i, i);
         while hi - lo + 1 < window {
-            let extend_left = lo > 0
-                && (hi + 1 >= n || xs[i] - xs[lo - 1] <= xs[hi + 1] - xs[i]);
+            let extend_left = lo > 0 && (hi + 1 >= n || xs[i] - xs[lo - 1] <= xs[hi + 1] - xs[i]);
             if extend_left {
                 lo -= 1;
             } else {

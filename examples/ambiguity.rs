@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grammar = gb.start("S").build()?;
 
     let mut parser = Parser::new(grammar);
-    let a = parser.grammar().symbols().lookup_terminal("a").expect("terminal a");
+    let a = parser
+        .grammar()
+        .symbols()
+        .lookup_terminal("a")
+        .expect("terminal a");
     let word = vec![Token::new(a, "a")];
 
     match parser.parse(&word) {
@@ -52,12 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Unambiguous input: concatenation of two atoms.
     let two = vec![tok("a"), tok("a")];
-    println!("\nconcat grammar: \"a a\"   -> {}", label(&parser.parse(&two)));
+    println!(
+        "\nconcat grammar: \"a a\"   -> {}",
+        label(&parser.parse(&two))
+    );
     assert_eq!(count_trees(parser.grammar(), &two), TreeCount::One);
 
     // Parenthesized input is also unique.
     let paren = vec![tok("LParen"), tok("a"), tok("RParen"), tok("a")];
-    println!("concat grammar: \"(a) a\" -> {}", label(&parser.parse(&paren)));
+    println!(
+        "concat grammar: \"(a) a\" -> {}",
+        label(&parser.parse(&paren))
+    );
 
     println!("\nBoth verdicts match the derivation-counting oracle.");
     Ok(())
@@ -69,5 +79,6 @@ fn label(outcome: &ParseOutcome) -> &'static str {
         ParseOutcome::Ambig(_) => "Ambig",
         ParseOutcome::Reject(_) => "Reject",
         ParseOutcome::Error(_) => "Error",
+        ParseOutcome::Aborted(_) => "Aborted",
     }
 }

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example calculator "1 + 2 * (3 - 4)"`
 
-use costar::semantics::{evaluate_outcome, Semantics, SemanticOutcome};
+use costar::semantics::{evaluate_outcome, SemanticOutcome, Semantics};
 use costar::Parser;
 use costar_grammar::{NonTerminal, SymbolTable, Token};
 use costar_lexer::{Lexer, LexerSpec};

@@ -54,19 +54,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report_rejection(&source, &tokens, &reason);
             std::process::exit(1);
         }
-        ParseOutcome::Error(e) => unreachable!(
-            "the JSON grammar is non-left-recursive, so errors are impossible: {e}"
+        ParseOutcome::Error(e) => {
+            unreachable!("the JSON grammar is non-left-recursive, so errors are impossible: {e}")
+        }
+        ParseOutcome::Aborted(r) => unreachable!(
+            "this example runs with an unlimited budget, so aborts are impossible: {r}"
         ),
     }
     Ok(())
 }
 
 /// Renders a rejection as a line/column diagnostic.
-fn report_rejection(
-    source: &str,
-    tokens: &[costar_grammar::Token],
-    reason: &RejectReason,
-) {
+fn report_rejection(source: &str, tokens: &[costar_grammar::Token], reason: &RejectReason) {
     let offset = reason
         .position()
         .and_then(|i| tokens.get(i))

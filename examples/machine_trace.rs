@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cache = SllCache::new();
 
     println!("parsing \"abd\" with the Fig. 2 grammar\n");
-    println!("{:<4} {:<28} {:<10} {:<12} measure", "σ", "suffix stack", "tokens", "visited");
+    println!(
+        "{:<4} {:<28} {:<10} {:<12} measure",
+        "σ", "suffix stack", "tokens", "visited"
+    );
     print_state(&machine, &grammar, &word, 0);
 
     let mut step = 0usize;
@@ -66,7 +69,11 @@ fn print_state(
         .iter()
         .rev()
         .map(|f| {
-            let syms: Vec<&str> = f.unprocessed().iter().map(|&s| symbols.symbol_name(s)).collect();
+            let syms: Vec<&str> = f
+                .unprocessed()
+                .iter()
+                .map(|&s| symbols.symbol_name(s))
+                .collect();
             format!("[{}]", syms.join(" "))
         })
         .collect();

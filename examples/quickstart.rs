@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Parse the word "abd" (CoStar consumes pre-tokenized input).
     let symbols = parser.grammar().symbols().clone();
-    let tok = |name: &str| {
-        Token::new(symbols.lookup_terminal(name).expect("known terminal"), name)
-    };
+    let tok = |name: &str| Token::new(symbols.lookup_terminal(name).expect("known terminal"), name);
     let word = vec![tok("a"), tok("b"), tok("d")];
 
     match parser.parse(&word) {

@@ -48,16 +48,8 @@ fn xml_not_ll1_but_json_is() {
     for (lang, _) in all_languages() {
         let result = Ll1Parser::generate(lang.grammar());
         match lang.name {
-            "JSON" => assert!(
-                result.is_ok(),
-                "JSON should be LL(1): {:?}",
-                result.err()
-            ),
-            _ => assert!(
-                result.is_err(),
-                "{} should not be LL(1)",
-                lang.name
-            ),
+            "JSON" => assert!(result.is_ok(), "JSON should be LL(1): {:?}", result.err()),
+            _ => assert!(result.is_err(), "{} should not be LL(1)", lang.name),
         }
     }
 }

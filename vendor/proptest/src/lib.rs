@@ -1,0 +1,769 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the slice of the proptest 1.x API its test suites
+//! use: the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`prop_oneof!`], the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! `prop_recursive` and `boxed`, integer-range / tuple / [`Just`] /
+//! `any::<T>()` strategies, [`collection::vec`], [`sample::select`], and
+//! character-class string patterns of the form `"[abc]{0,6}"`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: each test case's RNG is seeded from the test name
+//!   and case index, so runs are reproducible without regression files
+//!   (`.proptest-regressions` files are ignored).
+//! * **No shrinking**: a failing case reports the generated input and
+//!   panics immediately. The inputs in this workspace are small enough to
+//!   read unshrunk.
+
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::sync::Arc;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value: fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into a deeper one. The
+        /// `_desired_size` and `_expected_branch_size` knobs of upstream
+        /// proptest are accepted and ignored; recursion is unrolled
+        /// `depth` times with leaves at the bottom.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat.clone()).boxed();
+            }
+            strat
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between strategies of the same value type (the
+    /// backing for [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed correctly")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// String strategy from a `[class]{min,max}` pattern (the subset of
+    /// proptest's regex string strategies this workspace uses). The class
+    /// supports literal characters, `a-z` ranges, and `\n \t \r \\ \] \[
+    /// \- \/` escapes.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_class_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        fn bad_pattern(pattern: &str) -> ! {
+            panic!(
+                "unsupported string pattern {pattern:?}: this offline proptest \
+                 stand-in only handles \"[class]{{min,max}}\""
+            )
+        }
+
+        let mut it = pattern.chars().peekable();
+        if it.next() != Some('[') {
+            bad_pattern(pattern);
+        }
+        let mut chars: Vec<char> = Vec::new();
+        loop {
+            let c = it.next().unwrap_or_else(|| bad_pattern(pattern));
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = it.next().unwrap_or_else(|| bad_pattern(pattern));
+                    chars.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                }
+                _ => {
+                    if it.peek() == Some(&'-') {
+                        // Possible range; '-' just before ']' is literal.
+                        let mut ahead = it.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&']') | None => chars.push(c),
+                            Some(&hi) => {
+                                it.next();
+                                it.next();
+                                if hi < c {
+                                    bad_pattern(pattern);
+                                }
+                                chars.extend((c..=hi).filter(|ch| ch.is_ascii() || *ch <= hi));
+                            }
+                        }
+                    } else {
+                        chars.push(c);
+                    }
+                }
+            }
+        }
+        if chars.is_empty() {
+            bad_pattern(pattern);
+        }
+        if it.next() != Some('{') {
+            bad_pattern(pattern);
+        }
+        let rest: String = it.collect();
+        let body = rest
+            .strip_suffix('}')
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let (min, max) = match body.split_once(',') {
+            Some((a, b)) => (
+                a.parse().unwrap_or_else(|_| bad_pattern(pattern)),
+                b.parse().unwrap_or_else(|_| bad_pattern(pattern)),
+            ),
+            None => {
+                let n = body.parse().unwrap_or_else(|_| bad_pattern(pattern));
+                (n, n)
+            }
+        };
+        if max < min {
+            bad_pattern(pattern);
+        }
+        (chars, min, max)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The strategy [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy for this type.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for a primitive type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> { Any(std::marker::PhantomData) }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for bool {
+        type Strategy = Any<bool>;
+        fn arbitrary() -> Any<bool> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    /// The canonical strategy for `T` (upstream `proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length distribution for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_incl - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Test execution: configuration, RNG, and the case runner the
+/// [`proptest!`] macro expands to.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::fmt;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A property-level failure (what [`prop_assert!`](crate::prop_assert)
+    /// produces).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given reason.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// The deterministic per-case RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG for one (test, case) pair: runs are reproducible
+        /// without regression files.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n` is zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            if n.is_power_of_two() {
+                return self.next_u64() & (n - 1);
+            }
+            let zone = u64::MAX - (u64::MAX - n + 1) % n;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+
+    /// Runs one property over `config.cases` generated inputs. Failures
+    /// (returned errors or panics in the body) report the generated input
+    /// and abort the test immediately — no shrinking.
+    pub fn run_test<S, F>(name: &str, config: &ProptestConfig, strategy: &S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(name, case);
+            let value = strategy.generate(&mut rng);
+            let desc = format!("{value:#?}");
+            match catch_unwind(AssertUnwindSafe(|| body(value))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "property {name} failed at case {case}/{}: {e}\ninput: {desc}",
+                    config.cases
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "property {name} panicked at case {case}/{}\ninput: {desc}",
+                        config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one arm per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_test(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_class_and_lengths() {
+        use crate::strategy::Strategy as _;
+        let mut rng = TestRng::for_case("string_pattern", 0);
+        for _ in 0..200 {
+            let s = "[a-c x]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc x".contains(c)), "{s:?}");
+        }
+        let escaped = "[\\n\\t\\-\\]]{1,1}".generate(&mut rng);
+        assert!("\n\t-]".contains(escaped.chars().next().unwrap()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuple + range + vec + oneof + map compose.
+        #[test]
+        fn composed_strategies_generate_in_bounds(
+            n in 1usize..5,
+            xs in crate::collection::vec(0u64..10, 0..6),
+            pick in prop_oneof![2 => (0usize..3).prop_map(|v| v * 2), 1 => Just(99usize)],
+            seed in any::<u64>(),
+        ) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!(pick == 99 || pick % 2 == 0);
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property sometimes_fails")]
+    fn failures_report_input() {
+        crate::__proptest_items! {
+            (ProptestConfig::with_cases(64));
+            fn sometimes_fails(x in 0usize..8) {
+                prop_assert!(x != 5, "x hit the forbidden value");
+            }
+        }
+        sometimes_fails();
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use crate::strategy::Strategy as _;
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(i) => 1 + depth(i),
+            }
+        }
+        let strat = Just(T::Leaf).boxed().prop_recursive(4, 16, 2, |inner| {
+            inner.prop_map(|t| T::Node(Box::new(t))).boxed()
+        });
+        let mut rng = TestRng::for_case("recursive", 1);
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the small slice of the rand 0.9 API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`],
+//! [`Rng::random_bool`], and [`rngs::SmallRng`]. The generator is
+//! xoshiro256** seeded through SplitMix64 — the same construction the real
+//! `SmallRng` uses on 64-bit targets — so corpora generated with a given
+//! seed are high-quality and deterministic, though not bit-identical to
+//! upstream `rand`'s streams.
+
+#![warn(missing_docs)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of randomness: the subset of `rand::RngCore` + `rand::Rng`
+/// this workspace needs, merged into one trait for simplicity.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value in `range` (half-open `a..b` or inclusive
+    /// `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, mirroring upstream `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        T::sample(self, &range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool: p must be in [0,1]");
+        // 53 random bits -> uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples a value of `Self` uniformly from `range`.
+    fn sample<G: Rng + ?Sized, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self;
+}
+
+/// Uniform u64 in `[0, n)` without modulo bias (Lemire's method would be
+/// faster; widening-multiply rejection is simpler and unbiased).
+fn uniform_below<G: Rng + ?Sized>(rng: &mut G, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: Rng + ?Sized, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                let lo: u64 = match range.start_bound() {
+                    Bound::Included(&x) => x as u64,
+                    Bound::Excluded(&x) => (x as u64) + 1,
+                    Bound::Unbounded => 0,
+                };
+                let hi_incl: u64 = match range.end_bound() {
+                    Bound::Included(&x) => x as u64,
+                    Bound::Excluded(&x) => (x as u64).checked_sub(1)
+                        .expect("cannot sample from an empty range"),
+                    Bound::Unbounded => <$t>::MAX as u64,
+                };
+                assert!(lo <= hi_incl, "cannot sample from an empty range");
+                let span = hi_incl - lo;
+                let v = if span == u64::MAX { rng.next_u64() } else { uniform_below(rng, span + 1) };
+                (lo + v) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: Rng + ?Sized, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                // Shift to unsigned space to sample, then shift back.
+                let off = <$t>::MIN as $u;
+                let lo: $u = match range.start_bound() {
+                    Bound::Included(&x) => (x as $u).wrapping_sub(off),
+                    Bound::Excluded(&x) => (x as $u).wrapping_sub(off) + 1,
+                    Bound::Unbounded => 0,
+                };
+                let hi_incl: $u = match range.end_bound() {
+                    Bound::Included(&x) => (x as $u).wrapping_sub(off),
+                    Bound::Excluded(&x) => (x as $u).wrapping_sub(off).checked_sub(1)
+                        .expect("cannot sample from an empty range"),
+                    Bound::Unbounded => <$u>::MAX,
+                };
+                assert!(lo <= hi_incl, "cannot sample from an empty range");
+                let span = (hi_incl - lo) as u64;
+                let v = if span == u64::MAX { rng.next_u64() } else { uniform_below(rng, span + 1) };
+                ((lo as u64 + v) as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as upstream rand does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_hit_bounds_and_stay_inside() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let v: usize = rng.random_range(1..=4);
+            assert!((1..=4).contains(&v));
+            lo_seen |= v == 1;
+            hi_seen |= v == 4;
+        }
+        assert!(lo_seen && hi_seen);
+        for _ in 0..2000 {
+            let v: i32 = rng.random_range(-1000..1000);
+            assert!((-1000..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}
