@@ -12,12 +12,15 @@
 //!   the Python corpus.
 //! * `ablation_*` — the design-choice ablations from DESIGN.md, plus
 //!   `ablation_budget_overhead`, which prices the resource-governance
-//!   layer (budget metering and cache caps) against an ungoverned parse.
+//!   layer (budget metering and cache caps) against an ungoverned parse,
+//!   and `ablation_observer_overhead`, which prices the observability
+//!   layer: the monomorphized NullObserver path must cost the same as a
+//!   plain parse, and the metrics/trace observers must stay cheap.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use costar::{Budget, Parser};
+use costar::{Budget, MetricsObserver, NullObserver, Parser, TraceObserver};
 use costar_baselines::AntlrSim;
 use costar_bench::synthetic_grammar;
 use costar_grammar::analysis::GrammarAnalysis;
@@ -209,6 +212,41 @@ fn ablation_budget_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_observer_overhead(c: &mut Criterion) {
+    // Cost of the observability layer per observer flavor. The "null"
+    // arms are the ≤2%-overhead acceptance check: `parse` *is*
+    // `parse_observed(&mut NullObserver)`, monomorphized with every hook
+    // an empty inline default, so the two must time identically — any
+    // spread between them is measurement noise, and any spread between
+    // them and the pre-observer parser is the layer's true cost.
+    let mut group = c.benchmark_group("ablation_observer_overhead");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        let src = generate(17, 1_500);
+        let word = lang.tokenize(&src).expect("corpus lexes");
+        group.throughput(Throughput::Elements(word.len() as u64));
+
+        let mut parser = Parser::new(lang.grammar().clone());
+        assert!(parser.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("plain", lang.name), |b| {
+            b.iter(|| parser.parse(black_box(&word)))
+        });
+        group.bench_function(BenchmarkId::new("null", lang.name), |b| {
+            b.iter(|| parser.parse_observed(black_box(&word), &mut NullObserver))
+        });
+        group.bench_function(BenchmarkId::new("metrics", lang.name), |b| {
+            b.iter(|| parser.parse_with_metrics(black_box(&word)))
+        });
+        group.bench_function(BenchmarkId::new("trace", lang.name), |b| {
+            b.iter(|| {
+                let mut obs = (MetricsObserver::new(), TraceObserver::new(256));
+                parser.parse_observed(black_box(&word), &mut obs)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fig8_grammar_stats,
@@ -218,6 +256,7 @@ criterion_group!(
     ablation_sll_cache,
     ablation_cache_reuse,
     ablation_grammar_size,
-    ablation_budget_overhead
+    ablation_budget_overhead,
+    ablation_observer_overhead
 );
 criterion_main!(benches);

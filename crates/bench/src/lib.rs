@@ -569,6 +569,277 @@ impl fmt::Display for PredictionProfile {
 }
 
 // ---------------------------------------------------------------------
+// Parse observability report (BENCH_parse.json)
+// ---------------------------------------------------------------------
+
+/// One language's observed-parse measurements.
+#[derive(Debug, Clone)]
+pub struct ParseBenchRow {
+    /// Language name.
+    pub name: &'static str,
+    /// Total corpus tokens parsed per trial.
+    pub tokens: usize,
+    /// Throughput of the default (NullObserver) parse path.
+    pub null_tokens_per_sec: f64,
+    /// Throughput with a [`MetricsObserver`] attached.
+    pub observed_tokens_per_sec: f64,
+    /// Observed time / null time — the price of metrics collection.
+    pub observer_overhead: f64,
+    /// Multi-alternative prediction decisions over the corpus.
+    pub decisions: u64,
+    /// Single-alternative short-circuits.
+    pub single_alternative: u64,
+    /// Decisions SLL resolved without failover.
+    pub sll_resolved: u64,
+    /// SLL→LL failovers.
+    pub failovers: u64,
+    /// Fraction of decided decisions that SLL settled.
+    pub sll_fraction: f64,
+    /// SLL cache lookups.
+    pub cache_lookups: u64,
+    /// SLL cache hits.
+    pub cache_hits: u64,
+    /// hits / lookups (1.0 when there were no lookups).
+    pub cache_hit_rate: f64,
+    /// Machine steps over the corpus.
+    pub machine_steps: u64,
+    /// Prediction (lookahead) steps over the corpus.
+    pub prediction_steps: u64,
+    /// Meter-admitted steps over the corpus.
+    pub meter_steps: u64,
+    /// Whether every per-input [`costar::ParseMetrics`] reconciled.
+    pub reconciles: bool,
+}
+
+/// The parse observability report: per-language throughput, a
+/// prediction-mode breakdown, cache hit rates, and the cost of turning
+/// the metrics observer on. Serialized to `BENCH_parse.json`.
+#[derive(Debug, Clone)]
+pub struct ParseBench {
+    /// One row per benchmark language.
+    pub rows: Vec<ParseBenchRow>,
+    /// Time-weighted overhead across all corpora: total observed seconds
+    /// over total null seconds. This is the CI gate's number — the
+    /// per-language ratios on fast corpora are noise-prone (a JSON pass
+    /// is a few milliseconds), while the aggregate is dominated by the
+    /// slowest corpus and stays stable run to run.
+    pub overall_overhead: f64,
+}
+
+/// Runs every language corpus through the default parse path and the
+/// metrics-observed path, collecting the [`ParseBench`] report.
+pub fn parse_bench(cfg: &Config) -> ParseBench {
+    let mut total_null = 0.0;
+    let mut total_observed = 0.0;
+    let rows = prepare_corpora(cfg)
+        .into_iter()
+        .map(|c| {
+            let mut parser = Parser::new(c.lang.grammar().clone());
+            for w in &c.words {
+                expect_unique(c.lang.name, &parser.parse(w));
+            }
+            let tokens: usize = c.words.iter().map(Vec::len).sum();
+            // The overhead ratio feeds a CI gate, so the estimator must be
+            // noise-robust: interleave the two arms and keep each arm's
+            // minimum over several repetitions (the minimum is the least
+            // contaminated by scheduler noise; a mean-of-few flakes).
+            let reps = cfg.trials.max(5);
+            let mut null_secs = f64::INFINITY;
+            let mut observed_secs = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                for w in &c.words {
+                    black_box(parser.parse(w));
+                }
+                null_secs = null_secs.min(start.elapsed().as_secs_f64());
+                let start = Instant::now();
+                for w in &c.words {
+                    black_box(parser.parse_with_metrics(w));
+                }
+                observed_secs = observed_secs.min(start.elapsed().as_secs_f64());
+            }
+            total_null += null_secs;
+            total_observed += observed_secs;
+
+            // One more observed pass to aggregate the counters (timing
+            // excluded so the throughput numbers above stay clean).
+            let mut row = ParseBenchRow {
+                name: c.lang.name,
+                tokens,
+                null_tokens_per_sec: tokens as f64 / null_secs.max(1e-12),
+                observed_tokens_per_sec: tokens as f64 / observed_secs.max(1e-12),
+                observer_overhead: observed_secs / null_secs.max(1e-12),
+                decisions: 0,
+                single_alternative: 0,
+                sll_resolved: 0,
+                failovers: 0,
+                sll_fraction: 1.0,
+                cache_lookups: 0,
+                cache_hits: 0,
+                cache_hit_rate: 1.0,
+                machine_steps: 0,
+                prediction_steps: 0,
+                meter_steps: 0,
+                reconciles: true,
+            };
+            for w in &c.words {
+                let (_, m) = parser.parse_with_metrics(w);
+                row.decisions += m.decisions;
+                row.single_alternative += m.single_alternative;
+                row.sll_resolved += m.sll_resolved;
+                row.failovers += m.failovers;
+                row.cache_lookups += m.cache_lookups;
+                row.cache_hits += m.cache_hits;
+                row.machine_steps += m.machine_steps;
+                row.prediction_steps += m.prediction_steps;
+                row.meter_steps += m.meter_steps;
+                row.reconciles &= m.reconciles();
+            }
+            let decided = row.sll_resolved + row.failovers;
+            if decided > 0 {
+                row.sll_fraction = row.sll_resolved as f64 / decided as f64;
+            }
+            if row.cache_lookups > 0 {
+                row.cache_hit_rate = row.cache_hits as f64 / row.cache_lookups as f64;
+            }
+            row
+        })
+        .collect();
+    ParseBench {
+        rows,
+        overall_overhead: total_observed / total_null.max(1e-12),
+    }
+}
+
+impl ParseBench {
+    /// Serializes the report as JSON (hand-rolled; the workspace carries
+    /// no serialization dependency).
+    pub fn to_json(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::from("{\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":{:?},\"tokens\":{},\"null_tokens_per_sec\":{:.1},\
+                 \"observed_tokens_per_sec\":{:.1},\"observer_overhead\":{:.4},\
+                 \"decisions\":{},\"single_alternative\":{},\"sll_resolved\":{},\
+                 \"failovers\":{},\"sll_fraction\":{:.4},\"cache_lookups\":{},\
+                 \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"machine_steps\":{},\
+                 \"prediction_steps\":{},\"meter_steps\":{},\"reconciles\":{}}}",
+                r.name,
+                r.tokens,
+                r.null_tokens_per_sec,
+                r.observed_tokens_per_sec,
+                r.observer_overhead,
+                r.decisions,
+                r.single_alternative,
+                r.sll_resolved,
+                r.failovers,
+                r.sll_fraction,
+                r.cache_lookups,
+                r.cache_hits,
+                r.cache_hit_rate,
+                r.machine_steps,
+                r.prediction_steps,
+                r.meter_steps,
+                r.reconciles
+            );
+        }
+        let _ = write!(s, "],\"overall_overhead\":{:.4}}}", self.overall_overhead);
+        s
+    }
+
+    /// Compares this run's observer overhead against a committed baseline
+    /// report (`to_json` output). Fails when the time-weighted overall
+    /// overhead exceeds the baseline's by more than the relative
+    /// `tolerance` (e.g. 0.05 for 5%) *and* is itself more than
+    /// `tolerance` above parity — so timing noise around a near-1.0 ratio
+    /// never fails the gate, only a real regression of the observer hot
+    /// path does. Per-language ratios are reported but not gated (a few
+    /// milliseconds of fast-corpus parse time is too noisy to gate on);
+    /// a reconciliation failure on any language always fails.
+    pub fn check_against(&self, baseline_json: &str, tolerance: f64) -> Result<(), String> {
+        let mut failures = Vec::new();
+        let Some(base) = extract_number(baseline_json, "overall_overhead") else {
+            return Err("baseline has no overall_overhead field".into());
+        };
+        if self.overall_overhead > base * (1.0 + tolerance)
+            && self.overall_overhead > 1.0 + tolerance
+        {
+            failures.push(format!(
+                "overall observer overhead {:.3}x exceeds baseline {:.3}x by more than {:.0}%",
+                self.overall_overhead,
+                base,
+                tolerance * 100.0
+            ));
+        }
+        for r in &self.rows {
+            if !r.reconciles {
+                failures.push(format!("{}: metrics failed to reconcile", r.name));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("\n"))
+        }
+    }
+}
+
+/// Pulls the first numeric value keyed by `key` out of a
+/// `ParseBench::to_json` document. A tiny purpose-built scanner — the
+/// workspace has no JSON parser dependency and the format is our own.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("{:?}:", key);
+    let at = json.find(&needle)? + needle.len();
+    let tail = &json[at..];
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+impl fmt::Display for ParseBench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Parse observability report")?;
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>12} {:>9} {:>10} {:>8} {:>10} {:>9}",
+            "Benchmark",
+            "tokens",
+            "tok/s(null)",
+            "obs cost",
+            "decisions",
+            "SLL %",
+            "failovers",
+            "hit rate"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>10} {:>12.0} {:>8.2}x {:>10} {:>7.1}% {:>10} {:>8.1}%",
+                r.name,
+                r.tokens,
+                r.null_tokens_per_sec,
+                r.observer_overhead,
+                r.decisions,
+                r.sll_fraction * 100.0,
+                r.failovers,
+                r.cache_hit_rate * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "overall observer overhead (time-weighted): {:.2}x",
+            self.overall_overhead
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------
 
@@ -899,6 +1170,36 @@ mod tests {
         for r in &a.rows {
             assert!(r.variant_secs > 0.0 && r.base_secs > 0.0, "{}", r.label);
         }
+    }
+
+    #[test]
+    fn parse_bench_reconciles_and_gates() {
+        let p = parse_bench(&tiny());
+        assert_eq!(p.rows.len(), 4);
+        for r in &p.rows {
+            assert!(r.reconciles, "{}: metrics must reconcile", r.name);
+            assert!(r.tokens > 0 && r.null_tokens_per_sec > 0.0);
+            assert!(r.decisions > 0, "{}", r.name);
+            assert!((0.0..=1.0).contains(&r.cache_hit_rate));
+        }
+        let json = p.to_json();
+        assert!(json.contains("\"observer_overhead\""));
+        assert!(json.contains("\"overall_overhead\""));
+        assert!(json.contains("\"reconciles\":true"));
+        // The gate accepts a run against its own baseline...
+        p.check_against(&json, 0.05)
+            .expect("self-comparison passes");
+        // ...and rejects a genuinely regressed observer path.
+        let mut worse = p.clone();
+        worse.overall_overhead = 10.0;
+        assert!(worse.check_against(&json, 0.05).is_err());
+        // ...and a baseline without the gate number is a configuration
+        // error, not a pass.
+        assert!(p.check_against("{\"rows\":[]}", 0.05).is_err());
+        // A torn metrics report always fails.
+        let mut torn = p.clone();
+        torn.rows[0].reconciles = false;
+        assert!(torn.check_against(&json, 0.05).is_err());
     }
 
     #[test]

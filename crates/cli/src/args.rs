@@ -7,11 +7,27 @@ use costar_langs::{all_languages, Generator, Language};
 pub const USAGE: &str = "\
 usage:
   costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens \"a b c\")
-                  [--tree] [--stats] [--time]
+                  [--tree] [--stats[=json]] [--time] [--trace-buffer N]
                   [--max-steps N] [--deadline-ms N] [--cache-cap N]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
   costar generate --lang L [--size N] [--seed S]
-  costar tokens   --lang L FILE";
+  costar tokens   --lang L FILE
+
+  --stats prints a human-readable metrics summary to stderr;
+  --stats=json prints the full ParseMetrics object as JSON on stdout.
+  --trace-buffer keeps the last N parse events and dumps them to stderr
+  when the parse does not accept.";
+
+/// How `--stats` should report parse metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsMode {
+    /// No metrics collection (the default, zero-overhead path).
+    Off,
+    /// Human-readable summary on stderr.
+    Human,
+    /// Full `ParseMetrics` JSON object on stdout.
+    Json,
+}
 
 /// Where the grammar comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,10 +49,12 @@ pub enum Command {
         input: Option<String>,
         /// Print the parse tree.
         tree: bool,
-        /// Print prediction statistics.
-        stats: bool,
+        /// Metrics reporting mode.
+        stats: StatsMode,
         /// Print parse time.
         time: bool,
+        /// Keep the last N parse events for a post-mortem dump.
+        trace_buffer: Option<usize>,
         /// Budget: abort after this many machine steps + lookahead tokens.
         max_steps: Option<u64>,
         /// Budget: abort once this many milliseconds have elapsed.
@@ -87,7 +105,9 @@ impl Args {
                 let mut grammar = None;
                 let mut tokens = None;
                 let mut file = None;
-                let (mut tree, mut stats, mut time) = (false, false, false);
+                let (mut tree, mut time) = (false, false);
+                let mut stats = StatsMode::Off;
+                let mut trace_buffer = None;
                 let mut max_steps = None;
                 let mut deadline_ms = None;
                 let mut cache_cap = None;
@@ -97,8 +117,18 @@ impl Args {
                         "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
                         "--tokens" => tokens = Some(required(&mut args, "--tokens")?),
                         "--tree" => tree = true,
-                        "--stats" => stats = true,
+                        "--stats" => stats = StatsMode::Human,
+                        "--stats=json" => stats = StatsMode::Json,
+                        other if other.starts_with("--stats=") => {
+                            return Err(format!(
+                                "unknown stats mode {:?} (try --stats or --stats=json)",
+                                &other["--stats=".len()..]
+                            ));
+                        }
                         "--time" => time = true,
+                        "--trace-buffer" => {
+                            trace_buffer = Some(number::<usize>(&mut args, "--trace-buffer")?)
+                        }
                         "--max-steps" => max_steps = Some(number(&mut args, "--max-steps")?),
                         "--deadline-ms" => deadline_ms = Some(number(&mut args, "--deadline-ms")?),
                         "--cache-cap" => {
@@ -122,6 +152,7 @@ impl Args {
                         tree,
                         stats,
                         time,
+                        trace_buffer,
                         max_steps,
                         deadline_ms,
                         cache_cap,
@@ -246,6 +277,7 @@ mod tests {
             tree,
             stats,
             time,
+            trace_buffer,
             max_steps,
             deadline_ms,
             cache_cap,
@@ -255,8 +287,44 @@ mod tests {
         };
         assert_eq!(source, GrammarSource::Lang("json".into()));
         assert_eq!(input.as_deref(), Some("file.json"));
-        assert!(tree && time && !stats);
+        assert!(tree && time);
+        assert_eq!(stats, StatsMode::Off);
+        assert!(trace_buffer.is_none());
         assert!(max_steps.is_none() && deadline_ms.is_none() && cache_cap.is_none());
+    }
+
+    #[test]
+    fn stats_modes_and_trace_buffer() {
+        let a = parse(&["parse", "--lang", "json", "f", "--stats"]).unwrap();
+        let Command::Parse { stats, .. } = a.command else {
+            panic!("wrong command")
+        };
+        assert_eq!(stats, StatsMode::Human);
+
+        let a = parse(&[
+            "parse",
+            "--lang",
+            "json",
+            "f",
+            "--stats=json",
+            "--trace-buffer",
+            "128",
+        ])
+        .unwrap();
+        let Command::Parse {
+            stats,
+            trace_buffer,
+            ..
+        } = a.command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(stats, StatsMode::Json);
+        assert_eq!(trace_buffer, Some(128));
+
+        assert!(parse(&["parse", "--lang", "json", "f", "--stats=yaml"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "f", "--trace-buffer", "many"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "f", "--trace-buffer"]).is_err());
     }
 
     #[test]

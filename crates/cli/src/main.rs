@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens "a b c")
-//!                 [--tree] [--stats] [--time]
+//!                 [--tree] [--stats[=json]] [--time] [--trace-buffer N]
 //!                 [--max-steps N] [--deadline-ms N] [--cache-cap N]
 //! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
 //! costar generate --lang L [--size N] [--seed S]
@@ -20,8 +20,16 @@
 //! reject — and exits with code 3. `check` runs the static analyses:
 //! grammar sizes, the left-recursion decision procedure (paper §8 future
 //! work), and an LL(1)-class check via the baseline generator.
+//!
+//! Observability: `--stats` prints a human-readable metrics summary on
+//! stderr (so it composes with `--tree` output on stdout); `--stats=json`
+//! prints the full [`costar::ParseMetrics`] object as one JSON line on
+//! stdout and moves the human verdict line to stderr, so stdout is
+//! machine-readable. `--trace-buffer N` retains the last N parse events
+//! in a ring buffer and dumps them to stderr whenever the parse does not
+//! accept — a bounded post-mortem of what the machine was doing.
 
-use costar::{Budget, ParseOutcome, Parser};
+use costar::{Budget, MetricsObserver, ParseOutcome, Parser, TraceObserver};
 use costar_baselines::Ll1Parser;
 use costar_grammar::transform::eliminate_left_recursion;
 use costar_grammar::{Grammar, Token};
@@ -31,7 +39,7 @@ use std::time::Instant;
 mod args;
 mod render;
 
-use args::{Args, Command, GrammarSource};
+use args::{Args, Command, GrammarSource, StatsMode};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -59,6 +67,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             tree,
             stats,
             time,
+            trace_buffer,
             max_steps,
             deadline_ms,
             cache_cap,
@@ -73,7 +82,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             if let Some(n) = cache_cap {
                 budget = budget.with_max_cache_entries(n);
             }
-            cmd_parse(source, input, tree, stats, time, budget)
+            cmd_parse(source, input, tree, stats, time, trace_buffer, budget)
         }
         Command::Check {
             source,
@@ -133,8 +142,9 @@ fn cmd_parse(
     source: GrammarSource,
     input: Option<String>,
     tree: bool,
-    stats: bool,
+    stats: StatsMode,
     time: bool,
+    trace_buffer: Option<usize>,
     budget: Budget,
 ) -> Result<ExitCode, String> {
     let (grammar, tokens) = load(source, input)?;
@@ -145,68 +155,139 @@ fn cmd_parse(
              (try `costar check --eliminate-lr`)"
         );
     }
+
+    // The default path stays on the monomorphized no-op observer; metrics
+    // and tracing are only wired in when a flag asks for them.
+    let observing = stats != StatsMode::Off || trace_buffer.is_some();
+    let mut metrics = None;
+    let mut trace = None;
     let start = Instant::now();
-    let outcome = parser.parse(&tokens);
+    let outcome = if observing {
+        let mut obs = (
+            MetricsObserver::new(),
+            TraceObserver::new(trace_buffer.unwrap_or(0)),
+        );
+        let outcome = parser.parse_observed(&tokens, &mut obs);
+        let (mobs, tobs) = obs;
+        metrics = Some(mobs.into_metrics());
+        trace = Some(tobs);
+        outcome
+    } else {
+        parser.parse(&tokens)
+    };
     let elapsed = start.elapsed();
+    if let Some(m) = metrics.as_mut() {
+        m.tokens = tokens.len();
+        m.total_nanos = elapsed.as_nanos() as u64;
+    }
+
+    // With `--stats=json` stdout carries the JSON report, so the human
+    // verdict line moves to stderr.
+    let json_mode = stats == StatsMode::Json;
+    let verdict = |line: String| {
+        if json_mode {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
 
     let code = match &outcome {
         ParseOutcome::Unique(t) => {
-            println!(
+            verdict(format!(
                 "unique parse ({} tokens, {} tree nodes)",
                 tokens.len(),
                 t.size()
-            );
+            ));
             if tree {
                 print!("{}", t.render(parser.grammar().symbols()));
             }
             ExitCode::SUCCESS
         }
         ParseOutcome::Ambig(t) => {
-            println!(
+            verdict(format!(
                 "AMBIGUOUS input ({} tokens); one of its parse trees has {} nodes",
                 tokens.len(),
                 t.size()
-            );
+            ));
             if tree {
                 print!("{}", t.render(parser.grammar().symbols()));
             }
             ExitCode::SUCCESS
         }
         ParseOutcome::Reject(reason) => {
-            println!(
+            verdict(format!(
                 "reject: {}",
                 render::describe_reject(parser.grammar(), reason)
-            );
+            ));
             ExitCode::FAILURE
         }
         ParseOutcome::Error(e) => {
-            println!("error: {}", render::describe_error(parser.grammar(), e));
+            verdict(format!(
+                "error: {}",
+                render::describe_error(parser.grammar(), e)
+            ));
             ExitCode::FAILURE
         }
         ParseOutcome::Aborted(r) => {
-            println!(
+            verdict(format!(
                 "aborted: {r} — input neither accepted nor rejected \
                  (raise --max-steps/--deadline-ms to resolve it)"
-            );
+            ));
             ExitCode::from(3)
         }
     };
-    if stats {
-        let s = parser.prediction_stats();
-        println!(
-            "decisions: {} (+{} single-alt), SLL-resolved {}, failovers {}, \
-             lookahead mean {:.2} max {}",
-            s.predictions,
-            s.single_alternative,
-            s.sll_resolved,
-            s.failovers,
-            s.mean_lookahead(),
-            s.max_lookahead
-        );
+
+    // Post-mortem trace: only when a buffer was requested and the parse
+    // did not accept.
+    if trace_buffer.is_some()
+        && !matches!(outcome, ParseOutcome::Unique(_) | ParseOutcome::Ambig(_))
+    {
+        if let Some(t) = &trace {
+            eprintln!("trace: last {} of {} events:", t.len(), t.total_events());
+            eprint!("{}", t.dump(Some(parser.grammar().symbols())));
+        }
+    }
+
+    match (stats, metrics.as_ref()) {
+        (StatsMode::Human, Some(m)) => {
+            let s = parser.prediction_stats();
+            eprintln!(
+                "decisions: {} (+{} single-alt), SLL-resolved {}, failovers {}, \
+                 lookahead mean {:.2} max {}",
+                s.predictions,
+                s.single_alternative,
+                s.sll_resolved,
+                s.failovers,
+                s.mean_lookahead(),
+                s.max_lookahead
+            );
+            eprintln!(
+                "steps: {} machine + {} prediction = {} metered \
+                 ({} pushes, {} consumes, {} returns, max stack {})",
+                m.machine_steps,
+                m.prediction_steps,
+                m.meter_steps,
+                m.pushes,
+                m.consumes,
+                m.returns,
+                m.max_stack_height
+            );
+            eprintln!(
+                "cache: {} lookups, {} hits, {} misses ({:.1}% hit rate), {} evictions",
+                m.cache_lookups,
+                m.cache_hits,
+                m.cache_misses,
+                m.cache_hit_rate() * 100.0,
+                m.cache_evictions
+            );
+        }
+        (StatsMode::Json, Some(m)) => println!("{}", m.to_json()),
+        _ => {}
     }
     if time {
         let secs = elapsed.as_secs_f64();
-        println!(
+        eprintln!(
             "parse time: {:.3} ms ({:.0} tokens/sec)",
             secs * 1e3,
             tokens.len() as f64 / secs.max(1e-12)

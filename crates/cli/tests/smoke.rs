@@ -30,10 +30,77 @@ fn generate_then_parse_round_trip() {
         .output()
         .expect("spawn");
     let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("unique parse"), "{stdout}");
-    assert!(stdout.contains("decisions:"), "{stdout}");
+    // Human stats and timing report on stderr, keeping stdout for the
+    // verdict (and, with --tree, the rendered tree).
+    assert!(stderr.contains("decisions:"), "{stderr}");
+    assert!(stderr.contains("cache:"), "{stderr}");
+    assert!(stderr.contains("parse time:"), "{stderr}");
+    assert!(!stdout.contains("decisions:"), "{stdout}");
     let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn stats_json_goes_to_stdout_and_reconciles() {
+    let out = costar()
+        .args(["generate", "--lang", "json", "--size", "80", "--seed", "11"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let path = tmp_file("statsjson", &json);
+
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .arg("--stats=json")
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(out.status.success(), "{stdout}{stderr}");
+    // stdout is exactly one JSON object; the verdict line moves to stderr.
+    assert!(stdout.trim().starts_with('{'), "{stdout}");
+    assert!(stdout.trim().ends_with('}'), "{stdout}");
+    assert!(stderr.contains("unique parse"), "{stderr}");
+    // The metrics must self-certify: machine + prediction steps equal the
+    // meter, and the cache lookup/hit/miss accounting closes.
+    assert!(stdout.contains("\"reconciles\":true"), "{stdout}");
+    assert!(stdout.contains("\"machine_steps\":"), "{stdout}");
+    assert!(stdout.contains("\"cache_hit_rate\":"), "{stdout}");
+    assert!(stdout.contains("\"abort\":null"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn trace_buffer_dumps_on_reject() {
+    let path = tmp_file("tracebad", "[1, 2, }");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--trace-buffer", "32"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("trace: last"), "{stderr}");
+    assert!(stderr.contains("consume"), "{stderr}");
+
+    // On an accepting parse the buffer stays silent.
+    let good = tmp_file("traceok", "[1, 2]");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&good)
+        .args(["--trace-buffer", "32"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(!stderr.contains("trace:"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(good);
 }
 
 #[test]
@@ -180,5 +247,23 @@ fn cache_cap_degrades_without_changing_the_verdict() {
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("unique parse"), "{stdout}");
+
+    // `--cache-cap 0` is the cache-off mode: every prediction re-simulates
+    // (all lookups miss, nothing evicts) but the verdict is unchanged —
+    // exercised on deeply nested input to stress repeated decisions.
+    let nested = format!("{}42{}", "[".repeat(40), "]".repeat(40));
+    let deep = tmp_file("cap0", &nested);
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&deep)
+        .args(["--cache-cap", "0", "--stats=json"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"cache_hits\":0"), "{stdout}");
+    assert!(stdout.contains("\"cache_evictions\":0"), "{stdout}");
+    assert!(stdout.contains("\"reconciles\":true"), "{stdout}");
     let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(deep);
 }

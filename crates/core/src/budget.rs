@@ -256,16 +256,13 @@ impl Meter {
     }
 
     /// Charges `n` units of fuel and (periodically) checks the deadline.
+    ///
+    /// `steps_taken()` counts only *admitted* work: a charge that fails —
+    /// on fuel or on deadline — leaves the counter untouched, so the
+    /// counter reconciles exactly with the observer-layer step counts.
+    /// Deadline bookkeeping runs before the fuel check so that an
+    /// exhausted fuel pool cannot starve the clock.
     pub(crate) fn charge(&mut self, n: u64) -> Result<(), AbortReason> {
-        self.steps = self.steps.saturating_add(n);
-        if let Some(fuel) = &mut self.fuel {
-            if *fuel < n {
-                return Err(AbortReason::StepLimit {
-                    limit: self.step_limit,
-                });
-            }
-            *fuel -= n;
-        }
         if let Some((start, limit)) = self.deadline {
             let spent = u32::try_from(n).unwrap_or(u32::MAX);
             self.until_clock_check = self.until_clock_check.saturating_sub(spent.max(1));
@@ -278,6 +275,15 @@ impl Meter {
                 }
             }
         }
+        if let Some(fuel) = &mut self.fuel {
+            if *fuel < n {
+                return Err(AbortReason::StepLimit {
+                    limit: self.step_limit,
+                });
+            }
+            *fuel -= n;
+        }
+        self.steps = self.steps.saturating_add(n);
         Ok(())
     }
 
@@ -315,6 +321,36 @@ mod tests {
             Err(AbortReason::StepLimit { limit: 3 }),
             "fourth unit of fuel must abort"
         );
+    }
+
+    #[test]
+    fn failed_charge_does_not_inflate_steps_taken() {
+        let mut m = Meter::new(&Budget::unlimited().with_max_steps(3));
+        m.charge(3).unwrap();
+        assert_eq!(m.steps_taken(), 3);
+        assert_eq!(m.charge(5), Err(AbortReason::StepLimit { limit: 3 }));
+        assert_eq!(
+            m.steps_taken(),
+            3,
+            "a rejected charge must not count toward steps_taken"
+        );
+        assert!(m.charge(1).is_err());
+        assert_eq!(m.steps_taken(), 3);
+    }
+
+    #[test]
+    fn deadline_bookkeeping_runs_even_when_fuel_is_exhausted() {
+        // Fuel 0 plus an already-expired deadline: the deadline must win,
+        // proving the StepLimit early-return no longer skips the clock.
+        let mut m = Meter::new(
+            &Budget::unlimited()
+                .with_max_steps(0)
+                .with_deadline(Duration::ZERO),
+        );
+        assert!(matches!(
+            m.charge(1),
+            Err(AbortReason::DeadlineExpired { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::budget::Budget;
 use crate::invariants::{check_all_with_input, InvariantViolation};
 use crate::machine::{Machine, ParseOutcome, StepResult};
 use crate::measure::{meas, Measure};
+use crate::observe::{MetricsObserver, ParseMetrics, ParseObserver};
 use crate::prediction::cache::SllCache;
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::{Grammar, Token};
@@ -67,6 +68,13 @@ impl fmt::Display for InstrumentError {
 impl std::error::Error for InstrumentError {}
 
 /// Statistics collected by an instrumented run.
+///
+/// Superseded by [`ParseMetrics`], which carries the same operation counts
+/// plus prediction, cache, and timing dimensions. Note one semantic shift:
+/// [`ParseMetrics::machine_steps`] counts *every* meter-admitted machine
+/// step, including the final accepting/rejecting one, where `steps` here
+/// counted only steps that continued the run.
+#[deprecated(note = "use `ParseMetrics` from `run_instrumented` instead")]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InstrumentReport {
     /// Number of machine steps executed.
@@ -79,6 +87,22 @@ pub struct InstrumentReport {
     pub consumes: usize,
     /// Number of return operations.
     pub returns: usize,
+}
+
+#[allow(deprecated)]
+impl InstrumentReport {
+    /// Projects the legacy report out of a [`ParseMetrics`] for callers
+    /// that have not migrated yet (`steps` adopts the new
+    /// all-admitted-steps semantics).
+    pub fn from_metrics(m: &ParseMetrics) -> Self {
+        InstrumentReport {
+            steps: m.machine_steps as usize,
+            max_stack_height: m.max_stack_height,
+            pushes: m.pushes as usize,
+            consumes: m.consumes as usize,
+            returns: m.returns as usize,
+        }
+    }
 }
 
 /// Runs a full parse, checking the termination measure and the machine
@@ -94,7 +118,7 @@ pub fn run_instrumented(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     word: &[Token],
-) -> Result<(ParseOutcome, InstrumentReport), InstrumentError> {
+) -> Result<(ParseOutcome, ParseMetrics), InstrumentError> {
     run_instrumented_with(g, analysis, word, &Budget::unlimited())
 }
 
@@ -108,69 +132,51 @@ pub fn run_instrumented_with(
     analysis: &GrammarAnalysis,
     word: &[Token],
     budget: &Budget,
-) -> Result<(ParseOutcome, InstrumentReport), InstrumentError> {
+) -> Result<(ParseOutcome, ParseMetrics), InstrumentError> {
     let mut cache = SllCache::new();
     cache.set_capacity(budget.max_cache_entries(), budget.max_cache_bytes());
     let mut machine =
         Machine::with_budget(g, analysis, word, crate::PredictionMode::Adaptive, budget);
-    let mut report = InstrumentReport::default();
+    let mut obs = MetricsObserver::new();
     let mut before = meas(g, machine.state(), word.len());
+    let mut cont_steps = 0usize;
 
-    loop {
-        // Classify the upcoming operation for the report.
-        let top = machine
-            .state()
-            .suffix
-            .last()
-            .expect("suffix stack never empties");
-        let op = if top.is_exhausted() {
-            2 // return (or accept, which ends the loop anyway)
-        } else if top.head().expect("not exhausted").is_terminal() {
-            1 // consume
-        } else {
-            0 // push
-        };
-
-        match machine.step(&mut cache) {
+    let outcome = loop {
+        match machine.step_observed(&mut cache, &mut obs) {
             StepResult::Cont => {
-                report.steps += 1;
-                match op {
-                    0 => report.pushes += 1,
-                    1 => report.consumes += 1,
-                    _ => report.returns += 1,
-                }
-                report.max_stack_height =
-                    report.max_stack_height.max(machine.state().stack_height());
-
+                cont_steps += 1;
                 let after = meas(g, machine.state(), word.len());
                 if after >= before {
                     return Err(InstrumentError::MeasureNotDecreased {
                         before,
                         after,
-                        step: report.steps - 1,
+                        step: cont_steps - 1,
                     });
                 }
                 if let Err(violation) = check_all_with_input(g, machine.state(), word) {
                     return Err(InstrumentError::Invariant {
                         violation,
-                        step: report.steps - 1,
+                        step: cont_steps - 1,
                     });
                 }
                 before = after;
             }
             StepResult::Accept(tree) => {
-                let outcome = if machine.state().unique {
+                break if machine.state().unique {
                     ParseOutcome::Unique(tree)
                 } else {
                     ParseOutcome::Ambig(tree)
                 };
-                return Ok((outcome, report));
             }
-            StepResult::Reject(r) => return Ok((ParseOutcome::Reject(r), report)),
-            StepResult::Error(e) => return Ok((ParseOutcome::Error(e), report)),
-            StepResult::Abort(r) => return Ok((ParseOutcome::Aborted(r), report)),
+            StepResult::Reject(r) => break ParseOutcome::Reject(r),
+            StepResult::Error(e) => break ParseOutcome::Error(e),
+            StepResult::Abort(r) => break ParseOutcome::Aborted(r),
         }
-    }
+    };
+    obs.on_finish(machine.steps_taken());
+    let mut metrics = obs.into_metrics();
+    metrics.tokens = word.len();
+    Ok((outcome, metrics))
 }
 
 #[cfg(test)]
@@ -181,7 +187,7 @@ mod tests {
     fn instrumented(
         build: impl FnOnce(&mut GrammarBuilder),
         word: &[(&str, &str)],
-    ) -> (ParseOutcome, InstrumentReport) {
+    ) -> (ParseOutcome, ParseMetrics) {
         let mut gb = GrammarBuilder::new();
         build(&mut gb);
         let g = gb.build().unwrap();
@@ -207,8 +213,17 @@ mod tests {
         assert_eq!(report.consumes, 3);
         assert_eq!(report.pushes, 3); // S, A, A
         assert_eq!(report.returns, 3);
-        assert_eq!(report.steps, 9);
+        // 9 continuing steps plus the final accepting step, each one
+        // admitted by the meter.
+        assert_eq!(report.machine_steps, 10);
         assert_eq!(report.max_stack_height, 4);
+        assert!(report.reconciles());
+        #[allow(deprecated)]
+        {
+            let legacy = InstrumentReport::from_metrics(&report);
+            assert_eq!(legacy.steps, 10);
+            assert_eq!(legacy.consumes, 3);
+        }
     }
 
     #[test]

@@ -54,6 +54,10 @@
 //!   derived from the §4 termination measure, wall-clock deadlines, stack
 //!   depth and cache capacity limits, surfacing as
 //!   [`ParseOutcome::Aborted`] instead of unbounded work.
+//! * [`observe`] — zero-cost-when-disabled observability: the
+//!   [`ParseObserver`] hook trait, [`MetricsObserver`]/[`ParseMetrics`]
+//!   for counters and latency histograms, and [`TraceObserver`] for
+//!   bounded post-mortem event traces.
 
 #![warn(missing_docs)]
 
@@ -66,6 +70,7 @@ pub mod instrument;
 pub mod invariants;
 pub mod machine;
 pub mod measure;
+pub mod observe;
 mod parser;
 mod prediction;
 pub mod semantics;
@@ -76,5 +81,8 @@ pub use error::{ParseError, RejectReason};
 #[cfg(feature = "faults")]
 pub use faults::FaultPlan;
 pub use machine::{Machine, ParseOutcome, PredictionMode, StepResult};
+pub use observe::{
+    MetricsObserver, NullObserver, ParseMetrics, ParseObserver, TraceEvent, TraceObserver,
+};
 pub use parser::{parse, Parser};
 pub use prediction::cache::{CacheStats, PredictionStats, SllCache};

@@ -11,6 +11,7 @@
 
 use crate::budget::{AbortReason, Budget, Meter};
 use crate::error::{ParseError, RejectReason};
+use crate::observe::{MachineOp, NullObserver, ParseObserver};
 use crate::prediction::cache::SllCache;
 use crate::prediction::{adaptive_predict, ll_only_predict, Prediction};
 use crate::state::{MachineState, PrefixFrame, SuffixFrame};
@@ -181,9 +182,26 @@ impl<'a> Machine<'a> {
     /// budget is exhausted — the machine state is left consistent but the
     /// parse is unresolved.
     pub fn step(&mut self, cache: &mut SllCache) -> StepResult {
+        self.step_observed(cache, &mut NullObserver)
+    }
+
+    /// [`step`](Machine::step) with a [`ParseObserver`] receiving the
+    /// step's events. Monomorphized per observer type; with
+    /// [`NullObserver`] this compiles to the unobserved step.
+    ///
+    /// [`ParseObserver::on_machine_step`] fires immediately after the
+    /// successful fuel charge, so observer step counts reconcile exactly
+    /// with [`Machine::steps_taken`].
+    pub fn step_observed<O: ParseObserver>(
+        &mut self,
+        cache: &mut SllCache,
+        obs: &mut O,
+    ) -> StepResult {
         if let Err(r) = self.meter.charge(1) {
+            obs.on_abort(&r);
             return StepResult::Abort(r);
         }
+        obs.on_machine_step(self.state.cursor, self.state.suffix.len());
         #[cfg(feature = "faults")]
         {
             let step_index = self.meter.steps_taken() - 1;
@@ -244,6 +262,7 @@ impl<'a> Machine<'a> {
             };
             caller_frame.trees.push(Tree::Node(x, popped.trees));
             st.visited.remove(x);
+            obs.on_op(MachineOp::Return, st.cursor, st.suffix.len());
             return StepResult::Cont;
         }
 
@@ -259,7 +278,11 @@ impl<'a> Machine<'a> {
                     None => StepResult::Reject(RejectReason::UnexpectedEnd { expected: a }),
                     Some(t) if t.terminal() == a => {
                         st.suffix[top].dot += 1;
+                        // Token lexemes are `Arc<str>`, so this clone is a
+                        // refcount bump — no allocation in the hot consume
+                        // path.
                         st.prefix[top].trees.push(Tree::Leaf(t.clone()));
+                        obs.on_op(MachineOp::Consume, st.cursor, st.suffix.len());
                         st.cursor += 1;
                         st.visited.clear();
                         StepResult::Cont
@@ -278,6 +301,7 @@ impl<'a> Machine<'a> {
                     return StepResult::Error(ParseError::LeftRecursive(x));
                 }
                 if let Err(r) = self.meter.check_depth(st.suffix.len() + 1) {
+                    obs.on_abort(&r);
                     return StepResult::Abort(r);
                 }
                 let prediction = match self.mode {
@@ -289,6 +313,7 @@ impl<'a> Machine<'a> {
                         &self.tokens[st.cursor..],
                         cache,
                         &mut self.meter,
+                        obs,
                     ),
                     PredictionMode::LlOnly => ll_only_predict(
                         self.grammar,
@@ -297,6 +322,7 @@ impl<'a> Machine<'a> {
                         &st.suffix,
                         &self.tokens[st.cursor..],
                         &mut self.meter,
+                        obs,
                     ),
                 };
                 let (alt, ambig) = match prediction {
@@ -322,6 +348,7 @@ impl<'a> Machine<'a> {
                 });
                 st.prefix.push(PrefixFrame::default());
                 st.visited.insert(x);
+                obs.on_op(MachineOp::Push, st.cursor, st.suffix.len());
                 StepResult::Cont
             }
         }
@@ -333,22 +360,35 @@ impl<'a> Machine<'a> {
     /// argument of paper §4 (every `Cont` step strictly decreases
     /// `meas(σ)` in the lexicographic order) — see
     /// [`crate::instrument::run_instrumented`], which checks exactly that.
-    pub fn run(mut self, cache: &mut SllCache) -> ParseOutcome {
-        loop {
-            match self.step(cache) {
+    pub fn run(self, cache: &mut SllCache) -> ParseOutcome {
+        self.run_observed(cache, &mut NullObserver)
+    }
+
+    /// [`run`](Machine::run) with a [`ParseObserver`] receiving every
+    /// event, including a final [`ParseObserver::on_finish`] carrying the
+    /// meter's total fuel count.
+    pub fn run_observed<O: ParseObserver>(
+        mut self,
+        cache: &mut SllCache,
+        obs: &mut O,
+    ) -> ParseOutcome {
+        let outcome = loop {
+            match self.step_observed(cache, obs) {
                 StepResult::Cont => continue,
                 StepResult::Accept(tree) => {
-                    return if self.state.unique {
+                    break if self.state.unique {
                         ParseOutcome::Unique(tree)
                     } else {
                         ParseOutcome::Ambig(tree)
                     }
                 }
-                StepResult::Reject(r) => return ParseOutcome::Reject(r),
-                StepResult::Error(e) => return ParseOutcome::Error(e),
-                StepResult::Abort(r) => return ParseOutcome::Aborted(r),
+                StepResult::Reject(r) => break ParseOutcome::Reject(r),
+                StepResult::Error(e) => break ParseOutcome::Error(e),
+                StepResult::Abort(r) => break ParseOutcome::Aborted(r),
             }
-        }
+        };
+        obs.on_finish(self.meter.steps_taken());
+        outcome
     }
 }
 

@@ -1,0 +1,441 @@
+//! The metrics observer: counters and per-phase latency histograms,
+//! aggregated into a serializable [`ParseMetrics`].
+
+use super::{MachineOp, ParseObserver, PredictOutcome, PredictPhase};
+use crate::budget::AbortReason;
+use costar_grammar::NonTerminal;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BUCKETS: usize = 40;
+
+/// A power-of-two-bucket histogram: bucket `i` counts samples `v` with
+/// `2^(i-1) <= v < 2^i` (bucket 0 counts zeros). Fixed size, no
+/// allocation, merge-friendly — enough resolution for latency-in-ns and
+/// lookahead-depth distributions without a dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nonzero buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\"count\":");
+        let _ = write!(s, "{}", self.count);
+        let _ = write!(
+            s,
+            ",\"sum\":{},\"max\":{},\"mean\":{:.1}",
+            self.sum,
+            self.max,
+            self.mean()
+        );
+        s.push_str(",\"buckets\":[");
+        for (i, (lo, n)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{lo},{n}]");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Everything a [`MetricsObserver`] measured over one parse. Replaces and
+/// subsumes the deprecated
+/// [`InstrumentReport`](crate::instrument::InstrumentReport): the old
+/// report's five fields live on here (`steps` renamed to
+/// [`machine_steps`](ParseMetrics::machine_steps), now counting *every*
+/// admitted machine step including the final accepting/rejecting one),
+/// joined by the prediction, cache, and timing dimensions.
+///
+/// Serialize with [`ParseMetrics::to_json`]; check internal consistency
+/// with [`ParseMetrics::reconciles`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseMetrics {
+    /// Machine steps admitted by the meter (one fuel unit each).
+    pub machine_steps: u64,
+    /// Push operations performed (= decisions taken).
+    pub pushes: u64,
+    /// Consume operations performed (= tokens matched into leaves).
+    pub consumes: u64,
+    /// Return operations performed.
+    pub returns: u64,
+    /// Maximum suffix-stack height observed.
+    pub max_stack_height: usize,
+    /// Prediction lookahead tokens admitted by the meter (one fuel unit
+    /// each), across both phases.
+    pub prediction_steps: u64,
+    /// Lookahead tokens admitted during SLL phases.
+    pub sll_steps: u64,
+    /// Lookahead tokens admitted during LL phases.
+    pub ll_steps: u64,
+    /// Multi-alternative `adaptivePredict` decisions.
+    pub decisions: u64,
+    /// Decisions short-circuited (single-alternative nonterminal).
+    pub single_alternative: u64,
+    /// Decisions committed by SLL without failover.
+    pub sll_resolved: u64,
+    /// SLL conflicts that failed over to LL.
+    pub failovers: u64,
+    /// DFA transition lookups issued.
+    pub cache_lookups: u64,
+    /// Lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Lookups that required a fresh move+closure computation.
+    pub cache_misses: u64,
+    /// States evicted under capacity pressure during this parse.
+    pub cache_evictions: u64,
+    /// Closure worklist items processed (the prediction inner loop).
+    pub closure_steps: u64,
+    /// Why the parse aborted, if it did.
+    pub abort: Option<AbortReason>,
+    /// `Meter::steps_taken()` at the end of the parse — the budget
+    /// layer's own count, embedded so consumers can verify
+    /// [`ParseMetrics::reconciles`] without access to the meter.
+    pub meter_steps: u64,
+    /// Latency distribution of SLL prediction phases, in nanoseconds.
+    pub sll_latency_ns: Histogram,
+    /// Latency distribution of LL prediction phases, in nanoseconds.
+    pub ll_latency_ns: Histogram,
+    /// Lookahead depth distribution per prediction phase.
+    pub lookahead_depth: Histogram,
+    /// Input length in tokens (filled by
+    /// [`Parser::parse_with_metrics`](crate::Parser::parse_with_metrics)).
+    pub tokens: usize,
+    /// Total wall-clock nanoseconds for the parse (filled by
+    /// [`Parser::parse_with_metrics`](crate::Parser::parse_with_metrics)).
+    pub total_nanos: u64,
+}
+
+impl ParseMetrics {
+    /// The cross-layer consistency invariant: the observer's step counts
+    /// must reconcile exactly with the meter's, and every cache lookup
+    /// must have resolved to a hit or a miss.
+    pub fn reconciles(&self) -> bool {
+        self.machine_steps + self.prediction_steps == self.meter_steps
+            && self.cache_hits + self.cache_misses == self.cache_lookups
+            && self.sll_steps + self.ll_steps == self.prediction_steps
+    }
+
+    /// Cache hit rate in `[0, 1]`; 0.0 with no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Tokens parsed per second; 0.0 if no time was recorded.
+    pub fn tokens_per_sec(&self) -> f64 {
+        if self.total_nanos == 0 {
+            0.0
+        } else {
+            self.tokens as f64 * 1e9 / self.total_nanos as f64
+        }
+    }
+
+    /// Serializes the metrics as a self-contained JSON object (no
+    /// dependencies; every field name matches the struct field).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let _ = write!(s, "\"machine_steps\":{}", self.machine_steps);
+        let _ = write!(s, ",\"pushes\":{}", self.pushes);
+        let _ = write!(s, ",\"consumes\":{}", self.consumes);
+        let _ = write!(s, ",\"returns\":{}", self.returns);
+        let _ = write!(s, ",\"max_stack_height\":{}", self.max_stack_height);
+        let _ = write!(s, ",\"prediction_steps\":{}", self.prediction_steps);
+        let _ = write!(s, ",\"sll_steps\":{}", self.sll_steps);
+        let _ = write!(s, ",\"ll_steps\":{}", self.ll_steps);
+        let _ = write!(s, ",\"decisions\":{}", self.decisions);
+        let _ = write!(s, ",\"single_alternative\":{}", self.single_alternative);
+        let _ = write!(s, ",\"sll_resolved\":{}", self.sll_resolved);
+        let _ = write!(s, ",\"failovers\":{}", self.failovers);
+        let _ = write!(s, ",\"cache_lookups\":{}", self.cache_lookups);
+        let _ = write!(s, ",\"cache_hits\":{}", self.cache_hits);
+        let _ = write!(s, ",\"cache_misses\":{}", self.cache_misses);
+        let _ = write!(s, ",\"cache_evictions\":{}", self.cache_evictions);
+        let _ = write!(s, ",\"cache_hit_rate\":{:.4}", self.cache_hit_rate());
+        let _ = write!(s, ",\"closure_steps\":{}", self.closure_steps);
+        match &self.abort {
+            Some(r) => {
+                let _ = write!(s, ",\"abort\":{:?}", r.to_string());
+            }
+            None => s.push_str(",\"abort\":null"),
+        }
+        let _ = write!(s, ",\"meter_steps\":{}", self.meter_steps);
+        let _ = write!(s, ",\"reconciles\":{}", self.reconciles());
+        let _ = write!(s, ",\"tokens\":{}", self.tokens);
+        let _ = write!(s, ",\"total_nanos\":{}", self.total_nanos);
+        let _ = write!(s, ",\"tokens_per_sec\":{:.1}", self.tokens_per_sec());
+        let _ = write!(s, ",\"sll_latency_ns\":{}", self.sll_latency_ns.to_json());
+        let _ = write!(s, ",\"ll_latency_ns\":{}", self.ll_latency_ns.to_json());
+        let _ = write!(s, ",\"lookahead_depth\":{}", self.lookahead_depth.to_json());
+        s.push('}');
+        s
+    }
+}
+
+/// A [`ParseObserver`] that aggregates every event into [`ParseMetrics`].
+///
+/// Per-phase latency is measured with two `Instant::now()` reads per
+/// prediction phase — decisions are rare relative to machine steps, so
+/// the clock cost stays out of the hot loop.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    m: ParseMetrics,
+    phase_start: Option<Instant>,
+    phase_lookahead: u64,
+}
+
+impl MetricsObserver {
+    /// Creates an observer with zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the metrics accumulated so far.
+    pub fn metrics(&self) -> &ParseMetrics {
+        &self.m
+    }
+
+    /// Consumes the observer, yielding its metrics.
+    pub fn into_metrics(self) -> ParseMetrics {
+        self.m
+    }
+}
+
+impl ParseObserver for MetricsObserver {
+    fn on_machine_step(&mut self, _cursor: usize, stack_height: usize) {
+        self.m.machine_steps += 1;
+        self.m.max_stack_height = self.m.max_stack_height.max(stack_height);
+    }
+
+    fn on_op(&mut self, op: MachineOp, _cursor: usize, stack_height: usize) {
+        match op {
+            MachineOp::Push => self.m.pushes += 1,
+            MachineOp::Consume => self.m.consumes += 1,
+            MachineOp::Return => self.m.returns += 1,
+        }
+        self.m.max_stack_height = self.m.max_stack_height.max(stack_height);
+    }
+
+    fn on_predict_start(&mut self, _x: NonTerminal, _phase: PredictPhase) {
+        self.phase_start = Some(Instant::now());
+        self.phase_lookahead = 0;
+    }
+
+    fn on_lookahead(&mut self, phase: PredictPhase) {
+        self.m.prediction_steps += 1;
+        self.phase_lookahead += 1;
+        match phase {
+            PredictPhase::Sll => self.m.sll_steps += 1,
+            PredictPhase::Ll => self.m.ll_steps += 1,
+        }
+    }
+
+    fn on_predict_end(&mut self, _x: NonTerminal, phase: PredictPhase, _outcome: PredictOutcome) {
+        if let Some(start) = self.phase_start.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            match phase {
+                PredictPhase::Sll => self.m.sll_latency_ns.record(ns),
+                PredictPhase::Ll => self.m.ll_latency_ns.record(ns),
+            }
+        }
+        self.m.lookahead_depth.record(self.phase_lookahead);
+        self.phase_lookahead = 0;
+    }
+
+    fn on_decision(&mut self, _x: NonTerminal) {
+        self.m.decisions += 1;
+    }
+
+    fn on_single_alt(&mut self, _x: NonTerminal) {
+        self.m.single_alternative += 1;
+    }
+
+    fn on_sll_resolved(&mut self, _x: NonTerminal) {
+        self.m.sll_resolved += 1;
+    }
+
+    fn on_failover(&mut self, _x: NonTerminal) {
+        self.m.failovers += 1;
+    }
+
+    fn on_cache_lookup(&mut self) {
+        self.m.cache_lookups += 1;
+    }
+
+    fn on_cache_hit(&mut self) {
+        self.m.cache_hits += 1;
+    }
+
+    fn on_cache_miss(&mut self) {
+        self.m.cache_misses += 1;
+    }
+
+    fn on_cache_evictions(&mut self, evicted: u64) {
+        self.m.cache_evictions += evicted;
+    }
+
+    fn on_closure_step(&mut self) {
+        self.m.closure_steps += 1;
+    }
+
+    fn on_abort(&mut self, reason: &AbortReason) {
+        self.m.abort = Some(*reason);
+    }
+
+    fn on_finish(&mut self, meter_steps: u64) {
+        self.m.meter_steps = meter_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 2.6).abs() < 1e-9);
+        // zeros -> bucket 0; 1 -> [1,2); 3 -> [2,4); 8 -> [8,16).
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (2, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn histogram_saturates_on_huge_samples() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn reconciles_checks_all_three_equations() {
+        let mut m = ParseMetrics {
+            machine_steps: 3,
+            prediction_steps: 2,
+            sll_steps: 2,
+            meter_steps: 5,
+            cache_lookups: 1,
+            cache_misses: 1,
+            ..ParseMetrics::default()
+        };
+        assert!(m.reconciles());
+        m.meter_steps = 6;
+        assert!(!m.reconciles());
+        m.meter_steps = 5;
+        m.cache_hits = 1;
+        assert!(!m.reconciles());
+    }
+
+    #[test]
+    fn json_contains_every_headline_field() {
+        let mut obs = MetricsObserver::new();
+        obs.on_machine_step(0, 1);
+        obs.on_op(MachineOp::Consume, 0, 1);
+        obs.on_predict_start(
+            costar_grammar::NonTerminal::from_index(0),
+            PredictPhase::Sll,
+        );
+        obs.on_lookahead(PredictPhase::Sll);
+        obs.on_predict_end(
+            costar_grammar::NonTerminal::from_index(0),
+            PredictPhase::Sll,
+            PredictOutcome::Unique,
+        );
+        obs.on_finish(2);
+        let m = obs.into_metrics();
+        assert!(m.reconciles());
+        let json = m.to_json();
+        for key in [
+            "\"machine_steps\":1",
+            "\"consumes\":1",
+            "\"prediction_steps\":1",
+            "\"meter_steps\":2",
+            "\"reconciles\":true",
+            "\"abort\":null",
+            "\"sll_latency_ns\"",
+            "\"lookahead_depth\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn abort_serialized_as_string() {
+        let mut obs = MetricsObserver::new();
+        obs.on_abort(&AbortReason::StepLimit { limit: 7 });
+        let m = obs.into_metrics();
+        assert!(m
+            .to_json()
+            .contains("\"abort\":\"step budget exhausted (limit 7)\""));
+    }
+}

@@ -1,0 +1,295 @@
+//! Parse-time observability: a zero-cost-when-disabled hook layer.
+//!
+//! The paper's empirical claims (§6: linear-time behavior, SLL almost
+//! always suffices, the cache is what makes ALL(*) fast) are statements
+//! about *where the work goes*. This module provides the vantage point:
+//! a [`ParseObserver`] trait whose hooks fire on every machine step,
+//! prediction entry/exit, lookahead token, cache lookup, closure
+//! iteration, and abort.
+//!
+//! Observers are threaded through the machine and the prediction engine
+//! as a **monomorphized generic parameter**, never a trait object. The
+//! default [`NullObserver`] implements every hook with the empty default
+//! body, so the compiler inlines and eliminates the entire layer from the
+//! unobserved path — `Machine::run` and `Parser::parse` compile to the
+//! same code as before the layer existed (the `ablation_observer_overhead`
+//! criterion bench pins this claim).
+//!
+//! Two concrete observers ship with the crate:
+//!
+//! * [`MetricsObserver`] aggregates counters and per-phase latency
+//!   histograms into a serializable [`ParseMetrics`];
+//! * [`TraceObserver`] keeps a bounded ring buffer of structured
+//!   [`TraceEvent`]s for post-mortem dumps on abort/reject.
+//!
+//! ## Hook timing and the reconciliation invariant
+//!
+//! [`ParseObserver::on_machine_step`] fires immediately after the
+//! machine's successful `Meter::charge(1)`, and
+//! [`ParseObserver::on_lookahead`] immediately after each successful
+//! prediction charge. A failed charge fires neither (and, per the
+//! `Meter::charge` contract, does not count toward `steps_taken()`).
+//! Consequently, for every parse:
+//!
+//! ```text
+//! machine_steps + prediction_steps == Meter::steps_taken()
+//! ```
+//!
+//! — the observability layer and the budget layer can never disagree.
+//! A property test (`tests/observer_properties.rs`) enforces this for
+//! arbitrary grammar/input pairs, including aborted parses.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Histogram, MetricsObserver, ParseMetrics};
+pub use trace::{TraceEvent, TraceEventKind, TraceObserver};
+
+use crate::budget::AbortReason;
+use costar_grammar::NonTerminal;
+
+/// The three machine operations (paper §3.3), as classified by the step
+/// that performed them. The final accept/reject/error step performs none
+/// of these, so per-op counts sum to *at most* the machine step count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineOp {
+    /// A push operation (a prediction decision was made).
+    Push,
+    /// A consume operation (one input token matched).
+    Consume,
+    /// A return operation (a completed nonterminal popped).
+    Return,
+}
+
+/// Which prediction engine a hook refers to (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictPhase {
+    /// Cached, context-insensitive SLL simulation.
+    Sll,
+    /// Precise LL simulation over the machine's real stack.
+    Ll,
+}
+
+/// How a prediction phase resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictOutcome {
+    /// A single alternative survived.
+    Unique,
+    /// Several alternatives survived to end of input (for SLL this is a
+    /// conflict that triggers LL failover; for LL it is true ambiguity).
+    Ambig,
+    /// No alternative survived.
+    Reject,
+    /// Prediction hit an inconsistent state or left recursion.
+    Error,
+    /// The budget ran out mid-prediction.
+    Abort,
+}
+
+/// Hooks into the parse. All methods have empty default bodies, so an
+/// implementor only overrides the events it cares about and an observer
+/// that overrides nothing — [`NullObserver`] — costs nothing.
+///
+/// Hooks marked *post-charge* fire only after the corresponding
+/// `Meter::charge` succeeded; see the module docs for the reconciliation
+/// invariant this buys.
+pub trait ParseObserver {
+    /// One machine step was admitted (*post-charge*). `cursor` is the
+    /// input position and `stack_height` the suffix-stack height before
+    /// the operation runs.
+    #[inline]
+    fn on_machine_step(&mut self, _cursor: usize, _stack_height: usize) {}
+
+    /// A machine step completed operation `op` (fires only for steps that
+    /// continue the parse, not for the final accept/reject/error step).
+    #[inline]
+    fn on_op(&mut self, _op: MachineOp, _cursor: usize, _stack_height: usize) {}
+
+    /// A prediction phase began for decision nonterminal `x`.
+    #[inline]
+    fn on_predict_start(&mut self, _x: NonTerminal, _phase: PredictPhase) {}
+
+    /// One lookahead token was admitted inside a prediction phase
+    /// (*post-charge*).
+    #[inline]
+    fn on_lookahead(&mut self, _phase: PredictPhase) {}
+
+    /// A prediction phase ended.
+    #[inline]
+    fn on_predict_end(&mut self, _x: NonTerminal, _phase: PredictPhase, _outcome: PredictOutcome) {}
+
+    /// `adaptivePredict` ran a real (multi-alternative) decision.
+    #[inline]
+    fn on_decision(&mut self, _x: NonTerminal) {}
+
+    /// A decision short-circuited because its nonterminal has a single
+    /// alternative.
+    #[inline]
+    fn on_single_alt(&mut self, _x: NonTerminal) {}
+
+    /// A decision was committed from the SLL phase without failover.
+    #[inline]
+    fn on_sll_resolved(&mut self, _x: NonTerminal) {}
+
+    /// An SLL conflict triggered failover to LL prediction (§3.4).
+    #[inline]
+    fn on_failover(&mut self, _x: NonTerminal) {}
+
+    /// A DFA transition lookup is about to run.
+    #[inline]
+    fn on_cache_lookup(&mut self) {}
+
+    /// The transition lookup was answered from the cache.
+    #[inline]
+    fn on_cache_hit(&mut self) {}
+
+    /// The transition lookup missed; a move+closure computation follows.
+    #[inline]
+    fn on_cache_miss(&mut self) {}
+
+    /// Interning evicted `evicted` states to stay under the capacity caps.
+    #[inline]
+    fn on_cache_evictions(&mut self, _evicted: u64) {}
+
+    /// One closure worklist item was processed (a simulated push, return,
+    /// or stable-config emission — the inner loop of prediction).
+    #[inline]
+    fn on_closure_step(&mut self) {}
+
+    /// The budget ran out. Fires at the site of the failed charge (or
+    /// depth check), before the abort propagates outward.
+    #[inline]
+    fn on_abort(&mut self, _reason: &AbortReason) {}
+
+    /// The parse finished with `meter_steps` total fuel charged —
+    /// machine steps plus prediction lookahead.
+    #[inline]
+    fn on_finish(&mut self, _meter_steps: u64) {}
+}
+
+/// The do-nothing observer: every hook keeps its empty default body, so
+/// the monomorphized parse loop contains no observer code at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl ParseObserver for NullObserver {}
+
+/// A pair of observers receiving every event, in order. Composes e.g. a
+/// [`MetricsObserver`] with a [`TraceObserver`] for one parse.
+impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
+    #[inline]
+    fn on_machine_step(&mut self, cursor: usize, stack_height: usize) {
+        self.0.on_machine_step(cursor, stack_height);
+        self.1.on_machine_step(cursor, stack_height);
+    }
+    #[inline]
+    fn on_op(&mut self, op: MachineOp, cursor: usize, stack_height: usize) {
+        self.0.on_op(op, cursor, stack_height);
+        self.1.on_op(op, cursor, stack_height);
+    }
+    #[inline]
+    fn on_predict_start(&mut self, x: NonTerminal, phase: PredictPhase) {
+        self.0.on_predict_start(x, phase);
+        self.1.on_predict_start(x, phase);
+    }
+    #[inline]
+    fn on_lookahead(&mut self, phase: PredictPhase) {
+        self.0.on_lookahead(phase);
+        self.1.on_lookahead(phase);
+    }
+    #[inline]
+    fn on_predict_end(&mut self, x: NonTerminal, phase: PredictPhase, outcome: PredictOutcome) {
+        self.0.on_predict_end(x, phase, outcome);
+        self.1.on_predict_end(x, phase, outcome);
+    }
+    #[inline]
+    fn on_decision(&mut self, x: NonTerminal) {
+        self.0.on_decision(x);
+        self.1.on_decision(x);
+    }
+    #[inline]
+    fn on_single_alt(&mut self, x: NonTerminal) {
+        self.0.on_single_alt(x);
+        self.1.on_single_alt(x);
+    }
+    #[inline]
+    fn on_sll_resolved(&mut self, x: NonTerminal) {
+        self.0.on_sll_resolved(x);
+        self.1.on_sll_resolved(x);
+    }
+    #[inline]
+    fn on_failover(&mut self, x: NonTerminal) {
+        self.0.on_failover(x);
+        self.1.on_failover(x);
+    }
+    #[inline]
+    fn on_cache_lookup(&mut self) {
+        self.0.on_cache_lookup();
+        self.1.on_cache_lookup();
+    }
+    #[inline]
+    fn on_cache_hit(&mut self) {
+        self.0.on_cache_hit();
+        self.1.on_cache_hit();
+    }
+    #[inline]
+    fn on_cache_miss(&mut self) {
+        self.0.on_cache_miss();
+        self.1.on_cache_miss();
+    }
+    #[inline]
+    fn on_cache_evictions(&mut self, evicted: u64) {
+        self.0.on_cache_evictions(evicted);
+        self.1.on_cache_evictions(evicted);
+    }
+    #[inline]
+    fn on_closure_step(&mut self) {
+        self.0.on_closure_step();
+        self.1.on_closure_step();
+    }
+    #[inline]
+    fn on_abort(&mut self, reason: &AbortReason) {
+        self.0.on_abort(reason);
+        self.1.on_abort(reason);
+    }
+    #[inline]
+    fn on_finish(&mut self, meter_steps: u64) {
+        self.0.on_finish(meter_steps);
+        self.1.on_finish(meter_steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting(u64);
+    impl ParseObserver for Counting {
+        fn on_machine_step(&mut self, _c: usize, _h: usize) {
+            self.0 += 1;
+        }
+        fn on_lookahead(&mut self, _p: PredictPhase) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn pair_observer_forwards_to_both() {
+        let mut pair = (Counting::default(), Counting::default());
+        pair.on_machine_step(0, 1);
+        pair.on_lookahead(PredictPhase::Sll);
+        pair.on_cache_hit(); // default body: no count
+        assert_eq!(pair.0 .0, 2);
+        assert_eq!(pair.1 .0, 2);
+    }
+
+    #[test]
+    fn null_observer_accepts_every_event() {
+        let mut null = NullObserver;
+        null.on_machine_step(0, 0);
+        null.on_op(MachineOp::Consume, 0, 1);
+        null.on_abort(&crate::budget::AbortReason::StepLimit { limit: 1 });
+        null.on_finish(0);
+    }
+}

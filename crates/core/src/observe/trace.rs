@@ -1,0 +1,264 @@
+//! The trace observer: a bounded ring buffer of structured parse events
+//! for post-mortem inspection.
+
+use super::{MachineOp, ParseObserver, PredictOutcome, PredictPhase};
+use crate::budget::AbortReason;
+use costar_grammar::{NonTerminal, SymbolTable};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// What happened, structurally. Counter-style events (cache hits/misses,
+/// lookahead tokens, closure steps) are deliberately excluded — they
+/// belong to [`MetricsObserver`](super::MetricsObserver); the trace keeps
+/// the *shape* of the parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A machine operation completed.
+    Op {
+        /// Which operation.
+        op: MachineOp,
+        /// Input cursor before the operation.
+        cursor: usize,
+        /// Suffix-stack height before the operation.
+        stack_height: usize,
+    },
+    /// A prediction phase began for this decision nonterminal.
+    PredictStart {
+        /// The decision nonterminal.
+        nt: NonTerminal,
+        /// SLL or LL.
+        phase: PredictPhase,
+    },
+    /// A prediction phase ended.
+    PredictEnd {
+        /// The decision nonterminal.
+        nt: NonTerminal,
+        /// SLL or LL.
+        phase: PredictPhase,
+        /// How it resolved.
+        outcome: PredictOutcome,
+    },
+    /// An SLL conflict failed over to LL.
+    Failover {
+        /// The decision nonterminal.
+        nt: NonTerminal,
+    },
+    /// Capacity pressure evicted this many cached DFA states.
+    CacheEvictions {
+        /// Number of states evicted.
+        evicted: u64,
+    },
+    /// The budget ran out.
+    Abort {
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+/// One recorded event: a monotonically increasing sequence number (over
+/// *all* events seen, including those the ring has since dropped) plus
+/// the event itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// 0-based position of this event in the full event stream.
+    pub seq: u64,
+    /// The event.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Renders the event on one line, resolving nonterminal names via
+    /// `tab` when provided (falling back to `N<index>`).
+    pub fn render(&self, tab: Option<&SymbolTable>) -> String {
+        let nt_name = |nt: NonTerminal| match tab {
+            Some(t) => t.nonterminal_name(nt).to_owned(),
+            None => format!("N{}", nt.index()),
+        };
+        let mut s = format!("[{:>6}] ", self.seq);
+        match &self.kind {
+            TraceEventKind::Op {
+                op,
+                cursor,
+                stack_height,
+            } => {
+                let name = match op {
+                    MachineOp::Push => "push",
+                    MachineOp::Consume => "consume",
+                    MachineOp::Return => "return",
+                };
+                let _ = write!(s, "{name} @tok {cursor} depth {stack_height}");
+            }
+            TraceEventKind::PredictStart { nt, phase } => {
+                let _ = write!(s, "predict {:?} start {}", phase, nt_name(*nt));
+            }
+            TraceEventKind::PredictEnd { nt, phase, outcome } => {
+                let _ = write!(
+                    s,
+                    "predict {:?} end {} -> {:?}",
+                    phase,
+                    nt_name(*nt),
+                    outcome
+                );
+            }
+            TraceEventKind::Failover { nt } => {
+                let _ = write!(s, "failover to LL on {}", nt_name(*nt));
+            }
+            TraceEventKind::CacheEvictions { evicted } => {
+                let _ = write!(s, "cache evicted {evicted} state(s)");
+            }
+            TraceEventKind::Abort { reason } => {
+                let _ = write!(s, "ABORT: {reason}");
+            }
+        }
+        s
+    }
+}
+
+/// A [`ParseObserver`] that keeps the last `capacity` structured events
+/// in a ring buffer. With capacity 0 it records nothing (but still counts
+/// sequence numbers), so an always-installed trace costs almost nothing
+/// until a buffer is requested.
+///
+/// Intended use: run with a modest capacity, and on abort/reject dump the
+/// buffer ([`TraceObserver::dump`]) to see the machine's final moments.
+#[derive(Debug, Default)]
+pub struct TraceObserver {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl TraceObserver {
+    /// Creates a trace observer retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceObserver {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, kind: TraceEventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEvent { seq, kind });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events seen, including those the ring has dropped.
+    pub fn total_events(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Renders the retained events, one per line, oldest first.
+    pub fn dump(&self, tab: Option<&SymbolTable>) -> String {
+        let mut out = String::new();
+        for ev in &self.ring {
+            out.push_str(&ev.render(tab));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ParseObserver for TraceObserver {
+    fn on_op(&mut self, op: MachineOp, cursor: usize, stack_height: usize) {
+        self.push(TraceEventKind::Op {
+            op,
+            cursor,
+            stack_height,
+        });
+    }
+
+    fn on_predict_start(&mut self, x: NonTerminal, phase: PredictPhase) {
+        self.push(TraceEventKind::PredictStart { nt: x, phase });
+    }
+
+    fn on_predict_end(&mut self, x: NonTerminal, phase: PredictPhase, outcome: PredictOutcome) {
+        self.push(TraceEventKind::PredictEnd {
+            nt: x,
+            phase,
+            outcome,
+        });
+    }
+
+    fn on_failover(&mut self, x: NonTerminal) {
+        self.push(TraceEventKind::Failover { nt: x });
+    }
+
+    fn on_cache_evictions(&mut self, evicted: u64) {
+        self.push(TraceEventKind::CacheEvictions { evicted });
+    }
+
+    fn on_abort(&mut self, reason: &AbortReason) {
+        self.push(TraceEventKind::Abort { reason: *reason });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(cursor: usize) -> TraceEventKind {
+        TraceEventKind::Op {
+            op: MachineOp::Consume,
+            cursor,
+            stack_height: 1,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let mut tr = TraceObserver::new(3);
+        for i in 0..5 {
+            tr.push(op(i));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.total_events(), 5);
+        let seqs: Vec<u64> = tr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let mut tr = TraceObserver::new(0);
+        tr.push(op(0));
+        tr.push(op(1));
+        assert!(tr.is_empty());
+        assert_eq!(tr.total_events(), 2);
+        assert_eq!(tr.dump(None), "");
+    }
+
+    #[test]
+    fn dump_renders_one_line_per_event() {
+        let mut tr = TraceObserver::new(8);
+        tr.on_op(MachineOp::Push, 2, 3);
+        tr.on_failover(NonTerminal::from_index(0));
+        tr.on_abort(&AbortReason::StepLimit { limit: 9 });
+        let dump = tr.dump(None);
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.contains("push @tok 2 depth 3"));
+        assert!(dump.contains("failover to LL on N0"));
+        assert!(dump.contains("ABORT: step budget exhausted (limit 9)"));
+    }
+}

@@ -22,10 +22,12 @@
 use crate::budget::Budget;
 use crate::error::ParseError;
 use crate::machine::{Machine, ParseOutcome, PredictionMode};
+use crate::observe::{MetricsObserver, NullObserver, ParseMetrics, ParseObserver};
 use crate::prediction::cache::{CacheStats, PredictionStats, SllCache};
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::{Grammar, NonTerminal, Token};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Cache policy across inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +163,17 @@ impl Parser {
     /// prediction cache is discarded, and the result is
     /// [`ParseOutcome::Error`] rather than an unwinding panic.
     pub fn parse(&mut self, word: &[Token]) -> ParseOutcome {
+        self.parse_observed(word, &mut NullObserver)
+    }
+
+    /// [`Parser::parse`] with a [`ParseObserver`] receiving every parse
+    /// event. The observer is monomorphized in: with [`NullObserver`]
+    /// (what [`Parser::parse`] passes) every hook compiles away.
+    pub fn parse_observed<O: ParseObserver>(
+        &mut self,
+        word: &[Token],
+        obs: &mut O,
+    ) -> ParseOutcome {
         if self.policy == CachePolicy::PerInput {
             self.cache.clear();
         }
@@ -170,7 +183,7 @@ impl Parser {
         );
         let result = catch_unwind(AssertUnwindSafe(|| {
             Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &self.budget)
-                .run(&mut self.cache)
+                .run_observed(&mut self.cache, obs)
         }));
         match result {
             Ok(outcome) => outcome,
@@ -191,6 +204,20 @@ impl Parser {
                 )))
             }
         }
+    }
+
+    /// Parses `word` while measuring it: runs [`Parser::parse_observed`]
+    /// with a [`MetricsObserver`] and returns the outcome together with
+    /// the full [`ParseMetrics`] — counters, latency histograms, input
+    /// size, and wall-clock time.
+    pub fn parse_with_metrics(&mut self, word: &[Token]) -> (ParseOutcome, ParseMetrics) {
+        let mut obs = MetricsObserver::new();
+        let start = Instant::now();
+        let outcome = self.parse_observed(word, &mut obs);
+        let mut metrics = obs.into_metrics();
+        metrics.total_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        metrics.tokens = word.len();
+        (outcome, metrics)
     }
 
     /// SLL cache effectiveness counters (non-zero across calls only with
@@ -403,6 +430,112 @@ mod budget_tests {
             "cap not enforced: {} states",
             stats.states
         );
+    }
+
+    #[test]
+    fn zero_cache_cap_disables_cache_without_changing_outcomes() {
+        // Deeply nested input under `--cache-cap 0`: prediction must
+        // degrade to cache-off (every lookup a miss, no eviction churn,
+        // nothing pinned) and produce the same tree as an unbounded run.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("V", &["[", "V", "]"]);
+        gb.rule("V", &["a"]);
+        let g = gb.start("V").build().unwrap();
+        let mut tab = g.symbols().clone();
+        let mut word: Vec<(&str, &str)> = vec![("[", "["); 40];
+        word.push(("a", "a"));
+        word.extend(std::iter::repeat_n(("]", "]"), 40));
+        let w = tokens(&mut tab, &word);
+
+        let mut unbounded = Parser::new(g.clone());
+        let expected = unbounded.parse(&w);
+        assert!(expected.is_accept());
+
+        let mut capped = Parser::with_budget(g, Budget::unlimited().with_max_cache_entries(0));
+        let got = capped.parse(&w);
+        assert_eq!(expected.tree(), got.tree());
+        let stats = capped.cache_stats();
+        assert_eq!(stats.hits, 0, "a disabled cache can never hit");
+        assert!(stats.misses > 0);
+        assert_eq!(stats.evictions, 0, "cache-off must not churn evictions");
+        assert_eq!(stats.transitions, 0);
+        assert!(
+            stats.states <= 2,
+            "only in-flight scratch states may be resident, got {}",
+            stats.states
+        );
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use crate::budget::AbortReason;
+    use crate::observe::TraceObserver;
+    use costar_grammar::{tokens, GrammarBuilder};
+
+    fn fig2() -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S").build().unwrap()
+    }
+
+    #[test]
+    fn parse_with_metrics_reconciles_with_the_meter() {
+        let mut p = Parser::new(fig2());
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let (outcome, m) = p.parse_with_metrics(&w);
+        assert!(outcome.is_accept());
+        assert!(m.reconciles(), "metrics must reconcile: {m:?}");
+        assert_eq!(m.machine_steps, 10);
+        assert_eq!(m.consumes, 3);
+        assert_eq!(m.pushes, 3);
+        assert_eq!(m.returns, 3);
+        assert_eq!(m.decisions, 3);
+        assert_eq!(m.sll_resolved, 3);
+        assert_eq!(m.failovers, 0);
+        assert_eq!(m.tokens, 3);
+        assert!(m.total_nanos > 0);
+        assert_eq!(m.abort, None);
+        // The observer's cache and decision counts mirror the cache's own
+        // counters exactly (per-input policy: both cover this parse only).
+        let cs = p.cache_stats();
+        assert_eq!(m.cache_hits, cs.hits);
+        assert_eq!(m.cache_misses, cs.misses);
+        assert_eq!(m.cache_evictions, cs.evictions);
+        let ps = p.prediction_stats();
+        assert_eq!(m.decisions, ps.predictions);
+        assert_eq!(m.sll_resolved, ps.sll_resolved);
+        assert_eq!(m.single_alternative, ps.single_alternative);
+    }
+
+    #[test]
+    fn aborted_parse_metrics_still_reconcile() {
+        let mut p = Parser::with_budget(fig2(), Budget::unlimited().with_max_steps(2));
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let (outcome, m) = p.parse_with_metrics(&w);
+        assert!(matches!(outcome, ParseOutcome::Aborted(_)));
+        assert_eq!(m.abort, Some(AbortReason::StepLimit { limit: 2 }));
+        assert!(m.reconciles(), "aborted metrics must reconcile: {m:?}");
+        assert_eq!(m.meter_steps, 2);
+    }
+
+    #[test]
+    fn paired_observers_both_see_the_parse() {
+        let mut p = Parser::new(fig2());
+        let mut tab = p.grammar().symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let mut pair = (MetricsObserver::new(), TraceObserver::new(16));
+        assert!(p.parse_observed(&w, &mut pair).is_accept());
+        assert_eq!(pair.0.metrics().machine_steps, 10);
+        assert!(pair.1.total_events() > 0);
+        let dump = pair.1.dump(Some(p.grammar().symbols()));
+        assert!(dump.contains("predict Sll start S"));
     }
 }
 

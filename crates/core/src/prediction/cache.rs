@@ -157,6 +157,10 @@ pub struct SllCache {
     bytes: usize,
     max_entries: Option<usize>,
     max_bytes: Option<usize>,
+    /// Entry cap 0 means "cache off": nothing is memoized, every lookup
+    /// is a miss, and interned states are transient scratch values that
+    /// live only while an in-flight prediction holds their ids.
+    disabled: bool,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -184,10 +188,32 @@ impl SllCache {
     /// Configures (or removes, with `None`) the entry and byte caps, and
     /// immediately enforces them. No prediction is in flight between
     /// parses, so nothing needs protection here.
+    ///
+    /// An entry cap of 0 disables the cache entirely rather than thrashing
+    /// it: every lookup is a miss, nothing is memoized, and no evictions
+    /// are counted — prediction degrades to uncached SLL simulation.
     pub fn set_capacity(&mut self, max_entries: Option<usize>, max_bytes: Option<usize>) {
         self.max_entries = max_entries;
         self.max_bytes = max_bytes;
-        self.enforce_caps(&[]);
+        let was_disabled = self.disabled;
+        self.disabled = max_entries == Some(0);
+        if was_disabled && !self.disabled {
+            // Leftover scratch states are not in the memo maps; drop them
+            // rather than letting them shadow future interning.
+            self.states.clear();
+        }
+        if self.disabled {
+            // Dropping the memo wholesale is not eviction churn: nothing
+            // will ever be served from the cache again, so the evictions
+            // counter stays untouched.
+            self.states.clear();
+            self.intern.clear();
+            self.starts.clear();
+            self.transitions.clear();
+            self.bytes = 0;
+        } else {
+            self.enforce_caps(&[]);
+        }
     }
 
     /// Discards all cached states and transitions (e.g. when switching
@@ -255,16 +281,14 @@ impl SllCache {
         configs.sort_unstable();
         configs.dedup();
         let key: Arc<[Config]> = configs.into();
+        if self.disabled {
+            return self.scratch_state(key, protect);
+        }
         if let Some(&id) = self.intern.get(&key) {
             self.touch(id);
             return id;
         }
-        let alts = distinct_alts(&key);
-        let resolution = match alts.as_slice() {
-            [] => Resolution::Reject,
-            [only] => Resolution::Unique(*only),
-            _ => Resolution::Pending,
-        };
+        let resolution = classify(&key);
         let id = StateId(self.next_id);
         self.next_id += 1;
         self.tick += 1;
@@ -296,8 +320,42 @@ impl SllCache {
 
     /// Interning without an in-flight prediction to protect (the newly
     /// interned state itself is always protected).
+    #[cfg(test)]
     pub(crate) fn intern(&mut self, configs: Vec<Config>) -> StateId {
         self.intern_protected(configs, &[])
+    }
+
+    /// Disabled-mode interning: mints a transient state resolvable through
+    /// [`SllCache::state`] while the in-flight prediction holds its id, and
+    /// drops every unprotected scratch state so memory stays bounded at a
+    /// couple of entries. Nothing enters the memo maps, the byte ledger,
+    /// or the eviction counter.
+    fn scratch_state(&mut self, key: Arc<[Config]>, protect: &[StateId]) -> StateId {
+        self.states
+            .retain(|id, _| protect.iter().any(|p| p.0 == *id));
+        let resolution = classify(&key);
+        let id = StateId(self.next_id);
+        self.next_id += 1;
+        self.tick += 1;
+        self.states.insert(
+            id.0,
+            StateData {
+                configs: key,
+                resolution,
+                eof: None,
+                last_used: self.tick,
+                bytes: 0,
+                poisoned: false,
+            },
+        );
+        id
+    }
+
+    /// Lifetime total of capacity-driven evictions (monotonic, unlike the
+    /// snapshot in [`CacheStats`]); sampled around interns to report
+    /// eviction bursts to observers.
+    pub(crate) fn evictions_total(&self) -> u64 {
+        self.evictions
     }
 
     #[cfg(feature = "faults")]
@@ -400,8 +458,12 @@ impl SllCache {
         Some(id)
     }
 
-    /// Records the start state for `x`.
+    /// Records the start state for `x` (a no-op when the cache is
+    /// disabled: scratch states must not be memoized).
     pub(crate) fn set_start_state(&mut self, x: NonTerminal, id: StateId) {
+        if self.disabled {
+            return;
+        }
         self.starts.insert(x, id);
     }
 
@@ -429,8 +491,11 @@ impl SllCache {
         }
     }
 
-    /// Records a transition.
+    /// Records a transition (a no-op when the cache is disabled).
     pub(crate) fn set_transition(&mut self, from: StateId, t: Terminal, to: StateId) {
+        if self.disabled {
+            return;
+        }
         self.transitions.insert((from, t), to);
     }
 
@@ -461,6 +526,16 @@ impl SllCache {
             data.eof = Some(r);
         }
         r
+    }
+}
+
+/// The resolution a canonical config set implies without more input.
+fn classify(key: &[Config]) -> Resolution {
+    let alts = distinct_alts(key);
+    match alts.as_slice() {
+        [] => Resolution::Reject,
+        [only] => Resolution::Unique(*only),
+        _ => Resolution::Pending,
     }
 }
 
@@ -626,6 +701,52 @@ mod tests {
         // (protected during its own intern) remains resident.
         assert!(cache.stats().states <= 1);
         assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn zero_entry_cap_disables_the_cache() {
+        let mut cache = SllCache::new();
+        // Warm the cache, then turn it off: the memo must vanish without
+        // being booked as evictions.
+        let s0 = cache.intern(vec![cfg(0, SpState::AcceptEof)]);
+        cache.set_start_state(NonTerminal::from_index(0), s0);
+        cache.set_transition(s0, Terminal::from_index(0), s0);
+        cache.set_capacity(Some(0), None);
+        assert_eq!(cache.stats().states, 0);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.start_state(NonTerminal::from_index(0)).is_none());
+
+        // Scratch states resolve while protected, nothing is memoized,
+        // and every transition lookup is a miss.
+        let a = cache.intern_protected(vec![cfg(0, SpState::AcceptEof)], &[]);
+        assert!(matches!(cache.state(a).resolution, Resolution::Unique(_)));
+        cache.set_start_state(NonTerminal::from_index(0), a);
+        assert!(cache.start_state(NonTerminal::from_index(0)).is_none());
+        let t = Terminal::from_index(0);
+        assert_eq!(cache.transition(a, t), None);
+        let b = cache.intern_protected(vec![cfg(1, SpState::AcceptEof)], &[a]);
+        cache.set_transition(a, t, b);
+        assert_eq!(cache.transition(a, t), None);
+        // Memory stays bounded: unprotected scratch states are dropped.
+        let _c = cache.intern_protected(vec![cfg(2, SpState::AcceptEof)], &[b]);
+        assert!(cache.states.len() <= 2);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.transitions, 0);
+        assert_eq!(stats.approx_bytes, 0);
+    }
+
+    #[test]
+    fn raising_a_zero_cap_reenables_the_cache() {
+        let mut cache = SllCache::new();
+        cache.set_capacity(Some(0), None);
+        let _ = cache.intern_protected(vec![cfg(0, SpState::AcceptEof)], &[]);
+        cache.set_capacity(Some(8), None);
+        let s0 = cache.intern(vec![cfg(0, SpState::AcceptEof)]);
+        let s1 = cache.intern(vec![cfg(0, SpState::AcceptEof)]);
+        assert_eq!(s0, s1, "memoization must resume once the cap is lifted");
     }
 
     #[test]

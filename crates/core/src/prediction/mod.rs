@@ -29,6 +29,7 @@ pub(crate) mod sim;
 
 use crate::budget::{AbortReason, Meter};
 use crate::error::ParseError;
+use crate::observe::{ParseObserver, PredictOutcome, PredictPhase};
 use crate::prediction::cache::{EofResolution, Resolution, SllCache, StateId};
 use crate::prediction::sim::{
     closure, distinct_alts, move_configs, Config, SimFrame, SimMode, SimStack, SpState,
@@ -56,6 +57,19 @@ pub(crate) enum Prediction {
     /// The resource budget ran out mid-prediction; the decision is
     /// unresolved and the machine must abort.
     Abort(AbortReason),
+}
+
+impl Prediction {
+    /// The observer-facing classification of this prediction result.
+    fn outcome(&self) -> PredictOutcome {
+        match self {
+            Prediction::Unique(_) => PredictOutcome::Unique,
+            Prediction::Ambig(_) => PredictOutcome::Ambig,
+            Prediction::Reject => PredictOutcome::Reject,
+            Prediction::Error(_) => PredictOutcome::Error,
+            Prediction::Abort(_) => PredictOutcome::Abort,
+        }
+    }
 }
 
 /// Builds the LL simulation base stack from the machine's suffix stack:
@@ -93,13 +107,29 @@ fn initial_configs(g: &Grammar, x: NonTerminal, base: &SimStack) -> Vec<Config> 
 /// LL prediction: precise, uncached lockstep simulation over the machine's
 /// real suffix stack. Charges one unit of fuel per lookahead token
 /// examined.
-pub(crate) fn ll_predict(
+pub(crate) fn ll_predict<O: ParseObserver>(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     x: NonTerminal,
     suffix: &[SuffixFrame],
     remaining: &[Token],
     meter: &mut Meter,
+    obs: &mut O,
+) -> Prediction {
+    obs.on_predict_start(x, PredictPhase::Ll);
+    let p = ll_predict_inner(g, analysis, x, suffix, remaining, meter, obs);
+    obs.on_predict_end(x, PredictPhase::Ll, p.outcome());
+    p
+}
+
+fn ll_predict_inner<O: ParseObserver>(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    suffix: &[SuffixFrame],
+    remaining: &[Token],
+    meter: &mut Meter,
+    obs: &mut O,
 ) -> Prediction {
     let base = machine_base_stack(suffix);
     let num_nts = g.num_nonterminals();
@@ -109,6 +139,7 @@ pub(crate) fn ll_predict(
         SimMode::Ll,
         initial_configs(g, x, &base),
         num_nts,
+        obs,
     ) {
         Ok(c) => c,
         Err(e) => return Prediction::Error(e),
@@ -122,8 +153,10 @@ pub(crate) fn ll_predict(
             _ => {}
         }
         if let Err(r) = meter.charge(1) {
+            obs.on_abort(&r);
             return Prediction::Abort(r);
         }
+        obs.on_lookahead(PredictPhase::Ll);
         let Some(t) = input.next() else {
             // End of input with several alternatives still alive: the
             // survivors that accept EOF each derive the whole remaining
@@ -147,7 +180,7 @@ pub(crate) fn ll_predict(
             Ok(m) => m,
             Err(e) => return Prediction::Error(e),
         };
-        configs = match closure(g, analysis, SimMode::Ll, moved, num_nts) {
+        configs = match closure(g, analysis, SimMode::Ll, moved, num_nts, obs) {
             Ok(c) => c,
             Err(e) => return Prediction::Error(e),
         };
@@ -165,13 +198,46 @@ pub(crate) fn ll_predict(
 /// The in-flight state id is passed to the cache as a protection set on
 /// every intern, so capacity-driven eviction can never invalidate the
 /// state this simulation is standing on.
-pub(crate) fn sll_predict(
+pub(crate) fn sll_predict<O: ParseObserver>(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     x: NonTerminal,
     remaining: &[Token],
     cache: &mut SllCache,
     meter: &mut Meter,
+    obs: &mut O,
+) -> Prediction {
+    obs.on_predict_start(x, PredictPhase::Sll);
+    let p = sll_predict_inner(g, analysis, x, remaining, cache, meter, obs);
+    obs.on_predict_end(x, PredictPhase::Sll, p.outcome());
+    p
+}
+
+/// Interns `configs`, reporting any capacity-driven evictions that the
+/// intern provoked to the observer.
+fn intern_observed<O: ParseObserver>(
+    cache: &mut SllCache,
+    configs: Vec<Config>,
+    protect: &[StateId],
+    obs: &mut O,
+) -> StateId {
+    let before = cache.evictions_total();
+    let id = cache.intern_protected(configs, protect);
+    let evicted = cache.evictions_total() - before;
+    if evicted > 0 {
+        obs.on_cache_evictions(evicted);
+    }
+    id
+}
+
+fn sll_predict_inner<O: ParseObserver>(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    remaining: &[Token],
+    cache: &mut SllCache,
+    meter: &mut Meter,
+    obs: &mut O,
 ) -> Prediction {
     let num_nts = g.num_nonterminals();
     let mut sid: StateId = match cache.start_state(x) {
@@ -183,11 +249,12 @@ pub(crate) fn sll_predict(
                 SimMode::Sll,
                 initial_configs(g, x, &SimStack::empty()),
                 num_nts,
+                obs,
             ) {
                 Ok(c) => c,
                 Err(e) => return Prediction::Error(e),
             };
-            let id = cache.intern(configs);
+            let id = intern_observed(cache, configs, &[], obs);
             cache.set_start_state(x, id);
             id
         }
@@ -209,8 +276,10 @@ pub(crate) fn sll_predict(
         }
         if let Err(r) = meter.charge(1) {
             record_lookahead(cache, lookahead);
+            obs.on_abort(&r);
             return Prediction::Abort(r);
         }
+        obs.on_lookahead(PredictPhase::Sll);
         let Some(t) = input.next() else {
             record_lookahead(cache, lookahead);
             return match cache.eof_resolution(sid) {
@@ -221,18 +290,23 @@ pub(crate) fn sll_predict(
         };
         lookahead += 1;
         let term = t.terminal();
+        obs.on_cache_lookup();
         sid = match cache.transition(sid, term) {
-            Some(next) => next,
+            Some(next) => {
+                obs.on_cache_hit();
+                next
+            }
             None => {
+                obs.on_cache_miss();
                 let moved = match move_configs(&cache.state(sid).configs, term) {
                     Ok(m) => m,
                     Err(e) => return Prediction::Error(e),
                 };
-                let next_configs = match closure(g, analysis, SimMode::Sll, moved, num_nts) {
+                let next_configs = match closure(g, analysis, SimMode::Sll, moved, num_nts, obs) {
                     Ok(c) => c,
                     Err(e) => return Prediction::Error(e),
                 };
-                let next = cache.intern_protected(next_configs, &[sid]);
+                let next = intern_observed(cache, next_configs, &[sid], obs);
                 cache.set_transition(sid, term, next);
                 next
             }
@@ -243,20 +317,21 @@ pub(crate) fn sll_predict(
 /// LL-only prediction: the precise simulation at every decision, with no
 /// SLL phase and no cache. Semantically equivalent to
 /// [`adaptive_predict`]; exists for the cache ablation experiments.
-pub(crate) fn ll_only_predict(
+pub(crate) fn ll_only_predict<O: ParseObserver>(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     x: NonTerminal,
     suffix: &[SuffixFrame],
     remaining: &[Token],
     meter: &mut Meter,
+    obs: &mut O,
 ) -> Prediction {
     match g.alternatives(x) {
         [] => return Prediction::Reject,
         [only] => return Prediction::Unique(*only),
         _ => {}
     }
-    ll_predict(g, analysis, x, suffix, remaining, meter)
+    ll_predict(g, analysis, x, suffix, remaining, meter, obs)
 }
 
 /// Folds one decision's lookahead depth into the cache's running
@@ -273,7 +348,8 @@ fn record_lookahead(cache: &mut SllCache, lookahead: usize) {
 /// A decision nonterminal with a single alternative short-circuits to
 /// `Unique` without simulation — there is nothing to decide, and with no
 /// competing alternative the `Unique` label is trivially correct.
-pub(crate) fn adaptive_predict(
+#[allow(clippy::too_many_arguments)] // the paper's full decision context, plus the observer
+pub(crate) fn adaptive_predict<O: ParseObserver>(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     x: NonTerminal,
@@ -281,24 +357,29 @@ pub(crate) fn adaptive_predict(
     remaining: &[Token],
     cache: &mut SllCache,
     meter: &mut Meter,
+    obs: &mut O,
 ) -> Prediction {
     match g.alternatives(x) {
         [] => return Prediction::Reject,
         [only] => {
             cache.stats_mut().single_alternative += 1;
+            obs.on_single_alt(x);
             return Prediction::Unique(*only);
         }
         _ => {}
     }
     cache.stats_mut().predictions += 1;
-    match sll_predict(g, analysis, x, remaining, cache, meter) {
+    obs.on_decision(x);
+    match sll_predict(g, analysis, x, remaining, cache, meter, obs) {
         Prediction::Ambig(_) => {
             cache.stats_mut().failovers += 1;
-            ll_predict(g, analysis, x, suffix, remaining, meter)
+            obs.on_failover(x);
+            ll_predict(g, analysis, x, suffix, remaining, meter, obs)
         }
         Prediction::Abort(r) => Prediction::Abort(r),
         committed => {
             cache.stats_mut().sll_resolved += 1;
+            obs.on_sll_resolved(x);
             committed
         }
     }
@@ -307,6 +388,7 @@ pub(crate) fn adaptive_predict(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::NullObserver;
     use costar_grammar::{tokens, GrammarBuilder};
 
     fn fig2() -> (Grammar, GrammarAnalysis) {
@@ -342,7 +424,15 @@ mod tests {
         let word = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
         let suffix = start_suffix(&g);
         let s = nt(&g, "S");
-        let p = ll_predict(&g, &an, s, &suffix, &word, &mut Meter::unlimited());
+        let p = ll_predict(
+            &g,
+            &an,
+            s,
+            &suffix,
+            &word,
+            &mut Meter::unlimited(),
+            &mut NullObserver,
+        );
         let Prediction::Unique(alt) = p else {
             panic!("expected unique prediction, got {p:?}")
         };
@@ -357,8 +447,24 @@ mod tests {
         let s = nt(&g, "S");
         let suffix = start_suffix(&g);
         let mut cache = SllCache::new();
-        let sll = sll_predict(&g, &an, s, &word, &mut cache, &mut Meter::unlimited());
-        let ll = ll_predict(&g, &an, s, &suffix, &word, &mut Meter::unlimited());
+        let sll = sll_predict(
+            &g,
+            &an,
+            s,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+            &mut NullObserver,
+        );
+        let ll = ll_predict(
+            &g,
+            &an,
+            s,
+            &suffix,
+            &word,
+            &mut Meter::unlimited(),
+            &mut NullObserver,
+        );
         assert_eq!(sll, ll);
         let Prediction::Unique(alt) = sll else {
             panic!("expected unique")
@@ -373,10 +479,26 @@ mod tests {
         let word = tokens(&mut tab, &[("a", "a"), ("a", "a"), ("b", "b"), ("d", "d")]);
         let s = nt(&g, "S");
         let mut cache = SllCache::new();
-        let p1 = sll_predict(&g, &an, s, &word, &mut cache, &mut Meter::unlimited());
+        let p1 = sll_predict(
+            &g,
+            &an,
+            s,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+            &mut NullObserver,
+        );
         let misses_after_first = cache.stats().misses;
         assert!(misses_after_first > 0);
-        let p2 = sll_predict(&g, &an, s, &word, &mut cache, &mut Meter::unlimited());
+        let p2 = sll_predict(
+            &g,
+            &an,
+            s,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+            &mut NullObserver,
+        );
         assert_eq!(p1, p2);
         let stats = cache.stats();
         assert_eq!(
@@ -403,7 +525,8 @@ mod tests {
                 &suffix,
                 &word,
                 &mut cache,
-                &mut Meter::unlimited()
+                &mut Meter::unlimited(),
+                &mut NullObserver,
             ),
             Prediction::Reject
         );
@@ -431,6 +554,7 @@ mod tests {
             &word,
             &mut cache,
             &mut Meter::unlimited(),
+            &mut NullObserver,
         );
         let Prediction::Ambig(alt) = p else {
             panic!("expected ambiguity, got {p:?}")
@@ -458,6 +582,7 @@ mod tests {
             &[],
             &mut cache,
             &mut Meter::unlimited(),
+            &mut NullObserver,
         );
         assert!(matches!(p, Prediction::Unique(_)));
         assert_eq!(cache.stats().states, 0, "no simulation should run");
@@ -486,6 +611,7 @@ mod tests {
             &word,
             &mut cache,
             &mut Meter::unlimited(),
+            &mut NullObserver,
         );
         let Prediction::Unique(alt) = p else {
             panic!("expected unique, got {p:?}")
@@ -550,7 +676,15 @@ mod tests {
         ];
         let mut cache = SllCache::new();
         // SLL alone conflicts and (wrongly) prefers X -> a a.
-        let sll = sll_predict(&g, &an, x, &word, &mut cache, &mut Meter::unlimited());
+        let sll = sll_predict(
+            &g,
+            &an,
+            x,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+            &mut NullObserver,
+        );
         let Prediction::Ambig(sll_alt) = sll else {
             panic!("expected an SLL conflict, got {sll:?}")
         };
@@ -564,6 +698,7 @@ mod tests {
             &word,
             &mut cache,
             &mut Meter::unlimited(),
+            &mut NullObserver,
         );
         let Prediction::Unique(alt) = p else {
             panic!("expected LL failover to produce Unique, got {p:?}")
@@ -592,6 +727,7 @@ mod tests {
             &word,
             &mut cache,
             &mut Meter::unlimited(),
+            &mut NullObserver,
         );
         assert!(matches!(p, Prediction::Error(ParseError::LeftRecursive(_))));
     }

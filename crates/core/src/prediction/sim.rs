@@ -14,6 +14,7 @@
 //! gets this tail sharing instead, and we reproduce exactly that.
 
 use crate::error::ParseError;
+use crate::observe::ParseObserver;
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::{Grammar, NonTerminal, NtSet, ProdId, Symbol, Terminal};
 use std::cmp::Ordering;
@@ -253,12 +254,13 @@ pub(crate) enum SimMode {
 /// path from the nonterminal to itself, i.e. left recursion, and aborts
 /// prediction with `LeftRecursive` (paper §4.1/§5.4 apply the same scheme
 /// inside prediction as in the main machine).
-pub(crate) fn closure(
+pub(crate) fn closure<O: ParseObserver>(
     g: &Grammar,
     analysis: &GrammarAnalysis,
     mode: SimMode,
     configs: Vec<Config>,
     num_nts: usize,
+    obs: &mut O,
 ) -> Result<Vec<Config>, ParseError> {
     let mut out: Vec<Config> = Vec::new();
     let mut emitted: HashSet<Config> = HashSet::new();
@@ -281,6 +283,7 @@ pub(crate) fn closure(
     }
 
     while let Some((alt, stack, mut visited)) = work.pop() {
+        obs.on_closure_step();
         // Process each distinct (alternative, stack) configuration once:
         // converging derivation paths would otherwise re-explore shared
         // continuations exponentially often.
@@ -446,6 +449,7 @@ pub(crate) fn distinct_alts(configs: &[Config]) -> Vec<ProdId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::NullObserver;
     use costar_grammar::GrammarBuilder;
 
     fn setup() -> (Grammar, GrammarAnalysis) {
@@ -499,7 +503,15 @@ mod tests {
         // LL closure of S's alternatives over an empty outer context: each
         // expands A, whose alternatives start with terminals a and b.
         let configs = initial_configs(&g, "S", &SimStack::empty());
-        let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
+        let stable = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         // 2 alternatives x 2 A-expansions = 4 stable configs.
         assert_eq!(stable.len(), 4);
         for c in &stable {
@@ -518,7 +530,15 @@ mod tests {
         let g = gb.start("E").build().unwrap();
         let an = GrammarAnalysis::compute(&g);
         let configs = initial_configs(&g, "E", &SimStack::empty());
-        let err = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap_err();
+        let err = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap_err();
         assert!(matches!(err, ParseError::LeftRecursive(_)));
     }
 
@@ -533,7 +553,15 @@ mod tests {
         let g = gb.start("S").build().unwrap();
         let an = GrammarAnalysis::compute(&g);
         let configs = initial_configs(&g, "S", &SimStack::empty());
-        let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
+        let stable = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         assert!(!stable.is_empty());
     }
 
@@ -541,7 +569,15 @@ mod tests {
     fn move_filters_and_advances() {
         let (g, an) = setup();
         let configs = initial_configs(&g, "S", &SimStack::empty());
-        let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
+        let stable = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         let b = g.symbols().lookup_terminal("b").unwrap();
         let moved = move_configs(&stable, b).unwrap();
         // Only the A -> b expansions survive (one per S alternative).
@@ -556,10 +592,26 @@ mod tests {
         // consuming b the A -> b subparser's frame is exhausted and its
         // stack empties; it must resume at "S -> A . c" and "S -> A . d".
         let configs = initial_configs(&g, "A", &SimStack::empty());
-        let stable = closure(&g, &an, SimMode::Sll, configs, g.num_nonterminals()).unwrap();
+        let stable = closure(
+            &g,
+            &an,
+            SimMode::Sll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         let b = g.symbols().lookup_terminal("b").unwrap();
         let moved = move_configs(&stable, b).unwrap();
-        let after = closure(&g, &an, SimMode::Sll, moved, g.num_nonterminals()).unwrap();
+        let after = closure(
+            &g,
+            &an,
+            SimMode::Sll,
+            moved,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         // Two stable resumptions, both for the alternative A -> b.
         assert_eq!(after.len(), 2);
         assert_eq!(distinct_alts(&after).len(), 1);
@@ -575,10 +627,26 @@ mod tests {
         let g = gb.start("S").build().unwrap();
         let an = GrammarAnalysis::compute(&g);
         let configs = initial_configs(&g, "S", &SimStack::empty());
-        let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
+        let stable = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         let a = g.symbols().lookup_terminal("a").unwrap();
         let moved = move_configs(&stable, a).unwrap();
-        let after = closure(&g, &an, SimMode::Ll, moved, g.num_nonterminals()).unwrap();
+        let after = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            moved,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         assert_eq!(after.len(), 1);
         assert!(matches!(after[0].state, SpState::AcceptEof));
     }
@@ -587,7 +655,15 @@ mod tests {
     fn distinct_alts_deduplicates() {
         let (g, an) = setup();
         let configs = initial_configs(&g, "S", &SimStack::empty());
-        let stable = closure(&g, &an, SimMode::Ll, configs, g.num_nonterminals()).unwrap();
+        let stable = closure(
+            &g,
+            &an,
+            SimMode::Ll,
+            configs,
+            g.num_nonterminals(),
+            &mut NullObserver,
+        )
+        .unwrap();
         assert_eq!(distinct_alts(&stable).len(), 2);
     }
 }

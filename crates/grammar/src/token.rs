@@ -6,8 +6,14 @@
 
 use crate::symbol::Terminal;
 use std::fmt;
+use std::sync::Arc;
 
 /// A token: a terminal symbol plus the matched literal.
+///
+/// The lexeme is an `Arc<str>`, so cloning a token — which the parser's
+/// hot consume path does once per matched token to build the leaf of the
+/// parse tree — is a reference-count bump, not a string allocation.
+/// Equality and hashing compare lexeme *content*, not pointers.
 ///
 /// # Examples
 ///
@@ -22,7 +28,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Token {
     terminal: Terminal,
-    lexeme: Box<str>,
+    lexeme: Arc<str>,
     /// Byte offset of the lexeme in the source text, when known.
     offset: usize,
 }
@@ -116,5 +122,16 @@ mod tests {
         let mut tab = SymbolTable::new();
         let t = Token::new(tab.terminal("Int"), "42");
         assert!(format!("{t}").contains("42"));
+    }
+
+    #[test]
+    fn clones_share_the_lexeme_allocation() {
+        let mut tab = SymbolTable::new();
+        let t = Token::new(tab.terminal("Int"), "42");
+        let c = t.clone();
+        assert_eq!(t, c);
+        assert!(std::ptr::eq(t.lexeme().as_ptr(), c.lexeme().as_ptr()));
+        // Content equality, not pointer equality.
+        assert_eq!(t, Token::new(tab.terminal("Int"), "42"));
     }
 }

@@ -38,9 +38,9 @@ fn assert_abort_or_resolve(g: &Grammar, w: &[Token], fuel_sweep: impl Iterator<I
         match &outcome {
             ParseOutcome::Aborted(AbortReason::StepLimit { .. }) => {
                 assert!(
-                    report.steps as u64 <= fuel,
+                    report.machine_steps <= fuel,
                     "fuel {fuel}: machine overran its budget ({} steps)",
-                    report.steps
+                    report.machine_steps
                 );
             }
             ParseOutcome::Aborted(other) => panic!("fuel {fuel}: unexpected abort {other}"),
@@ -150,7 +150,7 @@ fn failover_storm_under_tiny_cache_aborts_or_accepts() {
         let (capped, _) = run_instrumented_with(&g, &an, &w, &cap).expect("invariants hold");
         assert_eq!(capped, unlimited, "cache cap must not change the verdict");
 
-        let sweep = (0..10).map(|i| 1 + (i * 2 * report.steps as u64) / 9);
+        let sweep = (0..10).map(|i| 1 + (i * 2 * report.machine_steps) / 9);
         assert_abort_or_resolve(&g, &w, sweep);
     }
 }

@@ -189,7 +189,7 @@ fn fuel_exhaustion_sweep_aborts_cleanly_at_every_step() {
         let full = Budget::derived(&g, w.len())
             .max_steps()
             .expect("derived budgets always bound steps");
-        for fuel in 1..=full.min(report.steps as u64 * 4 + 8) {
+        for fuel in 1..=full.min(report.machine_steps * 4 + 8) {
             let budget = Budget::unlimited().with_max_steps(fuel);
             let (outcome, _) =
                 run_instrumented_with(&g, &GrammarAnalysis::compute(&g), &w, &budget)
