@@ -10,9 +10,14 @@ usage:
                   [--tree] [--stats[=json]] [--time] [--trace-buffer N]
                   [--max-steps N] [--deadline-ms N] [--cache-cap N]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
+  costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
   costar generate --lang L [--size N] [--seed S]
   costar tokens   --lang L FILE
 
+  lint reports structured diagnostics (L001 left recursion, L002 empty
+  language, L003 unproductive, L004 unreachable, L005 duplicate
+  production, L006 LL(1) conflict), each with a witness. Exit code 0 =
+  clean, 1 = findings, 2 = the grammar could not be loaded.
   --stats prints a human-readable metrics summary to stderr;
   --stats=json prints the full ParseMetrics object as JSON on stdout.
   --trace-buffer keeps the last N parse events and dumps them to stderr
@@ -26,6 +31,16 @@ pub enum StatsMode {
     /// Human-readable summary on stderr.
     Human,
     /// Full `ParseMetrics` JSON object on stdout.
+    Json,
+}
+
+/// Output format for `costar lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// `error[L001]: ...` lines with indented witnesses (the default).
+    #[default]
+    Human,
+    /// One JSON object on stdout with the full diagnostic list.
     Json,
 }
 
@@ -68,6 +83,13 @@ pub enum Command {
         source: GrammarSource,
         /// Also print a left-recursion-eliminated rewrite.
         eliminate_lr: bool,
+    },
+    /// Run the grammar linter and report structured diagnostics.
+    Lint {
+        /// Grammar source.
+        source: GrammarSource,
+        /// Output format.
+        format: LintFormat,
     },
     /// Emit a synthetic corpus file.
     Generate {
@@ -181,6 +203,45 @@ impl Args {
                         source,
                         eliminate_lr,
                     },
+                })
+            }
+            "lint" => {
+                let mut lang = None;
+                let mut grammar = None;
+                let mut format = LintFormat::Human;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
+                        "--format=json" => format = LintFormat::Json,
+                        "--format=human" => format = LintFormat::Human,
+                        "--format" => {
+                            format = match required(&mut args, "--format")?.as_str() {
+                                "json" => LintFormat::Json,
+                                "human" => LintFormat::Human,
+                                other => {
+                                    return Err(format!(
+                                        "unknown lint format {other:?} (try human or json)"
+                                    ))
+                                }
+                            }
+                        }
+                        other if other.starts_with("--format=") => {
+                            return Err(format!(
+                                "unknown lint format {:?} (try human or json)",
+                                &other["--format=".len()..]
+                            ));
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                let source = match (lang, grammar) {
+                    (Some(l), None) => GrammarSource::Lang(l),
+                    (None, Some(g)) => GrammarSource::Ebnf(g),
+                    _ => return Err("lint needs exactly one of --lang or --grammar".into()),
+                };
+                Ok(Args {
+                    command: Command::Lint { source, format },
                 })
             }
             "generate" => {
@@ -398,6 +459,38 @@ mod tests {
                 seed: 9
             }
         );
+    }
+
+    #[test]
+    fn lint_command_and_formats() {
+        let a = parse(&["lint", "--grammar", "g.ebnf"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Lint {
+                source: GrammarSource::Ebnf("g.ebnf".into()),
+                format: LintFormat::Human,
+            }
+        );
+        let a = parse(&["lint", "--lang", "json", "--format=json"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Lint {
+                source: GrammarSource::Lang("json".into()),
+                format: LintFormat::Json,
+            }
+        );
+        let a = parse(&["lint", "--lang", "json", "--format", "human"]).unwrap();
+        assert!(matches!(
+            a.command,
+            Command::Lint {
+                format: LintFormat::Human,
+                ..
+            }
+        ));
+        assert!(parse(&["lint"]).is_err());
+        assert!(parse(&["lint", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
+        assert!(parse(&["lint", "--lang", "json", "--format=yaml"]).is_err());
+        assert!(parse(&["lint", "--lang", "json", "--format"]).is_err());
     }
 
     #[test]

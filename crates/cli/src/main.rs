@@ -5,6 +5,7 @@
 //!                 [--tree] [--stats[=json]] [--time] [--trace-buffer N]
 //!                 [--max-steps N] [--deadline-ms N] [--cache-cap N]
 //! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
+//! costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
 //! costar generate --lang L [--size N] [--seed S]
 //! costar tokens   --lang L FILE
 //! ```
@@ -19,7 +20,14 @@
 //! A spent step or time budget reports `aborted` — neither accept nor
 //! reject — and exits with code 3. `check` runs the static analyses:
 //! grammar sizes, the left-recursion decision procedure (paper §8 future
-//! work), and an LL(1)-class check via the baseline generator.
+//! work), and an LL(1)-class check via the baseline generator. `lint`
+//! goes further: it runs the reachability, productivity, left-recursion,
+//! and LL(1)-conflict analyses and reports *structured diagnostics*
+//! (codes L001–L006, each with a severity and a concrete witness such as
+//! a left-recursion cycle `S ⇒ A ⇒ S`), exiting 0 when clean, 1 when
+//! there are findings, and 2 when the grammar cannot be loaded;
+//! `--format=json` emits the diagnostics as one machine-readable JSON
+//! object on stdout.
 //!
 //! Observability: `--stats` prints a human-readable metrics summary on
 //! stderr (so it composes with `--tree` output on stdout); `--stats=json`
@@ -39,7 +47,7 @@ use std::time::Instant;
 mod args;
 mod render;
 
-use args::{Args, Command, GrammarSource, StatsMode};
+use args::{Args, Command, GrammarSource, LintFormat, StatsMode};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -88,6 +96,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             source,
             eliminate_lr,
         } => cmd_check(source, eliminate_lr),
+        Command::Lint { source, format } => Ok(cmd_lint(source, format)),
         Command::Generate { lang, size, seed } => {
             let (_, generate) = args::find_language(&lang)?;
             print!("{}", generate(seed, size));
@@ -296,14 +305,71 @@ fn cmd_parse(
     Ok(code)
 }
 
-fn cmd_check(source: GrammarSource, eliminate_lr: bool) -> Result<ExitCode, String> {
-    let grammar = match source {
-        GrammarSource::Lang(name) => args::find_language(&name)?.0.grammar().clone(),
-        GrammarSource::Ebnf(path) => {
-            let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-            costar_ebnf::compile(&src)?.0
+/// `costar lint`: structured grammar diagnostics with witnesses.
+///
+/// Exit codes are part of the contract (scriptable in CI): 0 = no
+/// findings, 1 = at least one finding of any severity, 2 = the grammar
+/// could not be loaded or compiled. Never returns `Err` — load failures
+/// map to exit 2 so callers can distinguish "bad grammar file" from
+/// "grammar has defects".
+fn cmd_lint(source: GrammarSource, format: LintFormat) -> ExitCode {
+    let grammar = match load_grammar(source) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
         }
     };
+    let analysis = costar_grammar::analysis::GrammarAnalysis::compute(&grammar);
+    let diags = costar_grammar::lint::lint_grammar(&grammar, &analysis);
+    match format {
+        LintFormat::Human => {
+            for d in &diags {
+                println!("{}", d.render_human(&grammar));
+            }
+            match costar_grammar::lint::worst_severity(&diags) {
+                None => println!("no findings"),
+                Some(worst) => eprintln!(
+                    "{} finding{} (worst severity: {})",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                    worst.as_str()
+                ),
+            }
+        }
+        LintFormat::Json => {
+            let items: Vec<String> = diags.iter().map(|d| d.to_json(&grammar)).collect();
+            let worst = costar_grammar::lint::worst_severity(&diags)
+                .map(|w| format!("\"{}\"", w.as_str()))
+                .unwrap_or_else(|| "null".to_owned());
+            println!(
+                "{{\"findings\":{},\"worst\":{},\"diagnostics\":[{}]}}",
+                diags.len(),
+                worst,
+                items.join(",")
+            );
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Loads a grammar alone (no input word) from either source.
+fn load_grammar(source: GrammarSource) -> Result<Grammar, String> {
+    match source {
+        GrammarSource::Lang(name) => Ok(args::find_language(&name)?.0.grammar().clone()),
+        GrammarSource::Ebnf(path) => {
+            let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(costar_ebnf::compile(&src)?.0)
+        }
+    }
+}
+
+fn cmd_check(source: GrammarSource, eliminate_lr: bool) -> Result<ExitCode, String> {
+    let grammar = load_grammar(source)?;
     let analysis = costar_grammar::analysis::GrammarAnalysis::compute(&grammar);
     println!(
         "grammar: |T| = {}, |N| = {}, |P| = {}, maxRhsLen = {}",

@@ -45,6 +45,7 @@
 //! 3. **abort** — only when fuel, deadline, or stack depth is exhausted
 //!    does the parse stop, with a typed [`AbortReason`].
 
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 use costar_grammar::Grammar;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -297,6 +298,7 @@ impl Meter {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use costar_grammar::GrammarBuilder;

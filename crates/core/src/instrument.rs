@@ -67,44 +67,6 @@ impl fmt::Display for InstrumentError {
 
 impl std::error::Error for InstrumentError {}
 
-/// Statistics collected by an instrumented run.
-///
-/// Superseded by [`ParseMetrics`], which carries the same operation counts
-/// plus prediction, cache, and timing dimensions. Note one semantic shift:
-/// [`ParseMetrics::machine_steps`] counts *every* meter-admitted machine
-/// step, including the final accepting/rejecting one, where `steps` here
-/// counted only steps that continued the run.
-#[deprecated(note = "use `ParseMetrics` from `run_instrumented` instead")]
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct InstrumentReport {
-    /// Number of machine steps executed.
-    pub steps: usize,
-    /// Maximum suffix-stack height observed.
-    pub max_stack_height: usize,
-    /// Number of push operations (= prediction calls, §3.3).
-    pub pushes: usize,
-    /// Number of consume operations.
-    pub consumes: usize,
-    /// Number of return operations.
-    pub returns: usize,
-}
-
-#[allow(deprecated)]
-impl InstrumentReport {
-    /// Projects the legacy report out of a [`ParseMetrics`] for callers
-    /// that have not migrated yet (`steps` adopts the new
-    /// all-admitted-steps semantics).
-    pub fn from_metrics(m: &ParseMetrics) -> Self {
-        InstrumentReport {
-            steps: m.machine_steps as usize,
-            max_stack_height: m.max_stack_height,
-            pushes: m.pushes as usize,
-            consumes: m.consumes as usize,
-            returns: m.returns as usize,
-        }
-    }
-}
-
 /// Runs a full parse, checking the termination measure and the machine
 /// invariants after every step.
 ///
@@ -218,12 +180,6 @@ mod tests {
         assert_eq!(report.machine_steps, 10);
         assert_eq!(report.max_stack_height, 4);
         assert!(report.reconciles());
-        #[allow(deprecated)]
-        {
-            let legacy = InstrumentReport::from_metrics(&report);
-            assert_eq!(legacy.steps, 10);
-            assert_eq!(legacy.consumes, 3);
-        }
     }
 
     #[test]

@@ -60,6 +60,11 @@
 //!   bounded post-mortem event traces.
 
 #![warn(missing_docs)]
+// The panic-freedom discipline (clippy.toml `disallowed_*` config) is
+// opted into per module: hot-path modules re-enable these lints with a
+// module-level `#![warn(..)]`; everything else (support modules, tests)
+// is exempt by this crate-level allow.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 pub mod bignat;
 pub mod budget;
@@ -75,6 +80,8 @@ mod parser;
 mod prediction;
 pub mod semantics;
 pub mod state;
+#[cfg(kani)]
+pub mod verify_hooks;
 
 pub use budget::{AbortReason, Budget};
 pub use error::{ParseError, RejectReason};

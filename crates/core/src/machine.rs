@@ -9,6 +9,7 @@
 //! [`crate::instrument`], which asserts that every step strictly decreases
 //! it.
 
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 use crate::budget::{AbortReason, Budget, Meter};
 use crate::error::{ParseError, RejectReason};
 use crate::observe::{MachineOp, NullObserver, ParseObserver};
@@ -202,7 +203,11 @@ impl<'a> Machine<'a> {
             return StepResult::Abort(r);
         }
         obs.on_machine_step(self.state.cursor, self.state.suffix.len());
+        // Audited: the fault-injection harness exists precisely to throw
+        // panics at the panic-safety wrapper; it is compiled out of
+        // default builds.
         #[cfg(feature = "faults")]
+        #[allow(clippy::disallowed_macros)]
         {
             let step_index = self.meter.steps_taken() - 1;
             if cache.fault_panic_due(step_index) {
@@ -393,6 +398,7 @@ impl<'a> Machine<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use costar_grammar::{check_tree, tokens, GrammarBuilder};

@@ -52,7 +52,11 @@ impl fmt::Display for Measure {
 }
 
 /// `frameScore(ψ, b, e) = bᵉ · (# unprocessed symbols in ψ)` (§4.3).
-fn frame_score(frame: &SuffixFrame, base: u64, exp: usize) -> BigNat {
+///
+/// Public so the `costar-verify` harnesses (`H-MEASURE-ORD`) can exercise
+/// the frame-level algebra of Lemmas 4.3/4.4 over nondeterministic frames
+/// directly, not only through full machine states.
+pub fn frame_score(frame: &SuffixFrame, base: u64, exp: usize) -> BigNat {
     let mut score = BigNat::pow(base, exp);
     score.mul_u64_assign(frame.unprocessed().len() as u64);
     score
@@ -61,7 +65,9 @@ fn frame_score(frame: &SuffixFrame, base: u64, exp: usize) -> BigNat {
 /// `stackScore′`: sums frame scores top-to-bottom, incrementing the
 /// exponent for each lower frame (§4.3). `frames` is bottom-first (the
 /// machine's storage order), so the iteration walks it in reverse.
-fn stack_score_prime(frames: &[SuffixFrame], base: u64, initial_exp: usize) -> BigNat {
+///
+/// Public for the `costar-verify` harnesses (see [`frame_score`]).
+pub fn stack_score_prime(frames: &[SuffixFrame], base: u64, initial_exp: usize) -> BigNat {
     let mut total = BigNat::zero();
     for (depth_from_top, frame) in frames.iter().rev().enumerate() {
         total.add_assign(&frame_score(frame, base, initial_exp + depth_from_top));

@@ -98,10 +98,9 @@ impl Histogram {
     }
 }
 
-/// Everything a [`MetricsObserver`] measured over one parse. Replaces and
-/// subsumes the deprecated
-/// [`InstrumentReport`](crate::instrument::InstrumentReport): the old
-/// report's five fields live on here (`steps` renamed to
+/// Everything a [`MetricsObserver`] measured over one parse. Replaced and
+/// subsumed the `InstrumentReport` of earlier revisions (since removed):
+/// the old report's five fields live on here (`steps` renamed to
 /// [`machine_steps`](ParseMetrics::machine_steps), now counting *every*
 /// admitted machine step including the final accepting/rejecting one),
 /// joined by the prediction, cache, and timing dimensions.
@@ -351,6 +350,7 @@ impl ParseObserver for MetricsObserver {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

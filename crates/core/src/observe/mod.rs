@@ -39,6 +39,7 @@
 //! A property test (`tests/observer_properties.rs`) enforces this for
 //! arbitrary grammar/input pairs, including aborted parses.
 
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod metrics;
 mod trace;
 
@@ -260,6 +261,7 @@ impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -216,6 +216,7 @@ impl ParseObserver for TraceObserver {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -19,6 +19,7 @@
 //! typed [`ParseOutcome::Error`] with
 //! [`ParseError::InvalidState`](crate::ParseError::InvalidState).
 
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 use crate::budget::Budget;
 use crate::error::ParseError;
 use crate::machine::{Machine, ParseOutcome, PredictionMode};
@@ -267,6 +268,7 @@ pub fn parse(g: &Grammar, word: &[Token]) -> ParseOutcome {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use costar_grammar::{tokens, GrammarBuilder};
@@ -359,6 +361,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod budget_tests {
     use super::*;
     use crate::budget::AbortReason;
@@ -468,6 +471,7 @@ mod budget_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod metrics_tests {
     use super::*;
     use crate::budget::AbortReason;
@@ -540,6 +544,7 @@ mod metrics_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod prediction_stats_tests {
     use super::*;
     use costar_grammar::{tokens, GrammarBuilder};

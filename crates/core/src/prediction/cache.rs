@@ -255,6 +255,10 @@ impl SllCache {
         }
     }
 
+    // Audited: every StateId handed out by `intern` is pinned against
+    // eviction while the caller's simulation round holds it (see
+    // `enforce_caps`' live-set exclusion), so the lookup cannot miss.
+    #[allow(clippy::disallowed_methods)]
     pub(crate) fn state(&self, id: StateId) -> &StateData {
         self.states
             .get(&id.0)
@@ -540,6 +544,7 @@ fn classify(key: &[Config]) -> Resolution {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::prediction::sim::SimStack;

@@ -24,6 +24,7 @@
 //! reports ambiguity, because the extra SLL alternatives might be
 //! artifacts of the lost context.
 
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 pub(crate) mod cache;
 pub(crate) mod sim;
 
@@ -386,6 +387,7 @@ pub(crate) fn adaptive_predict<O: ParseObserver>(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::observe::NullObserver;

@@ -114,6 +114,10 @@ impl SimStack {
     /// # Panics
     ///
     /// Panics if the stack is empty.
+    // Audited: callers only pop after `top()` returned `Some` (the
+    // simulation's return step requires a frame to return from), and the
+    // contract is documented above.
+    #[allow(clippy::disallowed_methods)]
     pub fn pop(&self) -> SimStack {
         self.0
             .as_ref()
@@ -447,6 +451,7 @@ pub(crate) fn distinct_alts(configs: &[Config]) -> Vec<ProdId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::observe::NullObserver;

@@ -19,6 +19,7 @@
 //! (weight `bᵉ`) for a new top frame worth at most `bᵉ⁻¹·(b-1) < bᵉ`,
 //! which is why pushes strictly decrease the score (Lemma 4.3).
 
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 use costar_grammar::{NonTerminal, Symbol, Tree};
 use std::sync::Arc;
 
@@ -107,6 +108,7 @@ impl MachineState {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -7,6 +7,9 @@
 //! invariant (built by hand, since no machine run produces them) and
 //! confirm the machine detects the corruption instead of misbehaving.
 
+// Tests are exempt from the core's panic-freedom lints (clippy.toml).
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use costar::state::{MachineState, PrefixFrame, SuffixFrame};
 use costar::{Machine, ParseError, SllCache, StepResult};
 use costar_grammar::analysis::GrammarAnalysis;

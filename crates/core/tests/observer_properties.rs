@@ -15,6 +15,9 @@
 //! * the decision counters (`decisions`, `single_alternative`,
 //!   `sll_resolved`, `failovers`) mirror [`PredictionStats`].
 
+// Tests are exempt from the core's panic-freedom lints (clippy.toml).
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use costar::{Budget, MetricsObserver, ParseOutcome, Parser};
 use costar_grammar::{Grammar, GrammarBuilder, Symbol, Token};
 use proptest::prelude::*;

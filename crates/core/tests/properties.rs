@@ -17,6 +17,9 @@
 //!   `LeftRecursive(X)` error implies the static analysis agrees that `X`
 //!   is left-recursive.
 
+// Tests are exempt from the core's panic-freedom lints (clippy.toml).
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use costar::{instrument::run_instrumented, ParseError, ParseOutcome, Parser};
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::sampler::{DerivationSampler, SplitMix64};

@@ -37,6 +37,9 @@ use crate::symbol::{NonTerminal, Symbol};
 #[derive(Debug, Clone)]
 pub struct LeftRecursion {
     left_recursive: NtSet,
+    /// The left-corner graph (`edges[x]` = nullable-prefix successors of
+    /// `x`), retained so diagnostics can reconstruct witness cycles.
+    edges: Vec<Vec<usize>>,
 }
 
 impl LeftRecursion {
@@ -84,6 +87,7 @@ impl LeftRecursion {
 
         LeftRecursion {
             left_recursive: state.left_recursive,
+            edges,
         }
     }
 
@@ -101,6 +105,56 @@ impl LeftRecursion {
     /// All left-recursive nonterminals.
     pub fn left_recursive_set(&self) -> &NtSet {
         &self.left_recursive
+    }
+
+    /// A witness cycle `x ⇒ … ⇒ x` in the left-corner graph, shortest
+    /// first by BFS, with `x` at both ends (so a direct self-loop yields
+    /// `[x, x]`). `None` when `x` is not left-recursive.
+    pub fn witness_cycle(&self, x: NonTerminal) -> Option<Vec<NonTerminal>> {
+        if !self.left_recursive.contains(x) {
+            return None;
+        }
+        // BFS from x's successors back to x; parent links rebuild the path.
+        let n = self.edges.len();
+        let target = x.index();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &succ in &self.edges[target] {
+            if succ == target {
+                return Some(vec![x, x]);
+            }
+            if !visited[succ] {
+                visited[succ] = true;
+                queue.push_back(succ);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.edges[v] {
+                if w == target {
+                    // v's ancestry runs back to one of x's successors;
+                    // bracket it with x on both ends.
+                    let mut mid = vec![v];
+                    let mut cur = v;
+                    while let Some(p) = parent[cur] {
+                        mid.push(p);
+                        cur = p;
+                    }
+                    mid.reverse();
+                    let mut path = Vec::with_capacity(mid.len() + 2);
+                    path.push(target);
+                    path.extend(mid);
+                    path.push(target);
+                    return Some(path.into_iter().map(NonTerminal::from_index).collect());
+                }
+                if !visited[w] {
+                    visited[w] = true;
+                    parent[w] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -268,6 +322,41 @@ mod tests {
         assert!(lr.is_left_recursive(nt(&g, "A")));
         assert!(lr.is_left_recursive(nt(&g, "B")));
         assert!(!lr.is_left_recursive(nt(&g, "N")));
+    }
+
+    #[test]
+    fn witness_cycle_for_direct_recursion_is_self_loop() {
+        let (g, lr) = analyze(|gb| {
+            gb.rule("E", &["E", "Plus", "Int"]);
+            gb.rule("E", &["Int"]);
+            gb.start("E");
+        });
+        let e = nt(&g, "E");
+        assert_eq!(lr.witness_cycle(e).unwrap(), vec![e, e]);
+    }
+
+    #[test]
+    fn witness_cycle_traverses_indirect_chain() {
+        let (g, lr) = analyze(|gb| {
+            gb.rule("A", &["B", "x"]);
+            gb.rule("B", &["C", "y"]);
+            gb.rule("C", &["A", "z"]);
+            gb.rule("C", &["w"]);
+            gb.start("A");
+        });
+        let (a, b, c) = (nt(&g, "A"), nt(&g, "B"), nt(&g, "C"));
+        assert_eq!(lr.witness_cycle(a).unwrap(), vec![a, b, c, a]);
+        assert_eq!(lr.witness_cycle(b).unwrap(), vec![b, c, a, b]);
+    }
+
+    #[test]
+    fn witness_cycle_absent_for_safe_nonterminals() {
+        let (g, lr) = analyze(|gb| {
+            gb.rule("L", &["Int", "Comma", "L"]);
+            gb.rule("L", &["Int"]);
+            gb.start("L");
+        });
+        assert!(lr.witness_cycle(nt(&g, "L")).is_none());
     }
 
     #[test]

@@ -9,16 +9,23 @@
 //! * [`FirstSets`] / [`FollowSets`] — classic predictive-parsing sets;
 //! * [`LeftRecursion`] — the decision procedure for the paper's
 //!   "non-left-recursive" precondition (its §8 future work);
+//! * [`Reachability`] / [`Productivity`] — which nonterminals can occur in
+//!   a derivation from the start symbol, and which can complete one; the
+//!   [`crate::lint`] linter turns their complements into diagnostics;
 //! * [`StableFrames`] — SLL stable return destinations (§3.5).
 
 mod first_follow;
 mod left_recursion;
 mod nullable;
+mod productivity;
+mod reachability;
 mod stable_frames;
 
 pub use first_follow::{ll1_selects, FirstSets, FollowSets};
 pub use left_recursion::LeftRecursion;
 pub use nullable::NullableSet;
+pub use productivity::Productivity;
+pub use reachability::Reachability;
 pub use stable_frames::{Position, StableDests, StableFrames};
 
 use crate::grammar::Grammar;
@@ -50,6 +57,10 @@ pub struct GrammarAnalysis {
     pub follow: FollowSets,
     /// Left-recursion decision.
     pub left_recursion: LeftRecursion,
+    /// Reachability from the start symbol.
+    pub reachability: Reachability,
+    /// Productivity (can each nonterminal finish a derivation?).
+    pub productivity: Productivity,
     /// SLL stable return frames.
     pub stable_frames: StableFrames,
 }
@@ -61,12 +72,16 @@ impl GrammarAnalysis {
         let first = FirstSets::compute(g, &nullable);
         let follow = FollowSets::compute(g, &nullable, &first);
         let left_recursion = LeftRecursion::compute(g, &nullable);
+        let reachability = Reachability::compute(g);
+        let productivity = Productivity::compute(g);
         let stable_frames = StableFrames::compute(g, &nullable);
         GrammarAnalysis {
             nullable,
             first,
             follow,
             left_recursion,
+            reachability,
+            productivity,
             stable_frames,
         }
     }
@@ -88,6 +103,8 @@ mod tests {
         let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
         assert!(a.nullable.contains(a_nt));
         assert!(a.left_recursion.is_grammar_safe());
+        assert!(a.reachability.is_reachable(a_nt));
+        assert!(a.productivity.is_productive(a_nt));
         assert!(!a.stable_frames.dests(a_nt).positions.is_empty());
     }
 }

@@ -1,0 +1,151 @@
+//! Productivity analysis: which nonterminals derive at least one terminal
+//! string.
+//!
+//! An unproductive nonterminal can never finish a derivation — every
+//! expansion gets stuck expanding forever (e.g. `X → a X` with no base
+//! case). A parse that predicts into one is doomed to reject or spin until
+//! a budget fires, so the linter flags them. A production is *productive*
+//! when every symbol of its right-hand side is (terminals trivially are);
+//! the standard monotone fixpoint computes the productive set, and for
+//! each productive nonterminal we retain a witness production whose
+//! right-hand side was productive first, from which a finite derivation
+//! can always be completed.
+
+use crate::grammar::{Grammar, ProdId};
+use crate::sets::NtSet;
+use crate::symbol::{NonTerminal, Symbol};
+
+/// Result of the productivity analysis.
+#[derive(Debug, Clone)]
+pub struct Productivity {
+    productive: NtSet,
+    /// For each productive nonterminal, one production usable to complete
+    /// a finite derivation.
+    witness: Vec<Option<ProdId>>,
+}
+
+impl Productivity {
+    /// Standard least-fixpoint iteration.
+    pub fn compute(g: &Grammar) -> Self {
+        let n = g.num_nonterminals();
+        let mut productive = NtSet::with_capacity(n);
+        let mut witness: Vec<Option<ProdId>> = vec![None; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (pid, p) in g.iter() {
+                if productive.contains(p.lhs()) {
+                    continue;
+                }
+                let rhs_productive = p.rhs().iter().all(|&s| match s {
+                    Symbol::T(_) => true,
+                    Symbol::Nt(y) => productive.contains(y),
+                });
+                if rhs_productive {
+                    productive.insert(p.lhs());
+                    witness[p.lhs().index()] = Some(pid);
+                    changed = true;
+                }
+            }
+        }
+        Productivity {
+            productive,
+            witness,
+        }
+    }
+
+    /// Does `x` derive at least one terminal string?
+    pub fn is_productive(&self, x: NonTerminal) -> bool {
+        self.productive.contains(x)
+    }
+
+    /// All productive nonterminals.
+    pub fn productive_set(&self) -> &NtSet {
+        &self.productive
+    }
+
+    /// Nonterminals that have productions but can never finish a
+    /// derivation.
+    pub fn unproductive(&self, g: &Grammar) -> Vec<NonTerminal> {
+        g.symbols()
+            .nonterminals()
+            .filter(|&x| !g.alternatives(x).is_empty() && !self.productive.contains(x))
+            .collect()
+    }
+
+    /// A production completing a finite derivation of `x`, if `x` is
+    /// productive.
+    pub fn witness_production(&self, x: NonTerminal) -> Option<ProdId> {
+        self.witness[x.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    #[test]
+    fn terminal_only_rules_are_productive() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "b"]);
+        let g = gb.start("S").build().unwrap();
+        let p = Productivity::compute(&g);
+        assert!(p.is_productive(nt(&g, "S")));
+        assert!(p.unproductive(&g).is_empty());
+    }
+
+    #[test]
+    fn self_feeding_nonterminal_is_unproductive() {
+        // X -> a X is the classic bottomless pit.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["X"]);
+        gb.rule("S", &["ok"]);
+        gb.rule("X", &["a", "X"]);
+        let g = gb.start("S").build().unwrap();
+        let p = Productivity::compute(&g);
+        assert!(!p.is_productive(nt(&g, "X")));
+        assert!(p.is_productive(nt(&g, "S")));
+        assert_eq!(p.unproductive(&g), vec![nt(&g, "X")]);
+    }
+
+    #[test]
+    fn mutual_recursion_without_base_case() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["x"]);
+        gb.rule("A", &["B"]);
+        gb.rule("B", &["A"]);
+        let g = gb.start("S").build().unwrap();
+        let p = Productivity::compute(&g);
+        assert!(!p.is_productive(nt(&g, "A")));
+        assert!(!p.is_productive(nt(&g, "B")));
+    }
+
+    #[test]
+    fn nullable_is_productive() {
+        // Deriving ε counts as deriving a (zero-length) terminal string.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "x"]);
+        gb.rule("A", &[]);
+        let g = gb.start("S").build().unwrap();
+        let p = Productivity::compute(&g);
+        assert!(p.is_productive(nt(&g, "A")));
+    }
+
+    #[test]
+    fn witness_production_has_productive_rhs() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["S", "a"]); // unproductive alternative alone…
+        gb.rule("S", &["b"]); // …but this one grounds it
+        let g = gb.start("S").build().unwrap();
+        let p = Productivity::compute(&g);
+        let s = nt(&g, "S");
+        assert!(p.is_productive(s));
+        let pid = p.witness_production(s).unwrap();
+        assert_eq!(g.production(pid).rhs().len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Reachability analysis: which nonterminals can appear in a sentential
+//! form derived from the start symbol.
+//!
+//! An unreachable nonterminal is dead grammar weight: its productions can
+//! never participate in a parse, and defects hiding inside them (left
+//! recursion, LL(1) conflicts) are latent rather than live. The linter
+//! reports unreachable nonterminals so grammar authors can delete them or
+//! notice a mis-spelled reference; the analysis itself is a plain BFS over
+//! the "appears on a right-hand side" graph rooted at the start symbol.
+
+use crate::grammar::Grammar;
+use crate::sets::NtSet;
+use crate::symbol::{NonTerminal, Symbol};
+
+/// Result of the reachability analysis, with BFS parent links so each
+/// reachable nonterminal can produce a witness path from the start symbol.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    reachable: NtSet,
+    /// `parent[x]` is the nonterminal whose production first reached `x`
+    /// in the BFS (`None` for the start symbol and unreachable ones).
+    parent: Vec<Option<NonTerminal>>,
+}
+
+impl Reachability {
+    /// BFS from the start symbol over right-hand-side occurrences.
+    pub fn compute(g: &Grammar) -> Self {
+        let n = g.num_nonterminals();
+        let mut reachable = NtSet::with_capacity(n);
+        let mut parent: Vec<Option<NonTerminal>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        reachable.insert(g.start());
+        queue.push_back(g.start());
+        while let Some(x) = queue.pop_front() {
+            for &pid in g.alternatives(x) {
+                for &s in g.production(pid).rhs() {
+                    if let Symbol::Nt(y) = s {
+                        if reachable.insert(y) {
+                            parent[y.index()] = Some(x);
+                            queue.push_back(y);
+                        }
+                    }
+                }
+            }
+        }
+        Reachability { reachable, parent }
+    }
+
+    /// Is `x` reachable from the start symbol?
+    pub fn is_reachable(&self, x: NonTerminal) -> bool {
+        self.reachable.contains(x)
+    }
+
+    /// All reachable nonterminals.
+    pub fn reachable_set(&self) -> &NtSet {
+        &self.reachable
+    }
+
+    /// Nonterminals that have productions but are not reachable.
+    pub fn unreachable(&self, g: &Grammar) -> Vec<NonTerminal> {
+        g.symbols()
+            .nonterminals()
+            .filter(|&x| !g.alternatives(x).is_empty() && !self.reachable.contains(x))
+            .collect()
+    }
+
+    /// The BFS witness path `start ⇒ … ⇒ x` for a reachable `x`
+    /// (start-first). `None` if `x` is unreachable.
+    pub fn witness_path(&self, x: NonTerminal) -> Option<Vec<NonTerminal>> {
+        if !self.reachable.contains(x) {
+            return None;
+        }
+        let mut path = vec![x];
+        let mut cur = x;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn nt(g: &Grammar, name: &str) -> NonTerminal {
+        g.symbols().lookup_nonterminal(name).unwrap()
+    }
+
+    #[test]
+    fn all_reachable_in_connected_grammar() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("A", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let r = Reachability::compute(&g);
+        assert!(r.is_reachable(nt(&g, "S")));
+        assert!(r.is_reachable(nt(&g, "A")));
+        assert!(r.unreachable(&g).is_empty());
+    }
+
+    #[test]
+    fn orphan_nonterminal_is_unreachable() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a"]);
+        gb.rule("Dead", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let r = Reachability::compute(&g);
+        assert_eq!(r.unreachable(&g), vec![nt(&g, "Dead")]);
+        assert!(r.witness_path(nt(&g, "Dead")).is_none());
+    }
+
+    #[test]
+    fn witness_path_runs_start_to_target() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A"]);
+        gb.rule("A", &["B", "x"]);
+        gb.rule("B", &["y"]);
+        let g = gb.start("S").build().unwrap();
+        let r = Reachability::compute(&g);
+        let path = r.witness_path(nt(&g, "B")).unwrap();
+        assert_eq!(path, vec![nt(&g, "S"), nt(&g, "A"), nt(&g, "B")]);
+    }
+
+    #[test]
+    fn unreachable_cluster_stays_unreachable() {
+        // Dead1 and Dead2 reference each other but not the live part.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a"]);
+        gb.rule("Dead1", &["Dead2"]);
+        gb.rule("Dead2", &["Dead1", "b"]);
+        let g = gb.start("S").build().unwrap();
+        let r = Reachability::compute(&g);
+        let mut un = r.unreachable(&g);
+        un.sort_by_key(|x| x.index());
+        assert_eq!(un.len(), 2);
+        assert!(!r.is_reachable(nt(&g, "Dead1")));
+        assert!(!r.is_reachable(nt(&g, "Dead2")));
+    }
+}

@@ -8,8 +8,11 @@
 //! * [`Token`]s `(a, l)` and parse [`Tree`]s / forests;
 //! * indexed BNF [`Grammar`]s built with [`GrammarBuilder`];
 //! * static analyses in [`analysis`]: nullability, FIRST/FOLLOW, the
-//!   left-recursion decision procedure (the paper's §8 future work), and
-//!   the SLL stable-return-frame computation (§3.5);
+//!   left-recursion decision procedure (the paper's §8 future work),
+//!   reachability/productivity, and the SLL stable-return-frame
+//!   computation (§3.5);
+//! * a diagnostics-grade grammar linter in [`lint`], turning the analyses
+//!   into structured findings with stable codes and witnesses;
 //! * the executable derivation relation ([`check_tree`]) that serves as the
 //!   correctness specification (paper Fig. 3).
 //!
@@ -49,6 +52,7 @@
 pub mod analysis;
 mod derivation;
 mod grammar;
+pub mod lint;
 pub mod sampler;
 mod sets;
 mod symbol;

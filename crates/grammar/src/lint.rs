@@ -1,0 +1,593 @@
+//! Diagnostics-grade grammar linter.
+//!
+//! CoStar's correctness theorems come with static preconditions — above
+//! all, that the grammar is not left-recursive (paper §5) — and its
+//! prediction machinery rests on static analyses (§3.5). This module
+//! turns those analyses into *user-facing diagnostics*: structured
+//! [`Diagnostic`] values with a stable code, a severity, a message, and a
+//! machine-checkable [`Witness`] (the left-recursion cycle, the LL(1)
+//! conflict pair), so third-party grammars get actionable feedback before
+//! the first parse. The `costar lint` CLI subcommand renders these in
+//! human or JSON form.
+//!
+//! ## Codes
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `L001` | error | left-recursive nonterminal — the paper's theorem precondition fails |
+//! | `L002` | error | the start symbol derives no terminal string — the language is empty |
+//! | `L003` | warning | unproductive nonterminal — predicting into it can never complete |
+//! | `L004` | warning | unreachable nonterminal — dead grammar weight |
+//! | `L005` | warning | duplicate production — every use is ambiguous |
+//! | `L006` | note | LL(1) conflict — ALL(*) resolves it, but lookahead work is done here |
+
+use crate::analysis::{ll1_selects, GrammarAnalysis};
+use crate::grammar::{Grammar, ProdId};
+use crate::symbol::{NonTerminal, Terminal};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How severe a finding is. `Error` findings void the paper's correctness
+/// guarantees or make the grammar useless; `Warning` findings indicate
+/// defects a parse can run into; `Note` findings are performance or style
+/// observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Correctness-voiding defect.
+    Error,
+    /// Likely defect.
+    Warning,
+    /// Observation.
+    Note,
+}
+
+impl Severity {
+    /// Lowercase name, as rendered in human and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// Stable diagnostic codes (see the module table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// `L001`: left-recursive nonterminal.
+    LeftRecursive,
+    /// `L002`: the start symbol is unproductive (empty language).
+    EmptyLanguage,
+    /// `L003`: unproductive nonterminal.
+    Unproductive,
+    /// `L004`: unreachable nonterminal.
+    Unreachable,
+    /// `L005`: duplicate production.
+    DuplicateProduction,
+    /// `L006`: LL(1) conflict between two alternatives.
+    Ll1Conflict,
+}
+
+impl DiagCode {
+    /// The stable code string (`L001`…).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::LeftRecursive => "L001",
+            DiagCode::EmptyLanguage => "L002",
+            DiagCode::Unproductive => "L003",
+            DiagCode::Unreachable => "L004",
+            DiagCode::DuplicateProduction => "L005",
+            DiagCode::Ll1Conflict => "L006",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::LeftRecursive | DiagCode::EmptyLanguage => Severity::Error,
+            DiagCode::Unproductive | DiagCode::Unreachable | DiagCode::DuplicateProduction => {
+                Severity::Warning
+            }
+            DiagCode::Ll1Conflict => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The evidence backing a diagnostic — concrete enough that a reader (or a
+/// test) can replay it against the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// A derivation cycle `x ⇒ … ⇒ x` (left recursion), start and end
+    /// both `x`.
+    Cycle(Vec<NonTerminal>),
+    /// Two productions of the same nonterminal selectable on the same
+    /// lookahead (`None` = both alternatives are nullable, conflicting on
+    /// every FOLLOW terminal and end-of-input).
+    Ll1Pair {
+        /// First conflicting production.
+        a: ProdId,
+        /// Second conflicting production.
+        b: ProdId,
+        /// A terminal in both select sets, if one exists.
+        lookahead: Option<Terminal>,
+    },
+    /// Two syntactically identical productions.
+    Duplicate {
+        /// First copy.
+        a: ProdId,
+        /// Second copy.
+        b: ProdId,
+    },
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The nonterminal the finding is about.
+    pub nonterminal: NonTerminal,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// Replayable evidence, when the defect has a finite witness.
+    pub witness: Option<Witness>,
+}
+
+impl Diagnostic {
+    /// Renders the witness with grammar symbol names, e.g.
+    /// `S ⇒ A ⇒ S` or `` `E -> E x` / `E -> y` on lookahead `y` ``.
+    pub fn render_witness(&self, g: &Grammar) -> Option<String> {
+        let tab = g.symbols();
+        self.witness.as_ref().map(|w| match w {
+            Witness::Cycle(cycle) => cycle
+                .iter()
+                .map(|&x| tab.nonterminal_name(x))
+                .collect::<Vec<_>>()
+                .join(" \u{21d2} "),
+            Witness::Ll1Pair { a, b, lookahead } => {
+                let la = match lookahead {
+                    Some(t) => format!("lookahead `{}`", tab.terminal_name(*t)),
+                    None => "empty input (both alternatives nullable)".to_owned(),
+                };
+                format!(
+                    "`{}` / `{}` on {la}",
+                    g.render_production(*a),
+                    g.render_production(*b)
+                )
+            }
+            Witness::Duplicate { a, b: _ } => {
+                format!("`{}` appears twice", g.render_production(*a))
+            }
+        })
+    }
+
+    /// Renders the finding as one human-readable block, `cargo`-style.
+    pub fn render_human(&self, g: &Grammar) -> String {
+        let mut out = format!(
+            "{}[{}]: {}",
+            self.severity.as_str(),
+            self.code.as_str(),
+            self.message
+        );
+        if let Some(w) = self.render_witness(g) {
+            out.push_str("\n  witness: ");
+            out.push_str(&w);
+        }
+        out
+    }
+
+    /// Renders the finding as one JSON object.
+    pub fn to_json(&self, g: &Grammar) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\"", self.code.as_str()));
+        out.push_str(&format!(",\"severity\":\"{}\"", self.severity.as_str()));
+        out.push_str(&format!(
+            ",\"nonterminal\":{}",
+            json_string(g.symbols().nonterminal_name(self.nonterminal))
+        ));
+        out.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        match self.render_witness(g) {
+            Some(w) => out.push_str(&format!(",\"witness\":{}", json_string(&w))),
+            None => out.push_str(",\"witness\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs every lint over the grammar, most severe findings first (ties
+/// broken by code, then by nonterminal index, so output is deterministic).
+pub fn lint_grammar(g: &Grammar, analysis: &GrammarAnalysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tab = g.symbols();
+
+    // L001: left recursion, with the cycle as witness.
+    for x in analysis.left_recursion.left_recursive_set().iter() {
+        let cycle = analysis.left_recursion.witness_cycle(x);
+        out.push(Diagnostic {
+            code: DiagCode::LeftRecursive,
+            severity: DiagCode::LeftRecursive.severity(),
+            nonterminal: x,
+            message: format!(
+                "nonterminal `{}` is left-recursive; CoStar's correctness theorems \
+                 require a non-left-recursive grammar (rewrite it, or run \
+                 `costar check --eliminate-lr`)",
+                tab.nonterminal_name(x)
+            ),
+            witness: cycle.map(Witness::Cycle),
+        });
+    }
+
+    // L002: empty language (start symbol unproductive).
+    if !analysis.productivity.is_productive(g.start()) {
+        out.push(Diagnostic {
+            code: DiagCode::EmptyLanguage,
+            severity: DiagCode::EmptyLanguage.severity(),
+            nonterminal: g.start(),
+            message: format!(
+                "start symbol `{}` cannot derive any terminal string; the grammar's \
+                 language is empty and every parse will reject or diverge",
+                tab.nonterminal_name(g.start())
+            ),
+            witness: None,
+        });
+    }
+
+    // L003: unproductive nonterminals (other than the start symbol, which
+    // L002 already covers more loudly).
+    for x in analysis.productivity.unproductive(g) {
+        if x == g.start() {
+            continue;
+        }
+        out.push(Diagnostic {
+            code: DiagCode::Unproductive,
+            severity: DiagCode::Unproductive.severity(),
+            nonterminal: x,
+            message: format!(
+                "nonterminal `{}` cannot derive any terminal string; a prediction \
+                 that commits to it can never complete",
+                tab.nonterminal_name(x)
+            ),
+            witness: None,
+        });
+    }
+
+    // L004: unreachable nonterminals.
+    for x in analysis.reachability.unreachable(g) {
+        out.push(Diagnostic {
+            code: DiagCode::Unreachable,
+            severity: DiagCode::Unreachable.severity(),
+            nonterminal: x,
+            message: format!(
+                "nonterminal `{}` is unreachable from the start symbol `{}`; its \
+                 productions can never participate in a parse",
+                tab.nonterminal_name(x),
+                tab.nonterminal_name(g.start())
+            ),
+            witness: None,
+        });
+    }
+
+    // L005: duplicate productions — identical (lhs, rhs) pairs make every
+    // use of the nonterminal ambiguous.
+    let mut seen: HashMap<(NonTerminal, &[crate::symbol::Symbol]), ProdId> = HashMap::new();
+    for (pid, p) in g.iter() {
+        if let Some(&first) = seen.get(&(p.lhs(), p.rhs())) {
+            out.push(Diagnostic {
+                code: DiagCode::DuplicateProduction,
+                severity: DiagCode::DuplicateProduction.severity(),
+                nonterminal: p.lhs(),
+                message: format!(
+                    "duplicate production for `{}`; every word using it parses \
+                     ambiguously",
+                    tab.nonterminal_name(p.lhs())
+                ),
+                witness: Some(Witness::Duplicate { a: first, b: pid }),
+            });
+        } else {
+            seen.insert((p.lhs(), p.rhs()), pid);
+        }
+    }
+
+    // L006: LL(1) conflicts. One diagnostic per nonterminal (the first
+    // conflicting pair), since a single shared prefix typically produces a
+    // quadratic blow-up of pairs that all say the same thing.
+    'nts: for x in tab.nonterminals() {
+        let alts = g.alternatives(x);
+        for (i, &p) in alts.iter().enumerate() {
+            for &q in &alts[i + 1..] {
+                if let Some(lookahead) = ll1_conflict(g, analysis, p, q) {
+                    // Duplicates are already reported as L005; skip the
+                    // redundant conflict note for identical productions.
+                    if g.production(p).rhs() == g.production(q).rhs() {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        code: DiagCode::Ll1Conflict,
+                        severity: DiagCode::Ll1Conflict.severity(),
+                        nonterminal: x,
+                        message: format!(
+                            "alternatives of `{}` are not LL(1)-separable; ALL(*) \
+                             prediction resolves this with multi-token lookahead",
+                            tab.nonterminal_name(x)
+                        ),
+                        witness: Some(Witness::Ll1Pair {
+                            a: p,
+                            b: q,
+                            lookahead,
+                        }),
+                    });
+                    continue 'nts;
+                }
+            }
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.severity, a.code, a.nonterminal.index()).cmp(&(
+            b.severity,
+            b.code,
+            b.nonterminal.index(),
+        ))
+    });
+    out
+}
+
+/// Do productions `p` and `q` (alternatives of the same nonterminal)
+/// overlap in LL(1) select sets? Returns a witness terminal, or
+/// `Some(None)` when both alternatives are nullable (they conflict on
+/// end-of-input even if no terminal separates them).
+fn ll1_conflict(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    p: ProdId,
+    q: ProdId,
+) -> Option<Option<Terminal>> {
+    let lhs = g.production(p).lhs();
+    let follow = analysis.follow.follow(lhs);
+    let rhs_p = g.production(p).rhs();
+    let rhs_q = g.production(q).rhs();
+    for t in g.symbols().terminals() {
+        let sel_p = ll1_selects(rhs_p, t, &analysis.nullable, &analysis.first, follow);
+        let sel_q = ll1_selects(rhs_q, t, &analysis.nullable, &analysis.first, follow);
+        if sel_p && sel_q {
+            return Some(Some(t));
+        }
+    }
+    if analysis.nullable.form_nullable(rhs_p) && analysis.nullable.form_nullable(rhs_q) {
+        return Some(None);
+    }
+    None
+}
+
+/// The worst severity among `diags`, or `None` when the list is empty —
+/// what the CLI folds into its exit code.
+pub fn worst_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn lint(build: impl FnOnce(&mut GrammarBuilder)) -> (Grammar, Vec<Diagnostic>) {
+        let mut gb = GrammarBuilder::new();
+        build(&mut gb);
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        let diags = lint_grammar(&g, &analysis);
+        (g, diags)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_grammar_has_no_findings() {
+        let (_, diags) = lint(|gb| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["b", "d"]);
+            gb.rule("A", &["a"]);
+            gb.start("S");
+        });
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn left_recursion_reported_with_cycle() {
+        let (g, diags) = lint(|gb| {
+            gb.rule("E", &["E", "plus", "Int"]);
+            gb.rule("E", &["Int"]);
+            gb.start("E");
+        });
+        // Besides L001, the two alternatives share FIRST on `Int`, so an
+        // LL(1) note rides along — the error must sort first.
+        assert_eq!(codes(&diags), vec!["L001", "L006"]);
+        let d = &diags[0];
+        assert_eq!(d.severity, Severity::Error);
+        let w = d.render_witness(&g).unwrap();
+        assert_eq!(w, "E \u{21d2} E");
+        assert!(d.render_human(&g).contains("error[L001]"));
+    }
+
+    #[test]
+    fn hidden_left_recursion_through_nullable_prefix() {
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["N", "S", "x"]);
+            gb.rule("S", &["y"]);
+            gb.rule("N", &[]);
+            gb.rule("N", &["n"]);
+            gb.start("S");
+        });
+        assert!(codes(&diags).contains(&"L001"), "{diags:?}");
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::LeftRecursive)
+            .unwrap();
+        assert_eq!(g.symbols().nonterminal_name(d.nonterminal), "S");
+    }
+
+    #[test]
+    fn empty_language_beats_unproductive_for_start() {
+        let (_, diags) = lint(|gb| {
+            gb.rule("S", &["S", "a"]); // no base case anywhere
+            gb.start("S");
+        });
+        let c = codes(&diags);
+        assert!(c.contains(&"L002"), "{c:?}");
+        assert!(!c.contains(&"L003"), "start covered by L002 only: {c:?}");
+    }
+
+    #[test]
+    fn unproductive_and_unreachable_reported() {
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["ok"]);
+            gb.rule("Pit", &["a", "Pit"]); // unproductive AND unreachable
+            gb.rule("Dead", &["b"]); // merely unreachable
+            gb.start("S");
+        });
+        let c = codes(&diags);
+        assert!(c.contains(&"L003"), "{c:?}");
+        assert!(c.contains(&"L004"), "{c:?}");
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::Unreachable)
+            .map(|d| g.symbols().nonterminal_name(d.nonterminal))
+            .collect();
+        assert!(unreachable.contains(&"Dead"));
+        assert!(unreachable.contains(&"Pit"));
+    }
+
+    #[test]
+    fn duplicate_production_reported_once() {
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["a"]);
+            gb.rule("S", &["a"]);
+            gb.start("S");
+        });
+        let dups: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::DuplicateProduction)
+            .collect();
+        assert_eq!(dups.len(), 1);
+        assert!(dups[0]
+            .render_witness(&g)
+            .unwrap()
+            .contains("appears twice"));
+        // The identical pair must not *also* show up as an LL(1) note.
+        assert!(!codes(&diags).contains(&"L006"), "{diags:?}");
+    }
+
+    #[test]
+    fn ll1_conflict_notes_the_pair_and_lookahead() {
+        // Fig. 2 of the paper: S -> A c | A d shares FIRST(A) = {a, b}.
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["A", "d"]);
+            gb.rule("A", &["a", "A"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        });
+        assert_eq!(codes(&diags), vec!["L006"]);
+        let d = &diags[0];
+        assert_eq!(d.severity, Severity::Note);
+        let w = d.render_witness(&g).unwrap();
+        assert!(w.contains("lookahead"), "{w}");
+        assert!(w.contains("S -> A c") || w.contains("A c"), "{w}");
+    }
+
+    #[test]
+    fn nullable_nullable_conflict_has_no_terminal_witness() {
+        // A sits at the end of S's only production, so FOLLOW(A) is empty
+        // and no single terminal distinguishes the alternatives — they
+        // conflict on end-of-input alone.
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["A"]);
+            gb.rule("A", &[]);
+            gb.rule("A", &["B"]);
+            gb.rule("B", &[]);
+            gb.start("S");
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::Ll1Conflict)
+            .unwrap();
+        let Some(Witness::Ll1Pair { lookahead, .. }) = &d.witness else {
+            panic!("expected an LL(1) pair witness");
+        };
+        // A -> ε and A -> B (nullable) conflict on end-of-input.
+        assert!(lookahead.is_none());
+        assert!(d.render_witness(&g).unwrap().contains("nullable"));
+    }
+
+    #[test]
+    fn ordering_is_severity_then_code() {
+        let (_, diags) = lint(|gb| {
+            gb.rule("S", &["E", "x"]);
+            gb.rule("S", &["y"]);
+            gb.rule("E", &["E", "z"]); // left-recursive AND unproductive
+            gb.rule("Dead", &["d"]); // unreachable
+            gb.start("S");
+        });
+        let c = codes(&diags);
+        assert_eq!(c[0], "L001", "{c:?}");
+        let sevs: Vec<_> = diags.iter().map(|d| d.severity).collect();
+        let mut sorted = sevs.clone();
+        sorted.sort();
+        assert_eq!(sevs, sorted);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let (g, diags) = lint(|gb| {
+            gb.rule("E", &["E", "x"]);
+            gb.rule("E", &["y"]);
+            gb.start("E");
+        });
+        let json = diags[0].to_json(&g);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"code\":\"L001\""), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"witness\":\"E \u{21d2} E\""), "{json}");
+    }
+
+    #[test]
+    fn worst_severity_folds() {
+        assert_eq!(worst_severity(&[]), None);
+        let (_, diags) = lint(|gb| {
+            gb.rule("S", &["a"]);
+            gb.rule("Dead", &["b"]);
+            gb.start("S");
+        });
+        assert_eq!(worst_severity(&diags), Some(Severity::Warning));
+    }
+}

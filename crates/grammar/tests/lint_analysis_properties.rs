@@ -1,0 +1,231 @@
+//! Property tests for the linter's analyses: reachability and
+//! productivity must agree with brute-force enumeration on small random
+//! grammars, and the linter's findings must be internally consistent.
+//!
+//! The brute-force reference implementations here are deliberately naive
+//! (exhaustive path / derivation search with an explicit depth bound
+//! justified by a pumping-style shrinking argument) so that they share no
+//! code — and no bugs — with the fixpoint computations under test.
+
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::lint::{lint_grammar, DiagCode};
+use costar_grammar::{Grammar, GrammarBuilder, NonTerminal, Symbol};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum SymSpec {
+    T(usize),
+    Nt(usize),
+}
+
+#[derive(Debug, Clone)]
+struct GrammarSpec {
+    num_terminals: usize,
+    rules: Vec<Vec<Vec<SymSpec>>>,
+}
+
+impl GrammarSpec {
+    fn build(&self) -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        let nts: Vec<_> = (0..self.rules.len())
+            .map(|i| gb.nonterminal(&format!("n{i}")))
+            .collect();
+        let ts: Vec<_> = (0..self.num_terminals)
+            .map(|i| gb.terminal(&format!("T{i}")))
+            .collect();
+        for (i, alts) in self.rules.iter().enumerate() {
+            for alt in alts {
+                let rhs: Vec<Symbol> = alt
+                    .iter()
+                    .map(|s| match s {
+                        SymSpec::T(k) => Symbol::T(ts[k % ts.len()]),
+                        SymSpec::Nt(k) => Symbol::Nt(nts[k % nts.len()]),
+                    })
+                    .collect();
+                gb.rule_syms(nts[i], rhs);
+            }
+        }
+        gb.start_sym(nts[0]);
+        gb.build().expect("well-formed")
+    }
+}
+
+fn sym_spec() -> impl Strategy<Value = SymSpec> {
+    prop_oneof![
+        3 => (0usize..6).prop_map(SymSpec::T),
+        2 => (0usize..6).prop_map(SymSpec::Nt),
+    ]
+}
+
+fn grammar_spec() -> impl Strategy<Value = GrammarSpec> {
+    (
+        1usize..5,
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(sym_spec(), 0..4), 1..4),
+            1..6,
+        ),
+    )
+        .prop_map(|(num_terminals, rules)| GrammarSpec {
+            num_terminals,
+            rules,
+        })
+}
+
+/// Brute-force reachability: `num_nonterminals` rounds of one-step
+/// occurrence expansion. Any reachable nonterminal is reachable by an
+/// occurrence chain with no repeated nonterminal, i.e. of length at most
+/// `num_nonterminals`, so the bounded iteration is exact.
+fn brute_reachable(g: &Grammar) -> Vec<bool> {
+    let n = g.num_nonterminals();
+    let mut seen = vec![false; n];
+    seen[g.start().index()] = true;
+    for _ in 0..n {
+        let mut next = seen.clone();
+        for (_, p) in g.iter() {
+            if seen[p.lhs().index()] {
+                for &s in p.rhs() {
+                    if let Symbol::Nt(y) = s {
+                        next[y.index()] = true;
+                    }
+                }
+            }
+        }
+        seen = next;
+    }
+    seen
+}
+
+/// Brute-force productivity: can `x` derive a terminal string with a
+/// derivation tree of height at most `depth`? If any terminal string is
+/// derivable, a minimal derivation repeats no nonterminal on any
+/// root-to-leaf path, so height `num_nonterminals + 1` is exact.
+fn brute_derives(g: &Grammar, x: NonTerminal, depth: usize) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    g.alternatives(x).iter().any(|&pid| {
+        g.production(pid).rhs().iter().all(|&s| match s {
+            Symbol::T(_) => true,
+            Symbol::Nt(y) => brute_derives(g, y, depth - 1),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reachability_agrees_with_brute_force(spec in grammar_spec()) {
+        let g = spec.build();
+        let analysis = GrammarAnalysis::compute(&g);
+        let brute = brute_reachable(&g);
+        for x in g.symbols().nonterminals() {
+            prop_assert_eq!(
+                analysis.reachability.is_reachable(x),
+                brute[x.index()],
+                "reachability mismatch on {:?}", g.symbols().nonterminal_name(x)
+            );
+        }
+    }
+
+    #[test]
+    fn productivity_agrees_with_brute_force(spec in grammar_spec()) {
+        let g = spec.build();
+        let analysis = GrammarAnalysis::compute(&g);
+        let depth = g.num_nonterminals() + 1;
+        for x in g.symbols().nonterminals() {
+            if g.alternatives(x).is_empty() {
+                continue; // no productions: out of scope for both sides
+            }
+            prop_assert_eq!(
+                analysis.productivity.is_productive(x),
+                brute_derives(&g, x, depth),
+                "productivity mismatch on {:?}", g.symbols().nonterminal_name(x)
+            );
+        }
+    }
+
+    #[test]
+    fn witness_paths_are_real_occurrence_chains(spec in grammar_spec()) {
+        let g = spec.build();
+        let analysis = GrammarAnalysis::compute(&g);
+        for x in g.symbols().nonterminals() {
+            let Some(path) = analysis.reachability.witness_path(x) else { continue };
+            prop_assert_eq!(*path.first().unwrap(), g.start());
+            prop_assert_eq!(*path.last().unwrap(), x);
+            // Every consecutive pair must be a genuine rhs occurrence.
+            for pair in path.windows(2) {
+                let occurs = g.alternatives(pair[0]).iter().any(|&pid| {
+                    g.production(pid)
+                        .rhs()
+                        .iter()
+                        .any(|&s| s == Symbol::Nt(pair[1]))
+                });
+                prop_assert!(occurs, "bogus witness edge {:?}", pair);
+            }
+        }
+    }
+
+    #[test]
+    fn lint_findings_are_consistent(spec in grammar_spec()) {
+        let g = spec.build();
+        let analysis = GrammarAnalysis::compute(&g);
+        let diags = lint_grammar(&g, &analysis);
+        for d in &diags {
+            // Severity always matches the code.
+            prop_assert_eq!(d.severity, d.code.severity());
+            // Rendering never panics and always carries the code.
+            let human = d.render_human(&g);
+            prop_assert!(human.contains(d.code.as_str()));
+            let json = d.to_json(&g);
+            prop_assert!(json.contains(d.code.as_str()));
+            match d.code {
+                DiagCode::Unreachable => {
+                    prop_assert!(!analysis.reachability.is_reachable(d.nonterminal));
+                }
+                DiagCode::Unproductive | DiagCode::EmptyLanguage => {
+                    prop_assert!(!analysis.productivity.is_productive(d.nonterminal));
+                }
+                DiagCode::LeftRecursive => {
+                    prop_assert!(analysis
+                        .left_recursion
+                        .is_left_recursive(d.nonterminal));
+                    // The cycle witness must be replayable: consecutive
+                    // nonterminals connected by a nullable-prefix edge.
+                    let Some(costar_grammar::lint::Witness::Cycle(c)) = &d.witness else {
+                        return Err(TestCaseError::fail("L001 without cycle witness"));
+                    };
+                    prop_assert!(c.len() >= 2);
+                    prop_assert_eq!(c[0], d.nonterminal);
+                    prop_assert_eq!(*c.last().unwrap(), d.nonterminal);
+                    for pair in c.windows(2) {
+                        let edge = g.alternatives(pair[0]).iter().any(|&pid| {
+                            let rhs = g.production(pid).rhs();
+                            for &s in rhs {
+                                match s {
+                                    Symbol::Nt(y) => {
+                                        if y == pair[1] {
+                                            return true;
+                                        }
+                                        if !analysis.nullable.contains(y) {
+                                            return false;
+                                        }
+                                    }
+                                    Symbol::T(_) => return false,
+                                }
+                            }
+                            false
+                        });
+                        prop_assert!(edge, "bogus cycle edge {:?}", pair);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Sorted most-severe-first.
+        let sevs: Vec<_> = diags.iter().map(|d| d.severity).collect();
+        let mut sorted = sevs.clone();
+        sorted.sort();
+        prop_assert_eq!(sevs, sorted);
+    }
+}

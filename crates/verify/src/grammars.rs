@@ -1,0 +1,270 @@
+//! The template grammar family the machine harnesses range over.
+//!
+//! Bounded model checking cannot enumerate arbitrary grammars, so the
+//! machine-driving harnesses quantify over a fixed family of templates —
+//! each chosen to force a different machine behavior — crossed with a
+//! nondeterministic input word. The family covers:
+//!
+//! * `fig2` — the paper's running example (Fig. 2): genuine prediction
+//!   between two alternatives sharing a left factor.
+//! * `nullable` — nullable nonterminals: pushes that return without
+//!   consuming, the empty word, and the §3.5 nullable-skip paths.
+//! * `ambig` — the paper's Fig. 6 shape: a genuinely ambiguous word, so
+//!   the `unique` flag and `Ambig` outcomes are exercised.
+//! * `sll-conflict` — a grammar whose SLL simulation conflicts and fails
+//!   over to full LL prediction (§3.4).
+//! * `rlist` — right recursion: unbounded stack growth with input length,
+//!   long push/return chains.
+//!
+//! Each template records known member words so accept paths are drawn
+//! with high probability; arbitrary words over the terminal alphabet
+//! cover the reject paths.
+
+use crate::nondet::Nondet;
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_grammar::{Grammar, GrammarBuilder, Terminal, Token};
+use std::sync::OnceLock;
+
+/// One template: a grammar, its precomputed analyses, and a few known
+/// member words (as terminal names).
+#[derive(Debug)]
+pub struct Template {
+    /// Short template name (for diagnostics).
+    pub name: &'static str,
+    /// The grammar itself.
+    pub grammar: Grammar,
+    /// All analyses, computed once.
+    pub analysis: GrammarAnalysis,
+    /// Known words in the grammar's language, by terminal name.
+    members: Vec<Vec<&'static str>>,
+    /// The terminal alphabet, cached for word drawing.
+    alphabet: Vec<Terminal>,
+}
+
+impl Template {
+    fn new(name: &'static str, grammar: Grammar, members: Vec<Vec<&'static str>>) -> Self {
+        let analysis = GrammarAnalysis::compute(&grammar);
+        let alphabet = grammar.symbols().terminals().collect();
+        Template {
+            name,
+            grammar,
+            analysis,
+            members,
+            alphabet,
+        }
+    }
+
+    /// One of the template's known member words, as tokens.
+    pub fn member_word(&self, i: usize) -> Vec<Token> {
+        self.members[i % self.members.len()]
+            .iter()
+            .map(|name| self.token(name))
+            .collect()
+    }
+
+    /// Number of recorded member words.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    fn token(&self, name: &str) -> Token {
+        let t = self
+            .grammar
+            .symbols()
+            .lookup_terminal(name)
+            .unwrap_or_else(|| panic!("template {}: unknown terminal {name}", self.name));
+        Token::new(t, name)
+    }
+}
+
+/// Number of templates in the family.
+pub const NUM_TEMPLATES: usize = 5;
+
+/// The template family, built once.
+pub fn templates() -> &'static [Template] {
+    static FAMILY: OnceLock<Vec<Template>> = OnceLock::new();
+    FAMILY.get_or_init(build_family)
+}
+
+/// The `i`-th template (modulo the family size).
+pub fn template(i: usize) -> &'static Template {
+    &templates()[i % NUM_TEMPLATES]
+}
+
+fn build_family() -> Vec<Template> {
+    let fig2 = {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S").build().expect("fig2 template")
+    };
+    let nullable = {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "B"]);
+        gb.rule("A", &[]);
+        gb.rule("A", &["a"]);
+        gb.rule("B", &[]);
+        gb.rule("B", &["b", "B"]);
+        gb.start("S").build().expect("nullable template")
+    };
+    let ambig = {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["X"]);
+        gb.rule("S", &["Y"]);
+        gb.rule("X", &["a"]);
+        gb.rule("Y", &["a"]);
+        gb.start("S").build().expect("ambig template")
+    };
+    let sll_conflict = {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["p", "C1"]);
+        gb.rule("S", &["q", "C2"]);
+        gb.rule("C1", &["X", "b"]);
+        gb.rule("C2", &["X", "a", "b"]);
+        gb.rule("X", &["a", "a"]);
+        gb.rule("X", &["a"]);
+        gb.start("S").build().expect("sll-conflict template")
+    };
+    let rlist = {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "S"]);
+        gb.rule("S", &["e"]);
+        gb.start("S").build().expect("rlist template")
+    };
+    vec![
+        Template::new(
+            "fig2",
+            fig2,
+            vec![
+                vec!["a", "b", "d"],
+                vec!["b", "c"],
+                vec!["a", "a", "b", "c"],
+            ],
+        ),
+        Template::new(
+            "nullable",
+            nullable,
+            vec![vec![], vec!["a"], vec!["a", "b", "b"]],
+        ),
+        Template::new("ambig", ambig, vec![vec!["a"]]),
+        Template::new(
+            "sll-conflict",
+            sll_conflict,
+            vec![vec!["q", "a", "a", "b"], vec!["p", "a", "b"]],
+        ),
+        Template::new("rlist", rlist, vec![vec!["e"], vec!["a", "a", "a", "e"]]),
+    ]
+}
+
+/// Draws an input word for `t`: with probability one half a known member
+/// word (so accept paths are frequent), otherwise an arbitrary word of
+/// length at most `max_len` over the template's terminal alphabet (so
+/// reject paths at every position are frequent too).
+pub fn draw_word<N: Nondet>(nd: &mut N, t: &Template, max_len: usize) -> Vec<Token> {
+    if nd.any_bool() {
+        return t.member_word(nd.choose(t.num_members()));
+    }
+    let len = nd.choose(max_len + 1);
+    (0..len)
+        .map(|_| {
+            let a = t.alphabet[nd.choose(t.alphabet.len())];
+            Token::new(a, t.grammar.symbols().terminal_name(a))
+        })
+        .collect()
+}
+
+/// A small arbitrary grammar: up to 3 nonterminals (each with at least one
+/// production, so construction cannot fail) and up to 3 terminals, with
+/// right-hand sides of length at most 3 drawn from the combined symbol
+/// pool. Used by the `H-STABLE-COMPLETE` harness to check the stable-frame
+/// analysis beyond the hand-picked family. May be left-recursive or
+/// ambiguous — fine for a static analysis under test.
+pub fn draw_random_grammar<N: Nondet>(nd: &mut N) -> Grammar {
+    const NT_NAMES: [&str; 3] = ["N0", "N1", "N2"];
+    const T_NAMES: [&str; 3] = ["t0", "t1", "t2"];
+    let num_nts = 1 + nd.choose(3);
+    let num_ts = 1 + nd.choose(3);
+    let mut gb = GrammarBuilder::new();
+    for nt in NT_NAMES.iter().take(num_nts) {
+        let num_prods = 1 + nd.choose(2);
+        for _ in 0..num_prods {
+            let len = nd.choose(4);
+            let rhs: Vec<&str> = (0..len)
+                .map(|_| {
+                    let pick = nd.choose(num_nts + num_ts);
+                    if pick < num_nts {
+                        NT_NAMES[pick]
+                    } else {
+                        T_NAMES[pick - num_nts]
+                    }
+                })
+                .collect();
+            gb.rule(nt, &rhs);
+        }
+    }
+    gb.start("N0")
+        .build()
+        .expect("every nonterminal has a production, so the build cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondet::RngNondet;
+    use costar_grammar::check_tree;
+
+    #[test]
+    fn family_has_expected_shape() {
+        let fam = templates();
+        assert_eq!(fam.len(), NUM_TEMPLATES);
+        let names: Vec<_> = fam.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            ["fig2", "nullable", "ambig", "sll-conflict", "rlist"]
+        );
+        for t in fam {
+            assert!(
+                t.analysis.left_recursion.is_grammar_safe(),
+                "template {} must satisfy the non-left-recursion precondition",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn member_words_parse() {
+        for t in templates() {
+            for i in 0..t.num_members() {
+                let word = t.member_word(i);
+                let outcome = costar::parse(&t.grammar, &word);
+                let tree = outcome.tree().unwrap_or_else(|| {
+                    panic!("template {}: member word {i} did not parse", t.name)
+                });
+                assert!(check_tree(&t.grammar, t.grammar.start(), &word, tree).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn drawn_words_respect_length_bound() {
+        let mut nd = RngNondet::new(11);
+        let t = template(0);
+        for _ in 0..100 {
+            let w = draw_word(&mut nd, t, 4);
+            // Member words may exceed the bound; arbitrary words may not.
+            assert!(w.len() <= 4 || t.members.iter().any(|m| m.len() == w.len()));
+        }
+    }
+
+    #[test]
+    fn random_grammars_build_and_analyze() {
+        let mut nd = RngNondet::new(23);
+        for _ in 0..50 {
+            let g = draw_random_grammar(&mut nd);
+            let _ = GrammarAnalysis::compute(&g);
+            assert!(g.num_productions() >= 1);
+        }
+    }
+}

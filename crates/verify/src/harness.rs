@@ -1,0 +1,658 @@
+//! One harness body per paper lemma, usable by both verification modes.
+//!
+//! Each public `h_*` function restates a CoStar lemma as an executable
+//! check over inputs drawn from a [`Nondet`] source. The proptest suite
+//! (`tests/proptest_harnesses.rs`) runs every body across many RNG seeds;
+//! the `#[kani::proof]` entry points in `crate::proofs` run the *same
+//! bodies* over symbolic values. The harness-ID → lemma table lives in
+//! `DESIGN.md` §7.
+//!
+//! | Harness | Paper claim |
+//! |---|---|
+//! | [`h_stack_wf`] (`H-STACK-WF`) | Lemma 5.2: every step preserves `StacksWf_I` (Fig. 4) |
+//! | [`h_visited`] (`H-VISITED`) | §4.1/§5.4.2: visited nonterminals are exactly the open ones |
+//! | [`h_prefix_der`] (`H-PREFIX-DER`) | Fig. 5 `UniqeDer_I` (derivation part): the prefix stack parses the consumed input |
+//! | [`h_measure_dec`] (`H-MEASURE-DEC`) | Lemma 4.2: every `Cont` step strictly decreases `meas(σ)` |
+//! | [`h_measure_ord`] (`H-MEASURE-ORD`) | §4.2–4.3 order algebra: `<₃` is a strict total order and pushes lose the exponent race |
+//! | [`h_cache_bound`] (`H-CACHE-BOUND`) | §3.4 eviction safety: capping `Δ` never changes outcomes, and caps hold |
+//! | [`h_stable_complete`] (`H-STABLE-COMPLETE`) | §3.5: `StableFrames` equals a brute-force closure enumeration |
+
+use crate::grammars::{self, Template};
+use crate::nondet::{any_bignat, Nondet};
+use costar::bignat::BigNat;
+use costar::invariants::{
+    check_prefix_derivation, check_stacks_wf, check_visited, InvariantViolation,
+};
+use costar::measure::{frame_score, meas, stack_score_prime, Measure};
+use costar::{Machine, ParseOutcome, PredictionMode, SllCache, StepResult};
+use costar_grammar::analysis::{GrammarAnalysis, Position};
+use costar_grammar::{check_tree, Grammar, NonTerminal, Symbol, Token};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A harness found its lemma violated (or could not set the scene).
+/// In proptest mode this fails the test case; in Kani mode the proof
+/// asserts the harness returned `Ok`.
+#[derive(Debug, Clone)]
+pub struct HarnessViolation {
+    /// The harness ID, e.g. `H-STACK-WF`.
+    pub harness: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for HarnessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.harness, self.detail)
+    }
+}
+
+impl std::error::Error for HarnessViolation {}
+
+fn fail(harness: &'static str, detail: impl Into<String>) -> HarnessViolation {
+    HarnessViolation {
+        harness,
+        detail: detail.into(),
+    }
+}
+
+/// Which machine operations and final results one harness run exercised.
+///
+/// The machine has exactly three operations — push, consume, return —
+/// plus the accept/reject final configurations (paper §3.3). The proptest
+/// suite aggregates these counters across seeds and asserts that
+/// `H-STACK-WF` and `H-MEASURE-DEC` covered *every* kind, so a harness
+/// that silently stopped reaching (say) return steps fails CI rather than
+/// fading into vacuity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepKinds {
+    /// Push operations observed (stack height grew).
+    pub pushes: u64,
+    /// Consume operations observed (cursor advanced).
+    pub consumes: u64,
+    /// Return operations observed (stack height shrank).
+    pub returns: u64,
+    /// Runs that ended in a final (accepting) configuration.
+    pub accepts: u64,
+    /// Runs that ended in rejection.
+    pub rejects: u64,
+}
+
+impl StepKinds {
+    /// Adds another run's counters into this aggregate.
+    pub fn absorb(&mut self, other: &StepKinds) {
+        self.pushes += other.pushes;
+        self.consumes += other.consumes;
+        self.returns += other.returns;
+        self.accepts += other.accepts;
+        self.rejects += other.rejects;
+    }
+
+    /// `true` when every operation kind and both final results appear.
+    pub fn covers_all_kinds(&self) -> bool {
+        self.pushes > 0
+            && self.consumes > 0
+            && self.returns > 0
+            && self.accepts > 0
+            && self.rejects > 0
+    }
+}
+
+/// Backstop against a broken machine looping forever in RNG mode (the
+/// measure proof is exactly what guarantees this is never hit).
+const STEP_CEILING: u64 = 100_000;
+
+struct Scenario {
+    template: &'static Template,
+    word: Vec<Token>,
+}
+
+fn draw_scenario<N: Nondet>(nd: &mut N, max_word: usize) -> Scenario {
+    let template = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+    let word = grammars::draw_word(nd, template, max_word);
+    Scenario { template, word }
+}
+
+fn classify(
+    before: (usize, usize),
+    after: (usize, usize),
+    kinds: &mut StepKinds,
+    harness: &'static str,
+) -> Result<(), HarnessViolation> {
+    let (cursor0, height0) = before;
+    let (cursor1, height1) = after;
+    if cursor1 > cursor0 {
+        kinds.consumes += 1;
+    } else if height1 > height0 {
+        kinds.pushes += 1;
+    } else if height1 < height0 {
+        kinds.returns += 1;
+    } else {
+        return Err(fail(
+            harness,
+            "a Cont step changed neither cursor nor stack height",
+        ));
+    }
+    Ok(())
+}
+
+/// Drives the machine over a nondeterministic scenario, running `check`
+/// on the initial state and after every `Cont` step.
+fn drive_with_checker<N: Nondet>(
+    nd: &mut N,
+    harness: &'static str,
+    check: impl Fn(&Grammar, &costar::state::MachineState, &[Token]) -> Result<(), InvariantViolation>,
+    max_word: usize,
+) -> Result<StepKinds, HarnessViolation> {
+    let sc = draw_scenario(nd, max_word);
+    let g = &sc.template.grammar;
+    let mut cache = SllCache::new();
+    let mut machine = Machine::new(g, &sc.template.analysis, &sc.word);
+    let mut kinds = StepKinds::default();
+
+    check(g, machine.state(), &sc.word)
+        .map_err(|e| fail(harness, format!("initial state: {e}")))?;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        if steps > STEP_CEILING {
+            return Err(fail(harness, "machine exceeded the step ceiling"));
+        }
+        let before = (machine.state().cursor, machine.state().stack_height());
+        match machine.step(&mut cache) {
+            StepResult::Cont => {
+                let after = (machine.state().cursor, machine.state().stack_height());
+                classify(before, after, &mut kinds, harness)?;
+                check(g, machine.state(), &sc.word).map_err(|e| {
+                    fail(
+                        harness,
+                        format!("template {}, after step {steps}: {e}", sc.template.name),
+                    )
+                })?;
+            }
+            StepResult::Accept(tree) => {
+                kinds.accepts += 1;
+                check_tree(g, g.start(), &sc.word, &tree)
+                    .map_err(|e| fail(harness, format!("accepted tree fails check_tree: {e:?}")))?;
+                return Ok(kinds);
+            }
+            StepResult::Reject(_) => {
+                kinds.rejects += 1;
+                return Ok(kinds);
+            }
+            StepResult::Error(e) => {
+                // Every template satisfies the non-left-recursion
+                // precondition, so errors are unreachable (Theorem 5.8).
+                return Err(fail(harness, format!("machine error: {e}")));
+            }
+            StepResult::Abort(r) => {
+                return Err(fail(harness, format!("abort with unlimited budget: {r}")));
+            }
+        }
+    }
+}
+
+/// `H-STACK-WF` — Lemma 5.2 / Fig. 4: every reachable machine state
+/// satisfies the stack well-formedness invariant `StacksWf_I`.
+pub fn h_stack_wf<N: Nondet>(nd: &mut N, max_word: usize) -> Result<StepKinds, HarnessViolation> {
+    drive_with_checker(
+        nd,
+        "H-STACK-WF",
+        |g, st, _| check_stacks_wf(g, st),
+        max_word,
+    )
+}
+
+/// `H-VISITED` — §4.1/§5.4.2: every visited nonterminal is open on the
+/// suffix stack in every reachable state.
+pub fn h_visited<N: Nondet>(nd: &mut N, max_word: usize) -> Result<StepKinds, HarnessViolation> {
+    drive_with_checker(nd, "H-VISITED", |_, st, _| check_visited(st), max_word)
+}
+
+/// `H-PREFIX-DER` — Fig. 5 `UniqeDer_I`, derivation component: in every
+/// reachable state the prefix stack holds well-formed partial trees whose
+/// concatenated yield is exactly the consumed input.
+pub fn h_prefix_der<N: Nondet>(nd: &mut N, max_word: usize) -> Result<StepKinds, HarnessViolation> {
+    drive_with_checker(nd, "H-PREFIX-DER", check_prefix_derivation, max_word)
+}
+
+/// `H-MEASURE-DEC` — Lemma 4.2: every `Cont` step strictly decreases the
+/// `(tokens, stackScore, height)` measure in the lexicographic order.
+pub fn h_measure_dec<N: Nondet>(
+    nd: &mut N,
+    max_word: usize,
+) -> Result<StepKinds, HarnessViolation> {
+    const ID: &str = "H-MEASURE-DEC";
+    let sc = draw_scenario(nd, max_word);
+    let g = &sc.template.grammar;
+    let total = sc.word.len();
+    let mut cache = SllCache::new();
+    let mut machine = Machine::new(g, &sc.template.analysis, &sc.word);
+    let mut kinds = StepKinds::default();
+    let mut prev = meas(g, machine.state(), total);
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        if steps > STEP_CEILING {
+            return Err(fail(ID, "machine exceeded the step ceiling"));
+        }
+        let before = (machine.state().cursor, machine.state().stack_height());
+        match machine.step(&mut cache) {
+            StepResult::Cont => {
+                let after = (machine.state().cursor, machine.state().stack_height());
+                classify(before, after, &mut kinds, ID)?;
+                let now = meas(g, machine.state(), total);
+                if now >= prev {
+                    return Err(fail(
+                        ID,
+                        format!(
+                            "template {}, step {steps}: measure did not decrease ({now} >= {prev})",
+                            sc.template.name
+                        ),
+                    ));
+                }
+                prev = now;
+            }
+            StepResult::Accept(_) => {
+                kinds.accepts += 1;
+                return Ok(kinds);
+            }
+            StepResult::Reject(_) => {
+                kinds.rejects += 1;
+                return Ok(kinds);
+            }
+            StepResult::Error(e) => return Err(fail(ID, format!("machine error: {e}"))),
+            StepResult::Abort(r) => {
+                return Err(fail(ID, format!("abort with unlimited budget: {r}")))
+            }
+        }
+    }
+}
+
+/// `H-MEASURE-ORD` — the order algebra underpinning §4.2–4.3:
+///
+/// * `<₃` on measure triples is a coherent strict total order
+///   (antisymmetric, transitive) over arbitrary multi-limb components;
+/// * the first component dominates, the second breaks its ties — the
+///   lexicographic laws Lemma 4.2's case analysis leans on;
+/// * `bᵉ⁺¹ > k·bᵉ` for every `k < b` — the exponent-race inequality that
+///   makes pushes shrink `stackScore` (Lemma 4.3);
+/// * `frameScore` strictly drops as the dot advances, and `stackScore′`
+///   is the advertised exponent-weighted sum over the reversed stack.
+pub fn h_measure_ord<N: Nondet>(nd: &mut N) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-MEASURE-ORD";
+    let draw_measure = |nd: &mut N| Measure {
+        tokens_remaining: nd.choose(1 << 16),
+        stack_score: any_bignat(nd),
+        stack_height: nd.choose(1 << 16),
+    };
+    let a = draw_measure(nd);
+    let b = draw_measure(nd);
+    let c = draw_measure(nd);
+
+    // Coherence: comparing in either direction must agree.
+    if a.cmp(&b) != b.cmp(&a).reverse() {
+        return Err(fail(ID, format!("cmp incoherent for {a} vs {b}")));
+    }
+    // Transitivity.
+    if a <= b && b <= c && a > c {
+        return Err(fail(ID, format!("cmp not transitive over {a}, {b}, {c}")));
+    }
+    // Lexicographic dominance.
+    if a.tokens_remaining < b.tokens_remaining && a >= b {
+        return Err(fail(ID, "first component does not dominate"));
+    }
+    if a.tokens_remaining == b.tokens_remaining && a.stack_score < b.stack_score && a >= b {
+        return Err(fail(
+            ID,
+            "second component does not break first-component ties",
+        ));
+    }
+
+    // The exponent race: b^(e+1) > k * b^e for 1 <= k < b.
+    let base = 2 + nd.choose(8) as u64; // 2..=9
+    let exp = nd.choose(7); // 0..=6
+    let k = 1 + nd.choose(base as usize - 1) as u64; // 1..b
+    let lhs = BigNat::pow(base, exp + 1);
+    let mut rhs = BigNat::pow(base, exp);
+    rhs.mul_u64_assign(k);
+    if lhs <= rhs {
+        return Err(fail(ID, format!("{base}^{} !> {k}*{base}^{exp}", exp + 1)));
+    }
+
+    // frameScore drops strictly as the dot advances.
+    let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+    let (pid, _) = {
+        let i = nd.choose(t.grammar.num_productions());
+        t.grammar.iter().nth(i).expect("production index in range")
+    };
+    let rhs_arc = t.grammar.rhs_arc(pid);
+    if !rhs_arc.is_empty() {
+        let dot = nd.choose(rhs_arc.len());
+        let fbase = 1 + nd.choose(8) as u64; // >= 1 so b^e > 0
+        let fexp = nd.choose(5);
+        let before = frame_score(
+            &costar::state::SuffixFrame {
+                caller: None,
+                rhs: rhs_arc.clone(),
+                dot,
+            },
+            fbase,
+            fexp,
+        );
+        let after = frame_score(
+            &costar::state::SuffixFrame {
+                caller: None,
+                rhs: rhs_arc.clone(),
+                dot: dot + 1,
+            },
+            fbase,
+            fexp,
+        );
+        if after >= before {
+            return Err(fail(
+                ID,
+                format!("frameScore did not drop when the dot advanced past {dot}"),
+            ));
+        }
+    }
+
+    // stackScore' really is the exponent-weighted sum, bottom frames
+    // weighing one exponent more per level of depth.
+    let height = 1 + nd.choose(3);
+    let frames: Vec<costar::state::SuffixFrame> = (0..height)
+        .map(|_| {
+            let i = nd.choose(t.grammar.num_productions());
+            let (pid, _) = t.grammar.iter().nth(i).expect("in range");
+            let rhs = t.grammar.rhs_arc(pid);
+            let dot = nd.choose(rhs.len() + 1);
+            costar::state::SuffixFrame {
+                caller: None,
+                rhs,
+                dot,
+            }
+        })
+        .collect();
+    let sbase = 1 + nd.choose(8) as u64;
+    let sexp = nd.choose(4);
+    let got = stack_score_prime(&frames, sbase, sexp);
+    let mut want = BigNat::zero();
+    for (depth_from_top, frame) in frames.iter().rev().enumerate() {
+        want.add_assign(&frame_score(frame, sbase, sexp + depth_from_top));
+    }
+    if got != want {
+        return Err(fail(ID, format!("stackScore' mismatch: {got} != {want}")));
+    }
+    Ok(())
+}
+
+/// `H-CACHE-BOUND` — §3.4 eviction safety plus the capacity contract:
+///
+/// * a capacity-capped cache (including capacity 0, "cache off") yields
+///   outcomes identical to the unbounded cache, on fresh *and* reused
+///   caches across consecutive words;
+/// * once no prediction is in flight, re-enforcing the cap leaves at most
+///   `cap` resident states;
+/// * `LlOnly` prediction (no cache at all) agrees with `Adaptive` — the
+///   §3.4 claim that the cache is a pure memo.
+pub fn h_cache_bound<N: Nondet>(nd: &mut N, max_word: usize) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-CACHE-BOUND";
+    let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+    let word1 = grammars::draw_word(nd, t, max_word);
+    let word2 = grammars::draw_word(nd, t, max_word);
+    let cap = nd.choose(5); // 0..=4
+
+    let run = |word: &[Token], cache: &mut SllCache, mode: PredictionMode| -> ParseOutcome {
+        Machine::with_mode(&t.grammar, &t.analysis, word, mode).run(cache)
+    };
+
+    // Unbounded baselines (fresh cache each, like CoStar as published).
+    let mut fresh1 = SllCache::new();
+    let base1 = run(&word1, &mut fresh1, PredictionMode::Adaptive);
+    let mut fresh2 = SllCache::new();
+    let base2 = run(&word2, &mut fresh2, PredictionMode::Adaptive);
+
+    // One bounded cache reused across both words (the ANTLR-style policy).
+    let mut bounded = SllCache::bounded(cap);
+    let got1 = run(&word1, &mut bounded, PredictionMode::Adaptive);
+    let got2 = run(&word2, &mut bounded, PredictionMode::Adaptive);
+    if got1 != base1 {
+        return Err(fail(
+            ID,
+            format!(
+                "template {}, cap {cap}: bounded outcome diverged on word 1 ({got1:?} vs {base1:?})",
+                t.name
+            ),
+        ));
+    }
+    if got2 != base2 {
+        return Err(fail(
+            ID,
+            format!(
+                "template {}, cap {cap}: bounded reused cache diverged on word 2 ({got2:?} vs {base2:?})",
+                t.name
+            ),
+        ));
+    }
+
+    if cap == 0 {
+        // Cache off: nothing is memoized, so nothing is ever served.
+        let stats = bounded.stats();
+        if stats.hits != 0 || stats.evictions != 0 {
+            return Err(fail(
+                ID,
+                format!("disabled cache served hits or evicted: {stats:?}"),
+            ));
+        }
+    } else {
+        // With no prediction in flight, re-enforcing the cap must leave at
+        // most `cap` resident states.
+        bounded.set_capacity(Some(cap), None);
+        let resident = bounded.stats().states;
+        if resident > cap {
+            return Err(fail(
+                ID,
+                format!("cap {cap} but {resident} states resident at rest"),
+            ));
+        }
+    }
+
+    // LL-only agrees with adaptive prediction on language membership,
+    // ambiguity labeling, and the tree itself. (Reject *diagnostics* may
+    // differ: the two strategies notice a dead end at different points.)
+    let mut scratch = SllCache::new();
+    let ll = run(&word1, &mut scratch, PredictionMode::LlOnly);
+    let agree = match (&ll, &base1) {
+        (ParseOutcome::Reject(_), ParseOutcome::Reject(_)) => true,
+        _ => ll == base1,
+    };
+    if !agree {
+        return Err(fail(
+            ID,
+            format!(
+                "template {}: LlOnly diverged from Adaptive ({ll:?} vs {base1:?})",
+                t.name
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// `H-STABLE-COMPLETE` — §3.5: for every nonterminal, the statically
+/// computed [`StableFrames`](costar_grammar::analysis::StableFrames)
+/// destinations equal a brute-force worklist enumeration of the
+/// closure-reachable stable positions. Runs over a nondeterministically
+/// chosen template *or* a small arbitrary grammar.
+pub fn h_stable_complete<N: Nondet>(nd: &mut N) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-STABLE-COMPLETE";
+    let (g, analysis);
+    let owned;
+    let owned_analysis;
+    if nd.any_bool() {
+        let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+        g = &t.grammar;
+        analysis = &t.analysis;
+    } else {
+        owned = grammars::draw_random_grammar(nd);
+        owned_analysis = GrammarAnalysis::compute(&owned);
+        g = &owned;
+        analysis = &owned_analysis;
+    }
+    for x in g.symbols().nonterminals() {
+        let (want_positions, want_can_end) = brute_stable_dests(g, analysis, x);
+        let got = analysis.stable_frames.dests(x);
+        let got_positions: BTreeSet<Position> = got.positions.iter().copied().collect();
+        if got_positions != want_positions || got.can_end != want_can_end {
+            return Err(fail(
+                ID,
+                format!(
+                    "stable dests for {} disagree with brute force: \
+                     got {} positions (can_end {}), want {} (can_end {})",
+                    g.symbols().nonterminal_name(x),
+                    got_positions.len(),
+                    got.can_end,
+                    want_positions.len(),
+                    want_can_end,
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Brute-force §3.5 closure: starting from every grammar position just
+/// after an occurrence of `x`, follow return steps (at end of a
+/// right-hand side, to every caller of its left-hand side), push steps
+/// (into every alternative of the nonterminal at the dot), and nullable
+/// skips, collecting each position whose dot sits before a terminal.
+/// `can_end` records whether some chain runs off the end of a start
+/// production (or `x` is itself the start symbol).
+fn brute_stable_dests(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+) -> (BTreeSet<Position>, bool) {
+    let mut stable = BTreeSet::new();
+    let mut can_end = x == g.start();
+    let mut seen = BTreeSet::new();
+    let mut work: Vec<(costar_grammar::ProdId, usize)> = Vec::new();
+
+    let push_continuations_of = |y: NonTerminal, work: &mut Vec<_>| {
+        for (pid, p) in g.iter() {
+            for (i, &s) in p.rhs().iter().enumerate() {
+                if s == Symbol::Nt(y) {
+                    work.push((pid, i + 1));
+                }
+            }
+        }
+    };
+    push_continuations_of(x, &mut work);
+
+    while let Some((pid, dot)) = work.pop() {
+        if !seen.insert((pid.index(), dot)) {
+            continue;
+        }
+        let p = g.production(pid);
+        if dot == p.rhs().len() {
+            // Return step: this production completes its left-hand side.
+            let lhs = p.lhs();
+            if lhs == g.start() {
+                can_end = true;
+            }
+            push_continuations_of(lhs, &mut work);
+            continue;
+        }
+        match p.rhs()[dot] {
+            Symbol::T(_) => {
+                stable.insert(Position {
+                    production: pid,
+                    dot: dot as u32,
+                });
+            }
+            Symbol::Nt(z) => {
+                // Push step into every alternative of z...
+                for &alt in g.alternatives(z) {
+                    work.push((alt, 0));
+                }
+                // ...and skip over z entirely when it is nullable.
+                if analysis.nullable.contains(z) {
+                    work.push((pid, dot + 1));
+                }
+            }
+        }
+    }
+    (stable, can_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondet::RngNondet;
+
+    #[test]
+    fn machine_harnesses_pass_across_seeds() {
+        for seed in 0..64 {
+            let mut nd = RngNondet::new(seed);
+            h_stack_wf(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_visited(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_prefix_der(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_measure_dec(&mut nd, 5).unwrap();
+        }
+    }
+
+    #[test]
+    fn algebra_and_analysis_harnesses_pass_across_seeds() {
+        for seed in 0..64 {
+            let mut nd = RngNondet::new(seed);
+            h_measure_ord(&mut nd).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_cache_bound(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_stable_complete(&mut nd).unwrap();
+        }
+    }
+
+    #[test]
+    fn step_kinds_aggregate_and_cover() {
+        let mut total = StepKinds::default();
+        assert!(!total.covers_all_kinds());
+        total.absorb(&StepKinds {
+            pushes: 1,
+            consumes: 2,
+            returns: 3,
+            accepts: 1,
+            rejects: 0,
+        });
+        assert!(!total.covers_all_kinds(), "rejects still missing");
+        total.absorb(&StepKinds {
+            rejects: 1,
+            ..Default::default()
+        });
+        assert!(total.covers_all_kinds());
+        assert_eq!(total.consumes, 2);
+    }
+
+    #[test]
+    fn brute_stable_matches_on_fig2_by_hand() {
+        // Independent spot check against the worked example in the
+        // stable-frames module docs: after A completes in Fig. 2, the
+        // stable continuations are exactly "S -> A . c" and "S -> A . d".
+        let t = grammars::template(0);
+        let a = t.grammar.symbols().lookup_nonterminal("A").unwrap();
+        let (positions, can_end) = brute_stable_dests(&t.grammar, &t.analysis, a);
+        assert_eq!(positions.len(), 2);
+        assert!(!can_end);
+        for pos in &positions {
+            assert_eq!(pos.dot, 1);
+        }
+    }
+
+    #[test]
+    fn violations_render_with_harness_id() {
+        let v = fail("H-EXAMPLE", "something broke");
+        assert_eq!(v.to_string(), "H-EXAMPLE violated: something broke");
+    }
+}

@@ -1,0 +1,27 @@
+//! # costar-verify — dual-mode proof harnesses for the CoStar machine
+//!
+//! The Coq development behind the paper *proves* its lemmas; this
+//! reproduction *checks* them, twice, from one shared statement each:
+//!
+//! * **Bounded model checking** (`cargo kani`): under `cfg(kani)` the
+//!   harness inputs come from `kani::any()`/`kani::assume`, and each
+//!   `#[kani::proof]` entry point in the private `proofs` module explores
+//!   every input in the bounded space.
+//! * **Property fuzzing** (default build): the *same harness bodies* run
+//!   under proptest across many RNG seeds — see
+//!   `tests/proptest_harnesses.rs`, which also asserts the machine
+//!   harnesses exercised every step kind (push/consume/return and both
+//!   final results).
+//!
+//! The two modes meet in the [`nondet::Nondet`] trait: one body per
+//! lemma, two drivers, no drift. The harness-ID → paper-lemma table lives
+//! in `DESIGN.md` §7; the IDs themselves (`H-STACK-WF`, `H-MEASURE-DEC`,
+//! …) are documented on the functions in [`harness`].
+
+#![warn(missing_docs)]
+
+pub mod grammars;
+pub mod harness;
+pub mod nondet;
+#[cfg(kani)]
+mod proofs;

@@ -1,0 +1,169 @@
+//! The nondeterminism abstraction shared by both harness modes.
+//!
+//! Every harness body in [`crate::harness`] draws its inputs — which
+//! template grammar, which word, which cache capacity — through the
+//! [`Nondet`] trait instead of a concrete source. Two implementations
+//! exist:
+//!
+//! * [`RngNondet`] (always available) draws pseudo-random values from a
+//!   seeded [`SplitMix64`]; the proptest suites run each harness across
+//!   many seeds, turning the body into a property test.
+//! * [`KaniNondet`] (under `cfg(kani)` only) draws symbolic values from
+//!   `kani::any()`, turning the *same body* into a bounded
+//!   model-checking proof obligation — the `#[kani::proof]` entry points
+//!   live in `crate::proofs`.
+//!
+//! Keeping one body per lemma is the point: the fuzzer and the model
+//! checker cannot drift apart, because there is nothing to drift.
+
+use costar::bignat::BigNat;
+use costar_grammar::sampler::SplitMix64;
+
+/// A source of nondeterministic values. See the module docs for the two
+/// modes.
+pub trait Nondet {
+    /// An arbitrary 64-bit value.
+    fn any_u64(&mut self) -> u64;
+
+    /// An arbitrary boolean.
+    fn any_bool(&mut self) -> bool;
+
+    /// An arbitrary index in `0..n`. `n` must be at least 1.
+    fn choose(&mut self, n: usize) -> usize;
+
+    /// Constrains the value space. In Kani mode this calls
+    /// `kani::assume(cond)` and returns `true` (the unsatisfying branch is
+    /// pruned by the checker); in RNG mode it returns `cond`, and the
+    /// caller must discard the case when it is `false`. Idiomatic use:
+    ///
+    /// ```ignore
+    /// if !nd.assume(x < bound) {
+    ///     return Ok(Default::default()); // vacuous case
+    /// }
+    /// ```
+    fn assume(&mut self, cond: bool) -> bool;
+}
+
+/// Pseudo-random [`Nondet`]: the proptest/fuzzing side of the pairing.
+#[derive(Debug, Clone)]
+pub struct RngNondet {
+    rng: SplitMix64,
+}
+
+impl RngNondet {
+    /// A generator with the given seed; equal seeds replay identical
+    /// harness scenarios.
+    pub fn new(seed: u64) -> Self {
+        RngNondet {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Nondet for RngNondet {
+    fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn any_bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    fn choose(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choose requires a nonempty range");
+        self.rng.below(n)
+    }
+
+    fn assume(&mut self, cond: bool) -> bool {
+        cond
+    }
+}
+
+/// Symbolic [`Nondet`]: the bounded-model-checking side of the pairing.
+/// Only compiled by `cargo kani`.
+#[cfg(kani)]
+#[derive(Debug, Clone, Default)]
+pub struct KaniNondet;
+
+#[cfg(kani)]
+impl Nondet for KaniNondet {
+    fn any_u64(&mut self) -> u64 {
+        kani::any()
+    }
+
+    fn any_bool(&mut self) -> bool {
+        kani::any()
+    }
+
+    fn choose(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choose requires a nonempty range");
+        let i: usize = kani::any();
+        kani::assume(i < n);
+        i
+    }
+
+    fn assume(&mut self, cond: bool) -> bool {
+        kani::assume(cond);
+        true
+    }
+}
+
+/// An arbitrary [`BigNat`] with at most two limbs — the dual of
+/// `costar::verify_hooks::any_bignat`, usable in both modes.
+pub fn any_bignat<N: Nondet>(nd: &mut N) -> BigNat {
+    let mut n = BigNat::from(nd.any_u64());
+    if nd.any_bool() {
+        // Shift into the second limb by multiplying through 2^32 twice,
+        // then mix in a fresh low limb.
+        n.mul_u64_assign(1 << 32);
+        n.mul_u64_assign(1 << 32);
+        n.add_assign(&BigNat::from(nd.any_u64()));
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_nondet_is_deterministic_per_seed() {
+        let mut a = RngNondet::new(7);
+        let mut b = RngNondet::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.any_u64(), b.any_u64());
+            assert_eq!(a.choose(13), b.choose(13));
+            assert_eq!(a.any_bool(), b.any_bool());
+        }
+    }
+
+    #[test]
+    fn choose_stays_in_range() {
+        let mut nd = RngNondet::new(1);
+        for n in 1..20 {
+            for _ in 0..50 {
+                assert!(nd.choose(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn assume_reflects_condition_in_rng_mode() {
+        let mut nd = RngNondet::new(0);
+        assert!(nd.assume(true));
+        assert!(!nd.assume(false));
+    }
+
+    #[test]
+    fn any_bignat_produces_multi_limb_values() {
+        let mut nd = RngNondet::new(3);
+        let mut saw_big = false;
+        for _ in 0..32 {
+            let n = any_bignat(&mut nd);
+            if n > BigNat::from(u64::MAX) {
+                saw_big = true;
+            }
+        }
+        assert!(saw_big, "two-limb branch never taken across 32 draws");
+    }
+}

@@ -1,0 +1,78 @@
+//! `#[kani::proof]` entry points: the bounded-model-checking driver for
+//! every harness in [`crate::harness`].
+//!
+//! Compiled only by `cargo kani` (which defines `cfg(kani)`). Word
+//! lengths are kept small — the machine loop is the unwinding frontier,
+//! and each extra token multiplies the symbolic state space. The proptest
+//! driver runs the same bodies with longer words and many seeds; Kani's
+//! role is exhaustiveness *within* the small bound, not scale.
+
+use crate::harness;
+use crate::nondet::KaniNondet;
+
+/// Words this long keep the machine's unwinding within the harness bound
+/// while still reaching pushes, consumes, returns, and both outcomes.
+const MAX_WORD: usize = 3;
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_stack_wf() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_stack_wf(&mut nd, MAX_WORD) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_visited() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_visited(&mut nd, MAX_WORD) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_prefix_der() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_prefix_der(&mut nd, MAX_WORD) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_measure_dec() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_measure_dec(&mut nd, MAX_WORD) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
+#[kani::unwind(32)]
+fn proof_measure_ord() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_measure_ord(&mut nd) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_cache_bound() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_cache_bound(&mut nd, 2) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_stable_complete() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_stable_complete(&mut nd) {
+        panic!("{v}");
+    }
+}
