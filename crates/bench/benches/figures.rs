@@ -212,6 +212,34 @@ fn ablation_budget_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_static_fast_path(c: &mut Criterion) {
+    // Cost of consulting the precompiled decision table on the hot path
+    // versus always running full adaptive prediction. On heavily-LL(1)
+    // grammars (JSON is 5/5) the "fast_path" arm should win by skipping
+    // SLL simulation and cache traffic entirely; "no_table" prices what
+    // prediction costs without the static analysis.
+    let mut group = c.benchmark_group("ablation_static_fast_path");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        let src = generate(23, 1_500);
+        let word = lang.tokenize(&src).expect("corpus lexes");
+        group.throughput(Throughput::Elements(word.len() as u64));
+
+        let mut fast = Parser::new(lang.grammar().clone());
+        assert!(fast.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("fast_path", lang.name), |b| {
+            b.iter(|| fast.parse(black_box(&word)))
+        });
+
+        let mut full = Parser::with_no_static_fast_path(lang.grammar().clone());
+        assert!(full.parse(&word).is_accept());
+        group.bench_function(BenchmarkId::new("no_table", lang.name), |b| {
+            b.iter(|| full.parse(black_box(&word)))
+        });
+    }
+    group.finish();
+}
+
 fn ablation_observer_overhead(c: &mut Criterion) {
     // Cost of the observability layer per observer flavor. The "null"
     // arms are the ≤2%-overhead acceptance check: `parse` *is*
@@ -257,6 +285,7 @@ criterion_group!(
     ablation_cache_reuse,
     ablation_grammar_size,
     ablation_budget_overhead,
+    ablation_static_fast_path,
     ablation_observer_overhead
 );
 criterion_main!(benches);

@@ -22,6 +22,7 @@
 
 use costar::{ParseOutcome, Parser};
 use costar_baselines::{earley_parse, AntlrSim};
+use costar_grammar::analysis::{DecisionTable, GrammarAnalysis};
 use costar_grammar::{Grammar, GrammarBuilder, Token};
 use costar_langs::{all_languages, corpus, Language};
 use costar_stats::{linear_fit, lowess, ratio_stats, LinearFit};
@@ -595,6 +596,14 @@ pub struct ParseBenchRow {
     pub failovers: u64,
     /// Fraction of decided decisions that SLL settled.
     pub sll_fraction: f64,
+    /// Decisions dispatched through the precompiled static LL(1) map,
+    /// skipping subparser simulation and the cache entirely.
+    pub static_fast_path_hits: u64,
+    /// static_fast_path_hits / decisions (1.0 when there were none).
+    pub static_fast_path_fraction: f64,
+    /// Microseconds to precompute the grammar's decision table (the
+    /// one-time cost the fast path amortizes).
+    pub decision_table_micros: f64,
     /// SLL cache lookups.
     pub cache_lookups: u64,
     /// SLL cache hits.
@@ -639,6 +648,22 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                 expect_unique(c.lang.name, &parser.parse(w));
             }
             let tokens: usize = c.words.iter().map(Vec::len).sum();
+
+            // Price the one-time decision-table precompute (min over a few
+            // reps, like the timing arms below).
+            let analysis = GrammarAnalysis::compute(c.lang.grammar());
+            let mut table_secs = f64::INFINITY;
+            for _ in 0..cfg.trials.max(3) {
+                let start = Instant::now();
+                black_box(DecisionTable::compute(
+                    c.lang.grammar(),
+                    &analysis.nullable,
+                    &analysis.first,
+                    &analysis.follow,
+                    &analysis.stable_frames,
+                ));
+                table_secs = table_secs.min(start.elapsed().as_secs_f64());
+            }
             // The overhead ratio feeds a CI gate, so the estimator must be
             // noise-robust: interleave the two arms and keep each arm's
             // minimum over several repetitions (the minimum is the least
@@ -674,6 +699,9 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                 sll_resolved: 0,
                 failovers: 0,
                 sll_fraction: 1.0,
+                static_fast_path_hits: 0,
+                static_fast_path_fraction: 1.0,
+                decision_table_micros: table_secs * 1e6,
                 cache_lookups: 0,
                 cache_hits: 0,
                 cache_hit_rate: 1.0,
@@ -688,6 +716,7 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                 row.single_alternative += m.single_alternative;
                 row.sll_resolved += m.sll_resolved;
                 row.failovers += m.failovers;
+                row.static_fast_path_hits += m.static_fast_path_hits;
                 row.cache_lookups += m.cache_lookups;
                 row.cache_hits += m.cache_hits;
                 row.machine_steps += m.machine_steps;
@@ -698,6 +727,10 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
             let decided = row.sll_resolved + row.failovers;
             if decided > 0 {
                 row.sll_fraction = row.sll_resolved as f64 / decided as f64;
+            }
+            if row.decisions > 0 {
+                row.static_fast_path_fraction =
+                    row.static_fast_path_hits as f64 / row.decisions as f64;
             }
             if row.cache_lookups > 0 {
                 row.cache_hit_rate = row.cache_hits as f64 / row.cache_lookups as f64;
@@ -726,7 +759,9 @@ impl ParseBench {
                 "{{\"name\":{:?},\"tokens\":{},\"null_tokens_per_sec\":{:.1},\
                  \"observed_tokens_per_sec\":{:.1},\"observer_overhead\":{:.4},\
                  \"decisions\":{},\"single_alternative\":{},\"sll_resolved\":{},\
-                 \"failovers\":{},\"sll_fraction\":{:.4},\"cache_lookups\":{},\
+                 \"failovers\":{},\"sll_fraction\":{:.4},\
+                 \"static_fast_path_hits\":{},\"static_fast_path_fraction\":{:.4},\
+                 \"decision_table_micros\":{:.1},\"cache_lookups\":{},\
                  \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"machine_steps\":{},\
                  \"prediction_steps\":{},\"meter_steps\":{},\"reconciles\":{}}}",
                 r.name,
@@ -739,6 +774,9 @@ impl ParseBench {
                 r.sll_resolved,
                 r.failovers,
                 r.sll_fraction,
+                r.static_fast_path_hits,
+                r.static_fast_path_fraction,
+                r.decision_table_micros,
                 r.cache_lookups,
                 r.cache_hits,
                 r.cache_hit_rate,
@@ -781,6 +819,33 @@ impl ParseBench {
                 failures.push(format!("{}: metrics failed to reconcile", r.name));
             }
         }
+        // The static fast path must stay engaged. The JSON grammar is
+        // entirely LL(1), so zero hits there means the decision table
+        // stopped reaching the parser; and on the deterministic corpora
+        // (JSON/XML/DOT — Python's generator varies more run to run) the
+        // hit *fraction* is a pure counter ratio, so a drop beyond the
+        // tolerance vs the committed baseline is a real wiring
+        // regression, not timing noise.
+        if let Some(json_row) = self.rows.iter().find(|r| r.name == "JSON") {
+            if json_row.static_fast_path_hits == 0 {
+                failures.push("JSON: static fast path never fired".into());
+            }
+        }
+        for r in &self.rows {
+            if !matches!(r.name, "JSON" | "XML" | "DOT") {
+                continue;
+            }
+            if let Some(base_frac) =
+                extract_row_number(baseline_json, r.name, "static_fast_path_fraction")
+            {
+                if r.static_fast_path_fraction < base_frac - tolerance {
+                    failures.push(format!(
+                        "{}: static fast-path fraction {:.4} fell below baseline {:.4}",
+                        r.name, r.static_fast_path_fraction, base_frac
+                    ));
+                }
+            }
+        }
         if failures.is_empty() {
             Ok(())
         } else {
@@ -802,31 +867,47 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Like [`extract_number`], but scoped to the row object whose
+/// `"name"` equals `row_name` (the scan window runs to the next row's
+/// name key, so keys repeated across rows resolve per row).
+fn extract_row_number(json: &str, row_name: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"name\":{row_name:?}");
+    let at = json.find(&marker)? + marker.len();
+    let tail = &json[at..];
+    let window = match tail.find("\"name\":") {
+        Some(next) => &tail[..next],
+        None => tail,
+    };
+    extract_number(window, key)
+}
+
 impl fmt::Display for ParseBench {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Parse observability report")?;
         writeln!(
             f,
-            "{:<10} {:>10} {:>12} {:>9} {:>10} {:>8} {:>10} {:>9}",
+            "{:<10} {:>10} {:>12} {:>9} {:>10} {:>8} {:>9} {:>10} {:>9}",
             "Benchmark",
             "tokens",
             "tok/s(null)",
             "obs cost",
             "decisions",
             "SLL %",
+            "static %",
             "failovers",
             "hit rate"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<10} {:>10} {:>12.0} {:>8.2}x {:>10} {:>7.1}% {:>10} {:>8.1}%",
+                "{:<10} {:>10} {:>12.0} {:>8.2}x {:>10} {:>7.1}% {:>8.1}% {:>10} {:>8.1}%",
                 r.name,
                 r.tokens,
                 r.null_tokens_per_sec,
                 r.observer_overhead,
                 r.decisions,
                 r.sll_fraction * 100.0,
+                r.static_fast_path_fraction * 100.0,
                 r.failovers,
                 r.cache_hit_rate * 100.0
             )?;
@@ -924,6 +1005,39 @@ pub fn ablation_sll_cache(cfg: &Config) -> Ablation {
         name: "SLL + DFA cache vs LL-only prediction",
         base_label: "adaptive",
         variant_label: "LL-only",
+        rows,
+    }
+}
+
+/// Ablation: the precompiled static LL(1) fast path (default) vs full
+/// adaptive prediction at every decision point — prices what the static
+/// decision table buys on each corpus. Outcomes are asserted identical;
+/// only where prediction work happens differs.
+pub fn ablation_static_fast_path(cfg: &Config) -> Ablation {
+    let rows = prepare_corpora(cfg)
+        .into_iter()
+        .map(|c| {
+            let w = c.words.last().expect("nonempty corpus");
+            let mut fast = Parser::new(c.lang.grammar().clone());
+            let mut full = Parser::with_no_static_fast_path(c.lang.grammar().clone());
+            expect_unique(c.lang.name, &fast.parse(w));
+            assert_eq!(
+                fast.parse(w),
+                full.parse(w),
+                "{}: modes must agree",
+                c.lang.name
+            );
+            AblationRow {
+                label: c.lang.name.to_owned(),
+                base_secs: time_avg(cfg.trials, || fast.parse(w)),
+                variant_secs: time_avg(cfg.trials, || full.parse(w)),
+            }
+        })
+        .collect();
+    Ablation {
+        name: "static LL(1) fast path vs full adaptive prediction",
+        base_label: "fast path",
+        variant_label: "no table",
         rows,
     }
 }
@@ -1154,6 +1268,9 @@ mod tests {
         let c = ablation_grammar_size(&tiny());
         assert_eq!(c.rows.len(), 3);
         assert!(!c.to_string().is_empty());
+        let d = ablation_static_fast_path(&tiny());
+        assert_eq!(d.rows.len(), 4);
+        assert!(d.rows.iter().all(|r| r.base_secs > 0.0));
     }
 
     #[test]
@@ -1182,9 +1299,22 @@ mod tests {
             assert!(r.decisions > 0, "{}", r.name);
             assert!((0.0..=1.0).contains(&r.cache_hit_rate));
         }
+        // The JSON grammar is pure LL(1): every decision must dispatch
+        // through the static fast path.
+        let json_row = p.rows.iter().find(|r| r.name == "JSON").unwrap();
+        assert!(json_row.static_fast_path_hits > 0);
+        assert!(
+            json_row.static_fast_path_fraction >= 0.5,
+            "JSON static fraction {}",
+            json_row.static_fast_path_fraction
+        );
+        assert!(json_row.decision_table_micros > 0.0);
         let json = p.to_json();
         assert!(json.contains("\"observer_overhead\""));
         assert!(json.contains("\"overall_overhead\""));
+        assert!(json.contains("\"static_fast_path_hits\""));
+        assert!(json.contains("\"static_fast_path_fraction\""));
+        assert!(json.contains("\"decision_table_micros\""));
         assert!(json.contains("\"reconciles\":true"));
         // The gate accepts a run against its own baseline...
         p.check_against(&json, 0.05)
@@ -1200,6 +1330,13 @@ mod tests {
         let mut torn = p.clone();
         torn.rows[0].reconciles = false;
         assert!(torn.check_against(&json, 0.05).is_err());
+        // A run where the static fast path stopped firing fails the gate.
+        let mut unplugged = p.clone();
+        for r in &mut unplugged.rows {
+            r.static_fast_path_hits = 0;
+            r.static_fast_path_fraction = 0.0;
+        }
+        assert!(unplugged.check_against(&json, 0.05).is_err());
     }
 
     #[test]

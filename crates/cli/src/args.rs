@@ -11,13 +11,19 @@ usage:
                   [--max-steps N] [--deadline-ms N] [--cache-cap N]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
   costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
+  costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
   costar generate --lang L [--size N] [--seed S]
   costar tokens   --lang L FILE
 
   lint reports structured diagnostics (L001 left recursion, L002 empty
   language, L003 unproductive, L004 unreachable, L005 duplicate
-  production, L006 LL(1) conflict), each with a witness. Exit code 0 =
-  clean, 1 = findings, 2 = the grammar could not be loaded.
+  production, L006 LL(1) conflict, L007 statically ambiguous pair, L008
+  SLL-safe nonterminal), each with a witness. Exit code 0 = clean,
+  1 = findings, 2 = the grammar could not be loaded.
+  analyze classifies every prediction decision point as ll1 / sll-safe /
+  needs-full-allstar from the static SLL closure graph and reports the
+  precompiled decision table; same exit-code contract as lint, where a
+  \"finding\" is a proven-ambiguous decision pair (L007).
   --stats prints a human-readable metrics summary to stderr;
   --stats=json prints the full ParseMetrics object as JSON on stdout.
   --trace-buffer keeps the last N parse events and dumps them to stderr
@@ -34,7 +40,7 @@ pub enum StatsMode {
     Json,
 }
 
-/// Output format for `costar lint`.
+/// Output format for `costar lint` and `costar analyze`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LintFormat {
     /// `error[L001]: ...` lines with indented witnesses (the default).
@@ -86,6 +92,13 @@ pub enum Command {
     },
     /// Run the grammar linter and report structured diagnostics.
     Lint {
+        /// Grammar source.
+        source: GrammarSource,
+        /// Output format.
+        format: LintFormat,
+    },
+    /// Report the static decision-point classification table.
+    Analyze {
         /// Grammar source.
         source: GrammarSource,
         /// Output format.
@@ -206,42 +219,15 @@ impl Args {
                 })
             }
             "lint" => {
-                let mut lang = None;
-                let mut grammar = None;
-                let mut format = LintFormat::Human;
-                while let Some(a) = args.next() {
-                    match a.as_str() {
-                        "--lang" => lang = Some(required(&mut args, "--lang")?),
-                        "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
-                        "--format=json" => format = LintFormat::Json,
-                        "--format=human" => format = LintFormat::Human,
-                        "--format" => {
-                            format = match required(&mut args, "--format")?.as_str() {
-                                "json" => LintFormat::Json,
-                                "human" => LintFormat::Human,
-                                other => {
-                                    return Err(format!(
-                                        "unknown lint format {other:?} (try human or json)"
-                                    ))
-                                }
-                            }
-                        }
-                        other if other.starts_with("--format=") => {
-                            return Err(format!(
-                                "unknown lint format {:?} (try human or json)",
-                                &other["--format=".len()..]
-                            ));
-                        }
-                        other => return Err(format!("unexpected argument {other:?}")),
-                    }
-                }
-                let source = match (lang, grammar) {
-                    (Some(l), None) => GrammarSource::Lang(l),
-                    (None, Some(g)) => GrammarSource::Ebnf(g),
-                    _ => return Err("lint needs exactly one of --lang or --grammar".into()),
-                };
+                let (source, format) = source_and_format(&mut args, "lint")?;
                 Ok(Args {
                     command: Command::Lint { source, format },
+                })
+            }
+            "analyze" => {
+                let (source, format) = source_and_format(&mut args, "analyze")?;
+                Ok(Args {
+                    command: Command::Analyze { source, format },
                 })
             }
             "generate" => {
@@ -294,6 +280,49 @@ impl Args {
             other => Err(format!("unknown subcommand {other:?}")),
         }
     }
+}
+
+/// Shared flag grammar for `lint` and `analyze`: exactly one of
+/// `--lang`/`--grammar` plus an optional `--format=human|json`.
+fn source_and_format(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    sub: &str,
+) -> Result<(GrammarSource, LintFormat), String> {
+    let mut lang = None;
+    let mut grammar = None;
+    let mut format = LintFormat::Human;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--lang" => lang = Some(required(args, "--lang")?),
+            "--grammar" => grammar = Some(required(args, "--grammar")?),
+            "--format=json" => format = LintFormat::Json,
+            "--format=human" => format = LintFormat::Human,
+            "--format" => {
+                format = match required(args, "--format")?.as_str() {
+                    "json" => LintFormat::Json,
+                    "human" => LintFormat::Human,
+                    other => {
+                        return Err(format!(
+                            "unknown {sub} format {other:?} (try human or json)"
+                        ))
+                    }
+                }
+            }
+            other if other.starts_with("--format=") => {
+                return Err(format!(
+                    "unknown {sub} format {:?} (try human or json)",
+                    &other["--format=".len()..]
+                ));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let source = match (lang, grammar) {
+        (Some(l), None) => GrammarSource::Lang(l),
+        (None, Some(g)) => GrammarSource::Ebnf(g),
+        _ => return Err(format!("{sub} needs exactly one of --lang or --grammar")),
+    };
+    Ok((source, format))
 }
 
 fn required(
@@ -491,6 +520,29 @@ mod tests {
         assert!(parse(&["lint", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
         assert!(parse(&["lint", "--lang", "json", "--format=yaml"]).is_err());
         assert!(parse(&["lint", "--lang", "json", "--format"]).is_err());
+    }
+
+    #[test]
+    fn analyze_command_and_formats() {
+        let a = parse(&["analyze", "--grammar", "g.ebnf"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Analyze {
+                source: GrammarSource::Ebnf("g.ebnf".into()),
+                format: LintFormat::Human,
+            }
+        );
+        let a = parse(&["analyze", "--lang", "json", "--format=json"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Analyze {
+                source: GrammarSource::Lang("json".into()),
+                format: LintFormat::Json,
+            }
+        );
+        assert!(parse(&["analyze"]).is_err());
+        assert!(parse(&["analyze", "--lang", "json", "--format=yaml"]).is_err());
+        assert!(parse(&["analyze", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
     }
 
     #[test]

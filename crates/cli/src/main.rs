@@ -6,6 +6,7 @@
 //!                 [--max-steps N] [--deadline-ms N] [--cache-cap N]
 //! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
 //! costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
+//! costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
 //! costar generate --lang L [--size N] [--seed S]
 //! costar tokens   --lang L FILE
 //! ```
@@ -23,11 +24,16 @@
 //! work), and an LL(1)-class check via the baseline generator. `lint`
 //! goes further: it runs the reachability, productivity, left-recursion,
 //! and LL(1)-conflict analyses and reports *structured diagnostics*
-//! (codes L001–L006, each with a severity and a concrete witness such as
+//! (codes L001–L008, each with a severity and a concrete witness such as
 //! a left-recursion cycle `S ⇒ A ⇒ S`), exiting 0 when clean, 1 when
 //! there are findings, and 2 when the grammar cannot be loaded;
 //! `--format=json` emits the diagnostics as one machine-readable JSON
-//! object on stdout.
+//! object on stdout. `analyze` reports the static decision table the
+//! parser precompiles: every multi-alternative nonterminal classified as
+//! `ll1` / `sll-safe` / `needs-full-allstar` from the static SLL closure
+//! graph, with lookahead-map sizes and conflict witnesses; it shares
+//! lint's exit-code contract, where a finding is a proven-ambiguous
+//! decision pair.
 //!
 //! Observability: `--stats` prints a human-readable metrics summary on
 //! stderr (so it composes with `--tree` output on stdout); `--stats=json`
@@ -97,6 +103,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             eliminate_lr,
         } => cmd_check(source, eliminate_lr),
         Command::Lint { source, format } => Ok(cmd_lint(source, format)),
+        Command::Analyze { source, format } => Ok(cmd_analyze(source, format)),
         Command::Generate { lang, size, seed } => {
             let (_, generate) = args::find_language(&lang)?;
             print!("{}", generate(seed, size));
@@ -262,10 +269,11 @@ fn cmd_parse(
         (StatsMode::Human, Some(m)) => {
             let s = parser.prediction_stats();
             eprintln!(
-                "decisions: {} (+{} single-alt), SLL-resolved {}, failovers {}, \
-                 lookahead mean {:.2} max {}",
+                "decisions: {} (+{} single-alt), static fast path {}, SLL-resolved {}, \
+                 failovers {}, lookahead mean {:.2} max {}",
                 s.predictions,
                 s.single_alternative,
+                s.static_fast_path,
                 s.sll_resolved,
                 s.failovers,
                 s.mean_lookahead(),
@@ -351,6 +359,82 @@ fn cmd_lint(source: GrammarSource, format: LintFormat) -> ExitCode {
         }
     }
     if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `costar analyze`: the static decision-point classification table.
+///
+/// Classifies every multi-alternative nonterminal as `ll1` (dispatchable
+/// from a precompiled one-token lookahead map), `sll-safe` (SLL
+/// prediction provably never conflicts), or `needs-full-allstar`, from
+/// the statically-computed SLL closure graph. Shares `lint`'s exit-code
+/// contract: 0 = clean, 1 = findings (here: a proven-ambiguous decision
+/// pair, the L007 condition), 2 = the grammar could not be loaded.
+fn cmd_analyze(source: GrammarSource, format: LintFormat) -> ExitCode {
+    let grammar = match load_grammar(source) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = costar_grammar::analysis::GrammarAnalysis::compute(&grammar);
+    let table = &analysis.decisions;
+    let stats = table.stats();
+    match format {
+        LintFormat::Human => {
+            for d in table.iter() {
+                let name = grammar.symbols().nonterminal_name(d.nonterminal);
+                println!(
+                    "{name}: {} ({} alternatives, {} graph states)",
+                    d.class.as_str(),
+                    d.alternatives,
+                    d.graph_states
+                );
+                if let Some(map) = &d.lookahead {
+                    println!("  lookahead map: {} entries", map.entries());
+                }
+                for c in &d.conflicts {
+                    let a = grammar.render_production(c.a);
+                    let b = grammar.render_production(c.b);
+                    println!("  conflict: `{a}` vs `{b}`");
+                    if let Some(w) = &c.ambiguous_word {
+                        let word: Vec<&str> = w
+                            .iter()
+                            .map(|t| grammar.symbols().terminal_name(*t))
+                            .collect();
+                        if word.is_empty() {
+                            println!("    ambiguous: both derive the empty word");
+                        } else {
+                            println!("    ambiguous: both derive `{}`", word.join(" "));
+                        }
+                    } else if let Some(p) = &c.distinguishing_prefix {
+                        let pfx: Vec<&str> = p
+                            .iter()
+                            .map(|t| grammar.symbols().terminal_name(*t))
+                            .collect();
+                        println!("    distinguished after `{}`", pfx.join(" "));
+                    }
+                }
+            }
+            eprintln!(
+                "{} decision point{}: {} ll1, {} sll-safe, {} needs-full-allstar \
+                 ({} ambiguous, {} lookahead entries)",
+                stats.decision_points,
+                if stats.decision_points == 1 { "" } else { "s" },
+                stats.ll1,
+                stats.sll_safe,
+                stats.needs_full,
+                stats.ambiguous,
+                stats.lookahead_entries
+            );
+        }
+        LintFormat::Json => println!("{}", table.to_json(&grammar)),
+    }
+    if stats.ambiguous == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -87,16 +87,26 @@ impl ParseOutcome {
 /// Which prediction strategy the machine uses at decision points.
 ///
 /// `Adaptive` is the paper's `adaptivePredict` (§3.4): cached SLL with LL
-/// failover. `LlOnly` disables SLL and its DFA cache entirely, running
+/// failover, plus the static LL(1) fast path from the grammar's decision
+/// table. `AdaptiveNoStatic` disables only the fast path (the ablation
+/// baseline). `LlOnly` disables SLL and its DFA cache entirely, running
 /// the precise LL simulation at every decision — the "no memoization"
 /// arm of the `ablation_sll_cache` benchmark, quantifying §2's claim that
-/// the cache is what makes ALL(*) fast in practice. Both modes produce
-/// identical outcomes.
+/// the cache is what makes ALL(*) fast in practice. For non-left-recursive
+/// grammars all modes produce identical outcomes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PredictionMode {
-    /// SLL with DFA cache, failing over to LL (the paper's algorithm).
+    /// SLL with DFA cache, failing over to LL (the paper's algorithm),
+    /// with decisions the static analysis classified LL(1) dispatched
+    /// through the precompiled lookahead map (no simulation, no cache
+    /// traffic).
     #[default]
     Adaptive,
+    /// As `Adaptive`, but with the static LL(1) fast path disabled: every
+    /// decision runs the full SLL simulation. The baseline arm of the
+    /// `ablation_static_fast_path` benchmark and the `H-DECIDE-SOUND`
+    /// agreement harness.
+    AdaptiveNoStatic,
     /// Precise LL simulation at every decision, no caching.
     LlOnly,
 }
@@ -310,16 +320,19 @@ impl<'a> Machine<'a> {
                     return StepResult::Abort(r);
                 }
                 let prediction = match self.mode {
-                    PredictionMode::Adaptive => adaptive_predict(
-                        self.grammar,
-                        self.analysis,
-                        x,
-                        &st.suffix,
-                        &self.tokens[st.cursor..],
-                        cache,
-                        &mut self.meter,
-                        obs,
-                    ),
+                    PredictionMode::Adaptive | PredictionMode::AdaptiveNoStatic => {
+                        adaptive_predict(
+                            self.grammar,
+                            self.analysis,
+                            x,
+                            &st.suffix,
+                            &self.tokens[st.cursor..],
+                            cache,
+                            &mut self.meter,
+                            obs,
+                            self.mode == PredictionMode::Adaptive,
+                        )
+                    }
                     PredictionMode::LlOnly => ll_only_predict(
                         self.grammar,
                         self.analysis,

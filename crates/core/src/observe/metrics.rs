@@ -134,6 +134,9 @@ pub struct ParseMetrics {
     pub sll_resolved: u64,
     /// SLL conflicts that failed over to LL.
     pub failovers: u64,
+    /// Decisions dispatched through the static LL(1) lookahead map
+    /// (no simulation, no cache traffic, no prediction fuel).
+    pub static_fast_path_hits: u64,
     /// DFA transition lookups issued.
     pub cache_lookups: u64,
     /// Lookups answered from the cache.
@@ -209,6 +212,11 @@ impl ParseMetrics {
         let _ = write!(s, ",\"single_alternative\":{}", self.single_alternative);
         let _ = write!(s, ",\"sll_resolved\":{}", self.sll_resolved);
         let _ = write!(s, ",\"failovers\":{}", self.failovers);
+        let _ = write!(
+            s,
+            ",\"static_fast_path_hits\":{}",
+            self.static_fast_path_hits
+        );
         let _ = write!(s, ",\"cache_lookups\":{}", self.cache_lookups);
         let _ = write!(s, ",\"cache_hits\":{}", self.cache_hits);
         let _ = write!(s, ",\"cache_misses\":{}", self.cache_misses);
@@ -320,6 +328,10 @@ impl ParseObserver for MetricsObserver {
         self.m.failovers += 1;
     }
 
+    fn on_static_fast_path(&mut self, _x: NonTerminal) {
+        self.m.static_fast_path_hits += 1;
+    }
+
     fn on_cache_lookup(&mut self) {
         self.m.cache_lookups += 1;
     }
@@ -422,6 +434,7 @@ mod tests {
             "\"meter_steps\":2",
             "\"reconciles\":true",
             "\"abort\":null",
+            "\"static_fast_path_hits\":0",
             "\"sll_latency_ns\"",
             "\"lookahead_depth\"",
         ] {

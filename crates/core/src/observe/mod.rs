@@ -136,6 +136,11 @@ pub trait ParseObserver {
     #[inline]
     fn on_failover(&mut self, _x: NonTerminal) {}
 
+    /// A decision was dispatched through the static LL(1) lookahead map,
+    /// skipping subparser simulation and cache traffic entirely.
+    #[inline]
+    fn on_static_fast_path(&mut self, _x: NonTerminal) {}
+
     /// A DFA transition lookup is about to run.
     #[inline]
     fn on_cache_lookup(&mut self) {}
@@ -222,6 +227,11 @@ impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
     fn on_failover(&mut self, x: NonTerminal) {
         self.0.on_failover(x);
         self.1.on_failover(x);
+    }
+    #[inline]
+    fn on_static_fast_path(&mut self, x: NonTerminal) {
+        self.0.on_static_fast_path(x);
+        self.1.on_static_fast_path(x);
     }
     #[inline]
     fn on_cache_lookup(&mut self) {

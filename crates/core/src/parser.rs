@@ -109,6 +109,17 @@ impl Parser {
         p
     }
 
+    /// Creates a parser that disables the static LL(1) fast path and runs
+    /// full adaptive (SLL with LL failover) prediction at every decision
+    /// point — the "static table off" arm of the fast-path ablation.
+    /// Outcomes are identical to [`Parser::new`]; only performance (and
+    /// the `static_fast_path` counters) differ.
+    pub fn with_no_static_fast_path(grammar: Grammar) -> Self {
+        let mut p = Parser::new(grammar);
+        p.mode = PredictionMode::AdaptiveNoStatic;
+        p
+    }
+
     /// Creates a parser that keeps its SLL prediction cache warm across
     /// inputs (the paper's §8 "reuse a cache across multiple inputs"
     /// extension; ANTLR's default behavior).
@@ -454,7 +465,11 @@ mod budget_tests {
         let expected = unbounded.parse(&w);
         assert!(expected.is_accept());
 
-        let mut capped = Parser::with_budget(g, Budget::unlimited().with_max_cache_entries(0));
+        // This grammar is LL(1), so the static fast path would bypass the
+        // cache entirely; disable it so the test exercises cache-off
+        // degradation of real SLL simulation.
+        let mut capped = Parser::with_no_static_fast_path(g);
+        capped.set_budget(Budget::unlimited().with_max_cache_entries(0));
         let got = capped.parse(&w);
         assert_eq!(expected.tree(), got.tree());
         let stats = capped.cache_stats();
@@ -500,7 +515,10 @@ mod metrics_tests {
         assert_eq!(m.pushes, 3);
         assert_eq!(m.returns, 3);
         assert_eq!(m.decisions, 3);
-        assert_eq!(m.sll_resolved, 3);
+        // Both A decisions dispatch through the static LL(1) fast path;
+        // only the S decision (SLL-safe but not LL(1)) runs SLL simulation.
+        assert_eq!(m.sll_resolved, 1);
+        assert_eq!(m.static_fast_path_hits, 2);
         assert_eq!(m.failovers, 0);
         assert_eq!(m.tokens, 3);
         assert!(m.total_nanos > 0);
@@ -561,9 +579,12 @@ mod prediction_stats_tests {
         let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
         assert!(p.parse(&w).is_accept());
         let stats = p.prediction_stats();
-        // Three pushes: S, A, A — all multi-alternative, all SLL-resolved.
+        // Three pushes: S, A, A — all multi-alternative. The two A
+        // decisions are LL(1) and resolve via the static fast path; S is
+        // SLL-safe but not LL(1), so it alone runs SLL simulation.
         assert_eq!(stats.predictions, 3);
-        assert_eq!(stats.sll_resolved, 3);
+        assert_eq!(stats.sll_resolved, 1);
+        assert_eq!(stats.static_fast_path, 2);
         assert_eq!(stats.failovers, 0);
         assert_eq!(stats.single_alternative, 0);
         // Deciding S scans to the very end of "abd".
@@ -589,6 +610,33 @@ mod prediction_stats_tests {
         assert_eq!(stats.failovers, 1, "the X decision must fail over to LL");
         assert_eq!(stats.single_alternative, 1, "C2's push short-circuits");
         assert!(stats.predictions >= 2);
+        // S is LL(1) on its leading terminal (p vs q), so it dispatches
+        // statically; only X runs simulation (and fails over).
+        assert_eq!(stats.static_fast_path, 1);
+        assert_eq!(stats.sll_resolved, 0);
+    }
+
+    #[test]
+    fn no_static_fast_path_mode_matches_outcome_without_fast_path_hits() {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        let g = gb.start("S").build().unwrap();
+        let mut tab = g.symbols().clone();
+        let w = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+
+        let mut fast = Parser::new(g.clone());
+        let fast_outcome = fast.parse(&w);
+        let mut full = Parser::with_no_static_fast_path(g);
+        let full_outcome = full.parse(&w);
+
+        assert_eq!(fast_outcome.tree(), full_outcome.tree());
+        assert_eq!(fast.prediction_stats().static_fast_path, 2);
+        let full_stats = full.prediction_stats();
+        assert_eq!(full_stats.static_fast_path, 0);
+        assert_eq!(full_stats.sll_resolved, 3, "all decisions simulate");
     }
 
     #[test]

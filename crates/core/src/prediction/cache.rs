@@ -99,6 +99,9 @@ pub struct PredictionStats {
     pub sll_resolved: u64,
     /// SLL conflicts that failed over to full LL prediction (§3.4).
     pub failovers: u64,
+    /// Decisions dispatched through the static LL(1) lookahead map,
+    /// skipping simulation and cache traffic entirely.
+    pub static_fast_path: u64,
     /// Total lookahead tokens examined across decisions.
     pub lookahead_tokens: u64,
     /// The deepest lookahead any single decision needed.

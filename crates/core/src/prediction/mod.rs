@@ -349,6 +349,16 @@ fn record_lookahead(cache: &mut SllCache, lookahead: usize) {
 /// A decision nonterminal with a single alternative short-circuits to
 /// `Unique` without simulation — there is nothing to decide, and with no
 /// competing alternative the `Unique` label is trivially correct.
+///
+/// When `use_static` is set and the static decision table classified `x`
+/// as LL(1), the decision dispatches through the precompiled lookahead
+/// map instead: no subparser simulation, no cache traffic, no fuel. This
+/// is sound for non-left-recursive grammars — any alternative surviving
+/// full prediction on lookahead `t` is selected by `t`, select sets are
+/// disjoint, and an ambiguity verdict would force a select-set overlap —
+/// so the fast path returns exactly what full prediction would (a map
+/// miss coincides with full prediction's `Reject`). The verify crate's
+/// `H-DECIDE-SOUND` harness checks the agreement dynamically.
 #[allow(clippy::too_many_arguments)] // the paper's full decision context, plus the observer
 pub(crate) fn adaptive_predict<O: ParseObserver>(
     g: &Grammar,
@@ -359,6 +369,7 @@ pub(crate) fn adaptive_predict<O: ParseObserver>(
     cache: &mut SllCache,
     meter: &mut Meter,
     obs: &mut O,
+    use_static: bool,
 ) -> Prediction {
     match g.alternatives(x) {
         [] => return Prediction::Reject,
@@ -371,6 +382,23 @@ pub(crate) fn adaptive_predict<O: ParseObserver>(
     }
     cache.stats_mut().predictions += 1;
     obs.on_decision(x);
+    if use_static {
+        if let Some(map) = analysis.decisions.ll1_map(x) {
+            cache.stats_mut().static_fast_path += 1;
+            obs.on_static_fast_path(x);
+            let chosen = match remaining.first() {
+                Some(t) => map.for_terminal(t.terminal()),
+                None => map.for_eof(),
+            };
+            return match chosen {
+                Some(alt) => Prediction::Unique(alt),
+                // No alternative's select set contains the lookahead: full
+                // prediction's first move (or EOF resolution) would kill
+                // every subparser and reject too.
+                None => Prediction::Reject,
+            };
+        }
+    }
     match sll_predict(g, analysis, x, remaining, cache, meter, obs) {
         Prediction::Ambig(_) => {
             cache.stats_mut().failovers += 1;
@@ -529,6 +557,7 @@ mod tests {
                 &mut cache,
                 &mut Meter::unlimited(),
                 &mut NullObserver,
+                true,
             ),
             Prediction::Reject
         );
@@ -557,6 +586,7 @@ mod tests {
             &mut cache,
             &mut Meter::unlimited(),
             &mut NullObserver,
+            true,
         );
         let Prediction::Ambig(alt) = p else {
             panic!("expected ambiguity, got {p:?}")
@@ -585,6 +615,7 @@ mod tests {
             &mut cache,
             &mut Meter::unlimited(),
             &mut NullObserver,
+            true,
         );
         assert!(matches!(p, Prediction::Unique(_)));
         assert_eq!(cache.stats().states, 0, "no simulation should run");
@@ -614,6 +645,7 @@ mod tests {
             &mut cache,
             &mut Meter::unlimited(),
             &mut NullObserver,
+            true,
         );
         let Prediction::Unique(alt) = p else {
             panic!("expected unique, got {p:?}")
@@ -701,6 +733,7 @@ mod tests {
             &mut cache,
             &mut Meter::unlimited(),
             &mut NullObserver,
+            true,
         );
         let Prediction::Unique(alt) = p else {
             panic!("expected LL failover to produce Unique, got {p:?}")
@@ -730,6 +763,7 @@ mod tests {
             &mut cache,
             &mut Meter::unlimited(),
             &mut NullObserver,
+            true,
         );
         assert!(matches!(p, Prediction::Error(ParseError::LeftRecursive(_))));
     }

@@ -176,6 +176,7 @@ pub fn ll1_selects(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::grammar::GrammarBuilder;

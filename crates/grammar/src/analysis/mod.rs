@@ -12,15 +12,29 @@
 //! * [`Reachability`] / [`Productivity`] — which nonterminals can occur in
 //!   a derivation from the start symbol, and which can complete one; the
 //!   [`crate::lint`] linter turns their complements into diagnostics;
-//! * [`StableFrames`] — SLL stable return destinations (§3.5).
+//! * [`StableFrames`] — SLL stable return destinations (§3.5);
+//! * [`DecisionTable`] — static per-decision classification (LL(1) /
+//!   SLL-safe / needs-full-ALL(*)) with a precompiled lookahead fast
+//!   path for the parse-time engine.
 
+// Analysis code feeds the prediction hot path, so it is held to the same
+// panic-freedom discipline as the machine itself (see clippy.toml at the
+// crate root): no `unwrap`/`expect`/`panic!` outside tests; audited
+// exceptions carry a targeted `#[allow]` with a justification.
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+mod decide;
 mod first_follow;
 mod left_recursion;
 mod nullable;
 mod productivity;
 mod reachability;
+mod sll_graph;
 mod stable_frames;
 
+pub use decide::{
+    ConflictPair, DecisionClass, DecisionInfo, DecisionStats, DecisionTable, LookaheadMap,
+};
 pub use first_follow::{ll1_selects, FirstSets, FollowSets};
 pub use left_recursion::LeftRecursion;
 pub use nullable::NullableSet;
@@ -63,6 +77,8 @@ pub struct GrammarAnalysis {
     pub productivity: Productivity,
     /// SLL stable return frames.
     pub stable_frames: StableFrames,
+    /// Static decision-point classification and lookahead fast path.
+    pub decisions: DecisionTable,
 }
 
 impl GrammarAnalysis {
@@ -75,6 +91,7 @@ impl GrammarAnalysis {
         let reachability = Reachability::compute(g);
         let productivity = Productivity::compute(g);
         let stable_frames = StableFrames::compute(g, &nullable);
+        let decisions = DecisionTable::compute(g, &nullable, &first, &follow, &stable_frames);
         GrammarAnalysis {
             nullable,
             first,
@@ -83,11 +100,13 @@ impl GrammarAnalysis {
             reachability,
             productivity,
             stable_frames,
+            decisions,
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::grammar::GrammarBuilder;
@@ -106,5 +125,7 @@ mod tests {
         assert!(a.reachability.is_reachable(a_nt));
         assert!(a.productivity.is_productive(a_nt));
         assert!(!a.stable_frames.dests(a_nt).positions.is_empty());
+        // A -> a A | ε is a decision point; the bundle must classify it.
+        assert!(a.decisions.decision(a_nt).is_some());
     }
 }

@@ -78,6 +78,7 @@ impl NullableSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::grammar::GrammarBuilder;

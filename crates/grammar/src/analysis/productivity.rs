@@ -81,6 +81,7 @@ impl Productivity {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::grammar::GrammarBuilder;

@@ -82,6 +82,7 @@ impl Reachability {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::grammar::GrammarBuilder;

@@ -1,0 +1,458 @@
+//! Static SLL closure graph: a grammar-time subset construction over the
+//! abstract configurations an SLL prediction can reach.
+//!
+//! The parse-time SLL engine (paper §3.4/§3.5) simulates one subparser
+//! per alternative over the *actual* remaining input, returning through
+//! the statically computed stable frames when a simulated stack empties.
+//! This module runs the same simulation symbolically over *all possible*
+//! inputs: states are canonical sets of abstract configurations, and
+//! transitions are labeled by the terminal consumed. The resulting graph
+//! answers, entirely at grammar-compile time, the question "can SLL
+//! prediction for this decision nonterminal ever report a conflict?" —
+//! the property the `SllSafe` decision class certifies.
+//!
+//! ## Abstraction and soundness
+//!
+//! An abstract configuration carries the alternative it votes for and a
+//! continuation: either `Eof` (the subparser accepts exactly at end of
+//! input) or a stack of `(production, dot)` frames. Two deliberate
+//! over-approximations keep the graph finite where the concrete
+//! simulation's state space is not:
+//!
+//! * **Tail-call elision.** When a caller frame's dot passes the last
+//!   symbol of its right-hand side at push time, the frame is dropped
+//!   instead of kept. A configuration that later empties its stack then
+//!   returns through the stable destinations of the *pushed* nonterminal
+//!   `Y` rather than of the dropped caller's left-hand side `Z`. This is
+//!   sound because `SD[Y] ⊇ SF[p, |rhs(p)|] ⊇ SD[Z]` (the caller and
+//!   return constraints of the stable-frame fixpoint): the elided
+//!   configuration set is a superset of the concrete one. Elision is what
+//!   keeps right-recursive grammars — whose concrete simulated stacks
+//!   grow with input length — finite-state here.
+//! * **Exploration caps.** Left recursion and pathological grammars can
+//!   still blow the graph up; bounded exploration reports
+//!   [`GraphOutcome::Bounded`], which callers treat as "not provably
+//!   safe" — never as "safe".
+//!
+//! Because every concrete reachable configuration set is covered by an
+//! abstract reachable state, a graph with no conflicting state proves the
+//! parse-time engine can never take the LL failover path for this
+//! decision. The converse does not hold: a conflicting *abstract* state
+//! may be unreachable concretely, so `Conflict` only means "not provably
+//! safe".
+
+use crate::analysis::stable_frames::StableFrames;
+use crate::grammar::{Grammar, ProdId};
+use crate::symbol::{Symbol, Terminal};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Exploration caps: exceeding any of them yields [`GraphOutcome::Bounded`].
+pub(crate) const MAX_STATES: usize = 256;
+pub(crate) const MAX_STACK_DEPTH: usize = 32;
+pub(crate) const MAX_CONFIGS_PER_STATE: usize = 512;
+pub(crate) const MAX_WORK_ITEMS: usize = 100_000;
+
+/// The continuation of an abstract subparser configuration.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum StaticCont {
+    /// The subparser accepts exactly at end of input.
+    Eof,
+    /// Frames still to process, bottom first (top is the last element).
+    /// Never empty: an emptied stack is immediately rewritten through the
+    /// stable destinations of the finished nonterminal.
+    Frames(Vec<(ProdId, u32)>),
+}
+
+/// An abstract configuration: the alternative it votes for plus its
+/// continuation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct StaticConfig {
+    pub alt: ProdId,
+    pub cont: StaticCont,
+}
+
+/// What exploring the closure graph established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GraphOutcome {
+    /// Every reachable state was enumerated and none lets two
+    /// alternatives accept end of input: SLL prediction provably never
+    /// conflicts for this decision.
+    ConflictFree,
+    /// Some reachable abstract state has end-of-input configurations for
+    /// at least two alternatives — a potential SLL conflict.
+    Conflict,
+    /// An exploration cap was hit first; safety is unknown.
+    Bounded,
+}
+
+/// The result of exploring one decision point's closure graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct GraphReport {
+    /// What the exploration established.
+    pub outcome: GraphOutcome,
+    /// Number of distinct subset states enumerated.
+    pub states: usize,
+    /// The terminal word labeling the shortest path (in BFS order) to a
+    /// state where at most one alternative survives — a distinguishing
+    /// prefix under the SLL abstraction. `None` when no such state was
+    /// reached within the caps.
+    pub distinguishing_prefix: Option<Vec<Terminal>>,
+}
+
+/// Signals an exploration cap was exceeded.
+struct CapHit;
+
+/// Closure of `init`: performs every abstract push and return possible
+/// without consuming input, producing the stable configurations (top dot
+/// before a terminal, or `Eof`). `work_budget` is decremented per
+/// processed item and exhaustion aborts with `CapHit`.
+fn static_closure(
+    g: &Grammar,
+    sf: &StableFrames,
+    init: Vec<StaticConfig>,
+    work_budget: &mut usize,
+) -> Result<BTreeSet<StaticConfig>, CapHit> {
+    let mut out: BTreeSet<StaticConfig> = BTreeSet::new();
+    let mut visited: BTreeSet<StaticConfig> = BTreeSet::new();
+    let mut work: Vec<StaticConfig> = init;
+
+    while let Some(c) = work.pop() {
+        if *work_budget == 0 {
+            return Err(CapHit);
+        }
+        *work_budget -= 1;
+        if !visited.insert(c.clone()) {
+            continue;
+        }
+        let stack = match &c.cont {
+            StaticCont::Eof => {
+                out.insert(c);
+                continue;
+            }
+            StaticCont::Frames(stack) => stack,
+        };
+        let Some(&(p, j)) = stack.last() else {
+            // Constructed continuations are never empty; skip defensively.
+            continue;
+        };
+        let rhs = g.production(p).rhs();
+        if (j as usize) < rhs.len() {
+            match rhs[j as usize] {
+                Symbol::T(_) => {
+                    // Stable: consuming input is the only way forward.
+                    out.insert(c);
+                }
+                Symbol::Nt(y) => {
+                    // Abstract push with tail-call elision: advance the
+                    // caller's dot past `y`, dropping the frame when that
+                    // exhausts it (see the module docs for why this is a
+                    // sound over-approximation).
+                    let mut base: Vec<(ProdId, u32)> = stack[..stack.len() - 1].to_vec();
+                    if (j as usize) + 1 < rhs.len() {
+                        base.push((p, j + 1));
+                    }
+                    for &q in g.alternatives(y) {
+                        let mut pushed = base.clone();
+                        pushed.push((q, 0));
+                        if pushed.len() > MAX_STACK_DEPTH {
+                            return Err(CapHit);
+                        }
+                        work.push(StaticConfig {
+                            alt: c.alt,
+                            cont: StaticCont::Frames(pushed),
+                        });
+                    }
+                }
+            }
+        } else {
+            // Exhausted top frame: abstract return.
+            let mut tail = stack.clone();
+            tail.pop();
+            if tail.is_empty() {
+                // Return out of the decision context: resume at the
+                // statically computed stable destinations of the finished
+                // nonterminal (paper §3.5), exactly as the parse-time
+                // engine does.
+                let dests = sf.dests(g.production(p).lhs());
+                for pos in &dests.positions {
+                    work.push(StaticConfig {
+                        alt: c.alt,
+                        cont: StaticCont::Frames(vec![(pos.production, pos.dot)]),
+                    });
+                }
+                if dests.can_end {
+                    work.push(StaticConfig {
+                        alt: c.alt,
+                        cont: StaticCont::Eof,
+                    });
+                }
+            } else {
+                // The frame below was advanced past the finished
+                // nonterminal at push time; just resume there.
+                work.push(StaticConfig {
+                    alt: c.alt,
+                    cont: StaticCont::Frames(tail),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The distinct alternatives voted for by `state`, ascending.
+fn distinct_alts(state: &BTreeSet<StaticConfig>) -> Vec<ProdId> {
+    let mut alts: Vec<ProdId> = state.iter().map(|c| c.alt).collect();
+    alts.sort_unstable();
+    alts.dedup();
+    alts
+}
+
+/// Do two or more alternatives accept end of input in `state`? This is
+/// precisely the condition under which the parse-time engine's
+/// end-of-input resolution reports a conflict and fails over to LL.
+fn has_eof_conflict(state: &BTreeSet<StaticConfig>) -> bool {
+    let mut eof_alts: Vec<ProdId> = state
+        .iter()
+        .filter(|c| c.cont == StaticCont::Eof)
+        .map(|c| c.alt)
+        .collect();
+    eof_alts.sort_unstable();
+    eof_alts.dedup();
+    eof_alts.len() >= 2
+}
+
+/// Explores the closure graph for deciding among `alts` (alternatives of
+/// the decision nonterminal). BFS over subset states: the first state
+/// reached with at most one surviving alternative labels the
+/// distinguishing prefix; any state with an end-of-input conflict settles
+/// the outcome as [`GraphOutcome::Conflict`].
+pub(crate) fn explore(g: &Grammar, sf: &StableFrames, alts: &[ProdId]) -> GraphReport {
+    let mut work_budget = MAX_WORK_ITEMS;
+    let init: Vec<StaticConfig> = alts
+        .iter()
+        .map(|&p| StaticConfig {
+            alt: p,
+            cont: StaticCont::Frames(vec![(p, 0)]),
+        })
+        .collect();
+
+    let bounded = |states: usize, prefix: Option<Vec<Terminal>>| GraphReport {
+        outcome: GraphOutcome::Bounded,
+        states,
+        distinguishing_prefix: prefix,
+    };
+
+    let start = match static_closure(g, sf, init, &mut work_budget) {
+        Ok(s) => s,
+        Err(CapHit) => return bounded(0, None),
+    };
+
+    // Subset states, interned by their canonical config set. Each state
+    // remembers the terminal word of its (BFS-shortest) discovery path.
+    let mut ids: BTreeMap<Vec<StaticConfig>, usize> = BTreeMap::new();
+    let mut prefixes: Vec<Vec<Terminal>> = Vec::new();
+    let mut queue: VecDeque<(usize, BTreeSet<StaticConfig>)> = VecDeque::new();
+
+    let key: Vec<StaticConfig> = start.iter().cloned().collect();
+    ids.insert(key, 0);
+    prefixes.push(Vec::new());
+    queue.push_back((0, start));
+
+    let mut conflict = false;
+    let mut distinguishing: Option<Vec<Terminal>> = None;
+
+    while let Some((sid, state)) = queue.pop_front() {
+        if state.len() > MAX_CONFIGS_PER_STATE {
+            return bounded(ids.len(), distinguishing);
+        }
+        if has_eof_conflict(&state) {
+            conflict = true;
+        }
+        let survivors = distinct_alts(&state);
+        if survivors.len() <= 1 {
+            // The parse-time engine commits (or rejects) here without
+            // reading further input: record the prefix, prune successors.
+            if distinguishing.is_none() {
+                distinguishing = Some(prefixes[sid].clone());
+            }
+            continue;
+        }
+        // Group the stable stack configurations by their next terminal,
+        // in terminal-index order for determinism.
+        let mut by_terminal: BTreeMap<Terminal, Vec<StaticConfig>> = BTreeMap::new();
+        for c in &state {
+            let StaticCont::Frames(stack) = &c.cont else {
+                continue; // Eof configurations die on any terminal.
+            };
+            let Some(&(p, j)) = stack.last() else {
+                continue;
+            };
+            let Some(Symbol::T(t)) = g.production(p).rhs().get(j as usize).copied() else {
+                continue; // closure output is stable; anything else is dead.
+            };
+            let mut advanced = stack.clone();
+            if let Some(top) = advanced.last_mut() {
+                top.1 += 1;
+            }
+            by_terminal.entry(t).or_default().push(StaticConfig {
+                alt: c.alt,
+                cont: StaticCont::Frames(advanced),
+            });
+        }
+        for (t, moved) in by_terminal {
+            let next = match static_closure(g, sf, moved, &mut work_budget) {
+                Ok(s) => s,
+                Err(CapHit) => return bounded(ids.len(), distinguishing),
+            };
+            let next_key: Vec<StaticConfig> = next.iter().cloned().collect();
+            if ids.contains_key(&next_key) {
+                continue;
+            }
+            if ids.len() >= MAX_STATES {
+                return bounded(ids.len(), distinguishing);
+            }
+            let next_id = prefixes.len();
+            let mut prefix = prefixes[sid].clone();
+            prefix.push(t);
+            ids.insert(next_key, next_id);
+            prefixes.push(prefix);
+            queue.push_back((next_id, next));
+        }
+    }
+
+    GraphReport {
+        outcome: if conflict {
+            GraphOutcome::Conflict
+        } else {
+            GraphOutcome::ConflictFree
+        },
+        states: ids.len(),
+        distinguishing_prefix: distinguishing,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use crate::analysis::nullable::NullableSet;
+    use crate::grammar::GrammarBuilder;
+
+    fn setup(build: impl FnOnce(&mut GrammarBuilder)) -> (Grammar, StableFrames) {
+        let mut gb = GrammarBuilder::new();
+        build(&mut gb);
+        let g = gb.build().unwrap();
+        let n = NullableSet::compute(&g);
+        let sf = StableFrames::compute(&g, &n);
+        (g, sf)
+    }
+
+    fn report(g: &Grammar, sf: &StableFrames, name: &str) -> GraphReport {
+        let x = g.symbols().lookup_nonterminal(name).unwrap();
+        explore(g, sf, g.alternatives(x))
+    }
+
+    #[test]
+    fn fig2_decision_is_conflict_free() {
+        // Paper Fig. 2: S -> A c | A d is not LL(1), but SLL prediction
+        // always resolves it (the c/d suffix separates the alternatives),
+        // so the graph must be conflict-free despite the right recursion
+        // in A (tail-call elision keeps it finite).
+        let (g, sf) = setup(|gb| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["A", "d"]);
+            gb.rule("A", &["a", "A"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        });
+        let r = report(&g, &sf, "S");
+        assert_eq!(r.outcome, GraphOutcome::ConflictFree, "{r:?}");
+        assert!(r.states >= 2);
+        // A shortest distinguishing prefix exists: e.g. "b c" resolves to
+        // the first alternative after two tokens.
+        let prefix = r.distinguishing_prefix.expect("fig2 S is resolvable");
+        assert!(!prefix.is_empty());
+    }
+
+    #[test]
+    fn genuinely_ambiguous_decision_conflicts() {
+        // Paper Fig. 6: S -> X | Y; X -> a; Y -> a. Both alternatives
+        // accept EOF after "a": the conflict state is reachable.
+        let (g, sf) = setup(|gb| {
+            gb.rule("S", &["X"]);
+            gb.rule("S", &["Y"]);
+            gb.rule("X", &["a"]);
+            gb.rule("Y", &["a"]);
+            gb.start("S");
+        });
+        let r = report(&g, &sf, "S");
+        assert_eq!(r.outcome, GraphOutcome::Conflict, "{r:?}");
+    }
+
+    #[test]
+    fn sll_context_merge_conflict_detected() {
+        // The SLL-conflict grammar from the core prediction tests: merged
+        // contexts let both X alternatives survive to EOF on "a a b".
+        let (g, sf) = setup(|gb| {
+            gb.rule("S", &["p", "C1"]);
+            gb.rule("S", &["q", "C2"]);
+            gb.rule("C1", &["X", "b"]);
+            gb.rule("C2", &["X", "a", "b"]);
+            gb.rule("X", &["a", "a"]);
+            gb.rule("X", &["a"]);
+            gb.start("S");
+        });
+        let r = report(&g, &sf, "X");
+        assert_eq!(r.outcome, GraphOutcome::Conflict, "{r:?}");
+        // The top-level S decision (p vs q) stays conflict-free.
+        let r = report(&g, &sf, "S");
+        assert_eq!(r.outcome, GraphOutcome::ConflictFree, "{r:?}");
+    }
+
+    #[test]
+    fn left_recursion_is_bounded_not_safe() {
+        let (g, sf) = setup(|gb| {
+            gb.rule("E", &["E", "x"]);
+            gb.rule("E", &["y"]);
+            gb.start("E");
+        });
+        let r = report(&g, &sf, "E");
+        assert_eq!(r.outcome, GraphOutcome::Bounded, "{r:?}");
+    }
+
+    #[test]
+    fn pair_exploration_yields_distinguishing_prefix() {
+        // Exploring just the fig2 S pair gives the shortest prefix after
+        // which one alternative remains: one of "b c" / "b d" families —
+        // the first resolved state in BFS order.
+        let (g, sf) = setup(|gb| {
+            gb.rule("S", &["A", "c"]);
+            gb.rule("S", &["A", "d"]);
+            gb.rule("A", &["a", "A"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        });
+        let s = g.symbols().lookup_nonterminal("S").unwrap();
+        let alts = g.alternatives(s);
+        let r = explore(&g, &sf, alts);
+        let prefix = r.distinguishing_prefix.unwrap();
+        // The prefix must end in the separating c or d.
+        let last = *prefix.last().unwrap();
+        let name = g.symbols().terminal_name(last);
+        assert!(name == "c" || name == "d", "{name}");
+    }
+
+    #[test]
+    fn right_recursion_stays_finite() {
+        // rlist: S -> a S | e. Concrete simulated stacks grow with input
+        // length; elision must keep the abstract graph small.
+        let (g, sf) = setup(|gb| {
+            gb.rule("S", &["a", "S"]);
+            gb.rule("S", &["e"]);
+            gb.start("S");
+        });
+        let r = report(&g, &sf, "S");
+        assert_eq!(r.outcome, GraphOutcome::ConflictFree, "{r:?}");
+        assert!(r.states <= 8, "expected a small graph, got {}", r.states);
+    }
+}

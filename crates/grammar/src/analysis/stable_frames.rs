@@ -181,6 +181,7 @@ impl StableFrames {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::grammar::GrammarBuilder;

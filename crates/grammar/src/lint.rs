@@ -20,8 +20,18 @@
 //! | `L004` | warning | unreachable nonterminal — dead grammar weight |
 //! | `L005` | warning | duplicate production — every use is ambiguous |
 //! | `L006` | note | LL(1) conflict — ALL(*) resolves it, but lookahead work is done here |
+//! | `L007` | error | statically ambiguous decision pair — two alternatives derive a common word (witnessed) |
+//! | `L008` | note | SLL-safe nonterminal — SLL prediction provably never conflicts, LL failover is dead weight |
+//!
+//! `L006` and `L007` are driven by the static
+//! [`DecisionTable`](crate::analysis::DecisionTable) and together are the
+//! exact complement of its `Ll1` class: a multi-alternative nonterminal
+//! is classified `Ll1` if and only if the linter reports neither code for
+//! it (each conflicting pair yields `L007` when a common derivable word
+//! proves it ambiguous, `L006` otherwise). A unit test enforces the
+//! partition.
 
-use crate::analysis::{ll1_selects, GrammarAnalysis};
+use crate::analysis::{DecisionClass, GrammarAnalysis};
 use crate::grammar::{Grammar, ProdId};
 use crate::symbol::{NonTerminal, Terminal};
 use std::collections::HashMap;
@@ -67,6 +77,11 @@ pub enum DiagCode {
     DuplicateProduction,
     /// `L006`: LL(1) conflict between two alternatives.
     Ll1Conflict,
+    /// `L007`: statically ambiguous decision pair (a common derivable
+    /// word witnesses two distinct parse trees).
+    StaticAmbiguous,
+    /// `L008`: SLL-safe nonterminal (LL failover provably unreachable).
+    SllSafe,
 }
 
 impl DiagCode {
@@ -79,17 +94,21 @@ impl DiagCode {
             DiagCode::Unreachable => "L004",
             DiagCode::DuplicateProduction => "L005",
             DiagCode::Ll1Conflict => "L006",
+            DiagCode::StaticAmbiguous => "L007",
+            DiagCode::SllSafe => "L008",
         }
     }
 
     /// The severity this code always carries.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::LeftRecursive | DiagCode::EmptyLanguage => Severity::Error,
+            DiagCode::LeftRecursive | DiagCode::EmptyLanguage | DiagCode::StaticAmbiguous => {
+                Severity::Error
+            }
             DiagCode::Unproductive | DiagCode::Unreachable | DiagCode::DuplicateProduction => {
                 Severity::Warning
             }
-            DiagCode::Ll1Conflict => Severity::Note,
+            DiagCode::Ll1Conflict | DiagCode::SllSafe => Severity::Note,
         }
     }
 }
@@ -124,6 +143,16 @@ pub enum Witness {
         a: ProdId,
         /// Second copy.
         b: ProdId,
+    },
+    /// Two productions of the same nonterminal deriving the same terminal
+    /// word — exact proof the decision pair is ambiguous.
+    AmbiguousWord {
+        /// First alternative.
+        a: ProdId,
+        /// Second alternative.
+        b: ProdId,
+        /// The common word (possibly empty: both alternatives derive ε).
+        word: Vec<Terminal>,
     },
 }
 
@@ -167,6 +196,24 @@ impl Diagnostic {
             Witness::Duplicate { a, b: _ } => {
                 format!("`{}` appears twice", g.render_production(*a))
             }
+            Witness::AmbiguousWord { a, b, word } => {
+                let rendered = if word.is_empty() {
+                    "the empty word".to_owned()
+                } else {
+                    format!(
+                        "`{}`",
+                        word.iter()
+                            .map(|&t| tab.terminal_name(t))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    )
+                };
+                format!(
+                    "`{}` / `{}` both derive {rendered}",
+                    g.render_production(*a),
+                    g.render_production(*b)
+                )
+            }
         })
     }
 
@@ -204,7 +251,7 @@ impl Diagnostic {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -316,37 +363,70 @@ pub fn lint_grammar(g: &Grammar, analysis: &GrammarAnalysis) -> Vec<Diagnostic> 
         }
     }
 
-    // L006: LL(1) conflicts. One diagnostic per nonterminal (the first
-    // conflicting pair), since a single shared prefix typically produces a
-    // quadratic blow-up of pairs that all say the same thing.
-    'nts: for x in tab.nonterminals() {
-        let alts = g.alternatives(x);
-        for (i, &p) in alts.iter().enumerate() {
-            for &q in &alts[i + 1..] {
-                if let Some(lookahead) = ll1_conflict(g, analysis, p, q) {
-                    // Duplicates are already reported as L005; skip the
-                    // redundant conflict note for identical productions.
-                    if g.production(p).rhs() == g.production(q).rhs() {
-                        continue;
-                    }
-                    out.push(Diagnostic {
-                        code: DiagCode::Ll1Conflict,
-                        severity: DiagCode::Ll1Conflict.severity(),
-                        nonterminal: x,
-                        message: format!(
-                            "alternatives of `{}` are not LL(1)-separable; ALL(*) \
-                             prediction resolves this with multi-token lookahead",
-                            tab.nonterminal_name(x)
-                        ),
-                        witness: Some(Witness::Ll1Pair {
-                            a: p,
-                            b: q,
-                            lookahead,
-                        }),
-                    });
-                    continue 'nts;
-                }
-            }
+    // L006/L007/L008: decision-point findings, driven by the static
+    // decision table so the linter and the parser's fast path share one
+    // definition of LL(1)-ness. One diagnostic per code per nonterminal
+    // (the first qualifying pair), since a single shared prefix typically
+    // produces a quadratic blow-up of pairs that all say the same thing.
+    //
+    // Together L006 and L007 are the exact complement of the `Ll1`
+    // decision class: every conflicting pair yields exactly one of them
+    // (L007 when a common derivable word proves it ambiguous, L006
+    // otherwise), so a multi-alternative nonterminal draws neither code
+    // iff it is classified `Ll1` — the partition a unit test enforces.
+    for d in analysis.decisions.iter() {
+        let x = d.nonterminal;
+        if let Some((c, word)) = d
+            .conflicts
+            .iter()
+            .find_map(|c| c.ambiguous_word.as_ref().map(|w| (c, w)))
+        {
+            out.push(Diagnostic {
+                code: DiagCode::StaticAmbiguous,
+                severity: DiagCode::StaticAmbiguous.severity(),
+                nonterminal: x,
+                message: format!(
+                    "two alternatives of `{}` derive the same word; every parse \
+                     that reaches this decision on such input is ambiguous",
+                    tab.nonterminal_name(x)
+                ),
+                witness: Some(Witness::AmbiguousWord {
+                    a: c.a,
+                    b: c.b,
+                    word: word.clone(),
+                }),
+            });
+        }
+        if let Some(c) = d.conflicts.iter().find(|c| c.ambiguous_word.is_none()) {
+            out.push(Diagnostic {
+                code: DiagCode::Ll1Conflict,
+                severity: DiagCode::Ll1Conflict.severity(),
+                nonterminal: x,
+                message: format!(
+                    "alternatives of `{}` are not LL(1)-separable; ALL(*) \
+                     prediction resolves this with multi-token lookahead",
+                    tab.nonterminal_name(x)
+                ),
+                witness: Some(Witness::Ll1Pair {
+                    a: c.a,
+                    b: c.b,
+                    lookahead: c.lookahead,
+                }),
+            });
+        }
+        if d.class == DecisionClass::SllSafe {
+            out.push(Diagnostic {
+                code: DiagCode::SllSafe,
+                severity: DiagCode::SllSafe.severity(),
+                nonterminal: x,
+                message: format!(
+                    "`{}` is SLL-safe: SLL prediction provably never conflicts \
+                     here, so the LL failover path is unreachable for this \
+                     decision",
+                    tab.nonterminal_name(x)
+                ),
+                witness: None,
+            });
         }
     }
 
@@ -358,33 +438,6 @@ pub fn lint_grammar(g: &Grammar, analysis: &GrammarAnalysis) -> Vec<Diagnostic> 
         ))
     });
     out
-}
-
-/// Do productions `p` and `q` (alternatives of the same nonterminal)
-/// overlap in LL(1) select sets? Returns a witness terminal, or
-/// `Some(None)` when both alternatives are nullable (they conflict on
-/// end-of-input even if no terminal separates them).
-fn ll1_conflict(
-    g: &Grammar,
-    analysis: &GrammarAnalysis,
-    p: ProdId,
-    q: ProdId,
-) -> Option<Option<Terminal>> {
-    let lhs = g.production(p).lhs();
-    let follow = analysis.follow.follow(lhs);
-    let rhs_p = g.production(p).rhs();
-    let rhs_q = g.production(q).rhs();
-    for t in g.symbols().terminals() {
-        let sel_p = ll1_selects(rhs_p, t, &analysis.nullable, &analysis.first, follow);
-        let sel_q = ll1_selects(rhs_q, t, &analysis.nullable, &analysis.first, follow);
-        if sel_p && sel_q {
-            return Some(Some(t));
-        }
-    }
-    if analysis.nullable.form_nullable(rhs_p) && analysis.nullable.form_nullable(rhs_q) {
-        return Some(None);
-    }
-    None
 }
 
 /// The worst severity among `diags`, or `None` when the list is empty —
@@ -517,19 +570,25 @@ mod tests {
             gb.rule("A", &["b"]);
             gb.start("S");
         });
-        assert_eq!(codes(&diags), vec!["L006"]);
+        // S also proves SLL-safe (the c/d suffix always separates the
+        // alternatives), so an L008 note rides along after the L006.
+        assert_eq!(codes(&diags), vec!["L006", "L008"]);
         let d = &diags[0];
         assert_eq!(d.severity, Severity::Note);
         let w = d.render_witness(&g).unwrap();
         assert!(w.contains("lookahead"), "{w}");
         assert!(w.contains("S -> A c") || w.contains("A c"), "{w}");
+        let sll = &diags[1];
+        assert_eq!(sll.severity, Severity::Note);
+        assert!(sll.message.contains("SLL-safe"), "{}", sll.message);
     }
 
     #[test]
-    fn nullable_nullable_conflict_has_no_terminal_witness() {
-        // A sits at the end of S's only production, so FOLLOW(A) is empty
-        // and no single terminal distinguishes the alternatives — they
-        // conflict on end-of-input alone.
+    fn nullable_nullable_ambiguity_witnessed_by_empty_word() {
+        // A -> ε and A -> B with B -> ε both derive the empty word: not
+        // just an LL(1) conflict but a proven ambiguity, so the decision
+        // analysis upgrades the finding to L007 with the empty word as
+        // witness (and no L006 rides along for the same pair).
         let (g, diags) = lint(|gb| {
             gb.rule("S", &["A"]);
             gb.rule("A", &[]);
@@ -539,14 +598,111 @@ mod tests {
         });
         let d = diags
             .iter()
-            .find(|d| d.code == DiagCode::Ll1Conflict)
+            .find(|d| d.code == DiagCode::StaticAmbiguous)
             .unwrap();
-        let Some(Witness::Ll1Pair { lookahead, .. }) = &d.witness else {
-            panic!("expected an LL(1) pair witness");
+        assert_eq!(d.severity, Severity::Error);
+        let Some(Witness::AmbiguousWord { word, .. }) = &d.witness else {
+            panic!("expected an ambiguous-word witness");
         };
-        // A -> ε and A -> B (nullable) conflict on end-of-input.
-        assert!(lookahead.is_none());
-        assert!(d.render_witness(&g).unwrap().contains("nullable"));
+        assert!(word.is_empty());
+        assert!(d.render_witness(&g).unwrap().contains("empty word"));
+        assert!(!codes(&diags).contains(&"L006"), "{diags:?}");
+    }
+
+    #[test]
+    fn ambiguous_pair_reported_with_word_witness() {
+        // Paper Fig. 6 shape: S -> X | Y with X, Y -> a. The common word
+        // "a" is exact proof of ambiguity: L007 at error severity.
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["X"]);
+            gb.rule("S", &["Y"]);
+            gb.rule("X", &["a"]);
+            gb.rule("Y", &["a"]);
+            gb.start("S");
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::StaticAmbiguous)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        let w = d.render_witness(&g).unwrap();
+        assert!(w.contains("both derive `a`"), "{w}");
+        // Errors sort before everything else.
+        assert_eq!(diags[0].code, DiagCode::StaticAmbiguous);
+    }
+
+    #[test]
+    fn ll1_class_partitions_decision_points_with_l006_l007() {
+        // The contract behind the parser's static fast path: a
+        // multi-alternative nonterminal is classified `Ll1` exactly when
+        // the linter reports neither L006 nor L007 for it.
+        let builders: Vec<fn(&mut GrammarBuilder)> = vec![
+            |gb| {
+                // Fig. 2: A is LL(1), S conflicts (SLL-safe).
+                gb.rule("S", &["A", "c"]);
+                gb.rule("S", &["A", "d"]);
+                gb.rule("A", &["a", "A"]);
+                gb.rule("A", &["b"]);
+                gb.start("S");
+            },
+            |gb| {
+                // Fig. 6: genuinely ambiguous S.
+                gb.rule("S", &["X"]);
+                gb.rule("S", &["Y"]);
+                gb.rule("X", &["a"]);
+                gb.rule("Y", &["a"]);
+                gb.start("S");
+            },
+            |gb| {
+                // Duplicate (ambiguous) and nullable-nullable decisions.
+                gb.rule("S", &["A"]);
+                gb.rule("S", &["A"]);
+                gb.rule("A", &[]);
+                gb.rule("A", &["B"]);
+                gb.rule("B", &["b"]);
+                gb.start("S");
+            },
+            |gb| {
+                // Left recursion: conflicting but not provably ambiguous.
+                gb.rule("E", &["E", "plus", "int"]);
+                gb.rule("E", &["int"]);
+                gb.start("E");
+            },
+            |gb| {
+                // Clean LL(1) decisions everywhere.
+                gb.rule("S", &["A", "c"]);
+                gb.rule("S", &["b", "d"]);
+                gb.rule("A", &["a"]);
+                gb.rule("A", &[]);
+                gb.start("S");
+            },
+        ];
+        for build in builders {
+            let mut gb = GrammarBuilder::new();
+            build(&mut gb);
+            let g = gb.build().unwrap();
+            let analysis = GrammarAnalysis::compute(&g);
+            let diags = lint_grammar(&g, &analysis);
+            for x in g.symbols().nonterminals() {
+                if g.alternatives(x).len() < 2 {
+                    continue;
+                }
+                let is_ll1 = analysis
+                    .decisions
+                    .decision(x)
+                    .is_some_and(|d| d.class == DecisionClass::Ll1);
+                let flagged = diags.iter().any(|d| {
+                    d.nonterminal == x
+                        && matches!(d.code, DiagCode::Ll1Conflict | DiagCode::StaticAmbiguous)
+                });
+                assert_eq!(
+                    is_ll1,
+                    !flagged,
+                    "partition violated for `{}`",
+                    g.symbols().nonterminal_name(x)
+                );
+            }
+        }
     }
 
     #[test]

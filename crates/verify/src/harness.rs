@@ -16,6 +16,7 @@
 //! | [`h_measure_ord`] (`H-MEASURE-ORD`) | §4.2–4.3 order algebra: `<₃` is a strict total order and pushes lose the exponent race |
 //! | [`h_cache_bound`] (`H-CACHE-BOUND`) | §3.4 eviction safety: capping `Δ` never changes outcomes, and caps hold |
 //! | [`h_stable_complete`] (`H-STABLE-COMPLETE`) | §3.5: `StableFrames` equals a brute-force closure enumeration |
+//! | [`h_decide_sound`] (`H-DECIDE-SOUND`) | static decision table soundness: the precompiled LL(1) fast path agrees exactly with full prediction and the derivation-counting oracle |
 
 use crate::grammars::{self, Template};
 use crate::nondet::{any_bignat, Nondet};
@@ -520,6 +521,87 @@ pub fn h_stable_complete<N: Nondet>(nd: &mut N) -> Result<(), HarnessViolation> 
     Ok(())
 }
 
+/// `H-DECIDE-SOUND` — soundness of the static decision table's fast
+/// path: for any non-left-recursive grammar (template or random) and any
+/// input word,
+///
+/// * the parse with the precompiled LL(1) fast path enabled
+///   (`PredictionMode::Adaptive`) and disabled
+///   (`PredictionMode::AdaptiveNoStatic`) agree on the outcome variant
+///   and, on accept, return byte-identical trees (reject *diagnostics*
+///   may differ — the fast path notices a dead end at the decision
+///   point, full prediction sometimes later);
+/// * both agree with the [`count_trees`](costar_baselines::count_trees)
+///   derivation-counting oracle on language membership.
+///
+/// Left-recursive random grammars are skipped: the paper's correctness
+/// theorems (and hence the fast path's contract) presuppose the
+/// non-left-recursion precondition, under which `Error` outcomes are
+/// unreachable.
+pub fn h_decide_sound<N: Nondet>(nd: &mut N, max_word: usize) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-DECIDE-SOUND";
+    let owned;
+    let owned_analysis;
+    let (g, analysis, word): (&Grammar, &GrammarAnalysis, Vec<Token>);
+    if nd.any_bool() {
+        let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+        g = &t.grammar;
+        analysis = &t.analysis;
+        word = grammars::draw_word(nd, t, max_word);
+    } else {
+        owned = grammars::draw_random_grammar(nd);
+        owned_analysis = GrammarAnalysis::compute(&owned);
+        g = &owned;
+        analysis = &owned_analysis;
+        let alphabet: Vec<_> = g.symbols().terminals().collect();
+        // A random grammar may use no terminal at all; the only word over
+        // an empty alphabet is the empty word.
+        let len = if alphabet.is_empty() {
+            0
+        } else {
+            nd.choose(max_word + 1)
+        };
+        word = (0..len)
+            .map(|_| {
+                let a = alphabet[nd.choose(alphabet.len())];
+                Token::new(a, g.symbols().terminal_name(a))
+            })
+            .collect();
+    }
+    if !analysis.left_recursion.is_grammar_safe() {
+        return Ok(()); // outside the theorem's precondition
+    }
+
+    let run = |mode: PredictionMode| -> ParseOutcome {
+        let mut cache = SllCache::new();
+        Machine::with_mode(g, analysis, &word, mode).run(&mut cache)
+    };
+    let fast = run(PredictionMode::Adaptive);
+    let full = run(PredictionMode::AdaptiveNoStatic);
+
+    let agree = match (&fast, &full) {
+        (ParseOutcome::Reject(_), ParseOutcome::Reject(_)) => true,
+        _ => fast == full,
+    };
+    if !agree {
+        return Err(fail(
+            ID,
+            format!("fast path diverged from full prediction: {fast:?} vs {full:?}"),
+        ));
+    }
+
+    let oracle = costar_baselines::count_trees(g, &word);
+    let expect_member = oracle.is_member();
+    let got_member = matches!(fast, ParseOutcome::Unique(_) | ParseOutcome::Ambig(_));
+    if expect_member != got_member {
+        return Err(fail(
+            ID,
+            format!("membership disagrees with the oracle: parser {fast:?}, oracle {oracle:?}"),
+        ));
+    }
+    Ok(())
+}
+
 /// Brute-force §3.5 closure: starting from every grammar position just
 /// after an occurrence of `x`, follow return steps (at end of a
 /// right-hand side, to every caller of its left-hand side), push steps
@@ -612,6 +694,8 @@ mod tests {
             h_cache_bound(&mut nd, 5).unwrap();
             let mut nd = RngNondet::new(seed);
             h_stable_complete(&mut nd).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_decide_sound(&mut nd, 5).unwrap();
         }
     }
 

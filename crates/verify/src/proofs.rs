@@ -76,3 +76,12 @@ fn proof_stable_complete() {
         panic!("{v}");
     }
 }
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_decide_sound() {
+    let mut nd = KaniNondet;
+    if let Err(v) = harness::h_decide_sound(&mut nd, MAX_WORD) {
+        panic!("{v}");
+    }
+}
