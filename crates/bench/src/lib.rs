@@ -586,6 +586,11 @@ pub struct ParseBenchRow {
     pub observed_tokens_per_sec: f64,
     /// Observed time / null time — the price of metrics collection.
     pub observer_overhead: f64,
+    /// Recovering-parse time / null time on the same (valid) corpus — the
+    /// price of routing clean input through `Parser::parse_recovering`.
+    /// On valid words the recovery driver takes the identical machine
+    /// path, so this prices only the driver's bookkeeping.
+    pub recovery_overhead: f64,
     /// Multi-alternative prediction decisions over the corpus.
     pub decisions: u64,
     /// Single-alternative short-circuits.
@@ -633,6 +638,11 @@ pub struct ParseBench {
     /// is a few milliseconds), while the aggregate is dominated by the
     /// slowest corpus and stays stable run to run.
     pub overall_overhead: f64,
+    /// Time-weighted recovering-parse overhead across all corpora (total
+    /// recovering seconds over total null seconds), gated like
+    /// `overall_overhead`: clean input must not pay for the recovery
+    /// machinery it never uses.
+    pub overall_recovery_overhead: f64,
 }
 
 /// Runs every language corpus through the default parse path and the
@@ -640,6 +650,7 @@ pub struct ParseBench {
 pub fn parse_bench(cfg: &Config) -> ParseBench {
     let mut total_null = 0.0;
     let mut total_observed = 0.0;
+    let mut total_recovering = 0.0;
     let rows = prepare_corpora(cfg)
         .into_iter()
         .map(|c| {
@@ -671,6 +682,7 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
             let reps = cfg.trials.max(5);
             let mut null_secs = f64::INFINITY;
             let mut observed_secs = f64::INFINITY;
+            let mut recovering_secs = f64::INFINITY;
             for _ in 0..reps {
                 let start = Instant::now();
                 for w in &c.words {
@@ -682,9 +694,15 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                     black_box(parser.parse_with_metrics(w));
                 }
                 observed_secs = observed_secs.min(start.elapsed().as_secs_f64());
+                let start = Instant::now();
+                for w in &c.words {
+                    black_box(parser.parse_recovering(w));
+                }
+                recovering_secs = recovering_secs.min(start.elapsed().as_secs_f64());
             }
             total_null += null_secs;
             total_observed += observed_secs;
+            total_recovering += recovering_secs;
 
             // One more observed pass to aggregate the counters (timing
             // excluded so the throughput numbers above stay clean).
@@ -694,6 +712,7 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                 null_tokens_per_sec: tokens as f64 / null_secs.max(1e-12),
                 observed_tokens_per_sec: tokens as f64 / observed_secs.max(1e-12),
                 observer_overhead: observed_secs / null_secs.max(1e-12),
+                recovery_overhead: recovering_secs / null_secs.max(1e-12),
                 decisions: 0,
                 single_alternative: 0,
                 sll_resolved: 0,
@@ -741,6 +760,7 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
     ParseBench {
         rows,
         overall_overhead: total_observed / total_null.max(1e-12),
+        overall_recovery_overhead: total_recovering / total_null.max(1e-12),
     }
 }
 
@@ -758,7 +778,7 @@ impl ParseBench {
                 s,
                 "{{\"name\":{:?},\"tokens\":{},\"null_tokens_per_sec\":{:.1},\
                  \"observed_tokens_per_sec\":{:.1},\"observer_overhead\":{:.4},\
-                 \"decisions\":{},\"single_alternative\":{},\"sll_resolved\":{},\
+                 \"recovery_overhead\":{:.4},\"decisions\":{},\"single_alternative\":{},\"sll_resolved\":{},\
                  \"failovers\":{},\"sll_fraction\":{:.4},\
                  \"static_fast_path_hits\":{},\"static_fast_path_fraction\":{:.4},\
                  \"decision_table_micros\":{:.1},\"cache_lookups\":{},\
@@ -769,6 +789,7 @@ impl ParseBench {
                 r.null_tokens_per_sec,
                 r.observed_tokens_per_sec,
                 r.observer_overhead,
+                r.recovery_overhead,
                 r.decisions,
                 r.single_alternative,
                 r.sll_resolved,
@@ -786,7 +807,11 @@ impl ParseBench {
                 r.reconciles
             );
         }
-        let _ = write!(s, "],\"overall_overhead\":{:.4}}}", self.overall_overhead);
+        let _ = write!(
+            s,
+            "],\"overall_overhead\":{:.4},\"overall_recovery_overhead\":{:.4}}}",
+            self.overall_overhead, self.overall_recovery_overhead
+        );
         s
     }
 
@@ -811,6 +836,21 @@ impl ParseBench {
                 "overall observer overhead {:.3}x exceeds baseline {:.3}x by more than {:.0}%",
                 self.overall_overhead,
                 base,
+                tolerance * 100.0
+            ));
+        }
+        // Same envelope for the recovering-parse path on clean input: the
+        // recovery machinery must stay free when unused. Baselines written
+        // before the field existed gate against parity (1.0).
+        let recovery_base =
+            extract_number(baseline_json, "overall_recovery_overhead").unwrap_or(1.0);
+        if self.overall_recovery_overhead > recovery_base * (1.0 + tolerance)
+            && self.overall_recovery_overhead > 1.0 + tolerance
+        {
+            failures.push(format!(
+                "overall recovery overhead {:.3}x exceeds baseline {:.3}x by more than {:.0}%",
+                self.overall_recovery_overhead,
+                recovery_base,
                 tolerance * 100.0
             ));
         }
@@ -886,11 +926,12 @@ impl fmt::Display for ParseBench {
         writeln!(f, "Parse observability report")?;
         writeln!(
             f,
-            "{:<10} {:>10} {:>12} {:>9} {:>10} {:>8} {:>9} {:>10} {:>9}",
+            "{:<10} {:>10} {:>12} {:>9} {:>9} {:>10} {:>8} {:>9} {:>10} {:>9}",
             "Benchmark",
             "tokens",
             "tok/s(null)",
             "obs cost",
+            "rec cost",
             "decisions",
             "SLL %",
             "static %",
@@ -900,11 +941,12 @@ impl fmt::Display for ParseBench {
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<10} {:>10} {:>12.0} {:>8.2}x {:>10} {:>7.1}% {:>8.1}% {:>10} {:>8.1}%",
+                "{:<10} {:>10} {:>12.0} {:>8.2}x {:>8.2}x {:>10} {:>7.1}% {:>8.1}% {:>10} {:>8.1}%",
                 r.name,
                 r.tokens,
                 r.null_tokens_per_sec,
                 r.observer_overhead,
+                r.recovery_overhead,
                 r.decisions,
                 r.sll_fraction * 100.0,
                 r.static_fast_path_fraction * 100.0,
@@ -916,6 +958,11 @@ impl fmt::Display for ParseBench {
             f,
             "overall observer overhead (time-weighted): {:.2}x",
             self.overall_overhead
+        )?;
+        writeln!(
+            f,
+            "overall recovery overhead on clean input (time-weighted): {:.2}x",
+            self.overall_recovery_overhead
         )
     }
 }
@@ -1038,6 +1085,41 @@ pub fn ablation_static_fast_path(cfg: &Config) -> Ablation {
         name: "static LL(1) fast path vs full adaptive prediction",
         base_label: "fast path",
         variant_label: "no table",
+        rows,
+    }
+}
+
+/// Ablation: the plain parse entry point vs the recovering entry point
+/// (`Parser::parse_recovering`) on the *same valid corpora* — prices the
+/// resynchronizing driver's bookkeeping when no error ever fires. On
+/// clean input the recovering driver replays the identical machine step
+/// sequence (the `H-RECOVER-SOUND` identity), so any ratio above parity
+/// is pure driver overhead; the CI gate keeps the time-weighted version
+/// of this number inside the 5% envelope.
+pub fn ablation_recovery(cfg: &Config) -> Ablation {
+    let rows = prepare_corpora(cfg)
+        .into_iter()
+        .map(|c| {
+            let w = c.words.last().expect("nonempty corpus");
+            let mut parser = Parser::new(c.lang.grammar().clone());
+            expect_unique(c.lang.name, &parser.parse(w));
+            let recovered = parser.parse_recovering(w);
+            assert!(
+                recovered.is_clean(),
+                "{}: valid corpus word did not recover cleanly",
+                c.lang.name
+            );
+            AblationRow {
+                label: c.lang.name.to_owned(),
+                base_secs: time_avg(cfg.trials, || parser.parse(w)),
+                variant_secs: time_avg(cfg.trials, || parser.parse_recovering(w)),
+            }
+        })
+        .collect();
+    Ablation {
+        name: "plain parse vs recovering parse on valid input",
+        base_label: "parse",
+        variant_label: "recovering",
         rows,
     }
 }
@@ -1271,6 +1353,13 @@ mod tests {
         let d = ablation_static_fast_path(&tiny());
         assert_eq!(d.rows.len(), 4);
         assert!(d.rows.iter().all(|r| r.base_secs > 0.0));
+        let e = ablation_recovery(&tiny());
+        assert_eq!(e.rows.len(), 4);
+        assert!(e
+            .rows
+            .iter()
+            .all(|r| r.base_secs > 0.0 && r.variant_secs > 0.0));
+        assert!(e.to_string().contains("recovering"));
     }
 
     #[test]
@@ -1309,9 +1398,18 @@ mod tests {
             json_row.static_fast_path_fraction
         );
         assert!(json_row.decision_table_micros > 0.0);
+        for r in &p.rows {
+            assert!(
+                r.recovery_overhead > 0.0,
+                "{}: recovery overhead unmeasured",
+                r.name
+            );
+        }
         let json = p.to_json();
         assert!(json.contains("\"observer_overhead\""));
         assert!(json.contains("\"overall_overhead\""));
+        assert!(json.contains("\"recovery_overhead\""));
+        assert!(json.contains("\"overall_recovery_overhead\""));
         assert!(json.contains("\"static_fast_path_hits\""));
         assert!(json.contains("\"static_fast_path_fraction\""));
         assert!(json.contains("\"decision_table_micros\""));
@@ -1323,6 +1421,13 @@ mod tests {
         let mut worse = p.clone();
         worse.overall_overhead = 10.0;
         assert!(worse.check_against(&json, 0.05).is_err());
+        // ...and a regressed recovering path on clean input, even against
+        // a baseline predating the recovery field (parity fallback).
+        let mut slow_recovery = p.clone();
+        slow_recovery.overall_recovery_overhead = 10.0;
+        assert!(slow_recovery.check_against(&json, 0.05).is_err());
+        let legacy = json.replace("\"overall_recovery_overhead\"", "\"renamed_away\"");
+        assert!(slow_recovery.check_against(&legacy, 0.05).is_err());
         // ...and a baseline without the gate number is a configuration
         // error, not a pass.
         assert!(p.check_against("{\"rows\":[]}", 0.05).is_err());

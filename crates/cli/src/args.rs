@@ -9,6 +9,7 @@ usage:
   costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens \"a b c\")
                   [--tree] [--stats[=json]] [--time] [--trace-buffer N]
                   [--max-steps N] [--deadline-ms N] [--cache-cap N]
+                  [--recover[=json]] [--max-recoveries N] [--no-grammar-cache]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
   costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
   costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
@@ -27,7 +28,17 @@ usage:
   --stats prints a human-readable metrics summary to stderr;
   --stats=json prints the full ParseMetrics object as JSON on stdout.
   --trace-buffer keeps the last N parse events and dumps them to stderr
-  when the parse does not accept.";
+  when the parse does not accept.
+  --recover keeps parsing past syntax errors (panic-mode resynchronizing
+  on the grammar's sync sets), printing one diagnostic per error to
+  stderr (or, with --recover=json, a JSON report to stdout), and exits 4
+  when the input parsed with errors. --max-recoveries caps how many
+  errors are recovered before aborting (exit 3).
+  Parse exit codes: 0 accepted, 1 rejected or internal error,
+  2 usage/load error, 3 budget aborted, 4 parsed with recovered errors.
+  Grammar analyses for --grammar files are cached on disk keyed by
+  grammar content (COSTAR_CACHE_DIR, default <grammar dir>/.costar-cache);
+  --no-grammar-cache bypasses the cache entirely.";
 
 /// How `--stats` should report parse metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +48,18 @@ pub enum StatsMode {
     /// Human-readable summary on stderr.
     Human,
     /// Full `ParseMetrics` JSON object on stdout.
+    Json,
+}
+
+/// How `--recover` should report diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoverMode {
+    /// No recovery: stop at the first syntax error (the default).
+    #[default]
+    Off,
+    /// Recover, printing human-readable diagnostics to stderr.
+    Human,
+    /// Recover, printing a JSON diagnostics report to stdout.
     Json,
 }
 
@@ -82,6 +105,12 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Budget: cap the SLL cache at this many DFA states (LRU evict).
         cache_cap: Option<usize>,
+        /// Syntax-error recovery mode.
+        recover: RecoverMode,
+        /// Budget: abort after recovering this many syntax errors.
+        max_recoveries: Option<u64>,
+        /// Bypass the on-disk grammar-analysis cache.
+        no_grammar_cache: bool,
     },
     /// Run the static analyses.
     Check {
@@ -146,6 +175,9 @@ impl Args {
                 let mut max_steps = None;
                 let mut deadline_ms = None;
                 let mut cache_cap = None;
+                let mut recover = RecoverMode::Off;
+                let mut max_recoveries = None;
+                let mut no_grammar_cache = false;
                 while let Some(a) = args.next() {
                     match a.as_str() {
                         "--lang" => lang = Some(required(&mut args, "--lang")?),
@@ -169,6 +201,18 @@ impl Args {
                         "--cache-cap" => {
                             cache_cap = Some(number::<usize>(&mut args, "--cache-cap")?)
                         }
+                        "--recover" => recover = RecoverMode::Human,
+                        "--recover=json" => recover = RecoverMode::Json,
+                        other if other.starts_with("--recover=") => {
+                            return Err(format!(
+                                "unknown recover mode {:?} (try --recover or --recover=json)",
+                                &other["--recover=".len()..]
+                            ));
+                        }
+                        "--max-recoveries" => {
+                            max_recoveries = Some(number(&mut args, "--max-recoveries")?)
+                        }
+                        "--no-grammar-cache" => no_grammar_cache = true,
                         other if !other.starts_with('-') && file.is_none() => {
                             file = Some(other.to_owned());
                         }
@@ -191,6 +235,9 @@ impl Args {
                         max_steps,
                         deadline_ms,
                         cache_cap,
+                        recover,
+                        max_recoveries,
+                        no_grammar_cache,
                     },
                 })
             }
@@ -371,6 +418,9 @@ mod tests {
             max_steps,
             deadline_ms,
             cache_cap,
+            recover,
+            max_recoveries,
+            no_grammar_cache,
         } = a.command
         else {
             panic!("wrong command")
@@ -381,6 +431,45 @@ mod tests {
         assert_eq!(stats, StatsMode::Off);
         assert!(trace_buffer.is_none());
         assert!(max_steps.is_none() && deadline_ms.is_none() && cache_cap.is_none());
+        assert_eq!(recover, RecoverMode::Off);
+        assert!(max_recoveries.is_none());
+        assert!(!no_grammar_cache);
+    }
+
+    #[test]
+    fn recover_flags() {
+        let a = parse(&["parse", "--lang", "json", "f", "--recover"]).unwrap();
+        let Command::Parse { recover, .. } = a.command else {
+            panic!("wrong command")
+        };
+        assert_eq!(recover, RecoverMode::Human);
+
+        let a = parse(&[
+            "parse",
+            "--lang",
+            "json",
+            "f",
+            "--recover=json",
+            "--max-recoveries",
+            "16",
+            "--no-grammar-cache",
+        ])
+        .unwrap();
+        let Command::Parse {
+            recover,
+            max_recoveries,
+            no_grammar_cache,
+            ..
+        } = a.command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(recover, RecoverMode::Json);
+        assert_eq!(max_recoveries, Some(16));
+        assert!(no_grammar_cache);
+
+        assert!(parse(&["parse", "--lang", "json", "f", "--recover=yaml"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "f", "--max-recoveries", "x"]).is_err());
     }
 
     #[test]

@@ -45,15 +45,17 @@
 
 use costar::{Budget, MetricsObserver, ParseOutcome, Parser, TraceObserver};
 use costar_baselines::Ll1Parser;
+use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::transform::eliminate_left_recursion;
 use costar_grammar::{Grammar, Token};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 mod args;
 mod render;
 
-use args::{Args, Command, GrammarSource, LintFormat, StatsMode};
+use args::{Args, Command, GrammarSource, LintFormat, RecoverMode, StatsMode};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -85,6 +87,9 @@ fn run(args: Args) -> Result<ExitCode, String> {
             max_steps,
             deadline_ms,
             cache_cap,
+            recover,
+            max_recoveries,
+            no_grammar_cache,
         } => {
             let mut budget = Budget::unlimited();
             if let Some(n) = max_steps {
@@ -96,7 +101,22 @@ fn run(args: Args) -> Result<ExitCode, String> {
             if let Some(n) = cache_cap {
                 budget = budget.with_max_cache_entries(n);
             }
-            cmd_parse(source, input, tree, stats, time, trace_buffer, budget)
+            if let Some(n) = max_recoveries {
+                budget = budget.with_max_recoveries(n);
+            }
+            cmd_parse(
+                source,
+                input,
+                budget,
+                ParseOpts {
+                    tree,
+                    stats,
+                    time,
+                    trace_buffer,
+                    recover,
+                    no_grammar_cache,
+                },
+            )
         }
         Command::Check {
             source,
@@ -127,15 +147,21 @@ fn run(args: Args) -> Result<ExitCode, String> {
     }
 }
 
-/// Loads a grammar and an input word from the parse-command sources.
-fn load(source: GrammarSource, input: Option<String>) -> Result<(Grammar, Vec<Token>), String> {
+/// Loads a grammar and an input word from the parse-command sources. The
+/// third element is the default grammar-cache directory: next to the
+/// grammar file for `--grammar`, none for built-in languages (whose
+/// analyses are cheap and have no natural on-disk home).
+fn load(
+    source: GrammarSource,
+    input: Option<String>,
+) -> Result<(Grammar, Vec<Token>, Option<PathBuf>), String> {
     match source {
         GrammarSource::Lang(name) => {
             let (language, _) = args::find_language(&name)?;
             let file = input.ok_or("parse --lang needs an input FILE")?;
             let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
             let tokens = language.tokenize(&src).map_err(|e| e.to_string())?;
-            Ok((language.grammar().clone(), tokens))
+            Ok((language.grammar().clone(), tokens, None))
         }
         GrammarSource::Ebnf(path) => {
             let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -149,27 +175,95 @@ fn load(source: GrammarSource, input: Option<String>) -> Result<(Grammar, Vec<To
                     .ok_or_else(|| format!("unknown terminal {name:?}"))?;
                 tokens.push(Token::new(t, name));
             }
-            Ok((grammar, tokens))
+            let cache_dir = PathBuf::from(&path)
+                .parent()
+                .map(|d| d.join(".costar-cache"));
+            Ok((grammar, tokens, cache_dir))
         }
     }
+}
+
+/// Obtains the grammar analysis, consulting the on-disk cache unless
+/// `no_cache`. The cache is keyed by a content fingerprint of the
+/// grammar, so a stale or corrupted entry is detected (the decoder
+/// re-validates every index) and silently recomputed — the cache can slow
+/// us down at worst, never change behavior. `COSTAR_CACHE_DIR` overrides
+/// the default location; cache write failures are non-fatal.
+fn load_analysis(
+    grammar: &Grammar,
+    default_dir: Option<PathBuf>,
+    no_cache: bool,
+) -> GrammarAnalysis {
+    let dir = std::env::var_os("COSTAR_CACHE_DIR")
+        .map(PathBuf::from)
+        .or(default_dir);
+    let path = dir.map(|d| {
+        let fp = costar_grammar::analysis::grammar_fingerprint(grammar);
+        (d.join(format!("{fp:016x}.json")), d)
+    });
+    if !no_cache {
+        if let Some((file, _)) = &path {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                if let Some(analysis) = costar_grammar::analysis::from_cache_json(grammar, &text) {
+                    return analysis;
+                }
+                // Corrupt or stale: fall through and overwrite below.
+            }
+        }
+    }
+    let analysis = GrammarAnalysis::compute(grammar);
+    if !no_cache {
+        if let Some((file, dir)) = &path {
+            let json = costar_grammar::analysis::to_cache_json(grammar, &analysis);
+            // Atomic-rename write: readers never observe a half-written
+            // document (they'd reject it anyway, but don't make them).
+            let tmp = file.with_extension("json.tmp");
+            let _ = std::fs::create_dir_all(dir);
+            if std::fs::write(&tmp, json).is_ok() {
+                let _ = std::fs::rename(&tmp, file);
+            }
+        }
+    }
+    analysis
+}
+
+/// Output and recovery flags for `cmd_parse`, bundled so the budget and
+/// grammar source stay visible in the signature.
+struct ParseOpts {
+    tree: bool,
+    stats: StatsMode,
+    time: bool,
+    trace_buffer: Option<usize>,
+    recover: RecoverMode,
+    no_grammar_cache: bool,
 }
 
 fn cmd_parse(
     source: GrammarSource,
     input: Option<String>,
-    tree: bool,
-    stats: StatsMode,
-    time: bool,
-    trace_buffer: Option<usize>,
     budget: Budget,
+    opts: ParseOpts,
 ) -> Result<ExitCode, String> {
-    let (grammar, tokens) = load(source, input)?;
-    let mut parser = Parser::with_budget(grammar, budget);
+    let ParseOpts {
+        tree,
+        stats,
+        time,
+        trace_buffer,
+        recover,
+        no_grammar_cache,
+    } = opts;
+    let (grammar, tokens, cache_dir) = load(source, input)?;
+    let analysis = load_analysis(&grammar, cache_dir, no_grammar_cache);
+    let mut parser = Parser::with_analysis(grammar, analysis);
+    parser.set_budget(budget);
     if !parser.grammar_is_safe() {
         eprintln!(
             "warning: grammar is left-recursive; the correctness theorems do not apply \
              (try `costar check --eliminate-lr`)"
         );
+    }
+    if recover != RecoverMode::Off {
+        return cmd_parse_recovering(parser, &tokens, tree, stats, time, trace_buffer, recover);
     }
 
     // The default path stays on the monomorphized no-op observer; metrics
@@ -297,6 +391,116 @@ fn cmd_parse(
                 m.cache_misses,
                 m.cache_hit_rate() * 100.0,
                 m.cache_evictions
+            );
+        }
+        (StatsMode::Json, Some(m)) => println!("{}", m.to_json()),
+        _ => {}
+    }
+    if time {
+        let secs = elapsed.as_secs_f64();
+        eprintln!(
+            "parse time: {:.3} ms ({:.0} tokens/sec)",
+            secs * 1e3,
+            tokens.len() as f64 / secs.max(1e-12)
+        );
+    }
+    Ok(code)
+}
+
+/// The `--recover` arm of `costar parse`: parse past syntax errors,
+/// report every diagnostic, and exit 4 when the input parsed with errors.
+#[allow(clippy::too_many_arguments)]
+fn cmd_parse_recovering(
+    mut parser: Parser,
+    tokens: &[Token],
+    tree: bool,
+    stats: StatsMode,
+    time: bool,
+    trace_buffer: Option<usize>,
+    mode: RecoverMode,
+) -> Result<ExitCode, String> {
+    let observing = stats != StatsMode::Off || trace_buffer.is_some();
+    let mut metrics = None;
+    let mut trace = None;
+    let start = Instant::now();
+    let recovered = if observing {
+        let mut obs = (
+            MetricsObserver::new(),
+            TraceObserver::new(trace_buffer.unwrap_or(0)),
+        );
+        let r = parser.parse_recovering_observed(tokens, &mut obs);
+        let (mobs, tobs) = obs;
+        metrics = Some(mobs.into_metrics());
+        trace = Some(tobs);
+        r
+    } else {
+        parser.parse_recovering(tokens)
+    };
+    let elapsed = start.elapsed();
+    if let Some(m) = metrics.as_mut() {
+        m.tokens = tokens.len();
+        m.total_nanos = elapsed.as_nanos() as u64;
+    }
+
+    // Human-readable diagnostics always go to stderr, one line per
+    // recovered error, so they compose with --tree / JSON on stdout.
+    for d in &recovered.diagnostics {
+        eprintln!(
+            "error: {}",
+            render::describe_diagnostic(parser.grammar(), d)
+        );
+    }
+    if mode == RecoverMode::Json {
+        println!(
+            "{}",
+            render::recovery_report_json(parser.grammar(), &recovered, tokens.len())
+        );
+    }
+
+    let errors = recovered.diagnostics.len();
+    let code = match &recovered.outcome {
+        ParseOutcome::Unique(_) | ParseOutcome::Ambig(_) => {
+            eprintln!(
+                "parsed cleanly ({} tokens, no recovery needed)",
+                tokens.len()
+            );
+            ExitCode::SUCCESS
+        }
+        ParseOutcome::Reject(_) => {
+            let skipped: usize = recovered.diagnostics.iter().map(|d| d.skipped).sum();
+            eprintln!(
+                "parsed with {errors} syntax error{} ({} tokens, {skipped} skipped)",
+                if errors == 1 { "" } else { "s" },
+                tokens.len()
+            );
+            ExitCode::from(4)
+        }
+        ParseOutcome::Error(e) => {
+            eprintln!("error: {}", render::describe_error(parser.grammar(), e));
+            ExitCode::FAILURE
+        }
+        ParseOutcome::Aborted(r) => {
+            eprintln!("aborted: {r} — recovery gave up before resolving the input");
+            ExitCode::from(3)
+        }
+    };
+    if tree {
+        if let Some(t) = recovered.tree() {
+            print!("{}", t.render(parser.grammar().symbols()));
+        }
+    }
+
+    if trace_buffer.is_some() && !recovered.is_clean() {
+        if let Some(t) = &trace {
+            eprintln!("trace: last {} of {} events:", t.len(), t.total_events());
+            eprint!("{}", t.dump(Some(parser.grammar().symbols())));
+        }
+    }
+    match (stats, metrics.as_ref()) {
+        (StatsMode::Human, Some(m)) => {
+            eprintln!(
+                "recovery: {} recoveries, {} tokens skipped; steps: {} machine + {} prediction",
+                m.recoveries, m.tokens_skipped, m.machine_steps, m.prediction_steps
             );
         }
         (StatsMode::Json, Some(m)) => println!("{}", m.to_json()),

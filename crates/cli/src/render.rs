@@ -1,30 +1,146 @@
 //! Rendering grammars back to readable text (for `check --eliminate-lr`).
 
 use costar::{ParseError, RejectReason};
-use costar_grammar::{Grammar, Symbol};
+use costar_grammar::{Grammar, Span, Symbol};
+
+/// Renders a span suffix (" (line L, column C)") when the tokens carried
+/// source positions; empty otherwise.
+fn loc(span: &Span) -> String {
+    if span.has_position() {
+        format!(" ({span})")
+    } else {
+        String::new()
+    }
+}
 
 /// Renders a rejection with symbol names resolved through the grammar's
 /// table (the library's `Display` impls cannot see the table, so they
-/// print raw indices).
+/// print raw indices), locating the error by source line/column when the
+/// input tokens carried positions.
 pub fn describe_reject(g: &Grammar, reason: &RejectReason) -> String {
     let t = |term: costar_grammar::Terminal| g.symbols().terminal_name(term).to_owned();
     match reason {
         RejectReason::TokenMismatch {
             at,
+            span,
             expected,
             found,
-        } => format!("token {at}: expected {}, found {}", t(*expected), t(*found)),
-        RejectReason::UnexpectedEnd { expected } => {
-            format!("unexpected end of input: expected {}", t(*expected))
+        } => format!(
+            "token {at}{}: expected {}, found {}",
+            loc(span),
+            t(*expected),
+            t(*found)
+        ),
+        RejectReason::UnexpectedEnd { span, expected, .. } => {
+            format!(
+                "unexpected end of input{}: expected {}",
+                loc(span),
+                t(*expected)
+            )
         }
-        RejectReason::TrailingInput { at } => {
-            format!("trailing input starting at token {at}")
+        RejectReason::TrailingInput { at, span } => {
+            format!("trailing input starting at token {at}{}", loc(span))
         }
-        RejectReason::NoViableAlternative { at, nonterminal } => format!(
-            "token {at}: no viable alternative for {}",
+        RejectReason::NoViableAlternative {
+            at,
+            span,
+            nonterminal,
+        } => format!(
+            "token {at}{}: no viable alternative for {}",
+            loc(span),
             g.symbols().nonterminal_name(*nonterminal)
         ),
     }
+}
+
+/// Renders one recovery diagnostic: the rejection (with names and source
+/// position), the expected-token set, and what the recovery skipped.
+pub fn describe_diagnostic(g: &Grammar, d: &costar::Diagnostic) -> String {
+    let mut out = describe_reject(g, &d.reason);
+    if !d.expected.is_empty() {
+        let names: Vec<&str> = d
+            .expected
+            .iter()
+            .map(|t| g.symbols().terminal_name(*t))
+            .collect();
+        // The singleton case is already spelled out by describe_reject.
+        if d.expected.len() > 1 {
+            out.push_str(&format!(" (expected one of: {})", names.join(", ")));
+        }
+    }
+    if d.skipped > 0 {
+        out.push_str(&format!(
+            "; skipped {} token{}",
+            d.skipped,
+            if d.skipped == 1 { "" } else { "s" }
+        ));
+    }
+    if d.popped > 0 {
+        out.push_str(&format!(
+            "; abandoned {} open production{}",
+            d.popped,
+            if d.popped == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a recovered parse as one machine-readable JSON object for
+/// `--recover=json`.
+pub fn recovery_report_json(g: &Grammar, r: &costar::RecoveredParse, num_tokens: usize) -> String {
+    let outcome = match &r.outcome {
+        costar::ParseOutcome::Unique(_) | costar::ParseOutcome::Ambig(_) => "clean",
+        costar::ParseOutcome::Reject(_) => "recovered",
+        costar::ParseOutcome::Error(_) => "error",
+        costar::ParseOutcome::Aborted(_) => "aborted",
+    };
+    let skipped: usize = r.diagnostics.iter().map(|d| d.skipped).sum();
+    let mut out = format!(
+        "{{\"outcome\":\"{outcome}\",\"tokens\":{num_tokens},\"errors\":{},\"tokens_skipped\":{skipped},\"diagnostics\":[",
+        r.diagnostics.len()
+    );
+    for (i, d) in r.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (line, col) = if d.span.has_position() {
+            (d.span.line.to_string(), d.span.col.to_string())
+        } else {
+            ("null".to_owned(), "null".to_owned())
+        };
+        let expected: Vec<String> = d
+            .expected
+            .iter()
+            .map(|t| format!("\"{}\"", json_escape(g.symbols().terminal_name(*t))))
+            .collect();
+        out.push_str(&format!(
+            "{{\"at\":{},\"line\":{line},\"col\":{col},\"message\":\"{}\",\"expected\":[{}],\"skipped\":{},\"popped\":{}}}",
+            d.at,
+            json_escape(&describe_reject(g, &d.reason)),
+            expected.join(","),
+            d.skipped,
+            d.popped
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Renders a parser error with symbol names resolved.
@@ -110,11 +226,22 @@ mod tests {
             &g,
             &costar::RejectReason::TokenMismatch {
                 at: 1,
+                span: Span::default(),
                 expected: then_t,
                 found: if_t,
             },
         );
         assert_eq!(msg, "token 1: expected Then, found If");
+        let msg = describe_reject(
+            &g,
+            &costar::RejectReason::TokenMismatch {
+                at: 1,
+                span: Span::new(10, 2, 2, 7),
+                expected: then_t,
+                found: if_t,
+            },
+        );
+        assert_eq!(msg, "token 1 (line 2, column 7): expected Then, found If");
         let stmt = g.symbols().lookup_nonterminal("stmt").unwrap();
         let msg = describe_error(&g, &costar::ParseError::LeftRecursive(stmt));
         assert!(msg.contains("stmt"));

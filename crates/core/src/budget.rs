@@ -72,6 +72,13 @@ pub enum AbortReason {
         /// The configured ceiling.
         limit: usize,
     },
+    /// A recovering parse ([`crate::Parser::parse_recovering`]) needed
+    /// more error recoveries than [`Budget::with_max_recoveries`] allows.
+    /// The plain (non-recovering) parse path never produces this.
+    RecoveryLimit {
+        /// The configured recovery cap.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for AbortReason {
@@ -85,6 +92,9 @@ impl fmt::Display for AbortReason {
             }
             AbortReason::StackDepth { depth, limit } => {
                 write!(f, "stack depth {depth} exceeds limit {limit}")
+            }
+            AbortReason::RecoveryLimit { limit } => {
+                write!(f, "error-recovery budget exhausted (limit {limit})")
             }
         }
     }
@@ -119,6 +129,7 @@ pub struct Budget {
     max_stack_depth: Option<usize>,
     max_cache_entries: Option<usize>,
     max_cache_bytes: Option<usize>,
+    max_recoveries: Option<u64>,
 }
 
 impl Budget {
@@ -184,6 +195,15 @@ impl Budget {
         self
     }
 
+    /// Caps how many syntax-error recoveries one
+    /// [`crate::Parser::parse_recovering`] call may perform before giving
+    /// up with [`AbortReason::RecoveryLimit`]. Has no effect on the plain
+    /// parse path, which stops at the first error.
+    pub fn with_max_recoveries(mut self, recoveries: u64) -> Self {
+        self.max_recoveries = Some(recoveries);
+        self
+    }
+
     /// The configured step fuel, if any.
     pub fn max_steps(&self) -> Option<u64> {
         self.max_steps
@@ -207,6 +227,11 @@ impl Budget {
     /// The configured cache byte cap, if any.
     pub fn max_cache_bytes(&self) -> Option<usize> {
         self.max_cache_bytes
+    }
+
+    /// The configured recovery cap, if any.
+    pub fn max_recoveries(&self) -> Option<u64> {
+        self.max_recoveries
     }
 
     /// `true` if no limit is configured.
@@ -401,14 +426,17 @@ mod tests {
             .with_deadline(Duration::from_millis(5))
             .with_max_stack_depth(9)
             .with_max_cache_entries(64)
-            .with_max_cache_bytes(1 << 20);
+            .with_max_cache_bytes(1 << 20)
+            .with_max_recoveries(3);
         assert_eq!(b.max_steps(), Some(7));
         assert_eq!(b.deadline(), Some(Duration::from_millis(5)));
         assert_eq!(b.max_stack_depth(), Some(9));
         assert_eq!(b.max_cache_entries(), Some(64));
         assert_eq!(b.max_cache_bytes(), Some(1 << 20));
+        assert_eq!(b.max_recoveries(), Some(3));
         assert!(!b.is_unlimited());
         assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::unlimited().with_max_recoveries(0).is_unlimited());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! state). Theorem 5.8 proves errors never occur for non-left-recursive
 //! grammars; the reproduction's property tests check the same claim.
 
-use costar_grammar::{NonTerminal, Terminal};
+use costar_grammar::{NonTerminal, Span, Terminal};
 use std::borrow::Cow;
 use std::fmt;
 
@@ -65,6 +65,9 @@ pub enum RejectReason {
     TokenMismatch {
         /// Index of the offending token in the input word.
         at: usize,
+        /// Source span of the offending token (`Span::default()` when the
+        /// token carries no position information).
+        span: Span,
         /// The terminal the parser needed.
         expected: Terminal,
         /// The terminal it found.
@@ -72,6 +75,11 @@ pub enum RejectReason {
     },
     /// Input ended while the parser still needed a terminal.
     UnexpectedEnd {
+        /// Index just past the last token (the length of the input word).
+        at: usize,
+        /// Source span of the last token of the input, locating "where the
+        /// input stopped" (`Span::default()` for empty input).
+        span: Span,
         /// The terminal the parser needed at end of input.
         expected: Terminal,
     },
@@ -79,12 +87,17 @@ pub enum RejectReason {
     TrailingInput {
         /// Index of the first unconsumed token.
         at: usize,
+        /// Source span of the first unconsumed token.
+        span: Span,
     },
     /// Prediction found no viable right-hand side for a decision
     /// nonterminal (`RejectP`, paper §3.4).
     NoViableAlternative {
         /// Index of the token at which prediction began.
         at: usize,
+        /// Source span of the token at which prediction began
+        /// (`Span::default()` when prediction began at end of input).
+        span: Span,
         /// The decision nonterminal.
         nonterminal: NonTerminal,
     },
@@ -96,29 +109,67 @@ impl RejectReason {
     pub fn position(&self) -> Option<usize> {
         match self {
             RejectReason::TokenMismatch { at, .. }
-            | RejectReason::TrailingInput { at }
+            | RejectReason::TrailingInput { at, .. }
             | RejectReason::NoViableAlternative { at, .. } => Some(*at),
             RejectReason::UnexpectedEnd { .. } => None,
+        }
+    }
+
+    /// The source span associated with the rejection. May be
+    /// `Span::default()` (no position) when the input tokens carry no
+    /// position information.
+    pub fn span(&self) -> Span {
+        match self {
+            RejectReason::TokenMismatch { span, .. }
+            | RejectReason::UnexpectedEnd { span, .. }
+            | RejectReason::TrailingInput { span, .. }
+            | RejectReason::NoViableAlternative { span, .. } => *span,
         }
     }
 }
 
 impl fmt::Display for RejectReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Spans render as "line L, column C" when the lexer provided
+        // positions, and are omitted entirely for position-free tokens.
+        let loc = |span: &Span| -> String {
+            if span.has_position() {
+                format!(" ({span})")
+            } else {
+                String::new()
+            }
+        };
         match self {
             RejectReason::TokenMismatch {
                 at,
+                span,
                 expected,
                 found,
-            } => write!(f, "token {at}: expected {expected}, found {found}"),
-            RejectReason::UnexpectedEnd { expected } => {
-                write!(f, "unexpected end of input: expected {expected}")
+            } => write!(
+                f,
+                "token {at}{}: expected {expected}, found {found}",
+                loc(span)
+            ),
+            RejectReason::UnexpectedEnd { span, expected, .. } => {
+                write!(
+                    f,
+                    "unexpected end of input{}: expected {expected}",
+                    loc(span)
+                )
             }
-            RejectReason::TrailingInput { at } => {
-                write!(f, "trailing input starting at token {at}")
+            RejectReason::TrailingInput { at, span } => {
+                write!(f, "trailing input starting at token {at}{}", loc(span))
             }
-            RejectReason::NoViableAlternative { at, nonterminal } => {
-                write!(f, "token {at}: no viable alternative for {nonterminal}")
+            RejectReason::NoViableAlternative {
+                at,
+                span,
+                nonterminal,
+            } => {
+                write!(
+                    f,
+                    "token {at}{}: no viable alternative for {nonterminal}",
+                    loc(span)
+                )
             }
         }
     }
@@ -140,20 +191,45 @@ mod tests {
     fn reject_positions() {
         let r = RejectReason::TokenMismatch {
             at: 7,
+            span: Span::default(),
             expected: Terminal::from_index(0),
             found: Terminal::from_index(1),
         };
         assert_eq!(r.position(), Some(7));
         let r = RejectReason::UnexpectedEnd {
+            at: 3,
+            span: Span::default(),
             expected: Terminal::from_index(0),
         };
         assert_eq!(r.position(), None);
-        let r = RejectReason::TrailingInput { at: 2 };
+        let r = RejectReason::TrailingInput {
+            at: 2,
+            span: Span::default(),
+        };
         assert_eq!(r.position(), Some(2));
         let r = RejectReason::NoViableAlternative {
             at: 0,
+            span: Span::default(),
             nonterminal: NonTerminal::from_index(0),
         };
         assert_eq!(r.position(), Some(0));
+    }
+
+    #[test]
+    fn reject_spans_render_when_positioned() {
+        let with_pos = RejectReason::TokenMismatch {
+            at: 1,
+            span: Span::new(4, 2, 3, 5),
+            expected: Terminal::from_index(0),
+            found: Terminal::from_index(1),
+        };
+        assert_eq!(with_pos.span().line, 3);
+        let msg = with_pos.to_string();
+        assert!(msg.contains("line 3, column 5"), "{msg}");
+        let without = RejectReason::TrailingInput {
+            at: 2,
+            span: Span::default(),
+        };
+        assert!(!without.to_string().contains("line"), "no fake positions");
     }
 }

@@ -201,6 +201,9 @@ fn collect_yield<'t>(tree: &'t Tree, out: &mut Vec<&'t Token>) {
                 collect_yield(c, out);
             }
         }
+        // Recovery error nodes hold the skipped tokens; those tokens were
+        // consumed from the input, so they count toward the yield.
+        Tree::Error(e) => out.extend(e.skipped.iter()),
     }
 }
 
@@ -208,10 +211,17 @@ fn collect_yield<'t>(tree: &'t Tree, out: &mut Vec<&'t Token>) {
 fn check_subtree(g: &Grammar, tree: &Tree) -> Result<(), String> {
     match tree {
         Tree::Leaf(_) => Ok(()),
+        // Error nodes are recovery splices, not derivations; they are
+        // transparent to the production check (forest_roots skips them).
+        Tree::Error(_) => Ok(()),
         Tree::Node(x, children) => {
-            let roots = forest_roots(children);
-            if !has_production(g, *x, &roots) {
-                return Err(format!("stored node for {x} matches no production"));
+            // A node that received an error splice no longer instantiates
+            // its production exactly; only pristine nodes are checked.
+            if !children.iter().any(|c| matches!(c, Tree::Error(_))) {
+                let roots = forest_roots(children);
+                if !has_production(g, *x, &roots) {
+                    return Err(format!("stored node for {x} matches no production"));
+                }
             }
             children.iter().try_for_each(|c| check_subtree(g, c))
         }

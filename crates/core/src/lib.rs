@@ -78,6 +78,7 @@ pub mod measure;
 pub mod observe;
 mod parser;
 mod prediction;
+pub mod recover;
 pub mod semantics;
 pub mod state;
 #[cfg(kani)]
@@ -93,3 +94,4 @@ pub use observe::{
 };
 pub use parser::{parse, Parser};
 pub use prediction::cache::{CacheStats, PredictionStats, SllCache};
+pub use recover::{Diagnostic, RecoveredParse};

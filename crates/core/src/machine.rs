@@ -180,6 +180,11 @@ impl<'a> Machine<'a> {
         self.tokens
     }
 
+    /// The grammar being interpreted.
+    pub fn grammar(&self) -> &'a Grammar {
+        self.grammar
+    }
+
     /// Units of fuel spent so far: machine operations plus prediction
     /// lookahead tokens, the quantity [`Budget::with_max_steps`] bounds.
     pub fn steps_taken(&self) -> u64 {
@@ -239,7 +244,14 @@ impl<'a> Machine<'a> {
                 // Bottom frame exhausted: final configuration, or trailing
                 // input.
                 if st.cursor < self.tokens.len() {
-                    return StepResult::Reject(RejectReason::TrailingInput { at: st.cursor });
+                    return StepResult::Reject(RejectReason::TrailingInput {
+                        at: st.cursor,
+                        span: self
+                            .tokens
+                            .get(st.cursor)
+                            .map(|t| t.span())
+                            .unwrap_or_default(),
+                    });
                 }
                 let frame = &mut st.prefix[0];
                 if frame.trees.len() != 1 {
@@ -290,7 +302,12 @@ impl<'a> Machine<'a> {
             Symbol::T(a) => {
                 // Consume operation.
                 match self.tokens.get(st.cursor) {
-                    None => StepResult::Reject(RejectReason::UnexpectedEnd { expected: a }),
+                    None => StepResult::Reject(RejectReason::UnexpectedEnd {
+                        at: self.tokens.len(),
+                        // Point at the last token: "the input stopped here".
+                        span: self.tokens.last().map(|t| t.span()).unwrap_or_default(),
+                        expected: a,
+                    }),
                     Some(t) if t.terminal() == a => {
                         st.suffix[top].dot += 1;
                         // Token lexemes are `Arc<str>`, so this clone is a
@@ -304,6 +321,7 @@ impl<'a> Machine<'a> {
                     }
                     Some(t) => StepResult::Reject(RejectReason::TokenMismatch {
                         at: st.cursor,
+                        span: t.span(),
                         expected: a,
                         found: t.terminal(),
                     }),
@@ -349,6 +367,11 @@ impl<'a> Machine<'a> {
                     Prediction::Reject => {
                         return StepResult::Reject(RejectReason::NoViableAlternative {
                             at: st.cursor,
+                            span: self
+                                .tokens
+                                .get(st.cursor)
+                                .map(|t| t.span())
+                                .unwrap_or_default(),
                             nonterminal: x,
                         })
                     }

@@ -147,6 +147,10 @@ pub struct ParseMetrics {
     pub cache_evictions: u64,
     /// Closure worklist items processed (the prediction inner loop).
     pub closure_steps: u64,
+    /// Syntax-error recoveries performed (recovering parses only).
+    pub recoveries: u64,
+    /// Input tokens skipped by panic-mode resynchronization.
+    pub tokens_skipped: u64,
     /// Why the parse aborted, if it did.
     pub abort: Option<AbortReason>,
     /// `Meter::steps_taken()` at the end of the parse — the budget
@@ -223,6 +227,8 @@ impl ParseMetrics {
         let _ = write!(s, ",\"cache_evictions\":{}", self.cache_evictions);
         let _ = write!(s, ",\"cache_hit_rate\":{:.4}", self.cache_hit_rate());
         let _ = write!(s, ",\"closure_steps\":{}", self.closure_steps);
+        let _ = write!(s, ",\"recoveries\":{}", self.recoveries);
+        let _ = write!(s, ",\"tokens_skipped\":{}", self.tokens_skipped);
         match &self.abort {
             Some(r) => {
                 let _ = write!(s, ",\"abort\":{:?}", r.to_string());
@@ -354,6 +360,14 @@ impl ParseObserver for MetricsObserver {
 
     fn on_abort(&mut self, reason: &AbortReason) {
         self.m.abort = Some(*reason);
+    }
+
+    fn on_recovery(&mut self, _cursor: usize, _reason: &crate::error::RejectReason) {
+        self.m.recoveries += 1;
+    }
+
+    fn on_resync_skip(&mut self, _cursor: usize) {
+        self.m.tokens_skipped += 1;
     }
 
     fn on_finish(&mut self, meter_steps: u64) {

@@ -167,6 +167,17 @@ pub trait ParseObserver {
     #[inline]
     fn on_abort(&mut self, _reason: &AbortReason) {}
 
+    /// A recovering parse ([`crate::Parser::parse_recovering`]) caught a
+    /// rejection at input position `cursor` and is about to resynchronize.
+    /// The plain parse path never fires this.
+    #[inline]
+    fn on_recovery(&mut self, _cursor: usize, _reason: &crate::error::RejectReason) {}
+
+    /// Panic-mode resynchronization skipped the token at `cursor`
+    /// (one event per skipped token).
+    #[inline]
+    fn on_resync_skip(&mut self, _cursor: usize) {}
+
     /// The parse finished with `meter_steps` total fuel charged —
     /// machine steps plus prediction lookahead.
     #[inline]
@@ -262,6 +273,16 @@ impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
     fn on_abort(&mut self, reason: &AbortReason) {
         self.0.on_abort(reason);
         self.1.on_abort(reason);
+    }
+    #[inline]
+    fn on_recovery(&mut self, cursor: usize, reason: &crate::error::RejectReason) {
+        self.0.on_recovery(cursor, reason);
+        self.1.on_recovery(cursor, reason);
+    }
+    #[inline]
+    fn on_resync_skip(&mut self, cursor: usize) {
+        self.0.on_resync_skip(cursor);
+        self.1.on_resync_skip(cursor);
     }
     #[inline]
     fn on_finish(&mut self, meter_steps: u64) {

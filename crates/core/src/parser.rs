@@ -25,6 +25,7 @@ use crate::error::ParseError;
 use crate::machine::{Machine, ParseOutcome, PredictionMode};
 use crate::observe::{MetricsObserver, NullObserver, ParseMetrics, ParseObserver};
 use crate::prediction::cache::{CacheStats, PredictionStats, SllCache};
+use crate::recover::{self, RecoveredParse};
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::{Grammar, NonTerminal, Token};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -78,6 +79,26 @@ impl Parser {
     /// with an empty prediction cache.
     pub fn new(grammar: Grammar) -> Self {
         let analysis = GrammarAnalysis::compute(&grammar);
+        Parser {
+            grammar,
+            analysis,
+            cache: SllCache::new(),
+            policy: CachePolicy::PerInput,
+            mode: PredictionMode::Adaptive,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Creates a parser from a grammar and a **precomputed**
+    /// [`GrammarAnalysis`] — e.g. one restored from the on-disk grammar
+    /// cache (`costar_grammar::analysis::from_cache_json`), skipping the
+    /// FIRST/FOLLOW/decision-table computation entirely.
+    ///
+    /// The analysis must have been computed (or validated, as the cache
+    /// decoder does) against this exact grammar; pairing it with a
+    /// different grammar produces undefined parse results (though never
+    /// memory unsafety).
+    pub fn with_analysis(grammar: Grammar, analysis: GrammarAnalysis) -> Self {
         Parser {
             grammar,
             analysis,
@@ -216,6 +237,91 @@ impl Parser {
                 )))
             }
         }
+    }
+
+    /// Parses `word` with syntax-error recovery: instead of stopping at
+    /// the first rejection, the parser panic-mode resynchronizes (skipping
+    /// tokens and/or abandoning open productions, guided by the grammar's
+    /// precomputed sync sets), splices [`costar_grammar::Tree::Error`]
+    /// nodes into the tree, and keeps going — collecting one
+    /// [`Diagnostic`](crate::Diagnostic) per error.
+    ///
+    /// On a word the grammar accepts, this takes the byte-identical step
+    /// sequence as [`Parser::parse`] and returns the identical tree with
+    /// zero diagnostics (the `H-RECOVER-SOUND` property). The number of
+    /// recoveries is capped by
+    /// [`Budget::with_max_recoveries`](crate::Budget::with_max_recoveries);
+    /// exceeding the cap aborts with
+    /// [`AbortReason::RecoveryLimit`](crate::AbortReason::RecoveryLimit).
+    ///
+    /// Like [`Parser::parse`], this is a panic-safe boundary.
+    pub fn parse_recovering(&mut self, word: &[Token]) -> RecoveredParse {
+        self.parse_recovering_observed(word, &mut NullObserver)
+    }
+
+    /// [`Parser::parse_recovering`] with a [`ParseObserver`]. Recovery
+    /// fires the [`ParseObserver::on_recovery`] and
+    /// [`ParseObserver::on_resync_skip`] hooks in addition to the plain
+    /// parse events.
+    pub fn parse_recovering_observed<O: ParseObserver>(
+        &mut self,
+        word: &[Token],
+        obs: &mut O,
+    ) -> RecoveredParse {
+        if self.policy == CachePolicy::PerInput {
+            self.cache.clear();
+        }
+        self.cache.set_capacity(
+            self.budget.max_cache_entries(),
+            self.budget.max_cache_bytes(),
+        );
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let machine =
+                Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &self.budget);
+            recover::run_recovering(
+                &self.analysis,
+                machine,
+                &mut self.cache,
+                obs,
+                self.budget.max_recoveries(),
+            )
+        }));
+        match result {
+            Ok(recovered) => recovered,
+            Err(payload) => {
+                self.cache.clear();
+                let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.as_str()
+                } else {
+                    "non-string panic payload"
+                };
+                RecoveredParse {
+                    error_tree: None,
+                    diagnostics: Vec::new(),
+                    outcome: ParseOutcome::Error(ParseError::invalid_state(format!(
+                        "panic during parse: {msg}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// [`Parser::parse_recovering`] with a [`MetricsObserver`] attached:
+    /// returns the recovered parse together with the full [`ParseMetrics`]
+    /// (including the `recoveries` / `tokens_skipped` counters).
+    pub fn parse_recovering_with_metrics(
+        &mut self,
+        word: &[Token],
+    ) -> (RecoveredParse, ParseMetrics) {
+        let mut obs = MetricsObserver::new();
+        let start = Instant::now();
+        let recovered = self.parse_recovering_observed(word, &mut obs);
+        let mut metrics = obs.into_metrics();
+        metrics.total_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        metrics.tokens = word.len();
+        (recovered, metrics)
     }
 
     /// Parses `word` while measuring it: runs [`Parser::parse_observed`]

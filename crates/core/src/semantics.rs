@@ -11,7 +11,7 @@
 //! confluent.
 
 use crate::machine::ParseOutcome;
-use costar_grammar::{NonTerminal, Token, Tree};
+use costar_grammar::{ErrorNode, NonTerminal, Token, Tree};
 
 /// A bottom-up semantic analysis: how to value leaves and how to combine
 /// children at interior nodes.
@@ -49,6 +49,19 @@ pub trait Semantics {
     /// children's values (one per symbol of the production's right-hand
     /// side, in order).
     fn node(&mut self, nonterminal: NonTerminal, children: Vec<Self::Value>) -> Self::Value;
+
+    /// Value of a syntax-error node spliced in by the recovering parser
+    /// (`Parser::parse_recovering`).
+    ///
+    /// Trees returned by the plain `Parser::parse` never contain error
+    /// nodes, so the default implementation panics; override it when
+    /// evaluating recovered trees.
+    fn error(&mut self, node: &ErrorNode) -> Self::Value {
+        panic!(
+            "semantic evaluation reached a syntax-error node: {}",
+            node.reason
+        )
+    }
 }
 
 /// Evaluates a tree bottom-up under the given semantics.
@@ -59,6 +72,7 @@ pub fn evaluate<S: Semantics>(tree: &Tree, sem: &mut S) -> S::Value {
             let vals = children.iter().map(|c| evaluate(c, sem)).collect();
             sem.node(*x, vals)
         }
+        Tree::Error(e) => sem.error(e),
     }
 }
 

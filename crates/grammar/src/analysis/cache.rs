@@ -1,0 +1,723 @@
+//! Grammar-analysis caching: serialize a complete [`GrammarAnalysis`]
+//! (including the [`super::DecisionTable`] and recovery [`super::SyncSets`])
+//! to JSON and read it back, keyed by a content fingerprint of the
+//! grammar.
+//!
+//! Recomputing the analyses is pure function of the grammar, so a cache
+//! entry is valid exactly when the grammar that produced it is
+//! byte-identical to the one being loaded — which is what
+//! [`grammar_fingerprint`] captures (symbol tables in interning order,
+//! start symbol, and every production, so the dense indices baked into
+//! the serialized sets mean the same thing on the way back in).
+//!
+//! The deserializer is *never trusting*: schema string, fingerprint, and
+//! dimensions must match the live grammar, every index is bounds-checked,
+//! and any discrepancy makes [`from_cache_json`] return `None` so the
+//! caller recomputes. A stale or corrupted cache file can cost a
+//! recompute; it can never corrupt a parse.
+//!
+//! File placement and atomic writes are the caller's business (the CLI
+//! writes `<cache-dir>/<fingerprint>.json` via temp-file + rename); this
+//! module is pure string-to-value.
+
+use crate::analysis::{
+    ConflictPair, DecisionClass, DecisionInfo, DecisionTable, FirstSets, FollowSets,
+    GrammarAnalysis, LeftRecursion, LookaheadMap, NullableSet, Position, Productivity,
+    Reachability, StableDests, StableFrames, SyncSets,
+};
+use crate::grammar::{Grammar, ProdId};
+use crate::json::{parse_json, JsonValue};
+use crate::sets::{NtSet, TermSet};
+use crate::symbol::{NonTerminal, Terminal};
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every cache file; bump it whenever the
+/// serialized shape changes so old files fail cleanly.
+pub const CACHE_SCHEMA: &str = "costar-gcache-v1";
+
+/// FNV-1a content hash of a grammar: symbol tables (both namespaces, in
+/// interning order), start symbol, and all productions. Two grammars
+/// share a fingerprint only if their dense symbol/production indices are
+/// interchangeable, which is exactly the property cached index-based
+/// analyses need.
+pub fn grammar_fingerprint(g: &Grammar) -> u64 {
+    let mut h = Fnv::new();
+    let tab = g.symbols();
+    h.usize(tab.num_terminals());
+    for t in tab.terminals() {
+        h.str(tab.terminal_name(t));
+    }
+    h.usize(tab.num_nonterminals());
+    for x in tab.nonterminals() {
+        h.str(tab.nonterminal_name(x));
+    }
+    h.usize(g.start().index());
+    h.usize(g.num_productions());
+    for (_, p) in g.iter() {
+        h.usize(p.lhs().index());
+        h.usize(p.rhs().len());
+        for &s in p.rhs() {
+            match s {
+                crate::symbol::Symbol::T(t) => {
+                    h.byte(b'T');
+                    h.usize(t.index());
+                }
+                crate::symbol::Symbol::Nt(x) => {
+                    h.byte(b'N');
+                    h.usize(x.index());
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn usize(&mut self, n: usize) {
+        for b in (n as u64).to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/// Renders the complete analysis bundle as a deterministic JSON document.
+pub fn to_cache_json(g: &Grammar, a: &GrammarAnalysis) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{CACHE_SCHEMA}\",\"fingerprint\":\"{:016x}\",\"nts\":{},\"ts\":{},\"prods\":{}",
+        grammar_fingerprint(g),
+        g.num_nonterminals(),
+        g.num_terminals(),
+        g.num_productions(),
+    );
+
+    out.push_str(",\"nullable\":");
+    push_index_array(&mut out, a.nullable.as_set().iter().map(|x| x.index()));
+
+    out.push_str(",\"first\":[");
+    for (i, s) in a.first.sets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_index_array(&mut out, s.iter().map(|t| t.index()));
+    }
+    out.push(']');
+
+    let (follow_sets, follow_eof) = a.follow.parts();
+    out.push_str(",\"follow\":{\"sets\":[");
+    for (i, s) in follow_sets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_index_array(&mut out, s.iter().map(|t| t.index()));
+    }
+    out.push_str("],\"eof\":");
+    push_bool_array(&mut out, follow_eof.iter().copied());
+    out.push('}');
+
+    out.push_str(",\"left_recursion\":{\"set\":");
+    push_index_array(
+        &mut out,
+        a.left_recursion
+            .left_recursive_set()
+            .iter()
+            .map(|x| x.index()),
+    );
+    out.push_str(",\"edges\":[");
+    for (i, es) in a.left_recursion.edge_lists().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_index_array(&mut out, es.iter().copied());
+    }
+    out.push_str("]}");
+
+    out.push_str(",\"reachability\":{\"set\":");
+    push_index_array(
+        &mut out,
+        a.reachability.reachable_set().iter().map(|x| x.index()),
+    );
+    out.push_str(",\"parent\":");
+    push_opt_index_array(
+        &mut out,
+        a.reachability
+            .parents()
+            .iter()
+            .map(|p| p.map(|x| x.index())),
+    );
+    out.push('}');
+
+    out.push_str(",\"productivity\":{\"set\":");
+    push_index_array(
+        &mut out,
+        a.productivity.productive_set().iter().map(|x| x.index()),
+    );
+    out.push_str(",\"witness\":");
+    push_opt_index_array(
+        &mut out,
+        a.productivity
+            .witnesses()
+            .iter()
+            .map(|w| w.map(|p| p.index())),
+    );
+    out.push('}');
+
+    out.push_str(",\"stable_frames\":[");
+    for (i, d) in a.stable_frames.all_dests().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"pos\":[");
+        for (j, p) in d.positions.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", p.production.index(), p.dot);
+        }
+        let _ = write!(out, "],\"end\":{}}}", d.can_end);
+    }
+    out.push(']');
+
+    out.push_str(",\"decisions\":[");
+    for (i, row) in a.decisions.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match row {
+            None => out.push_str("null"),
+            Some(d) => push_decision(&mut out, d),
+        }
+    }
+    out.push(']');
+
+    out.push_str(",\"sync\":{\"sets\":[");
+    for (i, (s, _)) in a.sync.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_index_array(&mut out, s.iter().map(|t| t.index()));
+    }
+    out.push_str("],\"eof\":");
+    push_bool_array(&mut out, a.sync.iter().map(|(_, e)| e));
+    out.push('}');
+
+    out.push('}');
+    out
+}
+
+fn push_decision(out: &mut String, d: &DecisionInfo) {
+    let _ = write!(
+        out,
+        "{{\"class\":\"{}\",\"alts\":{},\"gs\":{},\"la\":",
+        d.class.as_str(),
+        d.alternatives,
+        d.graph_states,
+    );
+    match &d.lookahead {
+        None => out.push_str("null"),
+        Some(map) => {
+            out.push_str("{\"by\":");
+            push_opt_index_array(
+                out,
+                map.terminal_entries().iter().map(|e| e.map(|p| p.index())),
+            );
+            out.push_str(",\"eof\":");
+            push_opt_index(out, map.for_eof().map(|p| p.index()));
+            out.push('}');
+        }
+    }
+    out.push_str(",\"conflicts\":[");
+    for (i, c) in d.conflicts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"a\":{},\"b\":{},\"t\":", c.a.index(), c.b.index());
+        push_opt_index(out, c.lookahead.map(|t| t.index()));
+        out.push_str(",\"dp\":");
+        push_opt_word(out, c.distinguishing_prefix.as_deref());
+        out.push_str(",\"aw\":");
+        push_opt_word(out, c.ambiguous_word.as_deref());
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn push_index_array(out: &mut String, items: impl Iterator<Item = usize>) {
+    out.push('[');
+    for (i, n) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{n}");
+    }
+    out.push(']');
+}
+
+fn push_opt_index(out: &mut String, v: Option<usize>) {
+    match v {
+        None => out.push_str("null"),
+        Some(n) => {
+            let _ = write!(out, "{n}");
+        }
+    }
+}
+
+fn push_opt_index_array(out: &mut String, items: impl Iterator<Item = Option<usize>>) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_opt_index(out, v);
+    }
+    out.push(']');
+}
+
+fn push_bool_array(out: &mut String, items: impl Iterator<Item = bool>) {
+    out.push('[');
+    for (i, b) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(if b { "true" } else { "false" });
+    }
+    out.push(']');
+}
+
+fn push_opt_word(out: &mut String, w: Option<&[Terminal]>) {
+    match w {
+        None => out.push_str("null"),
+        Some(ts) => push_index_array(out, ts.iter().map(|t| t.index())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+/// Rebuilds a [`GrammarAnalysis`] from a cache document, validating it
+/// against the live grammar `g`. Any mismatch — schema, fingerprint,
+/// dimensions, out-of-bounds index, malformed JSON — returns `None`; the
+/// caller then recomputes from scratch.
+pub fn from_cache_json(g: &Grammar, text: &str) -> Option<GrammarAnalysis> {
+    let v = parse_json(text)?;
+    if v.get("schema")?.as_str()? != CACHE_SCHEMA {
+        return None;
+    }
+    let want_fp = format!("{:016x}", grammar_fingerprint(g));
+    if v.get("fingerprint")?.as_str()? != want_fp {
+        return None;
+    }
+    let nts = g.num_nonterminals();
+    let ts = g.num_terminals();
+    let prods = g.num_productions();
+    if v.get("nts")?.as_usize()? != nts
+        || v.get("ts")?.as_usize()? != ts
+        || v.get("prods")?.as_usize()? != prods
+    {
+        return None;
+    }
+
+    let nullable = NullableSet::from_parts(read_nt_set(v.get("nullable")?, nts)?);
+    let first = FirstSets::from_parts(read_term_set_vec(v.get("first")?, nts, ts)?);
+
+    let fo = v.get("follow")?;
+    let follow = FollowSets::from_parts(
+        read_term_set_vec(fo.get("sets")?, nts, ts)?,
+        read_bool_vec(fo.get("eof")?, nts)?,
+    );
+
+    let lr = v.get("left_recursion")?;
+    let lr_edges_json = lr.get("edges")?.as_arr()?;
+    if lr_edges_json.len() != nts {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(nts);
+    for row in lr_edges_json {
+        edges.push(read_index_vec(row, nts)?);
+    }
+    let left_recursion = LeftRecursion::from_parts(read_nt_set(lr.get("set")?, nts)?, edges);
+
+    let re = v.get("reachability")?;
+    let reachability = Reachability::from_parts(
+        read_nt_set(re.get("set")?, nts)?,
+        read_opt_index_vec(re.get("parent")?, nts, nts)?
+            .into_iter()
+            .map(|o| o.map(NonTerminal::from_index))
+            .collect(),
+    );
+
+    let pr = v.get("productivity")?;
+    let productivity = Productivity::from_parts(
+        read_nt_set(pr.get("set")?, nts)?,
+        read_opt_index_vec(pr.get("witness")?, nts, prods)?
+            .into_iter()
+            .map(|o| o.map(ProdId::from_index))
+            .collect(),
+    );
+
+    let sf_rows = v.get("stable_frames")?.as_arr()?;
+    if sf_rows.len() != nts {
+        return None;
+    }
+    let mut dests = Vec::with_capacity(nts);
+    for row in sf_rows {
+        let mut positions = Vec::new();
+        for p in row.get("pos")?.as_arr()? {
+            let pair = p.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let prod = pair.first()?.as_usize()?;
+            let dot = pair.get(1)?.as_usize()?;
+            if prod >= prods || dot > g.production(ProdId::from_index(prod)).rhs().len() {
+                return None;
+            }
+            positions.push(Position {
+                production: ProdId::from_index(prod),
+                dot: u32::try_from(dot).ok()?,
+            });
+        }
+        dests.push(StableDests {
+            positions,
+            can_end: row.get("end")?.as_bool()?,
+        });
+    }
+    let stable_frames = StableFrames::from_parts(dests);
+
+    let dec_rows = v.get("decisions")?.as_arr()?;
+    if dec_rows.len() != nts {
+        return None;
+    }
+    let mut by_nt = Vec::with_capacity(nts);
+    for (i, row) in dec_rows.iter().enumerate() {
+        if row.is_null() {
+            by_nt.push(None);
+        } else {
+            by_nt.push(Some(read_decision(
+                row,
+                NonTerminal::from_index(i),
+                ts,
+                prods,
+            )?));
+        }
+    }
+    let decisions = DecisionTable::from_parts(by_nt);
+
+    let sy = v.get("sync")?;
+    let sync = SyncSets::from_parts(
+        read_term_set_vec(sy.get("sets")?, nts, ts)?,
+        read_bool_vec(sy.get("eof")?, nts)?,
+    );
+
+    Some(GrammarAnalysis {
+        nullable,
+        first,
+        follow,
+        left_recursion,
+        reachability,
+        productivity,
+        stable_frames,
+        decisions,
+        sync,
+    })
+}
+
+fn read_decision(row: &JsonValue, x: NonTerminal, ts: usize, prods: usize) -> Option<DecisionInfo> {
+    let class = match row.get("class")?.as_str()? {
+        "ll1" => DecisionClass::Ll1,
+        "sll-safe" => DecisionClass::SllSafe,
+        "needs-full-allstar" => DecisionClass::NeedsFullAllStar,
+        _ => return None,
+    };
+    let la = row.get("la")?;
+    let lookahead = if la.is_null() {
+        None
+    } else {
+        let by = read_opt_index_vec(la.get("by")?, ts, prods)?
+            .into_iter()
+            .map(|o| o.map(ProdId::from_index))
+            .collect();
+        let eof = la.get("eof")?;
+        let eof = if eof.is_null() {
+            None
+        } else {
+            let p = eof.as_usize()?;
+            if p >= prods {
+                return None;
+            }
+            Some(ProdId::from_index(p))
+        };
+        Some(LookaheadMap::from_parts(by, eof))
+    };
+    // The lookahead map exists exactly for LL(1) decisions; anything else
+    // is a corrupt file.
+    if lookahead.is_some() != (class == DecisionClass::Ll1) {
+        return None;
+    }
+    let mut conflicts = Vec::new();
+    for c in row.get("conflicts")?.as_arr()? {
+        let a = c.get("a")?.as_usize()?;
+        let b = c.get("b")?.as_usize()?;
+        if a >= prods || b >= prods {
+            return None;
+        }
+        let t = c.get("t")?;
+        let lookahead_t = if t.is_null() {
+            None
+        } else {
+            let ti = t.as_usize()?;
+            if ti >= ts {
+                return None;
+            }
+            Some(Terminal::from_index(ti))
+        };
+        conflicts.push(ConflictPair {
+            a: ProdId::from_index(a),
+            b: ProdId::from_index(b),
+            lookahead: lookahead_t,
+            distinguishing_prefix: read_opt_word(c.get("dp")?, ts)?,
+            ambiguous_word: read_opt_word(c.get("aw")?, ts)?,
+        });
+    }
+    Some(DecisionInfo {
+        nonterminal: x,
+        class,
+        alternatives: row.get("alts")?.as_usize()?,
+        lookahead,
+        conflicts,
+        graph_states: row.get("gs")?.as_usize()?,
+    })
+}
+
+/// `Some(Some(word))` for an array, `Some(None)` for `null`, `None` on
+/// any malformed or out-of-bounds entry.
+fn read_opt_word(v: &JsonValue, ts: usize) -> Option<Option<Vec<Terminal>>> {
+    if v.is_null() {
+        return Some(None);
+    }
+    let mut word = Vec::new();
+    for it in v.as_arr()? {
+        let i = it.as_usize()?;
+        if i >= ts {
+            return None;
+        }
+        word.push(Terminal::from_index(i));
+    }
+    Some(Some(word))
+}
+
+fn read_index_vec(v: &JsonValue, bound: usize) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    for it in v.as_arr()? {
+        let i = it.as_usize()?;
+        if i >= bound {
+            return None;
+        }
+        out.push(i);
+    }
+    Some(out)
+}
+
+fn read_nt_set(v: &JsonValue, nts: usize) -> Option<NtSet> {
+    let mut s = NtSet::with_capacity(nts);
+    for i in read_index_vec(v, nts)? {
+        s.insert(NonTerminal::from_index(i));
+    }
+    Some(s)
+}
+
+fn read_term_set(v: &JsonValue, ts: usize) -> Option<TermSet> {
+    let mut s = TermSet::with_capacity(ts);
+    for i in read_index_vec(v, ts)? {
+        s.insert(Terminal::from_index(i));
+    }
+    Some(s)
+}
+
+fn read_term_set_vec(v: &JsonValue, nts: usize, ts: usize) -> Option<Vec<TermSet>> {
+    let rows = v.as_arr()?;
+    if rows.len() != nts {
+        return None;
+    }
+    rows.iter().map(|r| read_term_set(r, ts)).collect()
+}
+
+fn read_bool_vec(v: &JsonValue, n: usize) -> Option<Vec<bool>> {
+    let items = v.as_arr()?;
+    if items.len() != n {
+        return None;
+    }
+    items.iter().map(JsonValue::as_bool).collect()
+}
+
+/// Fixed-length array of `num | null`, each number `< bound`.
+fn read_opt_index_vec(v: &JsonValue, len: usize, bound: usize) -> Option<Vec<Option<usize>>> {
+    let items = v.as_arr()?;
+    if items.len() != len {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for it in items {
+        if it.is_null() {
+            out.push(None);
+        } else {
+            let i = it.as_usize()?;
+            if i >= bound {
+                return None;
+            }
+            out.push(Some(i));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn fig2() -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S").build().unwrap()
+    }
+
+    /// Deep-equality proxy: the serializer is deterministic, so two
+    /// analyses are equal iff they serialize identically.
+    fn canon(g: &Grammar, a: &GrammarAnalysis) -> String {
+        to_cache_json(g, a)
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for build in [
+            fig2,
+            || {
+                // Nullable + ambiguous + LL(1) mix.
+                let mut gb = GrammarBuilder::new();
+                gb.rule("S", &["A", "x"]);
+                gb.rule("S", &["B"]);
+                gb.rule("A", &[]);
+                gb.rule("A", &["a", "A"]);
+                gb.rule("B", &["a"]);
+                gb.start("S").build().unwrap()
+            },
+            || {
+                // Left-recursive (analysis still computes everything).
+                let mut gb = GrammarBuilder::new();
+                gb.rule("E", &["E", "p", "n"]);
+                gb.rule("E", &["n"]);
+                gb.start("E").build().unwrap()
+            },
+        ] {
+            let g = build();
+            let a = GrammarAnalysis::compute(&g);
+            let json = to_cache_json(&g, &a);
+            let back = from_cache_json(&g, &json).expect("roundtrip");
+            assert_eq!(canon(&g, &a), canon(&g, &back));
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_grammar_content() {
+        let g1 = fig2();
+        let g2 = fig2();
+        assert_eq!(grammar_fingerprint(&g1), grammar_fingerprint(&g2));
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["e"]); // one terminal differs
+        let g3 = gb.start("S").build().unwrap();
+        assert_ne!(grammar_fingerprint(&g1), grammar_fingerprint(&g3));
+    }
+
+    #[test]
+    fn stale_cache_for_other_grammar_is_rejected() {
+        let g1 = fig2();
+        let a1 = GrammarAnalysis::compute(&g1);
+        let json = to_cache_json(&g1, &a1);
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["e"]);
+        let g2 = gb.start("S").build().unwrap();
+        assert!(from_cache_json(&g2, &json).is_none());
+    }
+
+    #[test]
+    fn corrupted_documents_are_rejected_not_trusted() {
+        let g = fig2();
+        let a = GrammarAnalysis::compute(&g);
+        let json = to_cache_json(&g, &a);
+        // Sanity: the pristine document loads.
+        assert!(from_cache_json(&g, &json).is_some());
+        // Truncations at every eighth byte.
+        for cut in (0..json.len()).step_by(8) {
+            assert!(from_cache_json(&g, &json[..cut]).is_none(), "cut={cut}");
+        }
+        // Wrong schema.
+        let bad = json.replace(CACHE_SCHEMA, "costar-gcache-v0");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Tampered fingerprint.
+        let fp = format!("{:016x}", grammar_fingerprint(&g));
+        let bad = json.replace(&fp, &format!("{:016x}", !grammar_fingerprint(&g)));
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Out-of-bounds index smuggled into the nullable set.
+        let bad = json.replace("\"nullable\":[", "\"nullable\":[999,");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Not JSON at all.
+        assert!(from_cache_json(&g, "not json {").is_none());
+        assert!(from_cache_json(&g, "").is_none());
+    }
+
+    #[test]
+    fn decoded_analysis_is_usable() {
+        let g = fig2();
+        let a = GrammarAnalysis::compute(&g);
+        let back = from_cache_json(&g, &to_cache_json(&g, &a)).unwrap();
+        let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
+        let ta = g.symbols().lookup_terminal("a").unwrap();
+        assert_eq!(back.nullable.contains(a_nt), a.nullable.contains(a_nt));
+        assert!(back.first.first(a_nt).contains(ta));
+        assert_eq!(
+            back.decisions.decision(a_nt).map(|d| d.class),
+            a.decisions.decision(a_nt).map(|d| d.class)
+        );
+        assert!(back.sync.is_sync_token(a_nt, ta));
+        assert_eq!(back.stable_frames.dests(a_nt), a.stable_frames.dests(a_nt));
+    }
+}

@@ -97,6 +97,16 @@ impl LookaheadMap {
     pub fn entries(&self) -> usize {
         self.by_terminal.iter().flatten().count() + usize::from(self.eof.is_some())
     }
+
+    /// The raw per-terminal table (grammar-cache serialization).
+    pub(crate) fn terminal_entries(&self) -> &[Option<ProdId>] {
+        &self.by_terminal
+    }
+
+    /// Rebuilds from raw parts (grammar-cache deserialization).
+    pub(crate) fn from_parts(by_terminal: Vec<Option<ProdId>>, eof: Option<ProdId>) -> Self {
+        LookaheadMap { by_terminal, eof }
+    }
 }
 
 /// A pair of alternatives whose LL(1) select sets overlap, with the
@@ -199,6 +209,16 @@ impl DecisionTable {
     /// All decision points, in nonterminal-index order.
     pub fn iter(&self) -> impl Iterator<Item = &DecisionInfo> {
         self.by_nt.iter().flatten()
+    }
+
+    /// The raw per-nonterminal rows (grammar-cache serialization).
+    pub(crate) fn rows(&self) -> &[Option<DecisionInfo>] {
+        &self.by_nt
+    }
+
+    /// Rebuilds from raw rows (grammar-cache deserialization).
+    pub(crate) fn from_parts(by_nt: Vec<Option<DecisionInfo>>) -> Self {
+        DecisionTable { by_nt }
     }
 
     /// Aggregate statistics over the table.

@@ -78,6 +78,17 @@ impl FirstSets {
         &self.first[x.index()]
     }
 
+    /// The per-nonterminal sets in index order (grammar-cache
+    /// serialization).
+    pub(crate) fn sets(&self) -> &[TermSet] {
+        &self.first
+    }
+
+    /// Rebuilds from raw sets (grammar-cache deserialization).
+    pub(crate) fn from_parts(first: Vec<TermSet>) -> Self {
+        FirstSets { first }
+    }
+
     /// FIRST of a sentential form: all terminals that can begin a word
     /// derived from `form`.
     pub fn first_of_form(&self, form: &[Symbol], nullable: &NullableSet) -> TermSet {
@@ -155,6 +166,17 @@ impl FollowSets {
     /// Can end-of-input immediately follow `x`?
     pub fn eof_follows(&self, x: NonTerminal) -> bool {
         self.eof[x.index()]
+    }
+
+    /// The per-nonterminal sets and EOF flags in index order
+    /// (grammar-cache serialization).
+    pub(crate) fn parts(&self) -> (&[TermSet], &[bool]) {
+        (&self.follow, &self.eof)
+    }
+
+    /// Rebuilds from raw parts (grammar-cache deserialization).
+    pub(crate) fn from_parts(follow: Vec<TermSet>, eof: Vec<bool>) -> Self {
+        FollowSets { follow, eof }
     }
 }
 

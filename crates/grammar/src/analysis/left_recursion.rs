@@ -107,6 +107,19 @@ impl LeftRecursion {
         &self.left_recursive
     }
 
+    /// The left-corner graph edges (grammar-cache serialization).
+    pub(crate) fn edge_lists(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// Rebuilds from raw parts (grammar-cache deserialization).
+    pub(crate) fn from_parts(left_recursive: NtSet, edges: Vec<Vec<usize>>) -> Self {
+        LeftRecursion {
+            left_recursive,
+            edges,
+        }
+    }
+
     /// A witness cycle `x ⇒ … ⇒ x` in the left-corner graph, shortest
     /// first by BFS, with `x` at both ends (so a direct self-loop yields
     /// `[x, x]`). `None` when `x` is not left-recursive.

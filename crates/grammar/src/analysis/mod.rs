@@ -23,6 +23,7 @@
 // exceptions carry a targeted `#[allow]` with a justification.
 #![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 
+mod cache;
 mod decide;
 mod first_follow;
 mod left_recursion;
@@ -31,7 +32,9 @@ mod productivity;
 mod reachability;
 mod sll_graph;
 mod stable_frames;
+mod sync;
 
+pub use cache::{from_cache_json, grammar_fingerprint, to_cache_json, CACHE_SCHEMA};
 pub use decide::{
     ConflictPair, DecisionClass, DecisionInfo, DecisionStats, DecisionTable, LookaheadMap,
 };
@@ -41,6 +44,7 @@ pub use nullable::NullableSet;
 pub use productivity::Productivity;
 pub use reachability::Reachability;
 pub use stable_frames::{Position, StableDests, StableFrames};
+pub use sync::SyncSets;
 
 use crate::grammar::Grammar;
 
@@ -79,6 +83,8 @@ pub struct GrammarAnalysis {
     pub stable_frames: StableFrames,
     /// Static decision-point classification and lookahead fast path.
     pub decisions: DecisionTable,
+    /// Panic-mode recovery synchronization sets (FIRST ∪ FOLLOW).
+    pub sync: SyncSets,
 }
 
 impl GrammarAnalysis {
@@ -92,6 +98,7 @@ impl GrammarAnalysis {
         let productivity = Productivity::compute(g);
         let stable_frames = StableFrames::compute(g, &nullable);
         let decisions = DecisionTable::compute(g, &nullable, &first, &follow, &stable_frames);
+        let sync = SyncSets::compute(g, &first, &follow);
         GrammarAnalysis {
             nullable,
             first,
@@ -101,6 +108,7 @@ impl GrammarAnalysis {
             productivity,
             stable_frames,
             decisions,
+            sync,
         }
     }
 }

@@ -75,6 +75,11 @@ impl NullableSet {
     pub fn as_set(&self) -> &NtSet {
         &self.set
     }
+
+    /// Rebuilds from a raw set (grammar-cache deserialization).
+    pub(crate) fn from_parts(set: NtSet) -> Self {
+        NullableSet { set }
+    }
 }
 
 #[cfg(test)]

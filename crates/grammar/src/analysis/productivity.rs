@@ -64,6 +64,19 @@ impl Productivity {
         &self.productive
     }
 
+    /// The witness productions (grammar-cache serialization).
+    pub(crate) fn witnesses(&self) -> &[Option<ProdId>] {
+        &self.witness
+    }
+
+    /// Rebuilds from raw parts (grammar-cache deserialization).
+    pub(crate) fn from_parts(productive: NtSet, witness: Vec<Option<ProdId>>) -> Self {
+        Productivity {
+            productive,
+            witness,
+        }
+    }
+
     /// Nonterminals that have productions but can never finish a
     /// derivation.
     pub fn unproductive(&self, g: &Grammar) -> Vec<NonTerminal> {

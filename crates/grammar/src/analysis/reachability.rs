@@ -56,6 +56,16 @@ impl Reachability {
         &self.reachable
     }
 
+    /// The BFS parent links (grammar-cache serialization).
+    pub(crate) fn parents(&self) -> &[Option<NonTerminal>] {
+        &self.parent
+    }
+
+    /// Rebuilds from raw parts (grammar-cache deserialization).
+    pub(crate) fn from_parts(reachable: NtSet, parent: Vec<Option<NonTerminal>>) -> Self {
+        Reachability { reachable, parent }
+    }
+
     /// Nonterminals that have productions but are not reachable.
     pub fn unreachable(&self, g: &Grammar) -> Vec<NonTerminal> {
         g.symbols()

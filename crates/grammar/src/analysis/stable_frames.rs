@@ -178,6 +178,17 @@ impl StableFrames {
     pub fn dests(&self, x: NonTerminal) -> &StableDests {
         &self.dests[x.index()]
     }
+
+    /// All destinations in nonterminal index order (grammar-cache
+    /// serialization).
+    pub(crate) fn all_dests(&self) -> &[StableDests] {
+        &self.dests
+    }
+
+    /// Rebuilds from raw parts (grammar-cache deserialization).
+    pub(crate) fn from_parts(dests: Vec<StableDests>) -> Self {
+        StableFrames { dests }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,146 @@
+//! Synchronization sets for panic-mode error recovery.
+//!
+//! When the recovering parser hits a token that no continuation of the
+//! current parse predicts, it discards input until it reaches a token the
+//! grammar could plausibly resume at. The classic choice of "plausible"
+//! is per-nonterminal: a token in FIRST(X) may restart X itself, and a
+//! token in FOLLOW(X) may let the parser give X up and continue after it.
+//! [`SyncSets`] precomputes FIRST(X) ∪ FOLLOW(X) (plus an EOF flag) for
+//! every nonterminal so the recovery skip loop is a bitset probe, in the
+//! same spirit as the precompiled [`crate::analysis::DecisionTable`].
+
+use crate::analysis::first_follow::{FirstSets, FollowSets};
+use crate::grammar::Grammar;
+use crate::sets::TermSet;
+use crate::symbol::NonTerminal;
+
+/// Per-nonterminal recovery synchronization sets.
+///
+/// # Examples
+///
+/// ```
+/// use costar_grammar::{analysis::GrammarAnalysis, GrammarBuilder};
+/// let mut gb = GrammarBuilder::new();
+/// gb.rule("S", &["A", "d"]);
+/// gb.rule("A", &["a"]);
+/// let g = gb.start("S").build()?;
+/// let an = GrammarAnalysis::compute(&g);
+/// let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
+/// let a = g.symbols().lookup_terminal("a").unwrap();
+/// let d = g.symbols().lookup_terminal("d").unwrap();
+/// assert!(an.sync.is_sync_token(a_nt, a)); // FIRST(A)
+/// assert!(an.sync.is_sync_token(a_nt, d)); // FOLLOW(A)
+/// # Ok::<(), costar_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncSets {
+    /// For each nonterminal (by index): FIRST(X) ∪ FOLLOW(X).
+    sync: Vec<TermSet>,
+    /// For each nonterminal: can end-of-input follow it? (EOF is always a
+    /// sync point — skipping past it is impossible — but the flag lets
+    /// diagnostics report whether stopping at EOF was *expected*.)
+    eof: Vec<bool>,
+}
+
+impl SyncSets {
+    /// Computes sync sets from already-computed FIRST/FOLLOW analyses.
+    pub fn compute(g: &Grammar, first: &FirstSets, follow: &FollowSets) -> Self {
+        let n = g.num_nonterminals();
+        let mut sync = Vec::with_capacity(n);
+        let mut eof = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = NonTerminal::from_index(i);
+            let mut s = first.first(x).clone();
+            s.union_with(follow.follow(x));
+            sync.push(s);
+            eof.push(follow.eof_follows(x));
+        }
+        SyncSets { sync, eof }
+    }
+
+    /// Rebuilds sync sets from raw parts (grammar-cache deserialization).
+    /// Callers are responsible for dimension checks.
+    pub(crate) fn from_parts(sync: Vec<TermSet>, eof: Vec<bool>) -> Self {
+        SyncSets { sync, eof }
+    }
+
+    /// The sync set of nonterminal `x`: FIRST(x) ∪ FOLLOW(x).
+    pub fn sync(&self, x: NonTerminal) -> &TermSet {
+        &self.sync[x.index()]
+    }
+
+    /// Can end-of-input legitimately end a recovery for `x`?
+    pub fn eof_syncs(&self, x: NonTerminal) -> bool {
+        self.eof[x.index()]
+    }
+
+    /// Is `t` a synchronization token for `x`?
+    pub fn is_sync_token(&self, x: NonTerminal, t: crate::symbol::Terminal) -> bool {
+        self.sync[x.index()].contains(t)
+    }
+
+    /// Number of nonterminals covered (for cache validation).
+    pub fn len(&self) -> usize {
+        self.sync.len()
+    }
+
+    /// `true` when the grammar has no nonterminals.
+    pub fn is_empty(&self) -> bool {
+        self.sync.is_empty()
+    }
+
+    /// Iterates `(sync set, eof flag)` pairs in nonterminal index order
+    /// (grammar-cache serialization).
+    pub fn iter(&self) -> impl Iterator<Item = (&TermSet, bool)> {
+        self.sync.iter().zip(self.eof.iter().copied())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use crate::analysis::nullable::NullableSet;
+    use crate::grammar::GrammarBuilder;
+
+    fn setup() -> (Grammar, SyncSets) {
+        // e -> t e2 ; e2 -> Plus t e2 | ε ; t -> Int | LParen e RParen
+        let mut gb = GrammarBuilder::new();
+        gb.rule("e", &["t", "e2"]);
+        gb.rule("e2", &["Plus", "t", "e2"]);
+        gb.rule("e2", &[]);
+        gb.rule("t", &["Int"]);
+        gb.rule("t", &["LParen", "e", "RParen"]);
+        let g = gb.start("e").build().unwrap();
+        let n = NullableSet::compute(&g);
+        let f = FirstSets::compute(&g, &n);
+        let fo = FollowSets::compute(&g, &n, &f);
+        let s = SyncSets::compute(&g, &f, &fo);
+        (g, s)
+    }
+
+    #[test]
+    fn sync_is_first_union_follow() {
+        let (g, s) = setup();
+        let t_nt = g.symbols().lookup_nonterminal("t").unwrap();
+        let term = |n: &str| g.symbols().lookup_terminal(n).unwrap();
+        // FIRST(t) = {Int, LParen}; FOLLOW(t) = {Plus, RParen}.
+        for name in ["Int", "LParen", "Plus", "RParen"] {
+            assert!(s.is_sync_token(t_nt, term(name)), "{name}");
+        }
+        assert!(s.eof_syncs(t_nt));
+        let e2 = g.symbols().lookup_nonterminal("e2").unwrap();
+        // Star is not in the grammar's alphabet for e2's sync set.
+        assert!(!s.is_sync_token(e2, term("Int")));
+        assert!(s.is_sync_token(e2, term("Plus")));
+        assert!(s.is_sync_token(e2, term("RParen")));
+    }
+
+    #[test]
+    fn covers_every_nonterminal() {
+        let (g, s) = setup();
+        assert_eq!(s.len(), g.num_nonterminals());
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), g.num_nonterminals());
+    }
+}

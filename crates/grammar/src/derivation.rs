@@ -34,6 +34,12 @@ pub enum DerivationError {
     WrongRoot,
     /// The tree's yield is not the input word.
     YieldMismatch,
+    /// The tree contains a recovery [`Tree::Error`] node — by definition
+    /// not part of any derivation.
+    ErrorNode {
+        /// Index in the word where the error node sits.
+        at: usize,
+    },
 }
 
 impl fmt::Display for DerivationError {
@@ -51,6 +57,9 @@ impl fmt::Display for DerivationError {
             DerivationError::WrongRoot => write!(f, "tree root is not the start symbol"),
             DerivationError::YieldMismatch => {
                 write!(f, "tree yield differs from the input word")
+            }
+            DerivationError::ErrorNode { at } => {
+                write!(f, "tree contains a recovery error node at position {at}")
             }
         }
     }
@@ -88,7 +97,7 @@ pub fn check_tree(
     word: &[Token],
     tree: &Tree,
 ) -> Result<(), DerivationError> {
-    if tree.root_symbol() != Symbol::Nt(root) {
+    if tree.root_symbol() != Some(Symbol::Nt(root)) {
         return Err(DerivationError::WrongRoot);
     }
     let consumed = check_sym(g, tree, word, 0)?;
@@ -112,6 +121,16 @@ fn check_sym(
             _ => Err(DerivationError::LeafMismatch { at }),
         },
         Tree::Node(x, children) => {
+            // An error child means this node was patched by recovery; say
+            // so rather than blaming the (damaged) form for not being a
+            // production.
+            let mut epos = at;
+            for c in children {
+                if matches!(c, Tree::Error(_)) {
+                    return Err(DerivationError::ErrorNode { at: epos });
+                }
+                epos += c.leaf_count();
+            }
             let form = forest_roots(children);
             if !has_production(g, *x, &form) {
                 return Err(DerivationError::NoSuchProduction { lhs: *x });
@@ -122,6 +141,7 @@ fn check_sym(
             }
             Ok(pos)
         }
+        Tree::Error(_) => Err(DerivationError::ErrorNode { at }),
     }
 }
 
@@ -324,6 +344,44 @@ mod tests {
         let s = g.symbols().lookup_nonterminal("S").unwrap();
         let bogus = Tree::Node(s, vec![Tree::Leaf(word[0].clone())]);
         assert!(production_of_node(&g, &bogus).is_none());
+    }
+
+    #[test]
+    fn error_nodes_fail_derivation() {
+        use crate::tree::ErrorNode;
+        let (g, word, _) = fig2();
+        let s = g.symbols().lookup_nonterminal("S").unwrap();
+        let a_nt = g.symbols().lookup_nonterminal("A").unwrap();
+        // A recovered tree: the A subtree was abandoned and replaced by an
+        // error node that swallowed the first two tokens.
+        let recovered = Tree::Node(
+            s,
+            vec![
+                Tree::Node(
+                    a_nt,
+                    vec![Tree::Error(ErrorNode {
+                        span: crate::Span::default(),
+                        skipped: vec![word[0].clone(), word[1].clone()],
+                        reason: "test".to_owned(),
+                    })],
+                ),
+                Tree::Leaf(word[2].clone()),
+            ],
+        );
+        assert_eq!(
+            check_tree(&g, s, &word, &recovered),
+            Err(DerivationError::ErrorNode { at: 0 })
+        );
+        // A bare error node at the root is a WrongRoot (no root symbol).
+        let bare = Tree::Error(ErrorNode {
+            span: crate::Span::default(),
+            skipped: vec![],
+            reason: "test".to_owned(),
+        });
+        assert_eq!(
+            check_tree(&g, s, &word, &bare),
+            Err(DerivationError::WrongRoot)
+        );
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! A minimal JSON reader for the grammar-analysis cache.
+//!
+//! The workspace deliberately carries no serialization dependency: every
+//! JSON *writer* (lint reports, analyze output, parse stats) is
+//! hand-rolled. The grammar cache is the first feature that must *read*
+//! JSON back, so this module provides the smallest parser that can
+//! round-trip what we write: objects, arrays, strings with `\"`/`\\`/`\n`
+//! style escapes, unsigned integers, booleans, and `null`.
+//!
+//! It is intentionally strict rather than forgiving — a cache file is
+//! either exactly what we wrote or it is garbage to be recomputed — and
+//! total: malformed input yields `None`, never a panic.
+
+/// A parsed JSON value. Numbers are restricted to unsigned integers
+/// because that is all the cache writer emits; anything else fails the
+/// parse (and thereby invalidates the cache file).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    Num(u64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match).
+    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is a number.
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer as a usize, if this is a number that fits.
+    pub(crate) fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The string inside, if this is a string.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub(crate) fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a boolean.
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub(crate) fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Parses a complete JSON document. Trailing non-whitespace, unsupported
+/// constructs (floats, negative numbers, duplicate-meaningful escapes we
+/// don't emit), or any syntax error yield `None`.
+pub(crate) fn parse_json(input: &str) -> Option<JsonValue> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Nesting cap: cache files are machine-written with shallow structure;
+/// a deeply nested file is corrupt (and would otherwise recurse unboundedly).
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Option<()> {
+        let end = self.pos.checked_add(lit.len())?;
+        if self.bytes.get(self.pos..end)? == lit.as_bytes() {
+            self.pos = end;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        if self.depth >= MAX_DEPTH {
+            return None;
+        }
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(JsonValue::Str),
+            b'0'..=b'9' => self.number(),
+            b't' => self.eat_literal("true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.eat_literal("false").map(|_| JsonValue::Bool(false)),
+            b'n' => self.eat_literal("null").map(|_| JsonValue::Null),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<JsonValue> {
+        self.eat(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Some(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        self.depth -= 1;
+        Some(JsonValue::Obj(fields))
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.eat(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Some(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => break,
+                _ => return None,
+            }
+        }
+        self.depth -= 1;
+        Some(JsonValue::Arr(items))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'u' => {
+                        let end = self.pos.checked_add(4)?;
+                        let hex = std::str::from_utf8(self.bytes.get(self.pos..end)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        // Surrogates are not emitted by our writers.
+                        out.push(char::from_u32(code)?);
+                        self.pos = end;
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Resynchronize on UTF-8 boundaries: collect the full
+                    // multi-byte sequence this byte begins.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return None,
+                        };
+                        let start = self.pos - 1;
+                        let end = start.checked_add(width)?;
+                        let s = std::str::from_utf8(self.bytes.get(start..end)?).ok()?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        // Floats/exponents are never written by the cache; reject them so
+        // a corrupt file fails cleanly.
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return None;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        text.parse::<u64>().ok().map(JsonValue::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null"), Some(JsonValue::Null));
+        assert_eq!(parse_json("true"), Some(JsonValue::Bool(true)));
+        assert_eq!(parse_json("false"), Some(JsonValue::Bool(false)));
+        assert_eq!(parse_json("42"), Some(JsonValue::Num(42)));
+        assert_eq!(
+            parse_json("\"hi\\n\\\"x\\\"\""),
+            Some(JsonValue::Str("hi\n\"x\"".to_owned()))
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json(r#"{"a":[1,2,{"b":null}],"c":"d"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("d"));
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert!(arr[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "1.5",
+            "-3",
+            "1e9",
+            "nul",
+            "\"\\q\"",
+            "[1] extra",
+            "{\"a\":}",
+        ] {
+            assert_eq!(parse_json(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert_eq!(parse_json(&deep), None);
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(parse_json(&ok).is_some());
+    }
+
+    #[test]
+    fn unicode_strings_round_trip() {
+        let v = parse_json("\"héllo → ∀\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → ∀"));
+        let v = parse_json("\"\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("A"));
+    }
+
+    #[test]
+    fn whitespace_tolerated_everywhere() {
+        let v = parse_json(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_arr).unwrap().len(), 2);
+    }
+}

@@ -57,6 +57,7 @@
 pub mod analysis;
 mod derivation;
 mod grammar;
+mod json;
 pub mod lint;
 pub mod sampler;
 mod sets;
@@ -71,5 +72,5 @@ pub use derivation::{
 pub use grammar::{Grammar, GrammarBuilder, GrammarError, ProdId, Production};
 pub use sets::{BitSet, NtSet, TermSet};
 pub use symbol::{NonTerminal, Symbol, SymbolTable, Terminal};
-pub use token::{tokens, Token};
-pub use tree::{forest_roots, forest_yield, Forest, Tree};
+pub use token::{tokens, Span, Token};
+pub use tree::{forest_roots, forest_yield, ErrorNode, Forest, Tree};

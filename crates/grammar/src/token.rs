@@ -8,6 +8,57 @@ use crate::symbol::Terminal;
 use std::fmt;
 use std::sync::Arc;
 
+/// A source location: byte offset and length of a lexeme, plus its
+/// 1-based line and column. Line/column 0 means "unknown" — tokens built
+/// without a source text (tests, `--tokens` mode) carry unknown
+/// positions, and diagnostics fall back to byte offsets or token indices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the lexeme in the source text.
+    pub offset: usize,
+    /// Byte length of the lexeme (0 for synthesized tokens).
+    pub len: usize,
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// 1-based source column, in bytes from the line start (0 = unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// A span with full position information.
+    pub fn new(offset: usize, len: usize, line: u32, col: u32) -> Self {
+        Span {
+            offset,
+            len,
+            line,
+            col,
+        }
+    }
+
+    /// A span recording only a byte offset (line/column unknown).
+    pub fn at_offset(offset: usize) -> Self {
+        Span {
+            offset,
+            ..Span::default()
+        }
+    }
+
+    /// `true` when line/column information is present.
+    pub fn has_position(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.has_position() {
+            write!(f, "line {}, column {}", self.line, self.col)
+        } else {
+            write!(f, "byte offset {}", self.offset)
+        }
+    }
+}
+
 /// A token: a terminal symbol plus the matched literal.
 ///
 /// The lexeme is an `Arc<str>`, so cloning a token — which the parser's
@@ -29,8 +80,8 @@ use std::sync::Arc;
 pub struct Token {
     terminal: Terminal,
     lexeme: Arc<str>,
-    /// Byte offset of the lexeme in the source text, when known.
-    offset: usize,
+    /// Source location of the lexeme, when known.
+    span: Span,
 }
 
 impl Token {
@@ -39,17 +90,26 @@ impl Token {
         Token {
             terminal,
             lexeme: lexeme.into(),
-            offset: 0,
+            span: Span::default(),
         }
     }
 
     /// Creates a token recording the byte offset of the lexeme in its
-    /// source text.
+    /// source text (line/column unknown).
     pub fn with_offset(terminal: Terminal, lexeme: &str, offset: usize) -> Self {
         Token {
             terminal,
             lexeme: lexeme.into(),
-            offset,
+            span: Span::at_offset(offset),
+        }
+    }
+
+    /// Creates a token with a full source span.
+    pub fn with_span(terminal: Terminal, lexeme: &str, span: Span) -> Self {
+        Token {
+            terminal,
+            lexeme: lexeme.into(),
+            span,
         }
     }
 
@@ -65,7 +125,12 @@ impl Token {
 
     /// Byte offset of the lexeme in the source text (0 when unknown).
     pub fn offset(&self) -> usize {
-        self.offset
+        self.span.offset
+    }
+
+    /// Source location of the lexeme.
+    pub fn span(&self) -> Span {
+        self.span
     }
 }
 
@@ -115,6 +180,23 @@ mod tests {
         assert_eq!(w[0].terminal(), w[2].terminal());
         assert_ne!(w[0].terminal(), w[1].terminal());
         assert_eq!(w[2].lexeme(), "a2");
+    }
+
+    #[test]
+    fn spans_carry_line_and_column() {
+        let mut tab = SymbolTable::new();
+        let sp = Span::new(12, 3, 2, 5);
+        let t = Token::with_span(tab.terminal("Id"), "foo", sp);
+        assert_eq!(t.span(), sp);
+        assert_eq!(t.offset(), 12);
+        assert!(sp.has_position());
+        assert_eq!(sp.to_string(), "line 2, column 5");
+        // Offset-only spans display the byte offset fallback.
+        let off = Span::at_offset(7);
+        assert!(!off.has_position());
+        assert_eq!(off.to_string(), "byte offset 7");
+        // Tokens without positions default to the unknown span.
+        assert_eq!(Token::new(tab.terminal("Id"), "x").span(), Span::default());
     }
 
     #[test]

@@ -5,9 +5,26 @@
 //! symbol at the root and the input word at the leaves.
 
 use crate::symbol::{NonTerminal, Symbol};
-use crate::token::Token;
+use crate::token::{Span, Token};
 use crate::SymbolTable;
 use std::fmt::Write as _;
+
+/// The payload of a [`Tree::Error`] node, spliced into a tree by the
+/// recovering parser when panic-mode resynchronization discards input or
+/// abandons an incomplete production. Error nodes are *not* part of the
+/// paper's derivation relation: a tree containing one fails `check_tree`
+/// by construction, which is exactly right — it is a partial tree, not a
+/// proof of membership.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ErrorNode {
+    /// Source location where the error was detected.
+    pub span: Span,
+    /// Tokens discarded during resynchronization, in input order (empty
+    /// for pure "missing symbol" repairs).
+    pub skipped: Vec<Token>,
+    /// Human-readable description of what went wrong.
+    pub reason: String,
+}
 
 /// A parse tree.
 ///
@@ -28,17 +45,33 @@ pub enum Tree {
     /// An interior node: a nonterminal and the forest derived from the
     /// right-hand side chosen for it.
     Node(NonTerminal, Vec<Tree>),
+    /// A recovery artifact: input skipped or a symbol abandoned during
+    /// panic-mode resynchronization. Only the recovering parser produces
+    /// these; plain parses never do.
+    Error(ErrorNode),
 }
 
 /// A forest: the subtrees derived from a sentential form.
 pub type Forest = Vec<Tree>;
 
 impl Tree {
-    /// The grammar symbol at the root of this tree.
-    pub fn root_symbol(&self) -> Symbol {
+    /// The grammar symbol at the root of this tree, or `None` for an
+    /// error node (which stands for no grammar symbol).
+    pub fn root_symbol(&self) -> Option<Symbol> {
         match self {
-            Tree::Leaf(t) => Symbol::T(t.terminal()),
-            Tree::Node(x, _) => Symbol::Nt(*x),
+            Tree::Leaf(t) => Some(Symbol::T(t.terminal())),
+            Tree::Node(x, _) => Some(Symbol::Nt(*x)),
+            Tree::Error(_) => None,
+        }
+    }
+
+    /// `true` when this tree or any subtree is an error node — i.e. the
+    /// tree was produced by recovery, not by a clean derivation.
+    pub fn has_errors(&self) -> bool {
+        match self {
+            Tree::Leaf(_) => false,
+            Tree::Node(_, children) => children.iter().any(Tree::has_errors),
+            Tree::Error(_) => true,
         }
     }
 
@@ -57,14 +90,19 @@ impl Tree {
                     c.collect_yield(out);
                 }
             }
+            // Skipped tokens were consumed input: they belong to the yield
+            // so a recovered tree still reproduces what was read.
+            Tree::Error(e) => out.extend(e.skipped.iter().cloned()),
         }
     }
 
-    /// Number of leaves in the tree (the length of its yield).
+    /// Number of leaves in the tree (the length of its yield; skipped
+    /// tokens inside error nodes count).
     pub fn leaf_count(&self) -> usize {
         match self {
             Tree::Leaf(_) => 1,
             Tree::Node(_, children) => children.iter().map(Tree::leaf_count).sum(),
+            Tree::Error(e) => e.skipped.len(),
         }
     }
 
@@ -73,6 +111,7 @@ impl Tree {
         match self {
             Tree::Leaf(_) => 1,
             Tree::Node(_, children) => 1 + children.iter().map(Tree::size).sum::<usize>(),
+            Tree::Error(_) => 1,
         }
     }
 
@@ -81,6 +120,7 @@ impl Tree {
         match self {
             Tree::Leaf(_) => 1,
             Tree::Node(_, children) => 1 + children.iter().map(Tree::height).max().unwrap_or(0),
+            Tree::Error(_) => 1,
         }
     }
 
@@ -88,7 +128,9 @@ impl Tree {
     /// analyses (the paper's §8 "semantic actions" future work).
     ///
     /// `leaf` maps each token to a semantic value; `node` combines a
-    /// nonterminal and its children's values.
+    /// nonterminal and its children's values; `err` values an error node
+    /// spliced in by the recovering parser (trees from plain parses never
+    /// contain any, so `err` can simply be `|_| unreachable-value` there).
     ///
     /// # Examples
     ///
@@ -99,20 +141,26 @@ impl Tree {
     /// let mut tab = SymbolTable::new();
     /// let t = Token::new(tab.terminal("a"), "a");
     /// let tree = Tree::Node(tab.nonterminal("X"), vec![Tree::Leaf(t)]);
-    /// let n: usize = tree.fold(&mut |_| 1usize, &mut |_, kids| kids.iter().sum());
+    /// let n: usize = tree.fold(
+    ///     &mut |_| 1usize,
+    ///     &mut |_, kids| kids.iter().sum(),
+    ///     &mut |e| e.skipped.len(),
+    /// );
     /// assert_eq!(n, 1);
     /// ```
     pub fn fold<V>(
         &self,
         leaf: &mut impl FnMut(&Token) -> V,
         node: &mut impl FnMut(NonTerminal, Vec<V>) -> V,
+        err: &mut impl FnMut(&ErrorNode) -> V,
     ) -> V {
         match self {
             Tree::Leaf(t) => leaf(t),
             Tree::Node(x, children) => {
-                let vals = children.iter().map(|c| c.fold(leaf, node)).collect();
+                let vals = children.iter().map(|c| c.fold(leaf, node, err)).collect();
                 node(*x, vals)
             }
+            Tree::Error(e) => err(e),
         }
     }
 
@@ -138,6 +186,14 @@ impl Tree {
                     c.render_into(tab, depth + 1, out);
                 }
             }
+            Tree::Error(e) => {
+                let _ = writeln!(
+                    out,
+                    "<error: {} ({} token(s) skipped)>",
+                    e.reason,
+                    e.skipped.len()
+                );
+            }
         }
     }
 }
@@ -152,9 +208,11 @@ pub fn forest_yield(forest: &[Tree]) -> Vec<Token> {
 }
 
 /// The root symbols of a forest, in order. For a forest derived from a
-/// sentential form `γ`, these roots equal `γ`.
+/// sentential form `γ`, these roots equal `γ`. Error nodes stand for no
+/// grammar symbol and are skipped — a recovered forest's roots spell the
+/// symbols that *were* derived around the damage.
 pub fn forest_roots(forest: &[Tree]) -> Vec<Symbol> {
-    forest.iter().map(Tree::root_symbol).collect()
+    forest.iter().filter_map(Tree::root_symbol).collect()
 }
 
 #[cfg(test)]
@@ -211,8 +269,39 @@ mod tests {
         let tree = sample(&mut tab);
         assert_eq!(
             tree.root_symbol(),
-            Symbol::Nt(tab.lookup_nonterminal("S").unwrap())
+            Some(Symbol::Nt(tab.lookup_nonterminal("S").unwrap()))
         );
+    }
+
+    #[test]
+    fn error_nodes_carry_skipped_yield_and_no_root_symbol() {
+        let mut tab = SymbolTable::new();
+        let junk = Token::new(tab.terminal("junk"), "?!");
+        let err = Tree::Error(ErrorNode {
+            span: Span::at_offset(4),
+            skipped: vec![junk.clone()],
+            reason: "unexpected token".to_owned(),
+        });
+        assert_eq!(err.root_symbol(), None);
+        assert!(err.has_errors());
+        assert_eq!(err.yield_tokens(), vec![junk]);
+        assert_eq!(err.leaf_count(), 1);
+        assert_eq!(err.size(), 1);
+        assert_eq!(err.height(), 1);
+
+        let s = tab.nonterminal("S");
+        let wrapped = Tree::Node(s, vec![err.clone()]);
+        assert!(wrapped.has_errors());
+        // Error roots are transparent to forest_roots.
+        assert_eq!(forest_roots(&[err]), vec![]);
+        assert_eq!(
+            forest_roots(std::slice::from_ref(&wrapped)),
+            vec![Symbol::Nt(s)]
+        );
+        assert!(wrapped.render(&tab).contains("error: unexpected token"));
+        // Clean trees report no errors.
+        let clean = sample(&mut tab);
+        assert!(!clean.has_errors());
     }
 
     #[test]
@@ -230,7 +319,11 @@ mod tests {
     fn fold_computes_leaf_count() {
         let mut tab = SymbolTable::new();
         let tree = sample(&mut tab);
-        let n: usize = tree.fold(&mut |_| 1usize, &mut |_, kids| kids.iter().sum());
+        let n: usize = tree.fold(
+            &mut |_| 1usize,
+            &mut |_, kids| kids.iter().sum(),
+            &mut |e| e.skipped.len(),
+        );
         assert_eq!(n, tree.leaf_count());
     }
 

@@ -89,6 +89,8 @@ fn collect_node_facts(
             facts.push((*x, toks.first().map(|t| t.terminal()), at, pos));
             pos
         }
+        // Sampled derivations never contain recovery error nodes.
+        Tree::Error(e) => at + e.skipped.len(),
     }
 }
 

@@ -18,7 +18,7 @@
 //! and indentation rules" — this module is where those rules live for us.
 
 use crate::{Language, TokenizerKind};
-use costar_grammar::Token;
+use costar_grammar::{Span, Token};
 use costar_lexer::{LexError, LexerSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -168,6 +168,7 @@ pub fn tokenize_indented(lang: &Language, source: &str) -> Result<Vec<Token>, Le
     let mut indents: Vec<usize> = vec![0];
     let mut depth: i64 = 0; // bracket nesting depth
     let mut offset = 0usize;
+    let mut line_no = 0u32;
 
     let open = ["(", "[", "{"].map(lookup);
     let close = [")", "]", "}"].map(lookup);
@@ -175,19 +176,23 @@ pub fn tokenize_indented(lang: &Language, source: &str) -> Result<Vec<Token>, Le
     for line in source.split('\n') {
         let line_offset = offset;
         offset += line.len() + 1;
+        line_no = line_no.saturating_add(1);
         let trimmed = line.trim_start_matches([' ', '\t']);
         if depth == 0 {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
             let width = line.len() - trimmed.len();
+            // Synthetic layout tokens sit at column 1 of the line that
+            // triggered them.
+            let layout_span = Span::new(line_offset, 0, line_no, 1);
             if width > *indents.last().expect("nonempty") {
                 indents.push(width);
-                out.push(Token::with_offset(indent, "", line_offset));
+                out.push(Token::with_span(indent, "", layout_span));
             } else {
                 while width < *indents.last().expect("nonempty") {
                     indents.pop();
-                    out.push(Token::with_offset(dedent, "", line_offset));
+                    out.push(Token::with_span(dedent, "", layout_span));
                 }
                 if width != *indents.last().expect("nonempty") {
                     return Err(LexError {
@@ -198,7 +203,8 @@ pub fn tokenize_indented(lang: &Language, source: &str) -> Result<Vec<Token>, Le
             }
         }
         let content = if depth == 0 { trimmed } else { line };
-        let base = line_offset + (line.len() - content.len());
+        let strip = line.len() - content.len();
+        let base = line_offset + strip;
         let toks = lang.lexer().tokenize(content).map_err(|e| LexError {
             at: base + e.at,
             snippet: e.snippet,
@@ -211,18 +217,36 @@ pub fn tokenize_indented(lang: &Language, source: &str) -> Result<Vec<Token>, Le
             }
         }
         let had_tokens = !toks.is_empty();
-        out.extend(
-            toks.into_iter()
-                .map(|t| Token::with_offset(t.terminal(), t.lexeme(), base + t.offset())),
-        );
+        out.extend(toks.into_iter().map(|t| {
+            // The per-line lexer reports line 1 and columns relative to
+            // the stripped content; rebase onto the real source line.
+            let sp = t.span();
+            let span = Span::new(
+                base + sp.offset,
+                sp.len,
+                line_no,
+                sp.col.saturating_add(strip as u32),
+            );
+            Token::with_span(t.terminal(), t.lexeme(), span)
+        }));
         if depth == 0 && had_tokens {
-            out.push(Token::with_offset(newline, "", offset.saturating_sub(1)));
+            let eol = Span::new(
+                offset.saturating_sub(1),
+                0,
+                line_no,
+                (line.len() as u32).saturating_add(1),
+            );
+            out.push(Token::with_span(newline, "", eol));
         }
     }
-    // Close any open blocks.
+    // Close any open blocks (at a virtual line past the end).
     while indents.len() > 1 {
         indents.pop();
-        out.push(Token::with_offset(dedent, "", offset));
+        out.push(Token::with_span(
+            dedent,
+            "",
+            Span::new(offset, 0, line_no.saturating_add(1), 1),
+        ));
     }
     Ok(out)
 }

@@ -9,7 +9,7 @@
 use crate::dfa::{Dfa, DEAD};
 use crate::nfa::Nfa;
 use crate::regex::{escape_literal, parse_regex, RegexError};
-use costar_grammar::{SymbolTable, Terminal, Token};
+use costar_grammar::{Span, SymbolTable, Terminal, Token};
 use std::fmt;
 
 /// What to do when a rule matches.
@@ -215,6 +215,10 @@ impl Lexer {
         let bytes = input.as_bytes();
         let mut tokens = Vec::new();
         let mut pos = 0usize;
+        // 1-based line/column of `pos`, maintained incrementally so every
+        // token carries a full source span for diagnostics.
+        let mut line = 1u32;
+        let mut col = 1u32;
         while pos < bytes.len() {
             let (len, rule) = self.longest_match(&bytes[pos..]).ok_or_else(|| LexError {
                 at: pos,
@@ -222,7 +226,16 @@ impl Lexer {
             })?;
             debug_assert!(len > 0, "empty matches rejected at compile time");
             if let CompiledAction::Emit(t) = self.actions[rule] {
-                tokens.push(Token::with_offset(t, &input[pos..pos + len], pos));
+                let span = Span::new(pos, len, line, col);
+                tokens.push(Token::with_span(t, &input[pos..pos + len], span));
+            }
+            for &b in &bytes[pos..pos + len] {
+                if b == b'\n' {
+                    line = line.saturating_add(1);
+                    col = 1;
+                } else {
+                    col = col.saturating_add(1);
+                }
             }
             pos += len;
         }
@@ -326,6 +339,22 @@ mod tests {
         assert_eq!(toks[0].offset(), 0);
         assert_eq!(toks[1].lexeme(), "cd");
         assert_eq!(toks[1].offset(), 4);
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let (lexer, _) = simple_lexer();
+        let toks = lexer.tokenize("ab cd\n  x42\nif").unwrap();
+        let spans: Vec<(u32, u32, usize)> = toks
+            .iter()
+            .map(|t| (t.span().line, t.span().col, t.span().len))
+            .collect();
+        assert_eq!(spans, vec![(1, 1, 2), (1, 4, 2), (2, 3, 3), (3, 1, 2)]);
+        assert!(toks.iter().all(|t| t.span().has_position()));
+        // Skipped trivia (comments) still advances lines.
+        let toks = lexer.tokenize("x # note\ny").unwrap();
+        assert_eq!(toks[1].span().line, 2);
+        assert_eq!(toks[1].span().col, 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`h_cache_bound`] (`H-CACHE-BOUND`) | §3.4 eviction safety: capping `Δ` never changes outcomes, and caps hold |
 //! | [`h_stable_complete`] (`H-STABLE-COMPLETE`) | §3.5: `StableFrames` equals a brute-force closure enumeration |
 //! | [`h_decide_sound`] (`H-DECIDE-SOUND`) | static decision table soundness: the precompiled LL(1) fast path agrees exactly with full prediction and the derivation-counting oracle |
+//! | [`h_recover_sound`] (`H-RECOVER-SOUND`) | recovery soundness: accepted words give the byte-identical tree with zero diagnostics; rejected (incl. single-token-corrupted) words terminate with ≥1 diagnostic and a tree spelling the whole input; a `max_recoveries` cap is always honored |
 
 use crate::grammars::{self, Template};
 use crate::nondet::{any_bignat, Nondet};
@@ -25,9 +26,11 @@ use costar::invariants::{
     check_prefix_derivation, check_stacks_wf, check_visited, InvariantViolation,
 };
 use costar::measure::{frame_score, meas, stack_score_prime, Measure};
-use costar::{Machine, ParseOutcome, PredictionMode, SllCache, StepResult};
+use costar::{
+    AbortReason, Budget, Machine, ParseOutcome, Parser, PredictionMode, SllCache, StepResult,
+};
 use costar_grammar::analysis::{GrammarAnalysis, Position};
-use costar_grammar::{check_tree, Grammar, NonTerminal, Symbol, Token};
+use costar_grammar::{check_tree, Grammar, NonTerminal, Symbol, Terminal, Token};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -602,6 +605,179 @@ pub fn h_decide_sound<N: Nondet>(nd: &mut N, max_word: usize) -> Result<(), Harn
     Ok(())
 }
 
+/// `H-RECOVER-SOUND` — soundness of the syntax-error-recovery layer
+/// (`Parser::parse_recovering`), over a nondeterministic template, an
+/// arbitrary word, *and* a single-token corruption (delete / insert /
+/// swap) of a known member word:
+///
+/// * **Identity on accepted words**: when `Parser::parse` accepts,
+///   `parse_recovering` returns the *byte-identical* tree, zero
+///   diagnostics, and the identical outcome — recovery never perturbs a
+///   clean parse.
+/// * **Recovery on rejected words**: when `Parser::parse` rejects,
+///   `parse_recovering` terminates with at least one diagnostic, an
+///   error-annotated tree whose yield (counting tokens absorbed into
+///   error nodes) spells the entire input, and a `Reject` outcome
+///   carrying the first diagnostic's reason.
+/// * **Budget honored**: with `Budget::with_max_recoveries(k)` the
+///   recovered parse never records more than `k` diagnostics, and any
+///   abort is precisely `AbortReason::RecoveryLimit { limit: k }`.
+pub fn h_recover_sound<N: Nondet>(nd: &mut N, max_word: usize) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-RECOVER-SOUND";
+    let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+    let mut parser = Parser::with_analysis(t.grammar.clone(), t.analysis.clone());
+
+    // Arbitrary word: half member words (exercising the identity leg),
+    // half random words (exercising the recovery leg).
+    let word = grammars::draw_word(nd, t, max_word);
+    check_recovery_against_baseline(ID, &mut parser, &word)?;
+
+    // Single-token corruption of a known member word — the deterministic
+    // corpus-corruption tests writ nondeterministic.
+    let member = t.member_word(nd.choose(t.num_members()));
+    let corrupted = corrupt_word(nd, &t.grammar, &member);
+    check_recovery_against_baseline(ID, &mut parser, &corrupted)?;
+
+    // The recovery cap is a hard bound, whatever the input.
+    let limit = nd.choose(3) as u64; // 0..=2
+    let mut bounded = Parser::with_analysis(t.grammar.clone(), t.analysis.clone());
+    bounded.set_budget(Budget::unlimited().with_max_recoveries(limit));
+    let capped = bounded.parse_recovering(&corrupted);
+    if capped.diagnostics.len() as u64 > limit {
+        return Err(fail(
+            ID,
+            format!(
+                "template {}: cap {limit} but {} diagnostics recorded",
+                t.name,
+                capped.diagnostics.len()
+            ),
+        ));
+    }
+    match &capped.outcome {
+        ParseOutcome::Aborted(AbortReason::RecoveryLimit { limit: l }) if *l == limit => {}
+        ParseOutcome::Aborted(other) => {
+            return Err(fail(
+                ID,
+                format!(
+                    "template {}: capped run aborted for the wrong reason: {other}",
+                    t.name
+                ),
+            ));
+        }
+        _ => {} // finished within budget — equally fine
+    }
+    Ok(())
+}
+
+/// The shared obligation of `H-RECOVER-SOUND`: compare one word's plain
+/// and recovering parses under an unlimited budget.
+fn check_recovery_against_baseline(
+    id: &'static str,
+    parser: &mut Parser,
+    word: &[Token],
+) -> Result<(), HarnessViolation> {
+    let baseline = parser.parse(word);
+    let recovered = parser.parse_recovering(word);
+    match &baseline {
+        ParseOutcome::Unique(tree) | ParseOutcome::Ambig(tree) => {
+            if !recovered.diagnostics.is_empty() {
+                return Err(fail(
+                    id,
+                    format!(
+                        "accepted word produced {} diagnostics",
+                        recovered.diagnostics.len()
+                    ),
+                ));
+            }
+            if recovered.tree() != Some(tree) {
+                return Err(fail(
+                    id,
+                    "accepted word: recovered tree is not byte-identical",
+                ));
+            }
+            if recovered.outcome != baseline {
+                return Err(fail(
+                    id,
+                    format!(
+                        "accepted word: outcome diverged ({:?} vs {baseline:?})",
+                        recovered.outcome
+                    ),
+                ));
+            }
+        }
+        ParseOutcome::Reject(_) => {
+            if recovered.diagnostics.is_empty() {
+                return Err(fail(id, "rejected word produced no diagnostics"));
+            }
+            if !matches!(recovered.outcome, ParseOutcome::Reject(_)) {
+                return Err(fail(
+                    id,
+                    format!(
+                        "rejected word: recovered outcome is {:?}, not Reject",
+                        recovered.outcome
+                    ),
+                ));
+            }
+            let tree = recovered
+                .tree()
+                .ok_or_else(|| fail(id, "rejected word recovered with no tree"))?;
+            if !tree.has_errors() {
+                return Err(fail(id, "recovered tree carries no error node"));
+            }
+            let yielded: Vec<Terminal> = tree.yield_tokens().iter().map(Token::terminal).collect();
+            let want: Vec<Terminal> = word.iter().map(Token::terminal).collect();
+            if yielded != want {
+                return Err(fail(
+                    id,
+                    format!(
+                        "recovered yield does not spell the input ({} vs {} tokens)",
+                        yielded.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        other => {
+            return Err(fail(
+                id,
+                format!("plain parse returned {other:?} with an unlimited budget"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Applies one token-level mutation — delete, insert, or adjacent swap —
+/// at a nondeterministic position. The result may or may not still be in
+/// the language (an ambiguous grammar can absorb an insertion); the
+/// harness branches on the plain parser's verdict, so both cases carry
+/// their weight.
+fn corrupt_word<N: Nondet>(nd: &mut N, g: &Grammar, word: &[Token]) -> Vec<Token> {
+    let mut out = word.to_vec();
+    let alphabet: Vec<Terminal> = g.symbols().terminals().collect();
+    let fresh = |nd: &mut N, alphabet: &[Terminal]| {
+        let a = alphabet[nd.choose(alphabet.len())];
+        Token::new(a, g.symbols().terminal_name(a))
+    };
+    match nd.choose(3) {
+        0 if !out.is_empty() => {
+            out.remove(nd.choose(out.len()));
+        }
+        2 if out.len() >= 2 => {
+            let i = nd.choose(out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        // Insertion is always possible, so it doubles as the fallback for
+        // deleting from an empty word or swapping in a word of length < 2.
+        _ => {
+            let i = nd.choose(out.len() + 1);
+            let tok = fresh(nd, &alphabet);
+            out.insert(i, tok);
+        }
+    }
+    out
+}
+
 /// Brute-force §3.5 closure: starting from every grammar position just
 /// after an occurrence of `x`, follow return steps (at end of a
 /// right-hand side, to every caller of its left-hand side), push steps
@@ -696,6 +872,8 @@ mod tests {
             h_stable_complete(&mut nd).unwrap();
             let mut nd = RngNondet::new(seed);
             h_decide_sound(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_recover_sound(&mut nd, 5).unwrap();
         }
     }
 

@@ -85,3 +85,15 @@ fn proof_decide_sound() {
         panic!("{v}");
     }
 }
+
+#[kani::proof]
+#[kani::unwind(64)]
+fn proof_recover_sound() {
+    let mut nd = KaniNondet;
+    // Recovery replays each word twice (plain + recovering) and then a
+    // budget-capped third run, so the word bound stays at the minimum
+    // that still reaches both the identity and the recovery legs.
+    if let Err(v) = harness::h_recover_sound(&mut nd, 2) {
+        panic!("{v}");
+    }
+}

@@ -176,6 +176,39 @@ fn injected_panic_is_caught_as_typed_error() {
 }
 
 #[test]
+fn injected_panic_below_recovering_parse_is_caught() {
+    // The recovering entry point shares the panic-safe boundary: a panic
+    // scheduled at any machine step — including during a resynchronized
+    // continuation on corrupt input — surfaces as a typed error with no
+    // tree and no diagnostics, and the parser stays usable.
+    let g = fig2();
+    let valid = word(&g, &["a", "a", "b", "d"]);
+    let corrupt = word(&g, &["a", "a", "d", "d"]);
+    for w in [&valid, &corrupt] {
+        for step in 0..8u64 {
+            let mut parser = Parser::new(g.clone());
+            parser.install_fault_plan(FaultPlan::none().panic_at_step(step));
+            let recovered = parser.parse_recovering(w);
+            let ParseOutcome::Error(ParseError::InvalidState { reason }) = &recovered.outcome
+            else {
+                panic!("step {step}: injected panic must surface as InvalidState");
+            };
+            assert!(
+                reason.contains("injected fault"),
+                "step {step}: panic message must be preserved, got {reason:?}"
+            );
+            assert!(recovered.tree().is_none(), "no partial tree after a panic");
+            assert!(
+                recovered.diagnostics.is_empty(),
+                "no half-collected diagnostics after a panic"
+            );
+            parser.install_fault_plan(FaultPlan::none());
+            assert!(parser.parse_recovering(&valid).is_clean());
+        }
+    }
+}
+
+#[test]
 fn fuel_exhaustion_sweep_aborts_cleanly_at_every_step() {
     let g = fig2();
     let accepted = word(&g, &["a", "a", "b", "d"]);
