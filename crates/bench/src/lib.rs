@@ -20,7 +20,7 @@
 
 #![warn(missing_docs)]
 
-use costar::{ParseOutcome, Parser};
+use costar::{BatchParser, ParseOutcome, Parser};
 use costar_baselines::{earley_parse, AntlrSim};
 use costar_grammar::analysis::{DecisionTable, GrammarAnalysis};
 use costar_grammar::{Grammar, GrammarBuilder, Token};
@@ -643,6 +643,18 @@ pub struct ParseBench {
     /// `overall_overhead`: clean input must not pay for the recovery
     /// machinery it never uses.
     pub overall_recovery_overhead: f64,
+    /// Host parallelism observed during the run
+    /// (`std::thread::available_parallelism`). The speedup gate only
+    /// applies when this is at least 4 — a single-core runner cannot show
+    /// parallel speedup no matter how correct the batch engine is.
+    pub batch_available: usize,
+    /// Wall-clock speedup of [`costar::BatchParser`] at 4 workers over the
+    /// same batch at 1 worker, time-weighted across all corpora.
+    pub batch_speedup_4: f64,
+    /// Whether every per-input outcome and deterministic metrics view from
+    /// the 4-worker batch was identical to the 1-worker batch — the
+    /// determinism contract, checked on every bench run and always gated.
+    pub batch_equal: bool,
 }
 
 /// Runs every language corpus through the default parse path and the
@@ -651,8 +663,9 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
     let mut total_null = 0.0;
     let mut total_observed = 0.0;
     let mut total_recovering = 0.0;
-    let rows = prepare_corpora(cfg)
-        .into_iter()
+    let corpora = prepare_corpora(cfg);
+    let rows = corpora
+        .iter()
         .map(|c| {
             let mut parser = Parser::new(c.lang.grammar().clone());
             for w in &c.words {
@@ -757,10 +770,50 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
             row
         })
         .collect();
+
+    // Batch-parsing arm: every corpus runs through `BatchParser` at 1
+    // worker and at 4. The 1-worker run doubles as the determinism oracle:
+    // per-input outcomes and deterministic metrics must be identical at
+    // both worker counts (gated unconditionally), and on hosts with at
+    // least 4 cores the wall-clock ratio is the speedup row.
+    let batch_available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut batch_equal = true;
+    let mut seq_total = 0.0;
+    let mut par_total = 0.0;
+    for c in &corpora {
+        let grammar = std::sync::Arc::new(c.lang.grammar().clone());
+        let analysis = std::sync::Arc::new(GrammarAnalysis::compute(&grammar));
+        let seq_parser =
+            BatchParser::with_shared(std::sync::Arc::clone(&grammar), analysis.clone())
+                .with_jobs(1);
+        let par_parser = BatchParser::with_shared(grammar, analysis).with_jobs(4);
+        let seq = seq_parser.parse_many(&c.words);
+        let par = par_parser.parse_many(&c.words);
+        batch_equal &= seq.items.len() == par.items.len()
+            && seq.items.iter().zip(&par.items).all(|(a, b)| {
+                a.outcome() == b.outcome() && a.metrics.deterministic() == b.metrics.deterministic()
+            });
+        let mut seq_secs = f64::INFINITY;
+        let mut par_secs = f64::INFINITY;
+        for _ in 0..cfg.trials.max(3) {
+            let start = Instant::now();
+            black_box(seq_parser.parse_many(&c.words));
+            seq_secs = seq_secs.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(par_parser.parse_many(&c.words));
+            par_secs = par_secs.min(start.elapsed().as_secs_f64());
+        }
+        seq_total += seq_secs;
+        par_total += par_secs;
+    }
+
     ParseBench {
         rows,
         overall_overhead: total_observed / total_null.max(1e-12),
         overall_recovery_overhead: total_recovering / total_null.max(1e-12),
+        batch_available,
+        batch_speedup_4: seq_total / par_total.max(1e-12),
+        batch_equal,
     }
 }
 
@@ -809,8 +862,13 @@ impl ParseBench {
         }
         let _ = write!(
             s,
-            "],\"overall_overhead\":{:.4},\"overall_recovery_overhead\":{:.4}}}",
-            self.overall_overhead, self.overall_recovery_overhead
+            "],\"overall_overhead\":{:.4},\"overall_recovery_overhead\":{:.4},\
+             \"batch_available\":{},\"batch_speedup_4\":{:.4},\"batch_equal\":{}}}",
+            self.overall_overhead,
+            self.overall_recovery_overhead,
+            self.batch_available,
+            self.batch_speedup_4,
+            self.batch_equal
         );
         s
     }
@@ -858,6 +916,21 @@ impl ParseBench {
             if !r.reconciles {
                 failures.push(format!("{}: metrics failed to reconcile", r.name));
             }
+        }
+        // The batch determinism contract is gated unconditionally: 4-worker
+        // results must be identical to 1-worker results on every host.
+        if !self.batch_equal {
+            failures.push("batch: 4-worker results diverged from the sequential oracle".into());
+        }
+        // The speedup row is only meaningful with real cores behind the
+        // workers; a single- or dual-core runner cannot show parallel
+        // speedup regardless of engine quality, so the absolute 1.8x
+        // floor applies only on hosts with at least 4 cores.
+        if self.batch_available >= 4 && self.batch_speedup_4 < 1.8 {
+            failures.push(format!(
+                "batch speedup {:.2}x at 4 workers fell below the 1.80x gate",
+                self.batch_speedup_4
+            ));
         }
         // The static fast path must stay engaged. The JSON grammar is
         // entirely LL(1), so zero hits there means the decision table
@@ -963,6 +1036,18 @@ impl fmt::Display for ParseBench {
             f,
             "overall recovery overhead on clean input (time-weighted): {:.2}x",
             self.overall_recovery_overhead
+        )?;
+        writeln!(
+            f,
+            "batch: {:.2}x speedup at 4 workers ({} cores available), \
+             results {} sequential",
+            self.batch_speedup_4,
+            self.batch_available,
+            if self.batch_equal {
+                "identical to"
+            } else {
+                "DIVERGED from"
+            }
         )
     }
 }
@@ -1405,7 +1490,15 @@ mod tests {
                 r.name
             );
         }
+        // The batch arm must have run its determinism oracle on every
+        // corpus; on any host count it must match sequential exactly.
+        assert!(p.batch_equal, "batch results diverged from sequential");
+        assert!(p.batch_available >= 1 && p.batch_speedup_4 > 0.0);
         let json = p.to_json();
+        assert!(json.contains("\"batch_available\""));
+        assert!(json.contains("\"batch_speedup_4\""));
+        assert!(json.contains("\"batch_equal\":true"));
+        assert!(p.to_string().contains("speedup at 4 workers"));
         assert!(json.contains("\"observer_overhead\""));
         assert!(json.contains("\"overall_overhead\""));
         assert!(json.contains("\"recovery_overhead\""));
@@ -1442,6 +1535,20 @@ mod tests {
             r.static_fast_path_fraction = 0.0;
         }
         assert!(unplugged.check_against(&json, 0.05).is_err());
+        // A batch run that diverged from the sequential oracle always
+        // fails, on any host.
+        let mut torn_batch = p.clone();
+        torn_batch.batch_equal = false;
+        assert!(torn_batch.check_against(&json, 0.05).is_err());
+        // On a >=4-core host, a speedup below the 1.8x floor fails; under
+        // 4 cores the determinism gate still applies but the floor does
+        // not (a serial machine cannot exhibit parallel speedup).
+        let mut slow_batch = p.clone();
+        slow_batch.batch_available = 8;
+        slow_batch.batch_speedup_4 = 1.0;
+        assert!(slow_batch.check_against(&json, 0.05).is_err());
+        slow_batch.batch_available = 1;
+        assert!(slow_batch.check_against(&json, 0.05).is_ok());
     }
 
     #[test]

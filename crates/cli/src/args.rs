@@ -6,10 +6,11 @@ use costar_langs::{all_languages, Generator, Language};
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage:
-  costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens \"a b c\")
+  costar parse    (--lang json|xml|dot|python FILE...) | (--grammar G.ebnf --tokens \"a b c\")
                   [--tree] [--stats[=json]] [--time] [--trace-buffer N]
                   [--max-steps N] [--deadline-ms N] [--cache-cap N]
                   [--recover[=json]] [--max-recoveries N] [--no-grammar-cache]
+                  [--jobs N] [--warm-cache]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
   costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
   costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
@@ -36,6 +37,12 @@ usage:
   errors are recovered before aborting (exit 3).
   Parse exit codes: 0 accepted, 1 rejected or internal error,
   2 usage/load error, 3 budget aborted, 4 parsed with recovered errors.
+  Several FILEs parse as one batch over a shared grammar context:
+  --jobs N sets the worker count (default: available parallelism; each
+  input's outcome is byte-identical at any worker count), --warm-cache
+  pre-warms one shared prediction-cache snapshot, per-file verdicts keep
+  input order, and the exit code folds to the most severe per-file code
+  (severity 0 < 4 < 1 < 3).
   Grammar analyses for --grammar files are cached on disk keyed by
   grammar content (COSTAR_CACHE_DIR, default <grammar dir>/.costar-cache);
   --no-grammar-cache bypasses the cache entirely.";
@@ -89,8 +96,9 @@ pub enum Command {
     Parse {
         /// Grammar source.
         source: GrammarSource,
-        /// Input file (built-in language) or token names (`--tokens`).
-        input: Option<String>,
+        /// Input files (built-in language; several parse as one batch)
+        /// or a single token-name string (`--tokens`).
+        inputs: Vec<String>,
         /// Print the parse tree.
         tree: bool,
         /// Metrics reporting mode.
@@ -111,6 +119,10 @@ pub enum Command {
         max_recoveries: Option<u64>,
         /// Bypass the on-disk grammar-analysis cache.
         no_grammar_cache: bool,
+        /// Batch worker count (`None` = available parallelism).
+        jobs: Option<usize>,
+        /// Warm one shared prediction-cache snapshot before the batch.
+        warm_cache: bool,
     },
     /// Run the static analyses.
     Check {
@@ -168,7 +180,7 @@ impl Args {
                 let mut lang = None;
                 let mut grammar = None;
                 let mut tokens = None;
-                let mut file = None;
+                let mut files = Vec::new();
                 let (mut tree, mut time) = (false, false);
                 let mut stats = StatsMode::Off;
                 let mut trace_buffer = None;
@@ -178,6 +190,8 @@ impl Args {
                 let mut recover = RecoverMode::Off;
                 let mut max_recoveries = None;
                 let mut no_grammar_cache = false;
+                let mut jobs = None;
+                let mut warm_cache = false;
                 while let Some(a) = args.next() {
                     match a.as_str() {
                         "--lang" => lang = Some(required(&mut args, "--lang")?),
@@ -213,21 +227,34 @@ impl Args {
                             max_recoveries = Some(number(&mut args, "--max-recoveries")?)
                         }
                         "--no-grammar-cache" => no_grammar_cache = true,
-                        other if !other.starts_with('-') && file.is_none() => {
-                            file = Some(other.to_owned());
+                        "--jobs" => jobs = Some(number::<usize>(&mut args, "--jobs")?),
+                        "--warm-cache" => warm_cache = true,
+                        other if !other.starts_with('-') => {
+                            files.push(other.to_owned());
                         }
                         other => return Err(format!("unexpected argument {other:?}")),
                     }
                 }
-                let (source, input) = match (lang, grammar) {
-                    (Some(l), None) => (GrammarSource::Lang(l), file),
-                    (None, Some(g)) => (GrammarSource::Ebnf(g), tokens),
+                let (source, inputs) = match (lang, grammar) {
+                    (Some(l), None) => (GrammarSource::Lang(l), files),
+                    (None, Some(g)) => {
+                        if !files.is_empty() {
+                            return Err(
+                                "parse --grammar takes its input via --tokens, not FILE arguments"
+                                    .into(),
+                            );
+                        }
+                        (GrammarSource::Ebnf(g), tokens.into_iter().collect())
+                    }
                     _ => return Err("parse needs exactly one of --lang or --grammar".into()),
                 };
+                if trace_buffer.is_some() && inputs.len() > 1 {
+                    return Err("--trace-buffer applies to single-file parses only".into());
+                }
                 Ok(Args {
                     command: Command::Parse {
                         source,
-                        input,
+                        inputs,
                         tree,
                         stats,
                         time,
@@ -238,6 +265,8 @@ impl Args {
                         recover,
                         max_recoveries,
                         no_grammar_cache,
+                        jobs,
+                        warm_cache,
                     },
                 })
             }
@@ -410,7 +439,7 @@ mod tests {
         let a = parse(&["parse", "--lang", "json", "file.json", "--tree", "--time"]).unwrap();
         let Command::Parse {
             source,
-            input,
+            inputs,
             tree,
             stats,
             time,
@@ -421,12 +450,14 @@ mod tests {
             recover,
             max_recoveries,
             no_grammar_cache,
+            jobs,
+            warm_cache,
         } = a.command
         else {
             panic!("wrong command")
         };
         assert_eq!(source, GrammarSource::Lang("json".into()));
-        assert_eq!(input.as_deref(), Some("file.json"));
+        assert_eq!(inputs, vec!["file.json".to_owned()]);
         assert!(tree && time);
         assert_eq!(stats, StatsMode::Off);
         assert!(trace_buffer.is_none());
@@ -434,6 +465,41 @@ mod tests {
         assert_eq!(recover, RecoverMode::Off);
         assert!(max_recoveries.is_none());
         assert!(!no_grammar_cache);
+        assert!(jobs.is_none());
+        assert!(!warm_cache);
+    }
+
+    #[test]
+    fn parse_command_batch_flags() {
+        let a = parse(&[
+            "parse",
+            "--lang",
+            "json",
+            "a.json",
+            "b.json",
+            "c.json",
+            "--jobs",
+            "4",
+            "--warm-cache",
+        ])
+        .unwrap();
+        let Command::Parse {
+            inputs,
+            jobs,
+            warm_cache,
+            ..
+        } = a.command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(inputs, vec!["a.json", "b.json", "c.json"]);
+        assert_eq!(jobs, Some(4));
+        assert!(warm_cache);
+
+        assert!(parse(&["parse", "--lang", "json", "f", "--jobs"]).is_err());
+        assert!(parse(&["parse", "--lang", "json", "f", "--jobs", "many"]).is_err());
+        // --grammar mode takes --tokens, not positional files.
+        assert!(parse(&["parse", "--grammar", "g.ebnf", "--tokens", "a", "stray"]).is_err());
     }
 
     #[test]
@@ -545,11 +611,11 @@ mod tests {
     #[test]
     fn parse_command_with_grammar_and_tokens() {
         let a = parse(&["parse", "--grammar", "g.ebnf", "--tokens", "a b c"]).unwrap();
-        let Command::Parse { source, input, .. } = a.command else {
+        let Command::Parse { source, inputs, .. } = a.command else {
             panic!("wrong command")
         };
         assert_eq!(source, GrammarSource::Ebnf("g.ebnf".into()));
-        assert_eq!(input.as_deref(), Some("a b c"));
+        assert_eq!(inputs, vec!["a b c".to_owned()]);
     }
 
     #[test]

@@ -43,13 +43,16 @@
 //! in a ring buffer and dumps them to stderr whenever the parse does not
 //! accept — a bounded post-mortem of what the machine was doing.
 
-use costar::{Budget, MetricsObserver, ParseOutcome, Parser, TraceObserver};
+use costar::{
+    BatchItemResult, BatchParser, Budget, MetricsObserver, ParseOutcome, Parser, TraceObserver,
+};
 use costar_baselines::Ll1Parser;
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_grammar::transform::eliminate_left_recursion;
 use costar_grammar::{Grammar, Token};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 mod args;
@@ -79,7 +82,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
     match args.command {
         Command::Parse {
             source,
-            input,
+            inputs,
             tree,
             stats,
             time,
@@ -90,6 +93,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
             recover,
             max_recoveries,
             no_grammar_cache,
+            jobs,
+            warm_cache,
         } => {
             let mut budget = Budget::unlimited();
             if let Some(n) = max_steps {
@@ -106,7 +111,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             }
             cmd_parse(
                 source,
-                input,
+                inputs,
                 budget,
                 ParseOpts {
                     tree,
@@ -115,6 +120,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
                     trace_buffer,
                     recover,
                     no_grammar_cache,
+                    jobs,
+                    warm_cache,
                 },
             )
         }
@@ -147,26 +154,40 @@ fn run(args: Args) -> Result<ExitCode, String> {
     }
 }
 
-/// Loads a grammar and an input word from the parse-command sources. The
-/// third element is the default grammar-cache directory: next to the
-/// grammar file for `--grammar`, none for built-in languages (whose
-/// analyses are cheap and have no natural on-disk home).
-fn load(
+/// Loads a grammar and every input word from the parse-command sources.
+/// Words and display names are index-aligned. The last element is the
+/// default grammar-cache directory: next to the grammar file for
+/// `--grammar`, none for built-in languages (whose analyses are cheap
+/// and have no natural on-disk home).
+#[allow(clippy::type_complexity)]
+fn load_many(
     source: GrammarSource,
-    input: Option<String>,
-) -> Result<(Grammar, Vec<Token>, Option<PathBuf>), String> {
+    inputs: Vec<String>,
+) -> Result<(Grammar, Vec<Vec<Token>>, Vec<String>, Option<PathBuf>), String> {
     match source {
         GrammarSource::Lang(name) => {
             let (language, _) = args::find_language(&name)?;
-            let file = input.ok_or("parse --lang needs an input FILE")?;
-            let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
-            let tokens = language.tokenize(&src).map_err(|e| e.to_string())?;
-            Ok((language.grammar().clone(), tokens, None))
+            if inputs.is_empty() {
+                return Err("parse --lang needs at least one input FILE".into());
+            }
+            let mut words = Vec::with_capacity(inputs.len());
+            for file in &inputs {
+                let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+                words.push(
+                    language
+                        .tokenize(&src)
+                        .map_err(|e| format!("{file}: {e}"))?,
+                );
+            }
+            Ok((language.grammar().clone(), words, inputs, None))
         }
         GrammarSource::Ebnf(path) => {
             let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             let (grammar, _) = costar_ebnf::compile(&src)?;
-            let names = input.ok_or("parse --grammar needs --tokens \"name name ...\"")?;
+            let names = inputs
+                .into_iter()
+                .next()
+                .ok_or("parse --grammar needs --tokens \"name name ...\"")?;
             let mut tokens = Vec::new();
             for name in names.split_whitespace() {
                 let t = grammar
@@ -178,7 +199,12 @@ fn load(
             let cache_dir = PathBuf::from(&path)
                 .parent()
                 .map(|d| d.join(".costar-cache"));
-            Ok((grammar, tokens, cache_dir))
+            Ok((
+                grammar,
+                vec![tokens],
+                vec!["<tokens>".to_owned()],
+                cache_dir,
+            ))
         }
     }
 }
@@ -213,15 +239,13 @@ fn load_analysis(
     }
     let analysis = GrammarAnalysis::compute(grammar);
     if !no_cache {
-        if let Some((file, dir)) = &path {
+        if let Some((file, _)) = &path {
             let json = costar_grammar::analysis::to_cache_json(grammar, &analysis);
-            // Atomic-rename write: readers never observe a half-written
-            // document (they'd reject it anyway, but don't make them).
-            let tmp = file.with_extension("json.tmp");
-            let _ = std::fs::create_dir_all(dir);
-            if std::fs::write(&tmp, json).is_ok() {
-                let _ = std::fs::rename(&tmp, file);
-            }
+            // Atomic write with a per-process-per-write staging name:
+            // readers never observe a half-written document, and
+            // concurrent `costar` invocations can't clobber each other's
+            // staging file mid-write.
+            let _ = costar_grammar::analysis::write_cache_atomic(file, &json);
         }
     }
     analysis
@@ -236,24 +260,30 @@ struct ParseOpts {
     trace_buffer: Option<usize>,
     recover: RecoverMode,
     no_grammar_cache: bool,
+    jobs: Option<usize>,
+    warm_cache: bool,
 }
 
 fn cmd_parse(
     source: GrammarSource,
-    input: Option<String>,
+    inputs: Vec<String>,
     budget: Budget,
     opts: ParseOpts,
 ) -> Result<ExitCode, String> {
+    let (grammar, mut words, names, cache_dir) = load_many(source, inputs)?;
+    let analysis = load_analysis(&grammar, cache_dir, opts.no_grammar_cache);
+    if words.len() > 1 {
+        return cmd_parse_batch(grammar, analysis, &names, &words, budget, &opts);
+    }
     let ParseOpts {
         tree,
         stats,
         time,
         trace_buffer,
         recover,
-        no_grammar_cache,
+        ..
     } = opts;
-    let (grammar, tokens, cache_dir) = load(source, input)?;
-    let analysis = load_analysis(&grammar, cache_dir, no_grammar_cache);
+    let tokens = words.pop().unwrap_or_default();
     let mut parser = Parser::with_analysis(grammar, analysis);
     parser.set_budget(budget);
     if !parser.grammar_is_safe() {
@@ -450,12 +480,12 @@ fn cmd_parse_recovering(
             render::describe_diagnostic(parser.grammar(), d)
         );
     }
-    if mode == RecoverMode::Json {
-        println!(
-            "{}",
-            render::recovery_report_json(parser.grammar(), &recovered, tokens.len())
-        );
-    }
+    // JSON reporting is deferred to the end of the function so that
+    // `--recover=json` and `--stats=json` can merge into one top-level
+    // document — two independent prints would interleave into invalid
+    // JSON on stdout.
+    let recovery_json = (mode == RecoverMode::Json)
+        .then(|| render::recovery_report_json(parser.grammar(), &recovered, tokens.len()));
 
     let errors = recovered.diagnostics.len();
     let code = match &recovered.outcome {
@@ -496,15 +526,24 @@ fn cmd_parse_recovering(
             eprint!("{}", t.dump(Some(parser.grammar().symbols())));
         }
     }
-    match (stats, metrics.as_ref()) {
-        (StatsMode::Human, Some(m)) => {
-            eprintln!(
-                "recovery: {} recoveries, {} tokens skipped; steps: {} machine + {} prediction",
-                m.recoveries, m.tokens_skipped, m.machine_steps, m.prediction_steps
-            );
-        }
-        (StatsMode::Json, Some(m)) => println!("{}", m.to_json()),
-        _ => {}
+    if let (StatsMode::Human, Some(m)) = (stats, metrics.as_ref()) {
+        eprintln!(
+            "recovery: {} recoveries, {} tokens skipped; steps: {} machine + {} prediction",
+            m.recoveries, m.tokens_skipped, m.machine_steps, m.prediction_steps
+        );
+    }
+    let stats_json = match (stats, metrics.as_ref()) {
+        (StatsMode::Json, Some(m)) => Some(m.to_json()),
+        _ => None,
+    };
+    // One JSON document per invocation, whatever combination was asked
+    // for: `{"stats":...,"recovery":...}` when both, the bare object
+    // when only one (preserving each flag's standalone output shape).
+    match (stats_json, recovery_json) {
+        (Some(s), Some(r)) => println!("{{\"stats\":{s},\"recovery\":{r}}}"),
+        (Some(s), None) => println!("{s}"),
+        (None, Some(r)) => println!("{r}"),
+        (None, None) => {}
     }
     if time {
         let secs = elapsed.as_secs_f64();
@@ -515,6 +554,191 @@ fn cmd_parse_recovering(
         );
     }
     Ok(code)
+}
+
+/// The multi-file arm of `costar parse`: every FILE parses as one batch
+/// over a shared grammar context ([`BatchParser`]), in parallel across
+/// `--jobs` workers. Per-file verdicts print in input order regardless
+/// of completion order; per-input outcomes are byte-identical to a
+/// sequential run at any worker count. JSON reporting (either of
+/// `--stats=json` / `--recover=json`) emits exactly one top-level
+/// document. The exit code folds to the most severe per-file code
+/// (severity `0 < 4 < 1 < 3`).
+fn cmd_parse_batch(
+    grammar: Grammar,
+    analysis: GrammarAnalysis,
+    names: &[String],
+    words: &[Vec<Token>],
+    budget: Budget,
+    opts: &ParseOpts,
+) -> Result<ExitCode, String> {
+    if opts.trace_buffer.is_some() {
+        return Err("--trace-buffer applies to single-file parses only".into());
+    }
+    let batch = BatchParser::with_shared(Arc::new(grammar), Arc::new(analysis))
+        .with_budget(budget)
+        .with_jobs(opts.jobs.unwrap_or(0))
+        .with_warm_cache(opts.warm_cache);
+    if !batch.analysis().left_recursion.is_grammar_safe() {
+        eprintln!(
+            "warning: grammar is left-recursive; the correctness theorems do not apply \
+             (try `costar check --eliminate-lr`)"
+        );
+    }
+    let recovering = opts.recover != RecoverMode::Off;
+    let start = Instant::now();
+    let result = if recovering {
+        batch.parse_many_recovering(words)
+    } else {
+        batch.parse_many(words)
+    };
+    let elapsed = start.elapsed();
+
+    // With JSON on stdout, human verdict lines move to stderr (same
+    // contract as single-file `--stats=json`).
+    let json_mode = opts.stats == StatsMode::Json || opts.recover == RecoverMode::Json;
+    let verdict = |line: String| {
+        if json_mode {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let g = batch.grammar();
+    for (i, item) in result.items.iter().enumerate() {
+        let name = &names[i];
+        if let BatchItemResult::Recovered(r) = &item.result {
+            for d in &r.diagnostics {
+                eprintln!("{name}: error: {}", render::describe_diagnostic(g, d));
+            }
+        }
+        let line = match item.outcome() {
+            ParseOutcome::Unique(t) => format!(
+                "{name}: unique parse ({} tokens, {} tree nodes)",
+                words[i].len(),
+                t.size()
+            ),
+            ParseOutcome::Ambig(t) => format!(
+                "{name}: AMBIGUOUS input ({} tokens); one of its parse trees has {} nodes",
+                words[i].len(),
+                t.size()
+            ),
+            ParseOutcome::Reject(reason) => match &item.result {
+                BatchItemResult::Recovered(r) => {
+                    let errors = r.diagnostics.len();
+                    let skipped: usize = r.diagnostics.iter().map(|d| d.skipped).sum();
+                    format!(
+                        "{name}: parsed with {errors} syntax error{} ({} tokens, {skipped} skipped)",
+                        if errors == 1 { "" } else { "s" },
+                        words[i].len()
+                    )
+                }
+                BatchItemResult::Plain(_) => {
+                    format!("{name}: reject: {}", render::describe_reject(g, reason))
+                }
+            },
+            ParseOutcome::Error(e) => {
+                format!("{name}: error: {}", render::describe_error(g, e))
+            }
+            ParseOutcome::Aborted(r) => format!(
+                "{name}: aborted: {r} — input neither accepted nor rejected \
+                 (raise --max-steps/--deadline-ms to resolve it)"
+            ),
+        };
+        verdict(line);
+        if opts.tree {
+            if let Some(t) = item.tree() {
+                print!("{}", t.render(g.symbols()));
+            }
+        }
+    }
+
+    if json_mode {
+        let mut doc = String::from("{\"files\":[");
+        for (i, item) in result.items.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            let outcome = match (&item.result, item.outcome()) {
+                (_, ParseOutcome::Unique(_)) => "unique",
+                (_, ParseOutcome::Ambig(_)) => "ambiguous",
+                (BatchItemResult::Recovered(_), ParseOutcome::Reject(_)) => "recovered",
+                (BatchItemResult::Plain(_), ParseOutcome::Reject(_)) => "reject",
+                (_, ParseOutcome::Error(_)) => "error",
+                (_, ParseOutcome::Aborted(_)) => "aborted",
+            };
+            doc.push_str(&format!(
+                "{{\"file\":\"{}\",\"tokens\":{},\"outcome\":\"{outcome}\",\"exit\":{}",
+                render::json_escape(&names[i]),
+                words[i].len(),
+                item.exit_code()
+            ));
+            if opts.stats == StatsMode::Json {
+                doc.push_str(&format!(",\"stats\":{}", item.metrics.to_json()));
+            }
+            if opts.recover == RecoverMode::Json {
+                if let BatchItemResult::Recovered(r) = &item.result {
+                    doc.push_str(&format!(
+                        ",\"recovery\":{}",
+                        render::recovery_report_json(g, r, words[i].len())
+                    ));
+                }
+            }
+            doc.push('}');
+        }
+        doc.push_str(&format!(
+            "],\"jobs\":{},\"exit\":{}",
+            result.jobs,
+            result.exit_code()
+        ));
+        if opts.stats == StatsMode::Json {
+            doc.push_str(&format!(",\"stats\":{}", result.metrics.to_json()));
+        }
+        doc.push('}');
+        println!("{doc}");
+    }
+
+    if opts.stats == StatsMode::Human {
+        let m = &result.metrics;
+        eprintln!(
+            "batch: {} files on {} worker{}, {} tokens total",
+            result.items.len(),
+            result.jobs,
+            if result.jobs == 1 { "" } else { "s" },
+            m.tokens
+        );
+        eprintln!(
+            "steps: {} machine + {} prediction = {} metered; \
+             cache: {} lookups, {} hits, {} misses ({:.1}% hit rate), {} evictions",
+            m.machine_steps,
+            m.prediction_steps,
+            m.meter_steps,
+            m.cache_lookups,
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_hit_rate() * 100.0,
+            m.cache_evictions
+        );
+        if recovering {
+            eprintln!(
+                "recovery: {} recoveries, {} tokens skipped",
+                m.recoveries, m.tokens_skipped
+            );
+        }
+    }
+    if opts.time {
+        let secs = elapsed.as_secs_f64();
+        eprintln!(
+            "batch time: {:.3} ms ({:.0} tokens/sec across {} worker{})",
+            secs * 1e3,
+            result.metrics.tokens as f64 / secs.max(1e-12),
+            result.jobs,
+            if result.jobs == 1 { "" } else { "s" }
+        );
+    }
+    let code = u8::try_from(result.exit_code()).unwrap_or(1);
+    Ok(ExitCode::from(code))
 }
 
 /// `costar lint`: structured grammar diagnostics with witnesses.

@@ -86,7 +86,7 @@ pub fn describe_diagnostic(g: &Grammar, d: &costar::Diagnostic) -> String {
 }
 
 /// Escapes a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

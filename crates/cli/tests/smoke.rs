@@ -227,6 +227,129 @@ fn budget_abort_reports_distinctly_with_exit_3() {
 }
 
 #[test]
+fn stats_json_and_recover_json_merge_into_one_document() {
+    // Regression: `--stats=json --recover=json` used to interleave two
+    // top-level JSON documents on stdout; consumers piping into a JSON
+    // parser saw trailing garbage. They must merge into one document.
+    let path = tmp_file("mergedjson", "[1, 2, }, 3]");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--recover=json", "--stats=json"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4), "recovered-with-errors exit");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let trimmed = stdout.trim();
+    // Exactly one line, one object, both sections present.
+    assert_eq!(trimmed.lines().count(), 1, "{stdout}");
+    assert!(trimmed.starts_with("{\"stats\":{"), "{stdout}");
+    assert!(trimmed.ends_with('}'), "{stdout}");
+    assert!(trimmed.contains(",\"recovery\":{"), "{stdout}");
+    assert!(trimmed.contains("\"outcome\":\"recovered\""), "{stdout}");
+    assert!(trimmed.contains("\"reconciles\":true"), "{stdout}");
+    // Balanced braces certify a single well-formed document (the old bug
+    // printed `}{` between the two).
+    let depth_ok = trimmed
+        .chars()
+        .scan(0i64, |d, c| {
+            *d += match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            };
+            Some(*d)
+        })
+        .all(|d| d >= 0);
+    assert!(depth_ok && !trimmed.contains("}{"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn batch_parse_reports_per_file_in_stable_order() {
+    let a = tmp_file("batch-a", "[1, 2, 3]");
+    let b = tmp_file("batch-b", "{\"k\": [true, null]}");
+    let c = tmp_file("batch-c", "[1, 2, }");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .args([&a, &b, &c])
+        .args(["--jobs", "2"])
+        .output()
+        .expect("spawn");
+    // Exit folds to the worst per-file code: the reject makes it 1.
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    // Verdicts appear in input order regardless of worker scheduling.
+    assert!(lines[0].starts_with(a.to_str().unwrap()), "{stdout}");
+    assert!(lines[1].starts_with(b.to_str().unwrap()), "{stdout}");
+    assert!(lines[2].starts_with(c.to_str().unwrap()), "{stdout}");
+    assert!(lines[0].contains("unique parse"), "{stdout}");
+    assert!(lines[1].contains("unique parse"), "{stdout}");
+    assert!(lines[2].contains("reject"), "{stdout}");
+    for p in [a, b, c] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn batch_parse_emits_one_json_document_and_folds_recovered_exit() {
+    let good = tmp_file("batch-good", "[1, [2], 3]");
+    let broken = tmp_file("batch-broken", "[1, 2, }, 3]");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .args([&good, &broken])
+        .args([
+            "--jobs",
+            "4",
+            "--warm-cache",
+            "--recover=json",
+            "--stats=json",
+        ])
+        .output()
+        .expect("spawn");
+    // good=0, recovered-with-errors=4 → folded batch exit is 4.
+    assert_eq!(out.status.code(), Some(4));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let trimmed = stdout.trim();
+    assert_eq!(trimmed.lines().count(), 1, "one document: {stdout}");
+    assert!(trimmed.starts_with("{\"files\":["), "{stdout}");
+    assert!(trimmed.contains("\"outcome\":\"unique\""), "{stdout}");
+    assert!(trimmed.contains("\"outcome\":\"recovered\""), "{stdout}");
+    assert!(trimmed.contains("\"recovery\":{"), "{stdout}");
+    assert!(trimmed.contains("\"jobs\":"), "{stdout}");
+    assert!(trimmed.contains("\"exit\":4"), "{stdout}");
+    // Per-file and roll-up stats both present and self-certifying.
+    assert!(
+        trimmed.matches("\"reconciles\":true").count() >= 3,
+        "{stdout}"
+    );
+    // Verdict lines move to stderr when JSON owns stdout.
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unique parse"), "{stderr}");
+    let _ = std::fs::remove_file(good);
+    let _ = std::fs::remove_file(broken);
+}
+
+#[test]
+fn batch_parse_rejects_trace_buffer() {
+    let a = tmp_file("batch-tb-a", "[1]");
+    let b = tmp_file("batch-tb-b", "[2]");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .args([&a, &b])
+        .args(["--trace-buffer", "16"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("single-file"), "{stderr}");
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
 fn cache_cap_degrades_without_changing_the_verdict() {
     let out = costar()
         .args(["generate", "--lang", "json", "--size", "120", "--seed", "3"])

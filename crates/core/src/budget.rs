@@ -169,6 +169,16 @@ impl Budget {
     }
 
     /// Sets a wall-clock deadline, measured from the start of the parse.
+    ///
+    /// **Batch semantics:** the deadline is *per parse*, not per batch.
+    /// The clock starts when a parse begins (each `Machine` construction
+    /// creates a fresh `Meter`, which captures `Instant::now()` then), so
+    /// every input in a [`BatchParser`](crate::BatchParser) run gets its
+    /// own full allowance — a slow or aborting first input can never
+    /// starve later inputs of deadline. This is also what makes deadline
+    /// behavior independent of batch order and worker scheduling: input
+    /// `k` sees the same allowance whether it is parsed first, last, or
+    /// concurrently with others.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
@@ -387,6 +397,34 @@ mod tests {
             m.charge(1),
             Err(AbortReason::DeadlineExpired { .. })
         ));
+    }
+
+    #[test]
+    fn deadline_is_per_parse_not_per_batch() {
+        // Regression test for the batch deadline contract: each parse's
+        // clock starts at its own Meter construction. A slow first input
+        // (simulated by sleeping past the whole deadline before the
+        // second meter exists) must not starve a later input — if the
+        // deadline were measured from batch start, the second charge
+        // below would abort.
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(40));
+        let mut first = Meter::new(&budget);
+        first.charge(1).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // Charge a full clock-check interval at once to defeat the
+        // amortized `Instant::now` bookkeeping and force a clock read.
+        assert!(
+            matches!(
+                first.charge(u64::from(DEADLINE_CHECK_INTERVAL)),
+                Err(AbortReason::DeadlineExpired { .. })
+            ),
+            "the slow first input itself does hit its deadline"
+        );
+        let mut second = Meter::new(&budget);
+        assert!(
+            second.charge(u64::from(DEADLINE_CHECK_INTERVAL)).is_ok(),
+            "a later input must start with its full deadline allowance"
+        );
     }
 
     #[test]

@@ -58,6 +58,10 @@
 //!   [`ParseObserver`] hook trait, [`MetricsObserver`]/[`ParseMetrics`]
 //!   for counters and latency histograms, and [`TraceObserver`] for
 //!   bounded post-mortem event traces.
+//! * [`batch`] — parallel batch parsing: [`BatchParser`] shares one
+//!   immutable grammar + analysis across a worker pool (per-worker
+//!   prediction caches, per-input budgets) with results deterministic in
+//!   input order regardless of worker count.
 
 #![warn(missing_docs)]
 // The panic-freedom discipline (clippy.toml `disallowed_*` config) is
@@ -66,6 +70,7 @@
 // is exempt by this crate-level allow.
 #![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 
+pub mod batch;
 pub mod bignat;
 pub mod budget;
 mod error;
@@ -84,6 +89,7 @@ pub mod state;
 #[cfg(kani)]
 pub mod verify_hooks;
 
+pub use batch::{BatchItem, BatchItemResult, BatchParser, BatchResult};
 pub use budget::{AbortReason, Budget};
 pub use error::{ParseError, RejectReason};
 #[cfg(feature = "faults")]

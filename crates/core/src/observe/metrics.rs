@@ -66,6 +66,19 @@ impl Histogram {
         }
     }
 
+    /// Folds `other` into `self`: bucket-wise addition, saturating sum,
+    /// max of maxes. Merging per-worker histograms is exact — the merged
+    /// histogram equals the one a single observer would have recorded
+    /// seeing every sample (bucketing is per-sample, order-independent).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Nonzero buckets as `(lower_bound, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -179,6 +192,60 @@ impl ParseMetrics {
         self.machine_steps + self.prediction_steps == self.meter_steps
             && self.cache_hits + self.cache_misses == self.cache_lookups
             && self.sll_steps + self.ll_steps == self.prediction_steps
+    }
+
+    /// Folds the metrics of another parse into `self`, producing a batch
+    /// roll-up: counters and histograms add, `max_stack_height` takes the
+    /// max, `tokens`/`total_nanos` accumulate, and `abort` keeps the
+    /// first abort seen (merge order is the batch's stable input order,
+    /// so "first" is deterministic). If each summand
+    /// [`reconciles`](ParseMetrics::reconciles), so does the sum — all
+    /// three reconciliation equations are linear.
+    pub fn merge(&mut self, other: &ParseMetrics) {
+        self.machine_steps += other.machine_steps;
+        self.pushes += other.pushes;
+        self.consumes += other.consumes;
+        self.returns += other.returns;
+        self.max_stack_height = self.max_stack_height.max(other.max_stack_height);
+        self.prediction_steps += other.prediction_steps;
+        self.sll_steps += other.sll_steps;
+        self.ll_steps += other.ll_steps;
+        self.decisions += other.decisions;
+        self.single_alternative += other.single_alternative;
+        self.sll_resolved += other.sll_resolved;
+        self.failovers += other.failovers;
+        self.static_fast_path_hits += other.static_fast_path_hits;
+        self.cache_lookups += other.cache_lookups;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.closure_steps += other.closure_steps;
+        self.recoveries += other.recoveries;
+        self.tokens_skipped += other.tokens_skipped;
+        if self.abort.is_none() {
+            self.abort = other.abort;
+        }
+        self.meter_steps += other.meter_steps;
+        self.sll_latency_ns.merge(&other.sll_latency_ns);
+        self.ll_latency_ns.merge(&other.ll_latency_ns);
+        self.lookahead_depth.merge(&other.lookahead_depth);
+        self.tokens += other.tokens;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+    }
+
+    /// The metrics with every wall-clock-derived field zeroed: latency
+    /// histograms cleared and `total_nanos` dropped. What remains is a
+    /// pure function of (grammar, input, budget, prediction mode) — this
+    /// is the view over which the batch determinism contract is stated:
+    /// `a.deterministic() == b.deterministic()` must hold between a
+    /// sequential parse and the same input parsed by any worker under any
+    /// scheduling, while raw equality would be perturbed by timing noise.
+    pub fn deterministic(&self) -> ParseMetrics {
+        let mut m = self.clone();
+        m.sll_latency_ns = Histogram::default();
+        m.ll_latency_ns = Histogram::default();
+        m.total_nanos = 0;
+        m
     }
 
     /// Cache hit rate in `[0, 1]`; 0.0 with no lookups.
@@ -454,6 +521,92 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_observer() {
+        let (mut a, mut b, mut whole) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for v in [0u64, 1, 7, 1 << 20] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [3u64, 3, u64::MAX] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn metrics_merge_preserves_reconciliation_and_first_abort() {
+        let a = ParseMetrics {
+            machine_steps: 3,
+            prediction_steps: 2,
+            sll_steps: 2,
+            meter_steps: 5,
+            cache_lookups: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+            max_stack_height: 4,
+            tokens: 10,
+            ..ParseMetrics::default()
+        };
+        let b = ParseMetrics {
+            machine_steps: 1,
+            prediction_steps: 3,
+            ll_steps: 3,
+            meter_steps: 4,
+            max_stack_height: 2,
+            tokens: 5,
+            abort: Some(AbortReason::StepLimit { limit: 4 }),
+            ..ParseMetrics::default()
+        };
+        assert!(a.reconciles() && b.reconciles());
+        let mut sum = a.clone();
+        sum.merge(&b);
+        assert!(sum.reconciles(), "merge must preserve reconciliation");
+        assert_eq!(sum.machine_steps, 4);
+        assert_eq!(sum.meter_steps, 9);
+        assert_eq!(sum.max_stack_height, 4);
+        assert_eq!(sum.tokens, 15);
+        assert_eq!(sum.abort, Some(AbortReason::StepLimit { limit: 4 }));
+        // First abort wins: merging another abort on top doesn't replace it.
+        let mut sum2 = sum.clone();
+        sum2.merge(&ParseMetrics {
+            abort: Some(AbortReason::StepLimit { limit: 9 }),
+            ..ParseMetrics::default()
+        });
+        assert_eq!(sum2.abort, Some(AbortReason::StepLimit { limit: 4 }));
+    }
+
+    #[test]
+    fn deterministic_view_drops_only_wall_clock_fields() {
+        let mut obs = MetricsObserver::new();
+        obs.on_predict_start(
+            costar_grammar::NonTerminal::from_index(0),
+            PredictPhase::Sll,
+        );
+        obs.on_lookahead(PredictPhase::Sll);
+        obs.on_predict_end(
+            costar_grammar::NonTerminal::from_index(0),
+            PredictPhase::Sll,
+            PredictOutcome::Unique,
+        );
+        obs.on_finish(1);
+        let mut m = obs.into_metrics();
+        m.total_nanos = 1234;
+        let d = m.deterministic();
+        assert_eq!(d.total_nanos, 0);
+        assert_eq!(d.sll_latency_ns, Histogram::default());
+        // Lookahead depth is input-determined, not wall-clock: kept.
+        assert_eq!(d.lookahead_depth.count(), 1);
+        assert_eq!(d.sll_steps, 1);
+        assert!(d.reconciles());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub(crate) enum EofResolution {
     Conflict(ProdId),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct StateData {
     /// Canonically sorted configuration set.
     pub configs: Arc<[Config]>,
@@ -149,7 +149,13 @@ pub struct CacheStats {
 /// inputs *for the same grammar*. Capacity caps (see the module docs) are
 /// configured with [`SllCache::set_capacity`] and survive
 /// [`SllCache::clear`].
-#[derive(Debug, Default)]
+///
+/// The cache is `Clone`: cloning snapshots the full memo (states,
+/// transitions, caps, counters). Batch parsing uses this for its
+/// warm-cache mode — one warmup parse populates a cache, and each worker
+/// starts from an identical private copy (interned configuration sets are
+/// `Arc`-shared, so the copy is cheap relative to re-deriving the DFA).
+#[derive(Debug, Default, Clone)]
 pub struct SllCache {
     states: HashMap<u32, StateData>,
     intern: HashMap<Arc<[Config]>, StateId>,

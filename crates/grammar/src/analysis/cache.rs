@@ -16,9 +16,15 @@
 //! caller recomputes. A stale or corrupted cache file can cost a
 //! recompute; it can never corrupt a parse.
 //!
-//! File placement and atomic writes are the caller's business (the CLI
-//! writes `<cache-dir>/<fingerprint>.json` via temp-file + rename); this
-//! module is pure string-to-value.
+//! File placement is the caller's business (the CLI writes
+//! `<cache-dir>/<fingerprint>.json`), but the atomic write itself lives
+//! here: [`write_cache_atomic`] stages the document in a temp file whose
+//! name is unique per process *and per write* (pid + a process-local
+//! counter) and renames it into place, so any number of concurrent
+//! writers — including several `costar` processes racing on the same
+//! cache directory — each stage privately, and the last whole-file
+//! rename wins. A shared temp name (the old `<file>.tmp` scheme) let one
+//! process rename another's half-written staging file into place.
 
 use crate::analysis::{
     ConflictPair, DecisionClass, DecisionInfo, DecisionTable, FirstSets, FollowSets,
@@ -599,6 +605,47 @@ fn read_opt_index_vec(v: &JsonValue, len: usize, bound: usize) -> Option<Vec<Opt
     Some(out)
 }
 
+// ---------------------------------------------------------------------
+// Atomic file writes
+// ---------------------------------------------------------------------
+
+/// Atomically publishes `contents` at `path` via temp-file + rename,
+/// creating the parent directory if needed.
+///
+/// The staging name is `<file>.<pid>.<seq>.tmp` — unique per process
+/// (pid) and per call within a process (a process-local counter), so
+/// concurrent writers never share a staging file: each write is staged
+/// privately and published by a single whole-file rename. Readers (and
+/// competing writers) therefore only ever observe complete documents;
+/// when several writers race, the last rename wins, which is fine for a
+/// cache whose entries are pure functions of their key. On error the
+/// staging file is removed; `path` is never left half-written.
+pub fn write_cache_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let Some(name) = path.file_name() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cache path has no file name",
+        ));
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp_name = name.to_os_string();
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    let result = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 #[cfg(test)]
 #[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
@@ -719,5 +766,93 @@ mod tests {
         );
         assert!(back.sync.is_sync_token(a_nt, ta));
         assert_eq!(back.stable_frames.dests(a_nt), a.stable_frames.dests(a_nt));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!(
+            "costar-gcache-test-{}-roundtrip",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("entry.json");
+        let g = fig2();
+        let json = to_cache_json(&g, &GrammarAnalysis::compute(&g));
+        write_cache_atomic(&path, &json).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+        // Overwrite publishes the new document.
+        write_cache_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No staging litter.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left behind");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_publish_a_torn_document() {
+        // The regression this guards: with a writer-shared staging name
+        // (`<file>.tmp`), writer A could rename B's half-written staging
+        // file into place, publishing a torn document. With per-writer
+        // staging names, every observed state of the published file must
+        // be the complete document of exactly one writer.
+        let dir = std::env::temp_dir().join(format!(
+            "costar-gcache-test-{}-concurrent",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.json");
+        const WRITERS: usize = 8;
+        const ROUNDS: usize = 50;
+        // Each writer's document is big enough that a torn write is
+        // detectable, and self-describing: "<id>|<payload>".
+        let doc = |w: usize| format!("{w}|{}", "x".repeat(4096 + w));
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let path = &path;
+                let doc = doc(w);
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        write_cache_atomic(path, &doc).unwrap();
+                    }
+                });
+            }
+            // A concurrent reader: every observed state must be some
+            // writer's complete document.
+            let path = &path;
+            s.spawn(move || {
+                for _ in 0..200 {
+                    if let Ok(text) = std::fs::read_to_string(path) {
+                        let id: usize = text
+                            .split('|')
+                            .next()
+                            .and_then(|p| p.parse().ok())
+                            .unwrap_or_else(|| panic!("torn document: {:.60}...", text));
+                        assert_eq!(text, doc(id), "torn or mixed document observed");
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Final state is one writer's complete document and no staging
+        // files survive.
+        let final_text = std::fs::read_to_string(&path).unwrap();
+        let id: usize = final_text.split('|').next().unwrap().parse().unwrap();
+        assert_eq!(final_text, doc(id));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

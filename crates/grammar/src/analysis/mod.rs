@@ -34,7 +34,9 @@ mod sll_graph;
 mod stable_frames;
 mod sync;
 
-pub use cache::{from_cache_json, grammar_fingerprint, to_cache_json, CACHE_SCHEMA};
+pub use cache::{
+    from_cache_json, grammar_fingerprint, to_cache_json, write_cache_atomic, CACHE_SCHEMA,
+};
 pub use decide::{
     ConflictPair, DecisionClass, DecisionInfo, DecisionStats, DecisionTable, LookaheadMap,
 };
