@@ -14,18 +14,27 @@ usage:
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
   costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
   costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
+  costar audit    (--lang L) | (--grammar G.ebnf)  [--format=human|json]
+                  [--max-lookahead K]
   costar generate --lang L [--size N] [--seed S]
   costar tokens   --lang L FILE
 
   lint reports structured diagnostics (L001 left recursion, L002 empty
   language, L003 unproductive, L004 unreachable, L005 duplicate
   production, L006 LL(1) conflict, L007 statically ambiguous pair, L008
-  SLL-safe nonterminal), each with a witness. Exit code 0 = clean,
-  1 = findings, 2 = the grammar could not be loaded.
+  SLL-safe nonterminal, L009 dead alternative, L010 shadowed
+  alternative), each with a witness. Exit code 0 = clean, 1 = findings,
+  2 = the grammar could not be loaded.
   analyze classifies every prediction decision point as ll1 / sll-safe /
   needs-full-allstar from the static SLL closure graph and reports the
   precompiled decision table; same exit-code contract as lint, where a
   \"finding\" is a proven-ambiguous decision pair (L007).
+  audit certifies the exact minimum lookahead bound k of every decision
+  point (with collide/resolve witnesses), detects dead (L009) and
+  shadowed (L010) alternatives, and with --max-lookahead K notes
+  decisions whose bound exceeds K (L011); --format=json prints the
+  machine-checkable costar-cert-v1 certificate. Exit 0 = no findings,
+  1 = findings (L009/L010/L011), 2 = the grammar could not be loaded.
   --stats prints a human-readable metrics summary to stderr;
   --stats=json prints the full ParseMetrics object as JSON on stdout.
   --trace-buffer keeps the last N parse events and dumps them to stderr
@@ -145,6 +154,16 @@ pub enum Command {
         /// Output format.
         format: LintFormat,
     },
+    /// Certify exact lookahead bounds and report dead/shadowed
+    /// alternatives.
+    Audit {
+        /// Grammar source.
+        source: GrammarSource,
+        /// Output format (`json` prints the `costar-cert-v1` certificate).
+        format: LintFormat,
+        /// Note decisions whose certified bound exceeds this (L011).
+        max_lookahead: Option<usize>,
+    },
     /// Emit a synthetic corpus file.
     Generate {
         /// Language name.
@@ -227,7 +246,13 @@ impl Args {
                             max_recoveries = Some(number(&mut args, "--max-recoveries")?)
                         }
                         "--no-grammar-cache" => no_grammar_cache = true,
-                        "--jobs" => jobs = Some(number::<usize>(&mut args, "--jobs")?),
+                        "--jobs" => {
+                            let n = number::<usize>(&mut args, "--jobs")?;
+                            if n == 0 {
+                                return Err("--jobs needs at least one worker".into());
+                            }
+                            jobs = Some(n);
+                        }
                         "--warm-cache" => warm_cache = true,
                         other if !other.starts_with('-') => {
                             files.push(other.to_owned());
@@ -304,6 +329,53 @@ impl Args {
                 let (source, format) = source_and_format(&mut args, "analyze")?;
                 Ok(Args {
                     command: Command::Analyze { source, format },
+                })
+            }
+            "audit" => {
+                let mut lang = None;
+                let mut grammar = None;
+                let mut format = LintFormat::Human;
+                let mut max_lookahead = None;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
+                        "--format=json" => format = LintFormat::Json,
+                        "--format=human" => format = LintFormat::Human,
+                        "--format" => {
+                            format = match required(&mut args, "--format")?.as_str() {
+                                "json" => LintFormat::Json,
+                                "human" => LintFormat::Human,
+                                other => {
+                                    return Err(format!(
+                                        "unknown audit format {other:?} (try human or json)"
+                                    ))
+                                }
+                            }
+                        }
+                        other if other.starts_with("--format=") => {
+                            return Err(format!(
+                                "unknown audit format {:?} (try human or json)",
+                                &other["--format=".len()..]
+                            ));
+                        }
+                        "--max-lookahead" => {
+                            max_lookahead = Some(number::<usize>(&mut args, "--max-lookahead")?)
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                let source = match (lang, grammar) {
+                    (Some(l), None) => GrammarSource::Lang(l),
+                    (None, Some(g)) => GrammarSource::Ebnf(g),
+                    _ => return Err("audit needs exactly one of --lang or --grammar".into()),
+                };
+                Ok(Args {
+                    command: Command::Audit {
+                        source,
+                        format,
+                        max_lookahead,
+                    },
                 })
             }
             "generate" => {
@@ -698,6 +770,48 @@ mod tests {
         assert!(parse(&["analyze"]).is_err());
         assert!(parse(&["analyze", "--lang", "json", "--format=yaml"]).is_err());
         assert!(parse(&["analyze", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
+    }
+
+    #[test]
+    fn audit_command_and_flags() {
+        let a = parse(&["audit", "--grammar", "g.ebnf"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Audit {
+                source: GrammarSource::Ebnf("g.ebnf".into()),
+                format: LintFormat::Human,
+                max_lookahead: None,
+            }
+        );
+        let a = parse(&[
+            "audit",
+            "--lang",
+            "json",
+            "--format=json",
+            "--max-lookahead",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.command,
+            Command::Audit {
+                source: GrammarSource::Lang("json".into()),
+                format: LintFormat::Json,
+                max_lookahead: Some(3),
+            }
+        );
+        assert!(parse(&["audit"]).is_err());
+        assert!(parse(&["audit", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
+        assert!(parse(&["audit", "--lang", "json", "--format=yaml"]).is_err());
+        assert!(parse(&["audit", "--lang", "json", "--max-lookahead", "deep"]).is_err());
+    }
+
+    #[test]
+    fn jobs_zero_is_a_usage_error() {
+        let err = parse(&["parse", "--lang", "json", "f", "--jobs", "0"]).unwrap_err();
+        assert!(err.contains("--jobs"), "unhelpful error: {err}");
+        // One worker remains valid.
+        assert!(parse(&["parse", "--lang", "json", "f", "--jobs", "1"]).is_ok());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
 //! costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
 //! costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
+//! costar audit    (--lang L) | (--grammar G.ebnf)  [--format=human|json] [--max-lookahead K]
 //! costar generate --lang L [--size N] [--seed S]
 //! costar tokens   --lang L FILE
 //! ```
@@ -33,7 +34,15 @@
 //! `ll1` / `sll-safe` / `needs-full-allstar` from the static SLL closure
 //! graph, with lookahead-map sizes and conflict witnesses; it shares
 //! lint's exit-code contract, where a finding is a proven-ambiguous
-//! decision pair.
+//! decision pair. `audit` goes one step further than `analyze`: for every
+//! decision point it certifies the *exact* minimum SLL lookahead bound k
+//! (with a collide witness proving k−1 tokens cannot decide, and a
+//! resolve witness spot-checking that k tokens do), flags dead
+//! alternatives (L009, error) and shadowed alternatives (L010, warning),
+//! and — with `--max-lookahead K` — notes decisions whose certified bound
+//! exceeds K (L011); `--format=json` prints the machine-checkable
+//! `costar-cert-v1` certificate, byte-identical to the one embedded in
+//! the on-disk grammar-analysis cache and replayed at load time.
 //!
 //! Observability: `--stats` prints a human-readable metrics summary on
 //! stderr (so it composes with `--tree` output on stdout); `--stats=json`
@@ -131,6 +140,11 @@ fn run(args: Args) -> Result<ExitCode, String> {
         } => cmd_check(source, eliminate_lr),
         Command::Lint { source, format } => Ok(cmd_lint(source, format)),
         Command::Analyze { source, format } => Ok(cmd_analyze(source, format)),
+        Command::Audit {
+            source,
+            format,
+            max_lookahead,
+        } => Ok(cmd_audit(source, format, max_lookahead)),
         Command::Generate { lang, size, seed } => {
             let (_, generate) = args::find_language(&lang)?;
             print!("{}", generate(seed, size));
@@ -863,6 +877,103 @@ fn cmd_analyze(source: GrammarSource, format: LintFormat) -> ExitCode {
         LintFormat::Json => println!("{}", table.to_json(&grammar)),
     }
     if stats.ambiguous == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `costar audit`: exact lookahead-bound certification plus
+/// dead/shadowed-alternative findings.
+///
+/// Human output prints one line per decision point with its certified
+/// bound k (or `unbounded` — ALL(*)'s regular-lookahead case), the
+/// collide/resolve witnesses per alternative pair, and then any
+/// L009/L010/L011 diagnostics. `--format=json` prints the
+/// `costar-cert-v1` certificate exactly as it is embedded in the on-disk
+/// grammar-analysis cache, so the two forms are byte-identical. Exit
+/// codes follow lint's contract: 0 = no findings, 1 = findings
+/// (L009/L010/L011), 2 = the grammar could not be loaded.
+fn cmd_audit(source: GrammarSource, format: LintFormat, max_lookahead: Option<usize>) -> ExitCode {
+    let grammar = match load_grammar(source) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = costar_grammar::analysis::GrammarAnalysis::compute(&grammar);
+    let table = &analysis.audit;
+    let diags = costar_grammar::lint::audit_findings(&grammar, &analysis, max_lookahead);
+    match format {
+        LintFormat::Human => {
+            let word = |w: &[costar_grammar::Terminal]| -> String {
+                if w.is_empty() {
+                    "ε".to_owned()
+                } else {
+                    w.iter()
+                        .map(|t| grammar.symbols().terminal_name(*t))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }
+            };
+            for info in table.iter() {
+                let name = grammar.symbols().nonterminal_name(info.nonterminal);
+                match info.k {
+                    Some(k) => println!(
+                        "{name}: k = {k} ({} pairs, {} graph states)",
+                        info.pairs.len(),
+                        info.graph_states
+                    ),
+                    None => println!(
+                        "{name}: k = unbounded ({} pairs, {} graph states)",
+                        info.pairs.len(),
+                        info.graph_states
+                    ),
+                }
+                for p in &info.pairs {
+                    let a = grammar.render_production(p.a);
+                    let b = grammar.render_production(p.b);
+                    match (p.k, &p.collide) {
+                        (Some(k), Some(c)) => {
+                            println!("  `{a}` vs `{b}`: k = {k}, collide after `{}`", word(c));
+                            if let Some(r) = &p.resolve {
+                                println!("    resolved by `{}`", word(r));
+                            }
+                        }
+                        (Some(k), None) => println!("  `{a}` vs `{b}`: k = {k}"),
+                        (None, _) => println!("  `{a}` vs `{b}`: unbounded"),
+                    }
+                }
+            }
+            for d in &diags {
+                println!("{}", d.render_human(&grammar));
+            }
+            let stats = table.stats();
+            eprintln!(
+                "{} decision point{}: {} bounded (max k = {}), {} unbounded; \
+                 {} dead, {} shadowed alternative{} ({} graph states)",
+                stats.decision_points,
+                if stats.decision_points == 1 { "" } else { "s" },
+                stats.bounded,
+                stats.max_k,
+                stats.unbounded,
+                stats.dead_alternatives,
+                stats.shadowed_alternatives,
+                if stats.shadowed_alternatives == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                stats.graph_states
+            );
+        }
+        LintFormat::Json => println!(
+            "{}",
+            costar_grammar::analysis::to_cert_json(&grammar, table)
+        ),
+    }
+    if diags.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

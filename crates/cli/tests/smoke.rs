@@ -350,6 +350,71 @@ fn batch_parse_rejects_trace_buffer() {
 }
 
 #[test]
+fn jobs_zero_is_a_usage_error_with_exit_two() {
+    // Regression: `--jobs 0` used to be accepted and silently fall back
+    // to available parallelism; a zero worker count is now a usage error
+    // (exit 2), matching the other malformed-flag diagnostics.
+    let path = tmp_file("jobs0", "[1]");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--jobs", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--jobs"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn truncated_grammar_cache_recomputes_silently() {
+    // A byte-truncated grammar-analysis cache file must fail validation
+    // and be recomputed (and healed) silently — same verdict, no error
+    // output. This is the end-to-end face of the decoder-level
+    // truncation tests in costar-grammar.
+    let dir = std::env::temp_dir().join(format!("costar-cache-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir cache dir");
+    let g = tmp_file("cacheg", "s : A s | B ;\n");
+    let run = || {
+        costar()
+            .args(["parse", "--grammar"])
+            .arg(&g)
+            .args(["--tokens", "A A B"])
+            .env("COSTAR_CACHE_DIR", &dir)
+            .output()
+            .expect("spawn")
+    };
+    let out = run();
+    assert!(out.status.success(), "{out:?}");
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    assert_eq!(files.len(), 1, "one cache entry expected: {files:?}");
+    let full = std::fs::read_to_string(&files[0]).expect("read cache");
+    assert!(
+        full.contains("costar-cert-v1"),
+        "cert embedded: {full:.>40}"
+    );
+
+    std::fs::write(&files[0], &full[..full.len() / 2]).expect("truncate");
+    let out = run();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stdout.contains("unique parse"), "{stdout}");
+    assert!(!stderr.contains("error"), "silent recompute: {stderr}");
+    // The rerun healed the cache file back to the full document.
+    let healed = std::fs::read_to_string(&files[0]).expect("read healed");
+    assert_eq!(healed, full, "cache must be rewritten after truncation");
+    let _ = std::fs::remove_file(g);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn cache_cap_degrades_without_changing_the_verdict() {
     let out = costar()
         .args(["generate", "--lang", "json", "--size", "120", "--seed", "3"])

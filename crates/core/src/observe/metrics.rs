@@ -150,6 +150,12 @@ pub struct ParseMetrics {
     /// Decisions dispatched through the static LL(1) lookahead map
     /// (no simulation, no cache traffic, no prediction fuel).
     pub static_fast_path_hits: u64,
+    /// SLL resolutions checked against a finite certified lookahead bound
+    /// from the `costar-cert-v1` audit certificate.
+    pub certificate_validations: u64,
+    /// Checks where the observed lookahead exceeded the certified bound —
+    /// a deflated (understated) certificate, refutable only dynamically.
+    pub certificate_failures: u64,
     /// DFA transition lookups issued.
     pub cache_lookups: u64,
     /// Lookups answered from the cache.
@@ -215,6 +221,8 @@ impl ParseMetrics {
         self.sll_resolved += other.sll_resolved;
         self.failovers += other.failovers;
         self.static_fast_path_hits += other.static_fast_path_hits;
+        self.certificate_validations += other.certificate_validations;
+        self.certificate_failures += other.certificate_failures;
         self.cache_lookups += other.cache_lookups;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
@@ -288,6 +296,12 @@ impl ParseMetrics {
             ",\"static_fast_path_hits\":{}",
             self.static_fast_path_hits
         );
+        let _ = write!(
+            s,
+            ",\"certificate_validations\":{}",
+            self.certificate_validations
+        );
+        let _ = write!(s, ",\"certificate_failures\":{}", self.certificate_failures);
         let _ = write!(s, ",\"cache_lookups\":{}", self.cache_lookups);
         let _ = write!(s, ",\"cache_hits\":{}", self.cache_hits);
         let _ = write!(s, ",\"cache_misses\":{}", self.cache_misses);
@@ -403,6 +417,13 @@ impl ParseObserver for MetricsObserver {
 
     fn on_static_fast_path(&mut self, _x: NonTerminal) {
         self.m.static_fast_path_hits += 1;
+    }
+
+    fn on_certificate_check(&mut self, _x: NonTerminal, ok: bool) {
+        self.m.certificate_validations += 1;
+        if !ok {
+            self.m.certificate_failures += 1;
+        }
     }
 
     fn on_cache_lookup(&mut self) {
@@ -607,6 +628,25 @@ mod tests {
         assert_eq!(d.lookahead_depth.count(), 1);
         assert_eq!(d.sll_steps, 1);
         assert!(d.reconciles());
+    }
+
+    #[test]
+    fn certificate_checks_are_counted_and_serialized() {
+        let mut obs = MetricsObserver::new();
+        let x = costar_grammar::NonTerminal::from_index(0);
+        obs.on_certificate_check(x, true);
+        obs.on_certificate_check(x, true);
+        obs.on_certificate_check(x, false);
+        let m = obs.into_metrics();
+        assert_eq!(m.certificate_validations, 3);
+        assert_eq!(m.certificate_failures, 1);
+        let json = m.to_json();
+        assert!(json.contains("\"certificate_validations\":3"));
+        assert!(json.contains("\"certificate_failures\":1"));
+        let mut sum = m.clone();
+        sum.merge(&m);
+        assert_eq!(sum.certificate_validations, 6);
+        assert_eq!(sum.certificate_failures, 2);
     }
 
     #[test]

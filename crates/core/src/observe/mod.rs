@@ -141,6 +141,16 @@ pub trait ParseObserver {
     #[inline]
     fn on_static_fast_path(&mut self, _x: NonTerminal) {}
 
+    /// An SLL decision with a finite certified lookahead bound (the
+    /// `costar-cert-v1` audit certificate) resolved; `ok` reports whether
+    /// the observed lookahead stayed within the certified bound. A `false`
+    /// here means the certificate *understated* the bound — the one claim
+    /// static replay cannot refute (sufficiency is universal over inputs),
+    /// checked dynamically instead. Fires only at committed SLL
+    /// resolutions (unique or reject), never on conflicts that fail over.
+    #[inline]
+    fn on_certificate_check(&mut self, _x: NonTerminal, _ok: bool) {}
+
     /// A DFA transition lookup is about to run.
     #[inline]
     fn on_cache_lookup(&mut self) {}
@@ -243,6 +253,11 @@ impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
     fn on_static_fast_path(&mut self, x: NonTerminal) {
         self.0.on_static_fast_path(x);
         self.1.on_static_fast_path(x);
+    }
+    #[inline]
+    fn on_certificate_check(&mut self, x: NonTerminal, ok: bool) {
+        self.0.on_certificate_check(x, ok);
+        self.1.on_certificate_check(x, ok);
     }
     #[inline]
     fn on_cache_lookup(&mut self) {

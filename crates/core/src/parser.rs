@@ -99,10 +99,15 @@ impl Parser {
     /// different grammar produces undefined parse results (though never
     /// memory unsafety).
     pub fn with_analysis(grammar: Grammar, analysis: GrammarAnalysis) -> Self {
+        // The audit certificate bounds the SLL closure-graph size per
+        // decision; pre-size the prediction cache to that estimate so the
+        // warm-up phase of certificate-backed parsers avoids rehashing.
+        let mut cache = SllCache::new();
+        cache.reserve_states(analysis.audit.total_graph_states());
         Parser {
             grammar,
             analysis,
-            cache: SllCache::new(),
+            cache,
             policy: CachePolicy::PerInput,
             mode: PredictionMode::Adaptive,
             budget: Budget::unlimited(),

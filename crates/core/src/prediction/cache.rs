@@ -194,6 +194,22 @@ impl SllCache {
         cache
     }
 
+    /// Pre-sizes the state, intern, and transition tables for roughly `n`
+    /// interned states, avoiding rehash churn while the DFA warms up. The
+    /// audit certificate's per-decision graph-state totals
+    /// (`AuditTable::total_graph_states`) give a static upper estimate of
+    /// the SLL DFA this cache will intern, so
+    /// [`Parser::with_analysis`](crate::Parser::with_analysis) seeds the
+    /// reservation from it. Purely a capacity hint: no states are created
+    /// and caps are unaffected.
+    pub fn reserve_states(&mut self, n: usize) {
+        self.states.reserve(n);
+        self.intern.reserve(n);
+        // DFA states average more than one outgoing edge; 2n is a cheap
+        // middle ground between no hint and per-terminal fanout.
+        self.transitions.reserve(n.saturating_mul(2));
+    }
+
     /// Configures (or removes, with `None`) the entry and byte caps, and
     /// immediately enforces them. No prediction is in flight between
     /// parses, so nothing needs protection here.

@@ -267,10 +267,12 @@ fn sll_predict_inner<O: ParseObserver>(
         match cache.state(sid).resolution {
             Resolution::Unique(alt) => {
                 record_lookahead(cache, lookahead);
+                check_certificate(analysis, x, lookahead, obs);
                 return Prediction::Unique(alt);
             }
             Resolution::Reject => {
                 record_lookahead(cache, lookahead);
+                check_certificate(analysis, x, lookahead, obs);
                 return Prediction::Reject;
             }
             Resolution::Pending => {}
@@ -284,8 +286,14 @@ fn sll_predict_inner<O: ParseObserver>(
         let Some(t) = input.next() else {
             record_lookahead(cache, lookahead);
             return match cache.eof_resolution(sid) {
-                EofResolution::Unique(alt) => Prediction::Unique(alt),
-                EofResolution::Reject => Prediction::Reject,
+                EofResolution::Unique(alt) => {
+                    check_certificate(analysis, x, lookahead, obs);
+                    Prediction::Unique(alt)
+                }
+                EofResolution::Reject => {
+                    check_certificate(analysis, x, lookahead, obs);
+                    Prediction::Reject
+                }
                 EofResolution::Conflict(alt) => Prediction::Ambig(alt),
             };
         };
@@ -341,6 +349,26 @@ fn record_lookahead(cache: &mut SllCache, lookahead: usize) {
     let stats = cache.stats_mut();
     stats.lookahead_tokens += lookahead as u64;
     stats.max_lookahead = stats.max_lookahead.max(lookahead);
+}
+
+/// Validates a committed SLL resolution against the audit certificate's
+/// finite lookahead bound, if decision `x` carries one. Static replay
+/// (`costar_grammar::analysis::replay_certificate`) refutes *inflated*
+/// bounds via their collide witnesses, but a *deflated* bound — claiming
+/// fewer tokens suffice than actually do — is a universal statement no
+/// single witness can refute, so it is checked here, on the live decision:
+/// a correct certificate guarantees every committed SLL resolution uses at
+/// most `k` lookahead tokens. Unbounded decisions (`k_bound` `None`) and
+/// conflicts (which fail over to LL) carry no claim and are skipped.
+fn check_certificate<O: ParseObserver>(
+    analysis: &GrammarAnalysis,
+    x: NonTerminal,
+    lookahead: usize,
+    obs: &mut O,
+) {
+    if let Some(k) = analysis.audit.k_bound(x) {
+        obs.on_certificate_check(x, lookahead <= k);
+    }
 }
 
 /// `adaptivePredict` (paper §3.4): try SLL, commit to its unique and
@@ -739,6 +767,76 @@ mod tests {
             panic!("expected LL failover to produce Unique, got {p:?}")
         };
         assert_eq!(g.render_production(alt), "X -> a");
+    }
+
+    #[derive(Default)]
+    struct CertCounter {
+        checks: u64,
+        failures: u64,
+    }
+    impl ParseObserver for CertCounter {
+        fn on_certificate_check(&mut self, _x: NonTerminal, ok: bool) {
+            self.checks += 1;
+            if !ok {
+                self.failures += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_check_fires_only_for_bounded_decisions() {
+        let (g, an) = fig2();
+        let mut tab = g.symbols().clone();
+        // A -> a A | b has certified bound k = 1: one token resolves it.
+        let a_nt = nt(&g, "A");
+        assert_eq!(an.audit.k_bound(a_nt), Some(1));
+        let word = tokens(&mut tab, &[("b", "b"), ("d", "d")]);
+        let mut cache = SllCache::new();
+        let mut obs = CertCounter::default();
+        let p = sll_predict(
+            &g,
+            &an,
+            a_nt,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+            &mut obs,
+        );
+        assert!(matches!(p, Prediction::Unique(_)));
+        assert_eq!((obs.checks, obs.failures), (1, 0));
+        // S's decision is unbounded under SLL (no finite k): it carries no
+        // certificate claim, so committed resolutions fire no check.
+        let s = nt(&g, "S");
+        assert_eq!(an.audit.k_bound(s), None);
+        let word = tokens(&mut tab, &[("a", "a"), ("b", "b"), ("d", "d")]);
+        let mut obs = CertCounter::default();
+        let p = sll_predict(
+            &g,
+            &an,
+            s,
+            &word,
+            &mut cache,
+            &mut Meter::unlimited(),
+            &mut obs,
+        );
+        assert!(matches!(p, Prediction::Unique(_)));
+        assert_eq!(obs.checks, 0);
+    }
+
+    #[test]
+    fn deflated_certificate_bound_fails_the_dynamic_check() {
+        // Static replay cannot refute an understated bound (sufficiency is
+        // universal over inputs); the runtime check is what catches it. A
+        // resolution observed at lookahead 2 against certified k = 1 must
+        // report a failed check.
+        let (g, an) = fig2();
+        let a_nt = nt(&g, "A");
+        let mut obs = CertCounter::default();
+        check_certificate(&an, a_nt, 2, &mut obs);
+        assert_eq!((obs.checks, obs.failures), (1, 1));
+        // Within the bound: counted as a validation, not a failure.
+        check_certificate(&an, a_nt, 1, &mut obs);
+        assert_eq!((obs.checks, obs.failures), (2, 1));
     }
 
     #[test]

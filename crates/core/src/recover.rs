@@ -12,7 +12,8 @@
 //!   produce [`StepResult::Reject`];
 //! * the driver then records a structured [`Diagnostic`] and performs
 //!   **panic-mode resynchronization**: using the sync sets precomputed by
-//!   the grammar analysis ([`SyncSets`]: FIRST ∪ FOLLOW per nonterminal)
+//!   the grammar analysis ([`costar_grammar::analysis::SyncSets`]:
+//!   FIRST ∪ FOLLOW per nonterminal)
 //!   as a fast candidate filter, it searches for the nearest input token
 //!   that can be consumed after skipping input tokens, popping unfinished
 //!   stack frames, and/or advancing past expected-but-missing grammar

@@ -27,7 +27,7 @@
 //! process rename another's half-written staging file into place.
 
 use crate::analysis::{
-    ConflictPair, DecisionClass, DecisionInfo, DecisionTable, FirstSets, FollowSets,
+    audit, ConflictPair, DecisionClass, DecisionInfo, DecisionTable, FirstSets, FollowSets,
     GrammarAnalysis, LeftRecursion, LookaheadMap, NullableSet, Position, Productivity,
     Reachability, StableDests, StableFrames, SyncSets,
 };
@@ -38,8 +38,9 @@ use crate::symbol::{NonTerminal, Terminal};
 use std::fmt::Write as _;
 
 /// Schema tag stamped into every cache file; bump it whenever the
-/// serialized shape changes so old files fail cleanly.
-pub const CACHE_SCHEMA: &str = "costar-gcache-v1";
+/// serialized shape changes so old files fail cleanly. v2 added the
+/// embedded `costar-cert-v1` audit certificate.
+pub const CACHE_SCHEMA: &str = "costar-gcache-v2";
 
 /// FNV-1a content hash of a grammar: symbol tables (both namespaces, in
 /// interning order), start symbol, and all productions. Two grammars
@@ -233,6 +234,13 @@ pub fn to_cache_json(g: &Grammar, a: &GrammarAnalysis) -> String {
     out.push_str("],\"eof\":");
     push_bool_array(&mut out, a.sync.iter().map(|(_, e)| e));
     out.push('}');
+
+    // The audit certificate is embedded verbatim: the value under
+    // "audit" is exactly the standalone `costar-cert-v1` document, so
+    // `costar audit --format=json` output and the cached form stay
+    // byte-identical.
+    out.push_str(",\"audit\":");
+    out.push_str(&audit::to_cert_json(g, &a.audit));
 
     out.push('}');
     out
@@ -443,6 +451,15 @@ pub fn from_cache_json(g: &Grammar, text: &str) -> Option<GrammarAnalysis> {
         read_bool_vec(sy.get("eof")?, nts)?,
     );
 
+    // The embedded certificate is never trusted structurally alone: its
+    // witnesses are replayed against the live grammar (a few closure
+    // steps per decision pair), so a tampered bound or stale verdict
+    // costs a recompute instead of shipping a wrong certificate.
+    let audit_table = audit::cert_from_json(g, v.get("audit")?)?;
+    if !audit::replay(g, &stable_frames, &productivity, &audit_table) {
+        return None;
+    }
+
     Some(GrammarAnalysis {
         nullable,
         first,
@@ -453,6 +470,7 @@ pub fn from_cache_json(g: &Grammar, text: &str) -> Option<GrammarAnalysis> {
         stable_frames,
         decisions,
         sync,
+        audit: audit_table,
     })
 }
 
@@ -749,6 +767,50 @@ mod tests {
         // Not JSON at all.
         assert!(from_cache_json(&g, "not json {").is_none());
         assert!(from_cache_json(&g, "").is_none());
+    }
+
+    #[test]
+    fn truncated_cache_files_fail_validation_silently() {
+        // Regression guard for caches written before the atomic-rename
+        // path existed: a process killed mid-write leaves a prefix of
+        // the document. Every such prefix must be rejected (None, no
+        // panic), so callers silently fall back to recompute.
+        let g = fig2();
+        let a = GrammarAnalysis::compute(&g);
+        let json = to_cache_json(&g, &a);
+        for cut in 0..json.len().min(64) {
+            assert!(from_cache_json(&g, &json[..cut]).is_none(), "cut={cut}");
+        }
+        for cut in (0..json.len()).step_by(7) {
+            assert!(from_cache_json(&g, &json[..cut]).is_none(), "cut={cut}");
+        }
+        // Truncating from the back of a valid document also kills the
+        // embedded certificate, which sits last.
+        assert!(from_cache_json(&g, &json[..json.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn corrupted_certificate_triggers_recompute() {
+        let g = fig2();
+        let a = GrammarAnalysis::compute(&g);
+        let json = to_cache_json(&g, &a);
+        assert!(json.contains("\"audit\":{\"schema\":\"costar-cert-v1\""));
+        assert!(from_cache_json(&g, &json).is_some());
+        // Structurally broken: out-of-bounds terminal in a witness.
+        let bad = json.replace("\"collide\":[", "\"collide\":[999,");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Structurally valid but semantically wrong: an inflated bound
+        // whose collide witness no longer matches — caught by replay,
+        // not by the schema checks.
+        let bad = json.replace("\"k\":1", "\"k\":2");
+        assert_ne!(bad, json, "fig2 must certify a k=1 decision");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Wrong certificate schema tag.
+        let bad = json.replace("costar-cert-v1", "costar-cert-v0");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Certificate stripped entirely.
+        let bad = json.replace("\"audit\":", "\"audited\":");
+        assert!(from_cache_json(&g, &bad).is_none());
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * [`StableFrames`] — SLL stable return destinations (§3.5);
 //! * [`DecisionTable`] — static per-decision classification (LL(1) /
 //!   SLL-safe / needs-full-ALL(*)) with a precompiled lookahead fast
-//!   path for the parse-time engine.
+//!   path for the parse-time engine;
+//! * [`AuditTable`] — exact per-decision lookahead bounds with collide
+//!   and resolve witnesses, dead/shadowed alternatives, serialized as
+//!   the machine-checkable `costar-cert-v1` certificate that the cache
+//!   loader replays instead of trusting.
 
 // Analysis code feeds the prediction hot path, so it is held to the same
 // panic-freedom discipline as the machine itself (see clippy.toml at the
@@ -23,6 +27,7 @@
 // exceptions carry a targeted `#[allow]` with a justification.
 #![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 
+mod audit;
 mod cache;
 mod decide;
 mod first_follow;
@@ -34,6 +39,10 @@ mod sll_graph;
 mod stable_frames;
 mod sync;
 
+pub use audit::{
+    parse_cert_json, replay as replay_certificate, simulate_survivors, to_cert_json, AuditInfo,
+    AuditStats, AuditTable, PairAudit, CERT_SCHEMA,
+};
 pub use cache::{
     from_cache_json, grammar_fingerprint, to_cache_json, write_cache_atomic, CACHE_SCHEMA,
 };
@@ -87,6 +96,9 @@ pub struct GrammarAnalysis {
     pub decisions: DecisionTable,
     /// Panic-mode recovery synchronization sets (FIRST ∪ FOLLOW).
     pub sync: SyncSets,
+    /// Audit pass: exact per-decision lookahead bounds with witnesses,
+    /// dead and shadowed alternatives (the `costar-cert-v1` certificate).
+    pub audit: AuditTable,
 }
 
 impl GrammarAnalysis {
@@ -101,6 +113,7 @@ impl GrammarAnalysis {
         let stable_frames = StableFrames::compute(g, &nullable);
         let decisions = DecisionTable::compute(g, &nullable, &first, &follow, &stable_frames);
         let sync = SyncSets::compute(g, &first, &follow);
+        let audit = AuditTable::compute(g, &stable_frames, &productivity);
         GrammarAnalysis {
             nullable,
             first,
@@ -111,6 +124,7 @@ impl GrammarAnalysis {
             stable_frames,
             decisions,
             sync,
+            audit,
         }
     }
 }

@@ -100,13 +100,13 @@ pub(crate) struct GraphReport {
 }
 
 /// Signals an exploration cap was exceeded.
-struct CapHit;
+pub(crate) struct CapHit;
 
 /// Closure of `init`: performs every abstract push and return possible
 /// without consuming input, producing the stable configurations (top dot
 /// before a terminal, or `Eof`). `work_budget` is decremented per
 /// processed item and exhaustion aborts with `CapHit`.
-fn static_closure(
+pub(crate) fn static_closure(
     g: &Grammar,
     sf: &StableFrames,
     init: Vec<StaticConfig>,
@@ -200,7 +200,7 @@ fn static_closure(
 }
 
 /// The distinct alternatives voted for by `state`, ascending.
-fn distinct_alts(state: &BTreeSet<StaticConfig>) -> Vec<ProdId> {
+pub(crate) fn distinct_alts(state: &BTreeSet<StaticConfig>) -> Vec<ProdId> {
     let mut alts: Vec<ProdId> = state.iter().map(|c| c.alt).collect();
     alts.sort_unstable();
     alts.dedup();
@@ -210,7 +210,7 @@ fn distinct_alts(state: &BTreeSet<StaticConfig>) -> Vec<ProdId> {
 /// Do two or more alternatives accept end of input in `state`? This is
 /// precisely the condition under which the parse-time engine's
 /// end-of-input resolution reports a conflict and fails over to LL.
-fn has_eof_conflict(state: &BTreeSet<StaticConfig>) -> bool {
+pub(crate) fn has_eof_conflict(state: &BTreeSet<StaticConfig>) -> bool {
     let mut eof_alts: Vec<ProdId> = state
         .iter()
         .filter(|c| c.cont == StaticCont::Eof)
@@ -219,6 +219,39 @@ fn has_eof_conflict(state: &BTreeSet<StaticConfig>) -> bool {
     eof_alts.sort_unstable();
     eof_alts.dedup();
     eof_alts.len() >= 2
+}
+
+/// Groups the stable stack configurations of `state` by the terminal
+/// each one is about to consume, advancing the top dot past it — the
+/// "move" half of the subset construction, shared by [`explore`], the
+/// audit pass's pair graphs, and certificate witness replay. Entries are
+/// in terminal-index order for determinism; `Eof` configurations die on
+/// any terminal and are omitted.
+pub(crate) fn moves_by_terminal(
+    g: &Grammar,
+    state: &BTreeSet<StaticConfig>,
+) -> BTreeMap<Terminal, Vec<StaticConfig>> {
+    let mut by_terminal: BTreeMap<Terminal, Vec<StaticConfig>> = BTreeMap::new();
+    for c in state {
+        let StaticCont::Frames(stack) = &c.cont else {
+            continue; // Eof configurations die on any terminal.
+        };
+        let Some(&(p, j)) = stack.last() else {
+            continue;
+        };
+        let Some(Symbol::T(t)) = g.production(p).rhs().get(j as usize).copied() else {
+            continue; // closure output is stable; anything else is dead.
+        };
+        let mut advanced = stack.clone();
+        if let Some(top) = advanced.last_mut() {
+            top.1 += 1;
+        }
+        by_terminal.entry(t).or_default().push(StaticConfig {
+            alt: c.alt,
+            cont: StaticCont::Frames(advanced),
+        });
+    }
+    by_terminal
 }
 
 /// Explores the closure graph for deciding among `alts` (alternatives of
@@ -277,29 +310,7 @@ pub(crate) fn explore(g: &Grammar, sf: &StableFrames, alts: &[ProdId]) -> GraphR
             }
             continue;
         }
-        // Group the stable stack configurations by their next terminal,
-        // in terminal-index order for determinism.
-        let mut by_terminal: BTreeMap<Terminal, Vec<StaticConfig>> = BTreeMap::new();
-        for c in &state {
-            let StaticCont::Frames(stack) = &c.cont else {
-                continue; // Eof configurations die on any terminal.
-            };
-            let Some(&(p, j)) = stack.last() else {
-                continue;
-            };
-            let Some(Symbol::T(t)) = g.production(p).rhs().get(j as usize).copied() else {
-                continue; // closure output is stable; anything else is dead.
-            };
-            let mut advanced = stack.clone();
-            if let Some(top) = advanced.last_mut() {
-                top.1 += 1;
-            }
-            by_terminal.entry(t).or_default().push(StaticConfig {
-                alt: c.alt,
-                cont: StaticCont::Frames(advanced),
-            });
-        }
-        for (t, moved) in by_terminal {
+        for (t, moved) in moves_by_terminal(g, &state) {
             let next = match static_closure(g, sf, moved, &mut work_budget) {
                 Ok(s) => s,
                 Err(CapHit) => return bounded(ids.len(), distinguishing),

@@ -22,6 +22,9 @@
 //! | `L006` | note | LL(1) conflict — ALL(*) resolves it, but lookahead work is done here |
 //! | `L007` | error | statically ambiguous decision pair — two alternatives derive a common word (witnessed) |
 //! | `L008` | note | SLL-safe nonterminal — SLL prediction provably never conflicts, LL failover is dead weight |
+//! | `L009` | error | dead alternative — its right-hand side derives no terminal word, so no input ever selects it |
+//! | `L010` | warning | shadowed alternative — an earlier alternative's language covers it, so it can never win |
+//! | `L011` | note | lookahead bound exceeds the `--max-lookahead` threshold (audit-only, see [`audit_findings`]) |
 //!
 //! `L006` and `L007` are driven by the static
 //! [`DecisionTable`](crate::analysis::DecisionTable) and together are the
@@ -29,7 +32,11 @@
 //! is classified `Ll1` if and only if the linter reports neither code for
 //! it (each conflicting pair yields `L007` when a common derivable word
 //! proves it ambiguous, `L006` otherwise). A unit test enforces the
-//! partition.
+//! partition. `L009` and `L010` are driven by the audit pass
+//! ([`AuditTable`](crate::analysis::AuditTable)); `L011` needs the
+//! caller's lookahead threshold, so it is only produced by
+//! [`audit_findings`] (the engine behind `costar audit`), never by plain
+//! [`lint_grammar`].
 
 use crate::analysis::{DecisionClass, GrammarAnalysis};
 use crate::grammar::{Grammar, ProdId};
@@ -82,6 +89,15 @@ pub enum DiagCode {
     StaticAmbiguous,
     /// `L008`: SLL-safe nonterminal (LL failover provably unreachable).
     SllSafe,
+    /// `L009`: dead alternative — no token word ever selects it.
+    DeadAlternative,
+    /// `L010`: shadowed alternative — an earlier alternative's language
+    /// covers it, so the engine's min-alternative ambiguity resolution
+    /// never picks it.
+    ShadowedAlternative,
+    /// `L011`: certified lookahead bound exceeds the caller's threshold
+    /// (or no finite bound exists).
+    LookaheadBound,
 }
 
 impl DiagCode {
@@ -96,19 +112,24 @@ impl DiagCode {
             DiagCode::Ll1Conflict => "L006",
             DiagCode::StaticAmbiguous => "L007",
             DiagCode::SllSafe => "L008",
+            DiagCode::DeadAlternative => "L009",
+            DiagCode::ShadowedAlternative => "L010",
+            DiagCode::LookaheadBound => "L011",
         }
     }
 
     /// The severity this code always carries.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::LeftRecursive | DiagCode::EmptyLanguage | DiagCode::StaticAmbiguous => {
-                Severity::Error
-            }
-            DiagCode::Unproductive | DiagCode::Unreachable | DiagCode::DuplicateProduction => {
-                Severity::Warning
-            }
-            DiagCode::Ll1Conflict | DiagCode::SllSafe => Severity::Note,
+            DiagCode::LeftRecursive
+            | DiagCode::EmptyLanguage
+            | DiagCode::StaticAmbiguous
+            | DiagCode::DeadAlternative => Severity::Error,
+            DiagCode::Unproductive
+            | DiagCode::Unreachable
+            | DiagCode::DuplicateProduction
+            | DiagCode::ShadowedAlternative => Severity::Warning,
+            DiagCode::Ll1Conflict | DiagCode::SllSafe | DiagCode::LookaheadBound => Severity::Note,
         }
     }
 }
@@ -153,6 +174,25 @@ pub enum Witness {
         b: ProdId,
         /// The common word (possibly empty: both alternatives derive ε).
         word: Vec<Terminal>,
+    },
+    /// A production whose right-hand side derives no terminal word.
+    DeadAlt {
+        /// The dead alternative.
+        production: ProdId,
+    },
+    /// A later alternative whose language an earlier one covers.
+    Shadowed {
+        /// The covering (earlier) alternative.
+        earlier: ProdId,
+        /// The covered (later) alternative — never selected.
+        later: ProdId,
+    },
+    /// A certified lookahead bound beyond the caller's threshold.
+    LookaheadBound {
+        /// The certified bound; `None` = no finite bound exists.
+        k: Option<usize>,
+        /// The caller's `--max-lookahead` threshold.
+        max: usize,
     },
 }
 
@@ -214,6 +254,23 @@ impl Diagnostic {
                     g.render_production(*b)
                 )
             }
+            Witness::DeadAlt { production } => {
+                format!(
+                    "`{}` contains an unproductive nonterminal",
+                    g.render_production(*production)
+                )
+            }
+            Witness::Shadowed { earlier, later } => {
+                format!(
+                    "`{}` is covered by the earlier `{}`",
+                    g.render_production(*later),
+                    g.render_production(*earlier)
+                )
+            }
+            Witness::LookaheadBound { k, max } => match k {
+                Some(k) => format!("certified bound k = {k} exceeds threshold {max}"),
+                None => format!("no finite bound exists (threshold {max})"),
+            },
         })
     }
 
@@ -430,6 +487,31 @@ pub fn lint_grammar(g: &Grammar, analysis: &GrammarAnalysis) -> Vec<Diagnostic> 
         }
     }
 
+    // L009/L010: audit-pass findings (dead and shadowed alternatives).
+    push_audit_diags(g, analysis, None, &mut out);
+
+    sort_diags(&mut out);
+    out
+}
+
+/// Audit-centric findings: L009 (dead alternative), L010 (shadowed
+/// alternative), and — when `max_lookahead` is given — L011 for every
+/// decision whose certified bound exceeds the threshold (or has no
+/// finite bound at all). This is the diagnostic engine behind
+/// `costar audit`; plain [`lint_grammar`] also reports L009/L010 but
+/// never L011, which is meaningless without a threshold.
+pub fn audit_findings(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    max_lookahead: Option<usize>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    push_audit_diags(g, analysis, max_lookahead, &mut out);
+    sort_diags(&mut out);
+    out
+}
+
+fn sort_diags(out: &mut [Diagnostic]) {
     out.sort_by(|a, b| {
         (a.severity, a.code, a.nonterminal.index()).cmp(&(
             b.severity,
@@ -437,7 +519,76 @@ pub fn lint_grammar(g: &Grammar, analysis: &GrammarAnalysis) -> Vec<Diagnostic> 
             b.nonterminal.index(),
         ))
     });
-    out
+}
+
+/// Shared L009/L010/L011 emission, one diagnostic per code per
+/// nonterminal (first qualifying alternative or pair). L009 is skipped
+/// for unproductive nonterminals: there *every* alternative is dead and
+/// L002/L003 already report the defect at the right granularity.
+fn push_audit_diags(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    max_lookahead: Option<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let tab = g.symbols();
+    for info in analysis.audit.iter() {
+        let x = info.nonterminal;
+        let dead_first = info
+            .dead
+            .first()
+            .filter(|_| analysis.productivity.is_productive(x));
+        if let Some(&p) = dead_first {
+            out.push(Diagnostic {
+                code: DiagCode::DeadAlternative,
+                severity: DiagCode::DeadAlternative.severity(),
+                nonterminal: x,
+                message: format!(
+                    "an alternative of `{}` derives no terminal string; no \
+                     input ever selects it",
+                    tab.nonterminal_name(x)
+                ),
+                witness: Some(Witness::DeadAlt { production: p }),
+            });
+        }
+        if let Some(&(earlier, later)) = info.shadowed.first() {
+            out.push(Diagnostic {
+                code: DiagCode::ShadowedAlternative,
+                severity: DiagCode::ShadowedAlternative.severity(),
+                nonterminal: x,
+                message: format!(
+                    "a later alternative of `{}` is wholly covered by an earlier \
+                     one; ambiguity resolution always prefers the earlier \
+                     alternative, so the later can never win",
+                    tab.nonterminal_name(x)
+                ),
+                witness: Some(Witness::Shadowed { earlier, later }),
+            });
+        }
+        if let Some(max) = max_lookahead {
+            let exceeds = match info.k {
+                Some(k) => k > max,
+                None => true,
+            };
+            if exceeds {
+                let bound = match info.k {
+                    Some(k) => format!("k = {k}"),
+                    None => "no finite bound".to_owned(),
+                };
+                out.push(Diagnostic {
+                    code: DiagCode::LookaheadBound,
+                    severity: DiagCode::LookaheadBound.severity(),
+                    nonterminal: x,
+                    message: format!(
+                        "deciding `{}` needs {bound} of lookahead, beyond the \
+                         requested --max-lookahead {max}",
+                        tab.nonterminal_name(x)
+                    ),
+                    witness: Some(Witness::LookaheadBound { k: info.k, max }),
+                });
+            }
+        }
+    }
 }
 
 /// The worst severity among `diags`, or `None` when the list is empty —
@@ -632,10 +783,107 @@ mod tests {
     }
 
     #[test]
+    fn dead_alternative_reported_as_error() {
+        // U derives nothing, so `S -> U x` is dead while S stays live.
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["a"]);
+            gb.rule("S", &["U", "x"]);
+            gb.rule("U", &["u", "U"]);
+            gb.start("S");
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::DeadAlternative)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(g.symbols().nonterminal_name(d.nonterminal), "S");
+        let w = d.render_witness(&g).unwrap();
+        assert!(w.contains("S -> U x"), "{w}");
+        // U itself draws L003, not L009: every alternative of an
+        // unproductive nonterminal is dead, and that defect already has
+        // a code at the right granularity.
+        assert!(
+            !diags.iter().any(|d| d.code == DiagCode::DeadAlternative
+                && g.symbols().nonterminal_name(d.nonterminal) == "U"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn shadowed_alternative_reported_as_warning() {
+        // lang(S -> a) = {a} ⊆ lang(S -> A) = {a, b}.
+        let (g, diags) = lint(|gb| {
+            gb.rule("S", &["A"]);
+            gb.rule("S", &["a"]);
+            gb.rule("A", &["a"]);
+            gb.rule("A", &["b"]);
+            gb.start("S");
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::ShadowedAlternative)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        let w = d.render_witness(&g).unwrap();
+        assert!(
+            w.contains("`S -> a` is covered by the earlier `S -> A`"),
+            "{w}"
+        );
+    }
+
+    #[test]
+    fn audit_findings_reports_l011_only_with_threshold() {
+        // S -> a b c | a b d certifies k = 3.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "b", "c"]);
+        gb.rule("S", &["a", "b", "d"]);
+        gb.start("S");
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        assert!(
+            !lint_grammar(&g, &analysis)
+                .iter()
+                .any(|d| d.code == DiagCode::LookaheadBound),
+            "plain lint never emits L011"
+        );
+        let none = audit_findings(&g, &analysis, None);
+        assert!(!none.iter().any(|d| d.code == DiagCode::LookaheadBound));
+        let within = audit_findings(&g, &analysis, Some(3));
+        assert!(!within.iter().any(|d| d.code == DiagCode::LookaheadBound));
+        let over = audit_findings(&g, &analysis, Some(2));
+        let d = over
+            .iter()
+            .find(|d| d.code == DiagCode::LookaheadBound)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        let w = d.render_witness(&g).unwrap();
+        assert!(w.contains("k = 3"), "{w}");
+        // Unbounded decisions always exceed any threshold.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S");
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        let diags = audit_findings(&g, &analysis, Some(1_000_000));
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::LookaheadBound)
+            .unwrap();
+        assert!(d.render_witness(&g).unwrap().contains("no finite bound"));
+    }
+
+    #[test]
     fn ll1_class_partitions_decision_points_with_l006_l007() {
         // The contract behind the parser's static fast path: a
         // multi-alternative nonterminal is classified `Ll1` exactly when
-        // the linter reports neither L006 nor L007 for it.
+        // the linter reports neither L006 nor L007 for it. The audit
+        // codes partition the same way: L009 fires exactly for live
+        // nonterminals with a dead alternative, L010 exactly for
+        // decisions with a shadowed alternative, and each appears at
+        // most once per nonterminal.
         let builders: Vec<fn(&mut GrammarBuilder)> = vec![
             |gb| {
                 // Fig. 2: A is LL(1), S conflicts (SLL-safe).
@@ -676,6 +924,21 @@ mod tests {
                 gb.rule("A", &[]);
                 gb.start("S");
             },
+            |gb| {
+                // Dead alternative: U is unproductive, S stays live.
+                gb.rule("S", &["a"]);
+                gb.rule("S", &["U", "x"]);
+                gb.rule("U", &["u", "U"]);
+                gb.start("S");
+            },
+            |gb| {
+                // Shadowed alternative: lang(S -> a) ⊆ lang(S -> A).
+                gb.rule("S", &["A"]);
+                gb.rule("S", &["a"]);
+                gb.rule("A", &["a"]);
+                gb.rule("A", &["b"]);
+                gb.start("S");
+            },
         ];
         for build in builders {
             let mut gb = GrammarBuilder::new();
@@ -701,6 +964,21 @@ mod tests {
                     "partition violated for `{}`",
                     g.symbols().nonterminal_name(x)
                 );
+                // Audit-code partition: L009 iff a live nonterminal has a
+                // dead alternative, L010 iff one is shadowed; at most one
+                // diagnostic per code per nonterminal.
+                let audit = analysis.audit.audit(x).unwrap();
+                let want_dead = !audit.dead.is_empty() && analysis.productivity.is_productive(x);
+                let dead_count = diags
+                    .iter()
+                    .filter(|d| d.nonterminal == x && d.code == DiagCode::DeadAlternative)
+                    .count();
+                assert_eq!(dead_count, usize::from(want_dead));
+                let shadow_count = diags
+                    .iter()
+                    .filter(|d| d.nonterminal == x && d.code == DiagCode::ShadowedAlternative)
+                    .count();
+                assert_eq!(shadow_count, usize::from(!audit.shadowed.is_empty()));
             }
         }
     }

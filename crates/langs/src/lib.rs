@@ -174,6 +174,93 @@ mod tests {
     }
 
     #[test]
+    fn audit_classifies_every_decision_point_exactly_once() {
+        // The audit pass must hand every multi-alternative nonterminal of
+        // every bundled grammar exactly one verdict out of {dead,
+        // shadowed, LL(1), bounded SLL, unbounded regular lookahead} —
+        // and none of the shipped grammars may carry a dead or shadowed
+        // alternative (those are grammar bugs, not language features).
+        use costar_grammar::analysis::{DecisionClass, GrammarAnalysis};
+        for (lang, _) in all_languages() {
+            let g = lang.grammar();
+            let analysis = GrammarAnalysis::compute(g);
+            let mut ll1 = 0usize;
+            let mut bounded = 0usize;
+            let mut unbounded = 0usize;
+            for x in g.symbols().nonterminals() {
+                let name = g.symbols().nonterminal_name(x);
+                if g.alternatives(x).len() < 2 {
+                    assert!(
+                        analysis.audit.audit(x).is_none(),
+                        "{}: `{name}` is not a decision point but was audited",
+                        lang.name
+                    );
+                    continue;
+                }
+                let a = analysis.audit.audit(x).unwrap_or_else(|| {
+                    panic!("{}: decision point `{name}` was not audited", lang.name)
+                });
+                let is_ll1 = analysis
+                    .decisions
+                    .decision(x)
+                    .is_some_and(|d| d.class == DecisionClass::Ll1);
+                let verdicts = [
+                    !a.dead.is_empty(),
+                    a.dead.is_empty() && !a.shadowed.is_empty(),
+                    a.dead.is_empty() && a.shadowed.is_empty() && is_ll1,
+                    a.dead.is_empty() && a.shadowed.is_empty() && !is_ll1 && a.k.is_some(),
+                    a.dead.is_empty() && a.shadowed.is_empty() && !is_ll1 && a.k.is_none(),
+                ];
+                assert_eq!(
+                    verdicts.iter().filter(|&&v| v).count(),
+                    1,
+                    "{}: `{name}` verdicts {verdicts:?}",
+                    lang.name
+                );
+                assert!(
+                    a.dead.is_empty() && a.shadowed.is_empty(),
+                    "{}: bundled grammar has a dead/shadowed alternative at `{name}`",
+                    lang.name
+                );
+                // An LL(1)-classified decision is single-token decidable,
+                // so the audit must certify exactly k = 1 for it.
+                if is_ll1 {
+                    assert_eq!(
+                        a.k,
+                        Some(1),
+                        "{}: LL(1) `{name}` certified {:?}",
+                        lang.name,
+                        a.k
+                    );
+                    ll1 += 1;
+                } else if a.k.is_some() {
+                    bounded += 1;
+                } else {
+                    unbounded += 1;
+                }
+            }
+            let stats = analysis.audit.stats();
+            assert_eq!(
+                stats.decision_points,
+                ll1 + bounded + unbounded,
+                "{}: verdict counts do not partition the decision points",
+                lang.name
+            );
+            assert_eq!(stats.dead_alternatives, 0, "{}", lang.name);
+            assert_eq!(stats.shadowed_alternatives, 0, "{}", lang.name);
+            assert!(ll1 > 0, "{}: no LL(1) decision at all", lang.name);
+            // The §6.1 contrast: JSON is fully bounded (every decision
+            // certifies a finite k), while XML keeps the paper's
+            // non-LL(k) element rule — genuinely unbounded lookahead.
+            match lang.name {
+                "JSON" => assert_eq!(unbounded, 0, "JSON decision lost its bound"),
+                "XML" => assert!(unbounded > 0, "XML element rule became bounded"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
     fn grammar_stats_are_nontrivial() {
         for (lang, _) in all_languages() {
             let (t, n, p) = lang.grammar_stats();

@@ -18,6 +18,7 @@
 //! | [`h_stable_complete`] (`H-STABLE-COMPLETE`) | §3.5: `StableFrames` equals a brute-force closure enumeration |
 //! | [`h_decide_sound`] (`H-DECIDE-SOUND`) | static decision table soundness: the precompiled LL(1) fast path agrees exactly with full prediction and the derivation-counting oracle |
 //! | [`h_recover_sound`] (`H-RECOVER-SOUND`) | recovery soundness: accepted words give the byte-identical tree with zero diagnostics; rejected (incl. single-token-corrupted) words terminate with ≥1 diagnostic and a tree spelling the whole input; a `max_recoveries` cap is always honored |
+//! | [`h_audit_sound`] (`H-AUDIT-SOUND`) | audit certificate soundness: every certified lookahead bound `k` is minimal (its collide witness replays) and sufficient (no word of length `k` keeps the pair alive, by exhaustive enumeration), dead/shadowed verdicts agree with an independent derivation-search oracle, and the serialized `costar-cert-v1` document round-trips and replays |
 
 use crate::grammars::{self, Template};
 use crate::nondet::{any_bignat, Nondet};
@@ -29,9 +30,12 @@ use costar::measure::{frame_score, meas, stack_score_prime, Measure};
 use costar::{
     AbortReason, Budget, Machine, ParseOutcome, Parser, PredictionMode, SllCache, StepResult,
 };
-use costar_grammar::analysis::{GrammarAnalysis, Position};
-use costar_grammar::{check_tree, Grammar, NonTerminal, Symbol, Terminal, Token};
-use std::collections::BTreeSet;
+use costar_grammar::analysis::{
+    parse_cert_json, replay_certificate, simulate_survivors, to_cert_json, GrammarAnalysis,
+    PairAudit, Position,
+};
+use costar_grammar::{check_tree, Grammar, NonTerminal, ProdId, Symbol, Terminal, Token};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 /// A harness found its lemma violated (or could not set the scene).
@@ -778,6 +782,391 @@ fn corrupt_word<N: Nondet>(nd: &mut N, g: &Grammar, word: &[Token]) -> Vec<Token
     out
 }
 
+/// `H-AUDIT-SOUND` — soundness of the grammar audit pass
+/// (`costar audit` / the `costar-cert-v1` certificate), over a
+/// nondeterministic template *or* a small arbitrary grammar:
+///
+/// * **Row coverage**: the audit table carries exactly one row per
+///   multi-alternative nonterminal, and the decision-level bound is the
+///   `None`-propagating maximum of its pair bounds.
+/// * **Minimality**: every finite pair bound `k ≥ 1` carries a collide
+///   witness of length `k - 1` after which *both* alternatives still
+///   survive — replayed against the live grammar with
+///   [`simulate_survivors`], the same primitive the cache loader uses.
+///   A recorded resolve witness (length `k`) must leave at most one
+///   survivor.
+/// * **Sufficiency**: when the alphabet is small enough to enumerate,
+///   *no* word of length `k` keeps both alternatives alive — the
+///   universal half of "exact" that no single witness can carry (and the
+///   reason a *deflated* bound is only caught dynamically, by the
+///   engine's `on_certificate_check`).
+/// * **Dead verdicts (L009)**: an independent bounded derivation search
+///   over sentential forms agrees — an alternative flagged dead derives
+///   no terminal word, and whenever the search exhausts conclusively
+///   with no word, the audit flagged the alternative.
+/// * **Shadowed verdicts (L010)**: every word the shadowed (later)
+///   alternative derives within the sampling caps is also derivable by
+///   its shadower, checked by an independent bounded membership search.
+/// * **Round-trip**: the serialized certificate parses back to an equal
+///   table and passes full witness replay ([`replay_certificate`]).
+pub fn h_audit_sound<N: Nondet>(nd: &mut N, max_word: usize) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-AUDIT-SOUND";
+    /// Alphabet^k ceiling for the exhaustive sufficiency check.
+    const MAX_ENUM: usize = 256;
+    let owned;
+    let owned_analysis;
+    let (g, analysis): (&Grammar, &GrammarAnalysis);
+    if nd.any_bool() {
+        let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+        g = &t.grammar;
+        analysis = &t.analysis;
+    } else {
+        owned = grammars::draw_random_grammar(nd);
+        owned_analysis = GrammarAnalysis::compute(&owned);
+        g = &owned;
+        analysis = &owned_analysis;
+    }
+    let audit = &analysis.audit;
+    let sf = &analysis.stable_frames;
+    let alphabet: Vec<Terminal> = g.symbols().terminals().collect();
+
+    // Row coverage: exactly the multi-alternative nonterminals.
+    for x in g.symbols().nonterminals() {
+        let multi = g.alternatives(x).len() >= 2;
+        if multi != audit.audit(x).is_some() {
+            return Err(fail(
+                ID,
+                format!(
+                    "audit row for {} {} but the nonterminal has {} alternatives",
+                    g.symbols().nonterminal_name(x),
+                    if multi { "missing" } else { "present" },
+                    g.alternatives(x).len()
+                ),
+            ));
+        }
+    }
+
+    for info in audit.iter() {
+        let name = g.symbols().nonterminal_name(info.nonterminal);
+
+        // Decision bound = None-propagating max of the pair bounds.
+        let want_k = info
+            .pairs
+            .iter()
+            .try_fold(0usize, |m, p| p.k.map(|k| m.max(k)));
+        if info.k != want_k {
+            return Err(fail(
+                ID,
+                format!(
+                    "{name}: decision bound {:?} is not the max of its pair bounds {:?}",
+                    info.k, want_k
+                ),
+            ));
+        }
+
+        for pair in &info.pairs {
+            check_pair_bound(ID, g, analysis, name, pair, &alphabet, max_word, MAX_ENUM)?;
+        }
+
+        // Dead verdicts vs the derivation-search oracle.
+        for &alt in g.alternatives(info.nonterminal) {
+            let claimed_dead = info.dead.contains(&alt);
+            let (words, exhaustive) = enumerate_derivable_words(g, g.production(alt).rhs(), 1);
+            if claimed_dead && !words.is_empty() {
+                return Err(fail(
+                    ID,
+                    format!(
+                        "{name}: alternative {} flagged dead but derives a word of {} tokens",
+                        alt.index(),
+                        words[0].len()
+                    ),
+                ));
+            }
+            if !claimed_dead && exhaustive && words.is_empty() {
+                return Err(fail(
+                    ID,
+                    format!(
+                        "{name}: alternative {} derives no terminal word but was not flagged dead",
+                        alt.index()
+                    ),
+                ));
+            }
+        }
+
+        // Shadow verdicts: the later alternative's sampled words must all
+        // be derivable by the earlier shadower.
+        for &(shadower, shadowed) in &info.shadowed {
+            let (words, _) = enumerate_derivable_words(g, g.production(shadowed).rhs(), 16);
+            for w in &words {
+                if !derives(g, g.production(shadower).rhs(), w) {
+                    return Err(fail(
+                        ID,
+                        format!(
+                            "{name}: alternative {} claimed to shadow {}, but the oracle \
+                             derives a {}-token word only the later alternative admits",
+                            shadower.index(),
+                            shadowed.index(),
+                            w.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // The serialized certificate round-trips and replays in full.
+    let text = to_cert_json(g, audit);
+    let parsed = parse_cert_json(g, &text)
+        .ok_or_else(|| fail(ID, "serialized certificate failed structural validation"))?;
+    if &parsed != audit {
+        return Err(fail(ID, "certificate round-trip changed the audit table"));
+    }
+    if !replay_certificate(g, sf, &analysis.productivity, &parsed) {
+        return Err(fail(
+            ID,
+            "freshly computed certificate failed witness replay",
+        ));
+    }
+    Ok(())
+}
+
+/// The per-pair obligations of `H-AUDIT-SOUND`: witness shapes, collide
+/// minimality, resolve spot-check, and (when enumerable) exhaustive
+/// sufficiency of the certified bound.
+#[allow(clippy::too_many_arguments)]
+fn check_pair_bound(
+    id: &'static str,
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    name: &str,
+    pair: &PairAudit,
+    alphabet: &[Terminal],
+    max_word: usize,
+    max_enum: usize,
+) -> Result<(), HarnessViolation> {
+    let sf = &analysis.stable_frames;
+    let alts = [pair.a, pair.b];
+    let survives = |w: &[Terminal]| simulate_survivors(g, sf, &alts, w);
+    let Some(k) = pair.k else {
+        // Unbounded pairs carry no witnesses by construction.
+        if pair.collide.is_some() || pair.resolve.is_some() {
+            return Err(fail(
+                id,
+                format!("{name}: unbounded pair carries witnesses"),
+            ));
+        }
+        return Ok(());
+    };
+
+    // Collide witness: present iff k >= 1, length k - 1, both alive.
+    match &pair.collide {
+        Some(w) => {
+            if k == 0 || w.len() != k - 1 {
+                return Err(fail(
+                    id,
+                    format!(
+                        "{name}: collide witness has {} tokens for bound k = {k}",
+                        w.len()
+                    ),
+                ));
+            }
+            let survivors = survives(w)
+                .ok_or_else(|| fail(id, format!("{name}: collide replay hit a closure cap")))?;
+            if !(survivors.contains(&pair.a) && survivors.contains(&pair.b)) {
+                return Err(fail(
+                    id,
+                    format!(
+                        "{name}: collide witness leaves only {} survivor(s) — \
+                         the bound k = {k} is inflated",
+                        survivors.len()
+                    ),
+                ));
+            }
+        }
+        None if k >= 1 => {
+            return Err(fail(
+                id,
+                format!("{name}: finite bound k = {k} without a collide witness"),
+            ));
+        }
+        None => {}
+    }
+
+    // Resolve witness: length k, at most one survivor.
+    if let Some(w) = &pair.resolve {
+        if w.len() != k {
+            return Err(fail(
+                id,
+                format!(
+                    "{name}: resolve witness has {} tokens for bound k = {k}",
+                    w.len()
+                ),
+            ));
+        }
+        let survivors = survives(w)
+            .ok_or_else(|| fail(id, format!("{name}: resolve replay hit a closure cap")))?;
+        if survivors.len() > 1 {
+            return Err(fail(
+                id,
+                format!("{name}: resolve witness leaves both alternatives alive"),
+            ));
+        }
+    }
+
+    // Sufficiency: no word of length k keeps both alternatives alive.
+    // Only enumerable alphabets are swept; the witnesses above always run.
+    if k <= max_word {
+        let total = alphabet
+            .len()
+            .checked_pow(u32::try_from(k).unwrap_or(u32::MAX));
+        if total.is_some_and(|t| t <= max_enum) {
+            for w in words_of_length(alphabet, k) {
+                // A fresh per-word budget is strictly more generous than
+                // the audit's shared graph budget, so a cap here cannot
+                // mask a refutation the audit could have seen; skip it.
+                let Some(survivors) = survives(&w) else {
+                    continue;
+                };
+                if survivors.len() > 1 {
+                    return Err(fail(
+                        id,
+                        format!(
+                            "{name}: a {k}-token word keeps both alternatives alive — \
+                             the bound k = {k} is deflated"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Independent language oracle for dead/shadow verdicts: breadth-first
+/// derivation over sentential forms from `start`, collecting up to
+/// `max_words` distinct terminal words. The flag reports whether the
+/// search exhausted *every* derivation (no cap was hit and the word
+/// budget was not the stopping reason) — only then does an empty result
+/// prove the language empty.
+fn enumerate_derivable_words(
+    g: &Grammar,
+    start: &[Symbol],
+    max_words: usize,
+) -> (Vec<Vec<Terminal>>, bool) {
+    const MAX_FORM: usize = 12;
+    const MAX_STEPS: usize = 4_000;
+    let mut words: Vec<Vec<Terminal>> = Vec::new();
+    let mut seen: BTreeSet<Vec<Symbol>> = BTreeSet::new();
+    let mut queue: VecDeque<Vec<Symbol>> = VecDeque::new();
+    queue.push_back(start.to_vec());
+    let mut exhaustive = true;
+    let mut steps = 0usize;
+    while let Some(form) = queue.pop_front() {
+        steps += 1;
+        if steps > MAX_STEPS {
+            exhaustive = false;
+            break;
+        }
+        if !seen.insert(form.clone()) {
+            continue;
+        }
+        let nt_at = form.iter().position(|s| matches!(s, Symbol::Nt(_)));
+        match nt_at {
+            None => {
+                let word: Vec<Terminal> = form
+                    .iter()
+                    .filter_map(|s| match s {
+                        Symbol::T(t) => Some(*t),
+                        Symbol::Nt(_) => None,
+                    })
+                    .collect();
+                words.push(word);
+                if words.len() >= max_words {
+                    exhaustive = false;
+                    break;
+                }
+            }
+            Some(i) => {
+                let alts: &[ProdId] = match form[i] {
+                    Symbol::Nt(y) => g.alternatives(y),
+                    Symbol::T(_) => &[],
+                };
+                for &r in alts {
+                    let mut nf = form[..i].to_vec();
+                    nf.extend_from_slice(g.production(r).rhs());
+                    nf.extend_from_slice(&form[i + 1..]);
+                    if nf.len() > MAX_FORM {
+                        exhaustive = false;
+                        continue;
+                    }
+                    queue.push_back(nf);
+                }
+            }
+        }
+    }
+    (words, exhaustive)
+}
+
+/// Bounded membership search: can the sentential form `start` derive
+/// exactly `w`? Deliberately written independently of the audit's own
+/// containment check (leftmost depth-first with a prefix-matched cursor)
+/// so the two can disagree. Conservative: `false` on cap exhaustion.
+fn derives(g: &Grammar, start: &[Symbol], w: &[Terminal]) -> bool {
+    const MAX_STEPS: usize = 8_000;
+    let mut seen: BTreeSet<(usize, Vec<Symbol>)> = BTreeSet::new();
+    let mut stack: Vec<(usize, Vec<Symbol>)> = vec![(0, start.to_vec())];
+    let mut steps = 0usize;
+    while let Some((matched, form)) = stack.pop() {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return false;
+        }
+        if !seen.insert((matched, form.clone())) {
+            continue;
+        }
+        match form.first().copied() {
+            None => {
+                if matched == w.len() {
+                    return true;
+                }
+            }
+            Some(Symbol::T(t)) => {
+                if matched < w.len() && w[matched] == t {
+                    stack.push((matched + 1, form[1..].to_vec()));
+                }
+            }
+            Some(Symbol::Nt(y)) => {
+                for &r in g.alternatives(y) {
+                    let mut nf: Vec<Symbol> = g.production(r).rhs().to_vec();
+                    nf.extend_from_slice(&form[1..]);
+                    if nf.len() <= w.len() + 12 {
+                        stack.push((matched, nf));
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// All words of length exactly `k` over `alphabet`, in lexicographic
+/// order. Callers cap `alphabet.len()^k` before asking.
+fn words_of_length(alphabet: &[Terminal], k: usize) -> Vec<Vec<Terminal>> {
+    let mut out: Vec<Vec<Terminal>> = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(out.len() * alphabet.len().max(1));
+        for w in &out {
+            for &t in alphabet {
+                let mut w2 = w.clone();
+                w2.push(t);
+                next.push(w2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
 /// Brute-force §3.5 closure: starting from every grammar position just
 /// after an occurrence of `x`, follow return steps (at end of a
 /// right-hand side, to every caller of its left-hand side), push steps
@@ -874,7 +1263,28 @@ mod tests {
             h_decide_sound(&mut nd, 5).unwrap();
             let mut nd = RngNondet::new(seed);
             h_recover_sound(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_audit_sound(&mut nd, 5).unwrap();
         }
+    }
+
+    #[test]
+    fn audit_oracles_agree_on_hand_checked_cases() {
+        // fig2's A: "a A" derives "a b", "b" derives only "b".
+        let t = grammars::template(0);
+        let g = &t.grammar;
+        let a = g.symbols().lookup_nonterminal("A").unwrap();
+        let alts = g.alternatives(a).to_vec();
+        let (words, exhaustive) = enumerate_derivable_words(g, g.production(alts[1]).rhs(), 8);
+        assert!(exhaustive, "finite language must enumerate exhaustively");
+        assert_eq!(words, vec![vec![g.symbols().lookup_terminal("b").unwrap()]]);
+        let b = g.symbols().lookup_terminal("b").unwrap();
+        assert!(derives(g, g.production(alts[1]).rhs(), &[b]));
+        assert!(!derives(g, g.production(alts[1]).rhs(), &[b, b]));
+        // Words of length 2 over a 2-terminal alphabet: exactly 4.
+        let two = [b, g.symbols().lookup_terminal("a").unwrap()];
+        assert_eq!(words_of_length(&two, 2).len(), 4);
+        assert_eq!(words_of_length(&two, 0), vec![Vec::new()]);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! * [`RngNondet`] (always available) draws pseudo-random values from a
 //!   seeded [`SplitMix64`]; the proptest suites run each harness across
 //!   many seeds, turning the body into a property test.
-//! * [`KaniNondet`] (under `cfg(kani)` only) draws symbolic values from
+//! * `KaniNondet` (under `cfg(kani)` only, so rustdoc cannot link it)
+//!   draws symbolic values from
 //!   `kani::any()`, turning the *same body* into a bounded
 //!   model-checking proof obligation — the `#[kani::proof]` entry points
 //!   live in `crate::proofs`.

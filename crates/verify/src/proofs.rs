@@ -87,6 +87,18 @@ fn proof_decide_sound() {
 }
 
 #[kani::proof]
+#[kani::unwind(300)]
+fn proof_audit_sound() {
+    let mut nd = KaniNondet;
+    // The audit oracles are bounded searches, not machine runs: their
+    // worklist loops legitimately outlive the machine-step bound, so
+    // this proof carries a wider unwinding than its siblings.
+    if let Err(v) = harness::h_audit_sound(&mut nd, MAX_WORD) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
 #[kani::unwind(64)]
 fn proof_recover_sound() {
     let mut nd = KaniNondet;

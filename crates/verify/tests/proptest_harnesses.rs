@@ -6,8 +6,8 @@
 //! cannot silently go vacuous.
 
 use costar_verify::harness::{
-    h_cache_bound, h_decide_sound, h_measure_dec, h_measure_ord, h_prefix_der, h_recover_sound,
-    h_stable_complete, h_stack_wf, h_visited, HarnessViolation, StepKinds,
+    h_audit_sound, h_cache_bound, h_decide_sound, h_measure_dec, h_measure_ord, h_prefix_der,
+    h_recover_sound, h_stable_complete, h_stack_wf, h_visited, HarnessViolation, StepKinds,
 };
 use costar_verify::nondet::RngNondet;
 use proptest::prelude::*;
@@ -69,6 +69,11 @@ proptest! {
     #[test]
     fn h_recover_sound_holds(seed in any::<u64>()) {
         ok(h_recover_sound(&mut RngNondet::new(seed), MAX_WORD))?;
+    }
+
+    #[test]
+    fn h_audit_sound_holds(seed in any::<u64>()) {
+        ok(h_audit_sound(&mut RngNondet::new(seed), MAX_WORD))?;
     }
 }
 
