@@ -633,6 +633,16 @@ pub struct ParseBenchRow {
     pub prediction_steps: u64,
     /// Meter-admitted steps over the corpus.
     pub meter_steps: u64,
+    /// Certified fuel (`CostModel::bound_for`) summed over the corpus —
+    /// what `--max-steps auto` would have budgeted.
+    pub predicted_steps: u64,
+    /// Parses whose metered step count exceeded the certified bound.
+    /// Soundness of the cost certificate: gated at zero.
+    pub cost_violations: u64,
+    /// predicted_steps / meter_steps — how loose the certified bound is
+    /// against real metered work. At least 1.0 when the certificate is
+    /// sound; 0.0 only when unmeasured.
+    pub cost_bound_ratio: f64,
     /// Whether every per-input [`costar::ParseMetrics`] reconciled.
     pub reconciles: bool,
 }
@@ -796,6 +806,9 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                 machine_steps: 0,
                 prediction_steps: 0,
                 meter_steps: 0,
+                predicted_steps: 0,
+                cost_violations: 0,
+                cost_bound_ratio: 0.0,
                 reconciles: true,
             };
             for w in &c.words {
@@ -810,7 +823,12 @@ pub fn parse_bench(cfg: &Config) -> ParseBench {
                 row.machine_steps += m.machine_steps;
                 row.prediction_steps += m.prediction_steps;
                 row.meter_steps += m.meter_steps;
+                row.predicted_steps = row.predicted_steps.saturating_add(m.predicted_steps);
+                row.cost_violations += m.cost_violations;
                 row.reconciles &= m.reconciles();
+            }
+            if row.meter_steps > 0 && row.predicted_steps > 0 {
+                row.cost_bound_ratio = row.predicted_steps as f64 / row.meter_steps as f64;
             }
             let decided = row.sll_resolved + row.failovers;
             if decided > 0 {
@@ -895,7 +913,8 @@ impl ParseBench {
                  \"cert_validate_micros\":{:.1},\"cert_speedup\":{:.1},\
                  \"cache_lookups\":{},\
                  \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"machine_steps\":{},\
-                 \"prediction_steps\":{},\"meter_steps\":{},\"reconciles\":{}}}",
+                 \"prediction_steps\":{},\"meter_steps\":{},\"predicted_steps\":{},\
+                 \"cost_violations\":{},\"cost_bound_ratio\":{:.4},\"reconciles\":{}}}",
                 r.name,
                 r.tokens,
                 r.null_tokens_per_sec,
@@ -919,6 +938,9 @@ impl ParseBench {
                 r.machine_steps,
                 r.prediction_steps,
                 r.meter_steps,
+                r.predicted_steps,
+                r.cost_violations,
+                r.cost_bound_ratio,
                 r.reconciles
             );
         }
@@ -979,6 +1001,37 @@ impl ParseBench {
         for r in &self.rows {
             if !r.reconciles {
                 failures.push(format!("{}: metrics failed to reconcile", r.name));
+            }
+        }
+        // The cost certificate must stay sound (no parse may out-step its
+        // certified bound) and useful (the bound may be loose — it is a
+        // worst case — but a blowup past the fixed envelope means the
+        // ε-analysis degenerated, e.g. a saturating hazard fallback where
+        // an exact bound used to hold). Pure counter ratios: absolute
+        // gates, stable across hosts.
+        const COST_RATIO_CEILING: f64 = 1_000_000.0;
+        for r in &self.rows {
+            if r.cost_violations > 0 {
+                failures.push(format!(
+                    "{}: {} parses exceeded the certified cost bound",
+                    r.name, r.cost_violations
+                ));
+            }
+            if r.predicted_steps > 0 {
+                if r.cost_bound_ratio < 1.0 {
+                    failures.push(format!(
+                        "{}: cost bound ratio {:.4} below parity — the certificate \
+                         under-predicts real metered work",
+                        r.name, r.cost_bound_ratio
+                    ));
+                }
+                if r.cost_bound_ratio > COST_RATIO_CEILING {
+                    failures.push(format!(
+                        "{}: cost bound ratio {:.0} exceeds the {COST_RATIO_CEILING:.0} \
+                         envelope — the certified bound degenerated",
+                        r.name, r.cost_bound_ratio
+                    ));
+                }
             }
         }
         // The batch determinism contract is gated unconditionally: 4-worker
@@ -1117,6 +1170,17 @@ impl fmt::Display for ParseBench {
             "audit: certificate validation {:.1}x faster than full recompute \
              (time-weighted)",
             self.overall_cert_speedup
+        )?;
+        let max_cost_ratio = self
+            .rows
+            .iter()
+            .map(|r| r.cost_bound_ratio)
+            .fold(0.0, f64::max);
+        let total_violations: u64 = self.rows.iter().map(|r| r.cost_violations).sum();
+        writeln!(
+            f,
+            "cost: certified bound held on every parse ({total_violations} violations), \
+             loosest bound/actual ratio {max_cost_ratio:.0}x"
         )?;
         writeln!(
             f,
@@ -1615,6 +1679,28 @@ mod tests {
         assert!(json.contains("\"overall_cert_speedup\""));
         assert!(p.to_string().contains("faster than full recompute"));
         assert!(json.contains("\"reconciles\":true"));
+        // The cost-certificate arm: every parse stayed within its
+        // certified bound, and the bound itself was measured.
+        for r in &p.rows {
+            assert_eq!(r.cost_violations, 0, "{}: bound violated", r.name);
+            assert!(
+                r.predicted_steps >= r.meter_steps,
+                "{}: predicted {} < metered {}",
+                r.name,
+                r.predicted_steps,
+                r.meter_steps
+            );
+            assert!(
+                r.cost_bound_ratio >= 1.0,
+                "{}: cost bound ratio {}",
+                r.name,
+                r.cost_bound_ratio
+            );
+        }
+        assert!(json.contains("\"predicted_steps\""));
+        assert!(json.contains("\"cost_violations\":0"));
+        assert!(json.contains("\"cost_bound_ratio\""));
+        assert!(p.to_string().contains("certified bound held"));
         // The gate accepts a run against its own baseline...
         p.check_against(&json, 0.05)
             .expect("self-comparison passes");
@@ -1636,6 +1722,17 @@ mod tests {
         let mut torn = p.clone();
         torn.rows[0].reconciles = false;
         assert!(torn.check_against(&json, 0.05).is_err());
+        // A parse that out-stepped its certified cost bound always fails,
+        // as does a bound below parity or one past the fixed envelope.
+        let mut unsound_cost = p.clone();
+        unsound_cost.rows[0].cost_violations = 1;
+        assert!(unsound_cost.check_against(&json, 0.05).is_err());
+        let mut tight_cost = p.clone();
+        tight_cost.rows[0].cost_bound_ratio = 0.5;
+        assert!(tight_cost.check_against(&json, 0.05).is_err());
+        let mut loose_cost = p.clone();
+        loose_cost.rows[0].cost_bound_ratio = 2_000_000.0;
+        assert!(loose_cost.check_against(&json, 0.05).is_err());
         // A run where the static fast path stopped firing fails the gate.
         let mut unplugged = p.clone();
         for r in &mut unplugged.rows {

@@ -8,7 +8,7 @@ pub const USAGE: &str = "\
 usage:
   costar parse    (--lang json|xml|dot|python FILE...) | (--grammar G.ebnf --tokens \"a b c\")
                   [--tree] [--stats[=json]] [--time] [--trace-buffer N]
-                  [--max-steps N] [--deadline-ms N] [--cache-cap N]
+                  [--max-steps N|auto] [--deadline-ms N] [--cache-cap N]
                   [--recover[=json]] [--max-recoveries N] [--no-grammar-cache]
                   [--jobs N] [--warm-cache]
   costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
@@ -16,6 +16,8 @@ usage:
   costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
   costar audit    (--lang L) | (--grammar G.ebnf)  [--format=human|json]
                   [--max-lookahead K]
+  costar cost     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
+                  [--max-steps-per-token N]
   costar generate --lang L [--size N] [--seed S]
   costar tokens   --lang L FILE
 
@@ -35,6 +37,20 @@ usage:
   decisions whose bound exceeds K (L011); --format=json prints the
   machine-checkable costar-cert-v1 certificate. Exit 0 = no findings,
   1 = findings (L009/L010/L011), 2 = the grammar could not be loaded.
+  cost derives the grammar's certified fuel bound from the termination
+  measure: constants (a, b) such that any accepting or rejecting parse
+  of n tokens consumes at most a*n + b metered steps. It warns (L012)
+  when an unbounded-lookahead decision is reachable from a token-free
+  cycle (superlinear-prediction risk), and with --max-steps-per-token N
+  notes (L013) when the certified per-token cost exceeds N;
+  --format=json prints the machine-checkable costar-cost-v1
+  certificate, byte-identical to the one embedded in the grammar cache
+  and replayed at load time. Exit 0 = no findings, 1 = findings
+  (L012/L013), 2 = the grammar could not be loaded.
+  --max-steps auto derives each input's step fuel from the cost
+  certificate (a*n + b for its own n), so a budget abort under auto
+  fuel indicates a parser bug, never a large input; in a batch every
+  file gets fuel from its own length.
   --stats prints a human-readable metrics summary to stderr;
   --stats=json prints the full ParseMetrics object as JSON on stdout.
   --trace-buffer keeps the last N parse events and dumps them to stderr
@@ -89,6 +105,16 @@ pub enum LintFormat {
     Json,
 }
 
+/// Step fuel requested via `--max-steps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxSteps {
+    /// A fixed fuel count (always positive — `0` is a usage error).
+    Fixed(u64),
+    /// Derive the fuel from the grammar's certified cost bound, per
+    /// input: `a·n + b` for an `n`-token input.
+    Auto,
+}
+
 /// Where the grammar comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GrammarSource {
@@ -116,8 +142,9 @@ pub enum Command {
         time: bool,
         /// Keep the last N parse events for a post-mortem dump.
         trace_buffer: Option<usize>,
-        /// Budget: abort after this many machine steps + lookahead tokens.
-        max_steps: Option<u64>,
+        /// Budget: abort after this many machine steps + lookahead
+        /// tokens, or derive the cap from the cost certificate (`auto`).
+        max_steps: Option<MaxSteps>,
         /// Budget: abort once this many milliseconds have elapsed.
         deadline_ms: Option<u64>,
         /// Budget: cap the SLL cache at this many DFA states (LRU evict).
@@ -163,6 +190,15 @@ pub enum Command {
         format: LintFormat,
         /// Note decisions whose certified bound exceeds this (L011).
         max_lookahead: Option<usize>,
+    },
+    /// Derive and report the certified per-grammar fuel bound.
+    Cost {
+        /// Grammar source.
+        source: GrammarSource,
+        /// Output format (`json` prints the `costar-cost-v1` certificate).
+        format: LintFormat,
+        /// Note a certified per-token cost exceeding this (L013).
+        max_steps_per_token: Option<u64>,
     },
     /// Emit a synthetic corpus file.
     Generate {
@@ -229,8 +265,32 @@ impl Args {
                         "--trace-buffer" => {
                             trace_buffer = Some(number::<usize>(&mut args, "--trace-buffer")?)
                         }
-                        "--max-steps" => max_steps = Some(number(&mut args, "--max-steps")?),
-                        "--deadline-ms" => deadline_ms = Some(number(&mut args, "--deadline-ms")?),
+                        "--max-steps" => {
+                            let v = required(&mut args, "--max-steps")?;
+                            max_steps = Some(if v == "auto" {
+                                MaxSteps::Auto
+                            } else {
+                                let n: u64 = v
+                                    .parse()
+                                    .map_err(|_| "--max-steps takes a number or `auto`")?;
+                                if n == 0 {
+                                    return Err("--max-steps 0 would abort every parse before \
+                                                its first step; use a positive fuel count or \
+                                                `auto`"
+                                        .into());
+                                }
+                                MaxSteps::Fixed(n)
+                            });
+                        }
+                        "--deadline-ms" => {
+                            let ms: u64 = number(&mut args, "--deadline-ms")?;
+                            if ms == 0 {
+                                return Err("--deadline-ms 0 would expire every parse before \
+                                            its first step; use a positive deadline"
+                                    .into());
+                            }
+                            deadline_ms = Some(ms);
+                        }
                         "--cache-cap" => {
                             cache_cap = Some(number::<usize>(&mut args, "--cache-cap")?)
                         }
@@ -375,6 +435,54 @@ impl Args {
                         source,
                         format,
                         max_lookahead,
+                    },
+                })
+            }
+            "cost" => {
+                let mut lang = None;
+                let mut grammar = None;
+                let mut format = LintFormat::Human;
+                let mut max_steps_per_token = None;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--grammar" => grammar = Some(required(&mut args, "--grammar")?),
+                        "--format=json" => format = LintFormat::Json,
+                        "--format=human" => format = LintFormat::Human,
+                        "--format" => {
+                            format = match required(&mut args, "--format")?.as_str() {
+                                "json" => LintFormat::Json,
+                                "human" => LintFormat::Human,
+                                other => {
+                                    return Err(format!(
+                                        "unknown cost format {other:?} (try human or json)"
+                                    ))
+                                }
+                            }
+                        }
+                        other if other.starts_with("--format=") => {
+                            return Err(format!(
+                                "unknown cost format {:?} (try human or json)",
+                                &other["--format=".len()..]
+                            ));
+                        }
+                        "--max-steps-per-token" => {
+                            max_steps_per_token =
+                                Some(number::<u64>(&mut args, "--max-steps-per-token")?)
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                let source = match (lang, grammar) {
+                    (Some(l), None) => GrammarSource::Lang(l),
+                    (None, Some(g)) => GrammarSource::Ebnf(g),
+                    _ => return Err("cost needs exactly one of --lang or --grammar".into()),
+                };
+                Ok(Args {
+                    command: Command::Cost {
+                        source,
+                        format,
+                        max_steps_per_token,
                     },
                 })
             }
@@ -668,7 +776,7 @@ mod tests {
         else {
             panic!("wrong command")
         };
-        assert_eq!(max_steps, Some(5000));
+        assert_eq!(max_steps, Some(MaxSteps::Fixed(5000)));
         assert_eq!(deadline_ms, Some(250));
         assert_eq!(cache_cap, Some(64));
     }
@@ -678,6 +786,58 @@ mod tests {
         assert!(parse(&["parse", "--lang", "json", "f", "--max-steps", "lots"]).is_err());
         assert!(parse(&["parse", "--lang", "json", "f", "--deadline-ms"]).is_err());
         assert!(parse(&["parse", "--lang", "json", "f", "--cache-cap", "-3"]).is_err());
+    }
+
+    #[test]
+    fn max_steps_auto_and_zero_budgets() {
+        let a = parse(&["parse", "--lang", "json", "f", "--max-steps", "auto"]).unwrap();
+        let Command::Parse { max_steps, .. } = a.command else {
+            panic!("wrong command")
+        };
+        assert_eq!(max_steps, Some(MaxSteps::Auto));
+        // Zero fuel and a zero deadline would abort every parse before it
+        // starts — both are usage errors, not budgets.
+        let err = parse(&["parse", "--lang", "json", "f", "--max-steps", "0"]).unwrap_err();
+        assert!(err.contains("--max-steps"), "unhelpful error: {err}");
+        let err = parse(&["parse", "--lang", "json", "f", "--deadline-ms", "0"]).unwrap_err();
+        assert!(err.contains("--deadline-ms"), "unhelpful error: {err}");
+        // The smallest meaningful values remain valid.
+        assert!(parse(&["parse", "--lang", "json", "f", "--max-steps", "1"]).is_ok());
+        assert!(parse(&["parse", "--lang", "json", "f", "--deadline-ms", "1"]).is_ok());
+    }
+
+    #[test]
+    fn cost_command_and_flags() {
+        let a = parse(&["cost", "--grammar", "g.ebnf"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Cost {
+                source: GrammarSource::Ebnf("g.ebnf".into()),
+                format: LintFormat::Human,
+                max_steps_per_token: None,
+            }
+        );
+        let a = parse(&[
+            "cost",
+            "--lang",
+            "json",
+            "--format=json",
+            "--max-steps-per-token",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.command,
+            Command::Cost {
+                source: GrammarSource::Lang("json".into()),
+                format: LintFormat::Json,
+                max_steps_per_token: Some(64),
+            }
+        );
+        assert!(parse(&["cost"]).is_err());
+        assert!(parse(&["cost", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
+        assert!(parse(&["cost", "--lang", "json", "--format=yaml"]).is_err());
+        assert!(parse(&["cost", "--lang", "json", "--max-steps-per-token", "lots"]).is_err());
     }
 
     #[test]

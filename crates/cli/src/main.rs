@@ -3,11 +3,12 @@
 //! ```text
 //! costar parse    (--lang json|xml|dot|python FILE) | (--grammar G.ebnf --tokens "a b c")
 //!                 [--tree] [--stats[=json]] [--time] [--trace-buffer N]
-//!                 [--max-steps N] [--deadline-ms N] [--cache-cap N]
+//!                 [--max-steps N|auto] [--deadline-ms N] [--cache-cap N]
 //! costar check    (--lang L) | (--grammar G.ebnf)  [--eliminate-lr]
 //! costar lint     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
 //! costar analyze  (--lang L) | (--grammar G.ebnf)  [--format=human|json]
 //! costar audit    (--lang L) | (--grammar G.ebnf)  [--format=human|json] [--max-lookahead K]
+//! costar cost     (--lang L) | (--grammar G.ebnf)  [--format=human|json] [--max-steps-per-token N]
 //! costar generate --lang L [--size N] [--seed S]
 //! costar tokens   --lang L FILE
 //! ```
@@ -42,7 +43,19 @@
 //! and — with `--max-lookahead K` — notes decisions whose certified bound
 //! exceeds K (L011); `--format=json` prints the machine-checkable
 //! `costar-cert-v1` certificate, byte-identical to the one embedded in
-//! the on-disk grammar-analysis cache and replayed at load time.
+//! the on-disk grammar-analysis cache and replayed at load time. `cost`
+//! reports the static cost certificate derived from the termination
+//! measure: per-grammar constants `(a, b)` such that any accepting or
+//! rejecting parse of `n` tokens consumes at most `a·n + b` metered
+//! steps (prediction included). It warns (L012) when an
+//! unbounded-lookahead decision is reachable from a token-free cycle —
+//! the superlinear-prediction risk — and, with `--max-steps-per-token
+//! N`, notes (L013) a certified per-token cost above N; `--format=json`
+//! prints the `costar-cost-v1` certificate embedded in (and replayed
+//! from) the grammar cache. `--max-steps auto` turns the certificate
+//! into fuel: each input parses under a budget of `a·n + b` steps for
+//! its own token count `n`, so an abort under auto fuel is evidence of a
+//! parser or certificate bug, never of a large input.
 //!
 //! Observability: `--stats` prints a human-readable metrics summary on
 //! stderr (so it composes with `--tree` output on stdout); `--stats=json`
@@ -67,7 +80,7 @@ use std::time::Instant;
 mod args;
 mod render;
 
-use args::{Args, Command, GrammarSource, LintFormat, RecoverMode, StatsMode};
+use args::{Args, Command, GrammarSource, LintFormat, MaxSteps, RecoverMode, StatsMode};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -106,8 +119,11 @@ fn run(args: Args) -> Result<ExitCode, String> {
             warm_cache,
         } => {
             let mut budget = Budget::unlimited();
-            if let Some(n) = max_steps {
-                budget = budget.with_max_steps(n);
+            let mut auto_steps = false;
+            match max_steps {
+                Some(MaxSteps::Fixed(n)) => budget = budget.with_max_steps(n),
+                Some(MaxSteps::Auto) => auto_steps = true,
+                None => {}
             }
             if let Some(ms) = deadline_ms {
                 budget = budget.with_deadline(std::time::Duration::from_millis(ms));
@@ -131,6 +147,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
                     no_grammar_cache,
                     jobs,
                     warm_cache,
+                    auto_steps,
                 },
             )
         }
@@ -145,6 +162,11 @@ fn run(args: Args) -> Result<ExitCode, String> {
             format,
             max_lookahead,
         } => Ok(cmd_audit(source, format, max_lookahead)),
+        Command::Cost {
+            source,
+            format,
+            max_steps_per_token,
+        } => Ok(cmd_cost(source, format, max_steps_per_token)),
         Command::Generate { lang, size, seed } => {
             let (_, generate) = args::find_language(&lang)?;
             print!("{}", generate(seed, size));
@@ -276,18 +298,23 @@ struct ParseOpts {
     no_grammar_cache: bool,
     jobs: Option<usize>,
     warm_cache: bool,
+    auto_steps: bool,
 }
 
 fn cmd_parse(
     source: GrammarSource,
     inputs: Vec<String>,
-    budget: Budget,
+    mut budget: Budget,
     opts: ParseOpts,
 ) -> Result<ExitCode, String> {
     let (grammar, mut words, names, cache_dir) = load_many(source, inputs)?;
     let analysis = load_analysis(&grammar, cache_dir, opts.no_grammar_cache);
     if words.len() > 1 {
         return cmd_parse_batch(grammar, analysis, &names, &words, budget, &opts);
+    }
+    let tokens = words.pop().unwrap_or_default();
+    if opts.auto_steps {
+        budget = budget.with_max_steps(analysis.cost.bound_for(tokens.len() as u64));
     }
     let ParseOpts {
         tree,
@@ -297,7 +324,6 @@ fn cmd_parse(
         recover,
         ..
     } = opts;
-    let tokens = words.pop().unwrap_or_default();
     let mut parser = Parser::with_analysis(grammar, analysis);
     parser.set_budget(budget);
     if !parser.grammar_is_safe() {
@@ -592,7 +618,8 @@ fn cmd_parse_batch(
     let batch = BatchParser::with_shared(Arc::new(grammar), Arc::new(analysis))
         .with_budget(budget)
         .with_jobs(opts.jobs.unwrap_or(0))
-        .with_warm_cache(opts.warm_cache);
+        .with_warm_cache(opts.warm_cache)
+        .with_auto_steps(opts.auto_steps);
     if !batch.analysis().left_recursion.is_grammar_safe() {
         eprintln!(
             "warning: grammar is left-recursive; the correctness theorems do not apply \
@@ -972,6 +999,109 @@ fn cmd_audit(source: GrammarSource, format: LintFormat, max_lookahead: Option<us
             "{}",
             costar_grammar::analysis::to_cert_json(&grammar, table)
         ),
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `costar cost`: the static cost certificate derived from the
+/// termination measure.
+///
+/// Human output reports the certified constants and how they were built
+/// (ε-subtree bound, pushes per consume epoch, worst certified lookahead
+/// k_max), then any L012/L013 diagnostics. `--format=json` prints the
+/// machine-checkable `costar-cost-v1` certificate — byte-identical to
+/// the one embedded in the on-disk grammar-analysis cache, which this
+/// command loads through the same replay-validating path the parser
+/// uses, so a corrupted or deflated cached certificate can never be
+/// reported here. Exit codes follow lint's contract: 0 = no findings,
+/// 1 = findings (L012/L013), 2 = the grammar could not be loaded.
+fn cmd_cost(
+    source: GrammarSource,
+    format: LintFormat,
+    max_steps_per_token: Option<u64>,
+) -> ExitCode {
+    let cache_dir = match &source {
+        GrammarSource::Ebnf(path) => PathBuf::from(path)
+            .parent()
+            .map(|d| d.join(".costar-cache")),
+        GrammarSource::Lang(_) => None,
+    };
+    let grammar = match load_grammar(source) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = load_analysis(&grammar, cache_dir, false);
+    let cost = &analysis.cost;
+    let diags = costar_grammar::lint::cost_findings(&grammar, &analysis, max_steps_per_token);
+    match format {
+        LintFormat::Human => {
+            println!(
+                "grammar: {} nonterminals, at most {} nonterminals per alternative",
+                cost.nonterminals, cost.max_rhs_nts
+            );
+            if cost.nullable_hazard {
+                println!(
+                    "epsilon subtrees: bounded by {} nodes (nullable-closure cycle: \
+                     conservative power bound)",
+                    cost.epsilon_max
+                );
+            } else {
+                println!("epsilon subtrees: bounded by {} nodes", cost.epsilon_max);
+            }
+            println!(
+                "pushes per consume epoch: at most {}",
+                cost.pushes_per_epoch
+            );
+            match cost.steps_per_token() {
+                Some(a) => {
+                    println!(
+                        "certified bound: {a}·n + {} metered steps for any accepting or \
+                         rejecting parse of n tokens (worst certified lookahead k = {})",
+                        cost.b, cost.k_max
+                    );
+                    for n in [0u64, 100, 10_000] {
+                        println!("  n = {n}: at most {} steps", cost.bound_for(n));
+                    }
+                }
+                None => {
+                    let names: Vec<&str> = cost
+                        .unbounded
+                        .iter()
+                        .map(|x| grammar.symbols().nonterminal_name(*x))
+                        .collect();
+                    println!(
+                        "no linear bound: {} decision point{} with unbounded lookahead ({}); \
+                         falling back to the quadratic envelope",
+                        names.len(),
+                        if names.len() == 1 { "" } else { "s" },
+                        names.join(", ")
+                    );
+                    for n in [0u64, 100] {
+                        println!("  n = {n}: at most {} steps", cost.bound_for(n));
+                    }
+                }
+            }
+            for d in &diags {
+                println!("{}", d.render_human(&grammar));
+            }
+            match costar_grammar::lint::worst_severity(&diags) {
+                None => eprintln!("no findings"),
+                Some(worst) => eprintln!(
+                    "{} finding{} (worst severity: {})",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                    worst.as_str()
+                ),
+            }
+        }
+        LintFormat::Json => println!("{}", costar_grammar::analysis::to_cost_json(&grammar, cost)),
     }
     if diags.is_empty() {
         ExitCode::SUCCESS

@@ -202,16 +202,10 @@ fn budget_abort_reports_distinctly_with_exit_3() {
     assert!(stdout.contains("step budget"), "{stdout}");
     assert!(!stdout.starts_with("reject"), "{stdout}");
 
-    // An expired deadline aborts the same way.
-    let out = costar()
-        .args(["parse", "--lang", "json"])
-        .arg(&path)
-        .args(["--deadline-ms", "0"])
-        .output()
-        .expect("spawn");
-    assert_eq!(out.status.code(), Some(3));
-    let stdout = String::from_utf8(out.stdout).expect("utf8");
-    assert!(stdout.contains("aborted"), "{stdout}");
+    // A zero deadline is no longer a reachable abort: it is rejected as
+    // a usage error before any parse starts (see
+    // zero_budgets_are_usage_errors below). Deadline aborts remain
+    // covered by the budget unit tests.
 
     // A generous budget resolves the same input normally.
     let out = costar()
@@ -454,4 +448,101 @@ fn cache_cap_degrades_without_changing_the_verdict() {
     assert!(stdout.contains("\"reconciles\":true"), "{stdout}");
     let _ = std::fs::remove_file(path);
     let _ = std::fs::remove_file(deep);
+}
+
+#[test]
+fn zero_budgets_are_usage_errors() {
+    // `--max-steps 0` and `--deadline-ms 0` would abort every parse
+    // before its first step — they are rejected up front as usage errors
+    // (exit 2), never silently accepted as budgets.
+    for flag in ["--max-steps", "--deadline-ms"] {
+        let out = costar()
+            .args(["parse", "--lang", "json", "whatever.json", flag, "0"])
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{flag} 0 must be a usage error");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains(flag), "{stderr}");
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+}
+
+#[test]
+fn max_steps_auto_derives_fuel_from_the_cost_certificate() {
+    let out = costar()
+        .args(["generate", "--lang", "json", "--size", "120", "--seed", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    let path = tmp_file("autofuel", &json);
+
+    // Auto fuel must accept what an unlimited budget accepts: the
+    // certificate claims no accepting parse exceeds the derived bound.
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .args(["--max-steps", "auto", "--stats=json"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"cost_checks\":1"), "{stdout}");
+    assert!(stdout.contains("\"cost_violations\":0"), "{stdout}");
+    assert!(!stdout.contains("\"predicted_steps\":0,"), "{stdout}");
+
+    // Batch mode derives fuel per input: a one-token file and the large
+    // file in one batch both accept, each under its own bound.
+    let tiny = tmp_file("autofuel-tiny", "7");
+    let out = costar()
+        .args(["parse", "--lang", "json"])
+        .arg(&path)
+        .arg(&tiny)
+        .args(["--max-steps", "auto", "--stats=json", "--jobs", "2"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"cost_violations\":0"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(tiny);
+}
+
+#[test]
+fn cost_subcommand_reports_certificate_and_findings() {
+    // Human mode: the certified linear bound for a bundled language.
+    let out = costar()
+        .args(["cost", "--lang", "json"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("certified bound:"), "{stdout}");
+
+    // JSON mode prints the machine-checkable costar-cost-v1 certificate.
+    let out = costar()
+        .args(["cost", "--lang", "json", "--format=json"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"schema\":\"costar-cost-v1\""), "{stdout}");
+    assert!(stdout.contains("\"linear\":true"), "{stdout}");
+
+    // An impossible steps-per-token threshold turns into an L013 note
+    // and lint's findings exit code.
+    let out = costar()
+        .args(["cost", "--lang", "json", "--max-steps-per-token", "1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("L013"), "{stdout}");
+
+    // A grammar that cannot load exits 2 (lint's contract).
+    let out = costar()
+        .args(["cost", "--grammar", "/nonexistent/g.ebnf"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
 }

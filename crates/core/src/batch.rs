@@ -102,6 +102,7 @@ pub struct BatchParser {
     mode: PredictionMode,
     jobs: usize,
     warm_cache: bool,
+    auto_steps: bool,
     small_input_threshold: usize,
 }
 
@@ -220,6 +221,7 @@ impl BatchParser {
             mode: PredictionMode::Adaptive,
             jobs: default_jobs(),
             warm_cache: false,
+            auto_steps: false,
             small_input_threshold: DEFAULT_SMALL_INPUT_THRESHOLD,
         }
     }
@@ -245,6 +247,22 @@ impl BatchParser {
     /// [`Parser::with_no_static_fast_path`](crate::Parser::with_no_static_fast_path)).
     pub fn with_mode(mut self, mode: PredictionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Derives each input's step fuel from the grammar's certified cost
+    /// bound instead of a shared `--max-steps` value: input `i` with
+    /// `n_i` tokens parses under fuel
+    /// [`CostModel::bound_for(n_i)`](costar_grammar::analysis::CostModel::bound_for),
+    /// overriding any fuel set via [`BatchParser::with_budget`] (other
+    /// budget limits — deadline, stack depth, cache caps — are kept).
+    /// Because the certificate claims no accepting or rejecting parse
+    /// exceeds the bound, a `StepLimit` abort under auto fuel is evidence
+    /// of a parser or certificate bug, never of a large input — and one
+    /// long file can never inflate a sibling input's allowance, since
+    /// every input's fuel is derived from its own length.
+    pub fn with_auto_steps(mut self, on: bool) -> Self {
+        self.auto_steps = on;
         self
     }
 
@@ -396,15 +414,13 @@ impl BatchParser {
     /// to snapshot. The result is discarded (see
     /// [`BatchParser::with_warm_cache`]).
     fn warm_snapshot(&self, word: &[Token]) -> SllCache {
+        let budget = self.effective_budget(word);
         let mut cache = SllCache::new();
-        cache.set_capacity(
-            self.budget.max_cache_entries(),
-            self.budget.max_cache_bytes(),
-        );
+        cache.set_capacity(budget.max_cache_entries(), budget.max_cache_bytes());
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut scratch = std::mem::take(&mut cache);
             let outcome =
-                Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &self.budget)
+                Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &budget)
                     .run(&mut scratch);
             (scratch, outcome)
         }));
@@ -429,31 +445,24 @@ impl BatchParser {
         warm: Option<&SllCache>,
         recovering: bool,
     ) -> BatchItem {
+        let budget = self.effective_budget(word);
         match warm {
             Some(snapshot) => cache.clone_from(snapshot),
             None => cache.clear(),
         }
-        cache.set_capacity(
-            self.budget.max_cache_entries(),
-            self.budget.max_cache_bytes(),
-        );
+        cache.set_capacity(budget.max_cache_entries(), budget.max_cache_bytes());
         let mut obs = MetricsObserver::new();
         let start = Instant::now();
         let result = if recovering {
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                let machine = Machine::with_budget(
-                    &self.grammar,
-                    &self.analysis,
-                    word,
-                    self.mode,
-                    &self.budget,
-                );
+                let machine =
+                    Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &budget);
                 recover::run_recovering(
                     &self.analysis,
                     machine,
                     cache,
                     &mut obs,
-                    self.budget.max_recoveries(),
+                    budget.max_recoveries(),
                 )
             }));
             match caught {
@@ -469,7 +478,7 @@ impl BatchParser {
             }
         } else {
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &self.budget)
+                Machine::with_budget(&self.grammar, &self.analysis, word, self.mode, &budget)
                     .run_observed(cache, &mut obs)
             }));
             match caught {
@@ -484,6 +493,18 @@ impl BatchParser {
         metrics.total_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         metrics.tokens = word.len();
         BatchItem { result, metrics }
+    }
+
+    /// The budget one input actually parses under: the configured budget,
+    /// with step fuel replaced by the certified per-input bound when
+    /// auto-steps mode ([`BatchParser::with_auto_steps`]) is on.
+    fn effective_budget(&self, word: &[Token]) -> Budget {
+        if self.auto_steps {
+            self.budget
+                .with_max_steps(self.analysis.cost.bound_for(word.len() as u64))
+        } else {
+            self.budget
+        }
     }
 }
 
@@ -731,6 +752,39 @@ mod tests {
             .parse_many(&inputs);
         for (a, b) in grouped.items.iter().zip(ungrouped.items.iter()) {
             assert_eq!(a.outcome(), b.outcome());
+            assert_eq!(a.metrics.deterministic(), b.metrics.deterministic());
+        }
+    }
+
+    #[test]
+    fn auto_steps_derives_per_input_fuel_from_the_cost_certificate() {
+        let inputs = fig2_inputs(12);
+        let batch = BatchParser::new(fig2())
+            .with_jobs(2)
+            // A 1-step shared fuel would abort everything; auto mode must
+            // replace it with each input's own certified bound.
+            .with_budget(Budget::unlimited().with_max_steps(1))
+            .with_auto_steps(true);
+        let r = batch.parse_many(&inputs);
+        for (i, item) in r.items.iter().enumerate() {
+            assert!(
+                item.outcome().is_accept(),
+                "input {i} aborted under its certified bound"
+            );
+            let bound = batch.analysis().cost.bound_for(inputs[i].len() as u64);
+            assert_eq!(item.metrics.predicted_steps, bound, "input {i}");
+            assert_eq!(item.metrics.cost_checks, 1, "input {i}");
+            assert_eq!(item.metrics.cost_violations, 0, "input {i}");
+            assert!(item.metrics.meter_steps <= bound, "input {i}");
+        }
+        assert_eq!(r.metrics.cost_violations, 0);
+        assert_eq!(r.metrics.cost_checks, inputs.len() as u64);
+        // Auto fuel stays deterministic across worker counts.
+        let seq = BatchParser::new(fig2())
+            .with_jobs(1)
+            .with_auto_steps(true)
+            .parse_many(&inputs);
+        for (a, b) in seq.items.iter().zip(r.items.iter()) {
             assert_eq!(a.metrics.deterministic(), b.metrics.deterministic());
         }
     }

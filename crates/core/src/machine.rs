@@ -428,6 +428,19 @@ impl<'a> Machine<'a> {
                 StepResult::Abort(r) => break ParseOutcome::Aborted(r),
             }
         };
+        // The cost certificate's claim covers accepting and rejecting
+        // parses: check those against the certified bound, so a deflated
+        // certificate surfaces dynamically (mirroring the lookahead
+        // certificate check in prediction). Errors and aborts are outside
+        // the claim — an abort in particular stops *because* fuel ran
+        // out, which says nothing about the bound.
+        if matches!(
+            outcome,
+            ParseOutcome::Unique(_) | ParseOutcome::Ambig(_) | ParseOutcome::Reject(_)
+        ) {
+            let bound = self.analysis.cost.bound_for(self.tokens.len() as u64);
+            obs.on_cost_check(bound, self.meter.steps_taken() <= bound);
+        }
         obs.on_finish(self.meter.steps_taken());
         outcome
     }

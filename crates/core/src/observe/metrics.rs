@@ -156,6 +156,16 @@ pub struct ParseMetrics {
     /// Checks where the observed lookahead exceeded the certified bound —
     /// a deflated (understated) certificate, refutable only dynamically.
     pub certificate_failures: u64,
+    /// Certified fuel bound `CostModel::bound_for(tokens)` from the
+    /// `costar-cost-v1` certificate, recorded when the finished parse was
+    /// checked against it (accepting/rejecting parses only). Sums across
+    /// merged batch metrics, like `meter_steps`.
+    pub predicted_steps: u64,
+    /// Finished parses checked against the certified cost bound.
+    pub cost_checks: u64,
+    /// Checks where metered fuel exceeded the certified bound — a
+    /// deflated cost certificate, refutable only dynamically.
+    pub cost_violations: u64,
     /// DFA transition lookups issued.
     pub cache_lookups: u64,
     /// Lookups answered from the cache.
@@ -223,6 +233,9 @@ impl ParseMetrics {
         self.static_fast_path_hits += other.static_fast_path_hits;
         self.certificate_validations += other.certificate_validations;
         self.certificate_failures += other.certificate_failures;
+        self.predicted_steps = self.predicted_steps.saturating_add(other.predicted_steps);
+        self.cost_checks += other.cost_checks;
+        self.cost_violations += other.cost_violations;
         self.cache_lookups += other.cache_lookups;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
@@ -254,6 +267,19 @@ impl ParseMetrics {
         m.ll_latency_ns = Histogram::default();
         m.total_nanos = 0;
         m
+    }
+
+    /// How much headroom the certified cost bound left: `predicted_steps
+    /// / meter_steps`, 0.0 when either side is zero (no check ran, or an
+    /// empty parse). A ratio ≥ 1.0 means the certificate held; the
+    /// `parse_bench` CI gate keeps this within a fixed envelope so the
+    /// bound stays sound *and* usefully tight.
+    pub fn cost_bound_ratio(&self) -> f64 {
+        if self.meter_steps == 0 || self.predicted_steps == 0 {
+            0.0
+        } else {
+            self.predicted_steps as f64 / self.meter_steps as f64
+        }
     }
 
     /// Cache hit rate in `[0, 1]`; 0.0 with no lookups.
@@ -302,6 +328,10 @@ impl ParseMetrics {
             self.certificate_validations
         );
         let _ = write!(s, ",\"certificate_failures\":{}", self.certificate_failures);
+        let _ = write!(s, ",\"predicted_steps\":{}", self.predicted_steps);
+        let _ = write!(s, ",\"cost_checks\":{}", self.cost_checks);
+        let _ = write!(s, ",\"cost_violations\":{}", self.cost_violations);
+        let _ = write!(s, ",\"cost_bound_ratio\":{:.4}", self.cost_bound_ratio());
         let _ = write!(s, ",\"cache_lookups\":{}", self.cache_lookups);
         let _ = write!(s, ",\"cache_hits\":{}", self.cache_hits);
         let _ = write!(s, ",\"cache_misses\":{}", self.cache_misses);
@@ -423,6 +453,14 @@ impl ParseObserver for MetricsObserver {
         self.m.certificate_validations += 1;
         if !ok {
             self.m.certificate_failures += 1;
+        }
+    }
+
+    fn on_cost_check(&mut self, predicted_steps: u64, within_bound: bool) {
+        self.m.predicted_steps = self.m.predicted_steps.saturating_add(predicted_steps);
+        self.m.cost_checks += 1;
+        if !within_bound {
+            self.m.cost_violations += 1;
         }
     }
 
@@ -647,6 +685,30 @@ mod tests {
         sum.merge(&m);
         assert_eq!(sum.certificate_validations, 6);
         assert_eq!(sum.certificate_failures, 2);
+    }
+
+    #[test]
+    fn cost_checks_are_counted_and_serialized() {
+        let mut obs = MetricsObserver::new();
+        obs.on_cost_check(120, true);
+        obs.on_cost_check(80, false);
+        let mut m = obs.into_metrics();
+        assert_eq!(m.predicted_steps, 200);
+        assert_eq!(m.cost_checks, 2);
+        assert_eq!(m.cost_violations, 1);
+        m.meter_steps = 100;
+        assert!((m.cost_bound_ratio() - 2.0).abs() < 1e-9);
+        let json = m.to_json();
+        assert!(json.contains("\"predicted_steps\":200"));
+        assert!(json.contains("\"cost_checks\":2"));
+        assert!(json.contains("\"cost_violations\":1"));
+        assert!(json.contains("\"cost_bound_ratio\":2.0000"));
+        let mut sum = m.clone();
+        sum.merge(&m);
+        assert_eq!(sum.predicted_steps, 400);
+        assert_eq!(sum.cost_checks, 4);
+        assert_eq!(sum.cost_violations, 2);
+        assert_eq!(ParseMetrics::default().cost_bound_ratio(), 0.0);
     }
 
     #[test]

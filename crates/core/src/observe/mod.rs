@@ -188,6 +188,22 @@ pub trait ParseObserver {
     #[inline]
     fn on_resync_skip(&mut self, _cursor: usize) {}
 
+    /// An accepting or rejecting parse finished and its metered fuel was
+    /// compared against the grammar's certified cost bound
+    /// (`costar-cost-v1`, see `CostModel::bound_for`): `predicted_steps`
+    /// is the bound for this input's length and `within_bound` whether
+    /// `Meter::steps_taken() ≤ predicted_steps` held. A `false` means the
+    /// certificate *understated* the cost — exactly the deflation failure
+    /// mode [`ParseObserver::on_certificate_check`] catches for lookahead
+    /// bounds, caught dynamically because static replay can only pin the
+    /// derivation, not the universal claim over inputs. Never fires for
+    /// errored or aborted parses (the bound's claim covers accepting and
+    /// rejecting parses only) nor from the recovering driver (resync work
+    /// is outside the certified budget). Fires just before
+    /// [`ParseObserver::on_finish`].
+    #[inline]
+    fn on_cost_check(&mut self, _predicted_steps: u64, _within_bound: bool) {}
+
     /// The parse finished with `meter_steps` total fuel charged —
     /// machine steps plus prediction lookahead.
     #[inline]
@@ -298,6 +314,11 @@ impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
     fn on_resync_skip(&mut self, cursor: usize) {
         self.0.on_resync_skip(cursor);
         self.1.on_resync_skip(cursor);
+    }
+    #[inline]
+    fn on_cost_check(&mut self, predicted_steps: u64, within_bound: bool) {
+        self.0.on_cost_check(predicted_steps, within_bound);
+        self.1.on_cost_check(predicted_steps, within_bound);
     }
     #[inline]
     fn on_finish(&mut self, meter_steps: u64) {

@@ -306,7 +306,7 @@ impl RuleParser {
             alts.push(self.parse_seq()?);
         }
         Ok(if alts.len() == 1 {
-            alts.pop().expect("one alt")
+            alts.pop().unwrap_or(Expr::Seq(Vec::new()))
         } else {
             Expr::Alt(alts)
         })
@@ -319,7 +319,7 @@ impl RuleParser {
         }
         Ok(match parts.len() {
             0 => Expr::Seq(Vec::new()), // ε
-            1 => parts.pop().expect("one part"),
+            1 => parts.pop().unwrap_or(Expr::Seq(Vec::new())),
             _ => Expr::Seq(parts),
         })
     }
@@ -395,6 +395,7 @@ pub fn parse_ebnf(src: &str) -> Result<EbnfGrammar, EbnfError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -231,6 +231,7 @@ pub fn compile(src: &str) -> Result<(Grammar, DesugarStats), String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::parse_ebnf;

@@ -193,6 +193,7 @@ impl Interp<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::parse_ebnf;

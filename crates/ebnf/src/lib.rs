@@ -25,6 +25,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Panic-freedom discipline (clippy.toml `disallowed_*` config): the
+// whole crate is production tooling fed arbitrary user input, so every
+// module opts in; test modules carry a targeted `#[allow]`.
+#![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 mod ast;
 mod desugar;

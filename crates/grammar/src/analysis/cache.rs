@@ -27,7 +27,7 @@
 //! process rename another's half-written staging file into place.
 
 use crate::analysis::{
-    audit, ConflictPair, DecisionClass, DecisionInfo, DecisionTable, FirstSets, FollowSets,
+    audit, cost, ConflictPair, DecisionClass, DecisionInfo, DecisionTable, FirstSets, FollowSets,
     GrammarAnalysis, LeftRecursion, LookaheadMap, NullableSet, Position, Productivity,
     Reachability, StableDests, StableFrames, SyncSets,
 };
@@ -39,8 +39,9 @@ use std::fmt::Write as _;
 
 /// Schema tag stamped into every cache file; bump it whenever the
 /// serialized shape changes so old files fail cleanly. v2 added the
-/// embedded `costar-cert-v1` audit certificate.
-pub const CACHE_SCHEMA: &str = "costar-gcache-v2";
+/// embedded `costar-cert-v1` audit certificate; v3 added the embedded
+/// `costar-cost-v1` cost certificate.
+pub const CACHE_SCHEMA: &str = "costar-gcache-v3";
 
 /// FNV-1a content hash of a grammar: symbol tables (both namespaces, in
 /// interning order), start symbol, and all productions. Two grammars
@@ -241,6 +242,12 @@ pub fn to_cache_json(g: &Grammar, a: &GrammarAnalysis) -> String {
     // byte-identical.
     out.push_str(",\"audit\":");
     out.push_str(&audit::to_cert_json(g, &a.audit));
+
+    // Likewise the cost certificate: the value under "cost" is exactly
+    // the standalone `costar-cost-v1` document `costar cost --json`
+    // emits.
+    out.push_str(",\"cost\":");
+    out.push_str(&cost::to_cost_json(g, &a.cost));
 
     out.push('}');
     out
@@ -460,6 +467,15 @@ pub fn from_cache_json(g: &Grammar, text: &str) -> Option<GrammarAnalysis> {
         return None;
     }
 
+    // The cost certificate gets the same treatment, and its replay is
+    // total: the model is cheap to derive, so the validator recomputes it
+    // from the live analyses (plus the just-replayed audit table) and
+    // demands equality. A deflated `a`/`b` never reaches a budget.
+    let cost_model = cost::cost_from_json(g, v.get("cost")?)?;
+    if !cost::replay(g, &nullable, &left_recursion, &audit_table, &cost_model) {
+        return None;
+    }
+
     Some(GrammarAnalysis {
         nullable,
         first,
@@ -471,6 +487,7 @@ pub fn from_cache_json(g: &Grammar, text: &str) -> Option<GrammarAnalysis> {
         decisions,
         sync,
         audit: audit_table,
+        cost: cost_model,
     })
 }
 
@@ -810,6 +827,33 @@ mod tests {
         assert!(from_cache_json(&g, &bad).is_none());
         // Certificate stripped entirely.
         let bad = json.replace("\"audit\":", "\"audited\":");
+        assert!(from_cache_json(&g, &bad).is_none());
+    }
+
+    #[test]
+    fn corrupted_cost_certificate_triggers_recompute() {
+        let g = fig2();
+        let a = GrammarAnalysis::compute(&g);
+        let json = to_cache_json(&g, &a);
+        assert!(json.contains("\"cost\":{\"schema\":\"costar-cost-v1\""));
+        assert!(from_cache_json(&g, &json).is_some());
+        // Structurally valid but semantically deflated constants: a
+        // shrunken push bound would under-budget `--max-steps auto`.
+        // Caught by the total replay (recompute + equality), not by the
+        // schema checks.
+        let want = format!("\"pushes_per_epoch\":{}", a.cost.pushes_per_epoch);
+        let bad = json.replace(&want, "\"pushes_per_epoch\":1");
+        assert_ne!(bad, json, "fig2 cost model must be present");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Wrong cost schema tag.
+        let bad = json.replace("costar-cost-v1", "costar-cost-v0");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // Cost certificate stripped entirely.
+        let bad = json.replace("\"cost\":", "\"costed\":");
+        assert!(from_cache_json(&g, &bad).is_none());
+        // A non-numeric bound constant fails the structural parse.
+        let want = format!("\"b\":{}", a.cost.b);
+        let bad = json.replace(&want, "\"b\":null");
         assert!(from_cache_json(&g, &bad).is_none());
     }
 

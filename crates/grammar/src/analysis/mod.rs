@@ -19,7 +19,11 @@
 //! * [`AuditTable`] — exact per-decision lookahead bounds with collide
 //!   and resolve witnesses, dead/shadowed alternatives, serialized as
 //!   the machine-checkable `costar-cert-v1` certificate that the cache
-//!   loader replays instead of trusting.
+//!   loader replays instead of trusting;
+//! * [`CostModel`] — static cost certification: sound per-grammar fuel
+//!   constants (`steps(n) ≤ a·n + b` for fully lookahead-bounded
+//!   grammars) derived from the termination measure, serialized as the
+//!   `costar-cost-v1` certificate and likewise replayed on load.
 
 // Analysis code feeds the prediction hot path, so it is held to the same
 // panic-freedom discipline as the machine itself (see clippy.toml at the
@@ -29,6 +33,7 @@
 
 mod audit;
 mod cache;
+mod cost;
 mod decide;
 mod first_follow;
 mod left_recursion;
@@ -45,6 +50,9 @@ pub use audit::{
 };
 pub use cache::{
     from_cache_json, grammar_fingerprint, to_cache_json, write_cache_atomic, CACHE_SCHEMA,
+};
+pub use cost::{
+    parse_cost_json, replay as replay_cost_certificate, to_cost_json, CostModel, COST_SCHEMA,
 };
 pub use decide::{
     ConflictPair, DecisionClass, DecisionInfo, DecisionStats, DecisionTable, LookaheadMap,
@@ -99,6 +107,10 @@ pub struct GrammarAnalysis {
     /// Audit pass: exact per-decision lookahead bounds with witnesses,
     /// dead and shadowed alternatives (the `costar-cert-v1` certificate).
     pub audit: AuditTable,
+    /// Static cost certification: sound per-grammar fuel constants with
+    /// the claim `steps(n) ≤ bound_for(n)` for accepting/rejecting parses
+    /// (the `costar-cost-v1` certificate).
+    pub cost: CostModel,
 }
 
 impl GrammarAnalysis {
@@ -114,6 +126,7 @@ impl GrammarAnalysis {
         let decisions = DecisionTable::compute(g, &nullable, &first, &follow, &stable_frames);
         let sync = SyncSets::compute(g, &first, &follow);
         let audit = AuditTable::compute(g, &stable_frames, &productivity);
+        let cost = CostModel::compute(g, &nullable, &left_recursion, &audit);
         GrammarAnalysis {
             nullable,
             first,
@@ -125,6 +138,7 @@ impl GrammarAnalysis {
             decisions,
             sync,
             audit,
+            cost,
         }
     }
 }

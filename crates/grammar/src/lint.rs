@@ -25,6 +25,8 @@
 //! | `L009` | error | dead alternative — its right-hand side derives no terminal word, so no input ever selects it |
 //! | `L010` | warning | shadowed alternative — an earlier alternative's language covers it, so it can never win |
 //! | `L011` | note | lookahead bound exceeds the `--max-lookahead` threshold (audit-only, see [`audit_findings`]) |
+//! | `L012` | warning | superlinear-prediction risk — an unbounded-`k` decision point is reachable from a token-free cycle (cost-only, see [`cost_findings`]) |
+//! | `L013` | note | certified cost bound exceeds the `--max-steps-per-token` threshold (cost-only) |
 //!
 //! `L006` and `L007` are driven by the static
 //! [`DecisionTable`](crate::analysis::DecisionTable) and together are the
@@ -36,7 +38,10 @@
 //! ([`AuditTable`](crate::analysis::AuditTable)); `L011` needs the
 //! caller's lookahead threshold, so it is only produced by
 //! [`audit_findings`] (the engine behind `costar audit`), never by plain
-//! [`lint_grammar`].
+//! [`lint_grammar`]. `L012` and `L013` are driven by the static cost
+//! model ([`CostModel`](crate::analysis::CostModel)) and only produced by
+//! [`cost_findings`] (the engine behind `costar cost`), keeping plain
+//! lint output stable.
 
 use crate::analysis::{DecisionClass, GrammarAnalysis};
 use crate::grammar::{Grammar, ProdId};
@@ -98,6 +103,14 @@ pub enum DiagCode {
     /// `L011`: certified lookahead bound exceeds the caller's threshold
     /// (or no finite bound exists).
     LookaheadBound,
+    /// `L012`: superlinear-prediction risk — an unbounded-lookahead
+    /// decision point is reachable from a token-free cycle (left
+    /// recursion or a nullable-closure cycle), so prediction can rescan
+    /// input that is not being consumed.
+    SuperlinearPrediction,
+    /// `L013`: the certified cost bound exceeds the caller's
+    /// steps-per-token threshold (or no linear bound exists).
+    CostBound,
 }
 
 impl DiagCode {
@@ -115,6 +128,8 @@ impl DiagCode {
             DiagCode::DeadAlternative => "L009",
             DiagCode::ShadowedAlternative => "L010",
             DiagCode::LookaheadBound => "L011",
+            DiagCode::SuperlinearPrediction => "L012",
+            DiagCode::CostBound => "L013",
         }
     }
 
@@ -128,8 +143,12 @@ impl DiagCode {
             DiagCode::Unproductive
             | DiagCode::Unreachable
             | DiagCode::DuplicateProduction
-            | DiagCode::ShadowedAlternative => Severity::Warning,
-            DiagCode::Ll1Conflict | DiagCode::SllSafe | DiagCode::LookaheadBound => Severity::Note,
+            | DiagCode::ShadowedAlternative
+            | DiagCode::SuperlinearPrediction => Severity::Warning,
+            DiagCode::Ll1Conflict
+            | DiagCode::SllSafe
+            | DiagCode::LookaheadBound
+            | DiagCode::CostBound => Severity::Note,
         }
     }
 }
@@ -193,6 +212,24 @@ pub enum Witness {
         k: Option<usize>,
         /// The caller's `--max-lookahead` threshold.
         max: usize,
+    },
+    /// An unbounded-lookahead decision point reachable from a token-free
+    /// cycle — the combination that lets prediction work grow faster
+    /// than consumed input.
+    Superlinear {
+        /// `true` when the grammar also carries a nullable-closure
+        /// cycle hazard (the other source of token-free re-entry besides
+        /// left recursion).
+        nullable_hazard: bool,
+    },
+    /// A certified cost bound beyond the caller's steps-per-token
+    /// threshold.
+    CostBound {
+        /// The certified steps-per-token coefficient; `None` = no
+        /// linear bound exists.
+        steps_per_token: Option<u64>,
+        /// The caller's `--max-steps-per-token` threshold.
+        max: u64,
     },
 }
 
@@ -270,6 +307,22 @@ impl Diagnostic {
             Witness::LookaheadBound { k, max } => match k {
                 Some(k) => format!("certified bound k = {k} exceeds threshold {max}"),
                 None => format!("no finite bound exists (threshold {max})"),
+            },
+            Witness::Superlinear { nullable_hazard } => {
+                if *nullable_hazard {
+                    "unbounded lookahead reachable from a token-free cycle \
+                     (left recursion or nullable-closure cycle)"
+                        .to_owned()
+                } else {
+                    "unbounded lookahead reachable from a left-recursive cycle".to_owned()
+                }
+            }
+            Witness::CostBound {
+                steps_per_token,
+                max,
+            } => match steps_per_token {
+                Some(a) => format!("certified bound a = {a} steps/token exceeds threshold {max}"),
+                None => format!("no linear bound exists (threshold {max})"),
             },
         })
     }
@@ -507,6 +560,66 @@ pub fn audit_findings(
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     push_audit_diags(g, analysis, max_lookahead, &mut out);
+    sort_diags(&mut out);
+    out
+}
+
+/// Cost-centric findings: L012 for every unbounded decision point
+/// reachable from a token-free cycle (the superlinear-prediction risk
+/// set of the [`CostModel`](crate::analysis::CostModel)), and — when
+/// `max_steps_per_token` is given — L013 when the certified bound
+/// exceeds the threshold (a grammar with no linear bound exceeds every
+/// threshold). This is the diagnostic engine behind `costar cost`;
+/// plain [`lint_grammar`] emits neither code, keeping its output stable.
+pub fn cost_findings(
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    max_steps_per_token: Option<u64>,
+) -> Vec<Diagnostic> {
+    let tab = g.symbols();
+    let cost = &analysis.cost;
+    let mut out = Vec::new();
+    for &x in &cost.superlinear {
+        out.push(Diagnostic {
+            code: DiagCode::SuperlinearPrediction,
+            severity: DiagCode::SuperlinearPrediction.severity(),
+            nonterminal: x,
+            message: format!(
+                "deciding `{}` has no certified lookahead bound and is reachable \
+                 from a token-free cycle; prediction work can grow faster than \
+                 the input being consumed",
+                tab.nonterminal_name(x)
+            ),
+            witness: Some(Witness::Superlinear {
+                nullable_hazard: cost.nullable_hazard,
+            }),
+        });
+    }
+    if let Some(max) = max_steps_per_token {
+        let exceeds = match cost.steps_per_token() {
+            Some(a) => a > max,
+            None => true,
+        };
+        if exceeds {
+            let bound = match cost.steps_per_token() {
+                Some(a) => format!("a = {a} steps per token"),
+                None => "no linear bound".to_owned(),
+            };
+            out.push(Diagnostic {
+                code: DiagCode::CostBound,
+                severity: DiagCode::CostBound.severity(),
+                nonterminal: g.start(),
+                message: format!(
+                    "the certified cost bound is {bound}, beyond the requested \
+                     --max-steps-per-token {max}"
+                ),
+                witness: Some(Witness::CostBound {
+                    steps_per_token: cost.steps_per_token(),
+                    max,
+                }),
+            });
+        }
+    }
     sort_diags(&mut out);
     out
 }
@@ -873,6 +986,83 @@ mod tests {
             .find(|d| d.code == DiagCode::LookaheadBound)
             .unwrap();
         assert!(d.render_witness(&g).unwrap().contains("no finite bound"));
+    }
+
+    #[test]
+    fn cost_findings_reports_l012_for_superlinear_decisions() {
+        // E -> E plus int | int: E is left-recursive, so its unbounded
+        // decision sits on a token-free cycle — the L012 combination.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("E", &["E", "plus", "int"]);
+        gb.rule("E", &["int"]);
+        gb.start("E");
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        let e = g.symbols().lookup_nonterminal("E").unwrap();
+        assert_eq!(analysis.audit.k_bound(e), None, "E must audit unbounded");
+        let diags = cost_findings(&g, &analysis, None);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::SuperlinearPrediction)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.nonterminal, e);
+        assert!(d
+            .render_witness(&g)
+            .unwrap()
+            .contains("left-recursive cycle"));
+        // Plain lint never emits the cost codes — its output is pinned by
+        // other tests and must not change.
+        assert!(!lint_grammar(&g, &analysis).iter().any(|d| matches!(
+            d.code,
+            DiagCode::SuperlinearPrediction | DiagCode::CostBound
+        )));
+        // Fig. 2's unbounded decision has no token-free cycle: no L012.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S");
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        assert!(!cost_findings(&g, &analysis, None)
+            .iter()
+            .any(|d| d.code == DiagCode::SuperlinearPrediction));
+    }
+
+    #[test]
+    fn cost_findings_reports_l013_only_with_threshold() {
+        // S -> a S | b certifies the linear bound a = 5 steps/token.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["a", "S"]);
+        gb.rule("S", &["b"]);
+        gb.start("S");
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        assert_eq!(analysis.cost.steps_per_token(), Some(5));
+        assert!(cost_findings(&g, &analysis, None).is_empty());
+        assert!(cost_findings(&g, &analysis, Some(5)).is_empty());
+        let over = cost_findings(&g, &analysis, Some(4));
+        let d = over.iter().find(|d| d.code == DiagCode::CostBound).unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        let w = d.render_witness(&g).unwrap();
+        assert!(w.contains("a = 5 steps/token"), "{w}");
+        // A grammar with no linear bound exceeds every threshold.
+        let mut gb = GrammarBuilder::new();
+        gb.rule("S", &["A", "c"]);
+        gb.rule("S", &["A", "d"]);
+        gb.rule("A", &["a", "A"]);
+        gb.rule("A", &["b"]);
+        gb.start("S");
+        let g = gb.build().unwrap();
+        let analysis = GrammarAnalysis::compute(&g);
+        let diags = cost_findings(&g, &analysis, Some(u64::MAX));
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::CostBound)
+            .unwrap();
+        assert!(d.render_witness(&g).unwrap().contains("no linear bound"));
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Dfa {
     /// Determinizes `nfa` and minimizes the result.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
         let class_of = byte_classes(nfa);
-        let num_classes = (*class_of.iter().max().expect("256 entries") + 1) as usize;
+        let num_classes = (class_of.iter().max().copied().unwrap_or(0) + 1) as usize;
         // One representative byte per class.
         let mut rep = vec![0u8; num_classes];
         for b in (0u16..=255).rev() {
@@ -193,6 +193,7 @@ fn minimize(dfa: &Dfa) -> Dfa {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::regex::parse_regex;

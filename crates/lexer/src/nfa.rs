@@ -158,6 +158,7 @@ impl Nfa {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
     use crate::regex::parse_regex;

@@ -219,7 +219,7 @@ impl Parser<'_> {
             alts.push(self.parse_concat()?);
         }
         Ok(if alts.len() == 1 {
-            alts.pop().expect("one element")
+            alts.pop().unwrap_or(Regex::Empty)
         } else {
             Regex::Alt(alts)
         })
@@ -235,7 +235,7 @@ impl Parser<'_> {
         }
         Ok(match parts.len() {
             0 => Regex::Empty,
-            1 => parts.pop().expect("one element"),
+            1 => parts.pop().unwrap_or(Regex::Empty),
             _ => Regex::Concat(parts),
         })
     }
@@ -352,6 +352,7 @@ fn unescape(b: u8) -> Option<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
 mod tests {
     use super::*;
 

@@ -1,6 +1,10 @@
 //! Property tests for the lexer pipeline: the regex parser, the
 //! NFA→DFA construction, and the maximal-munch scanner.
 
+// Tests are exempt from the crate's panic-freedom discipline
+// (crates/lexer/clippy.toml), same as the in-crate test modules.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use costar_grammar::SymbolTable;
 use costar_lexer::{parse_regex, Lexer, LexerSpec, Regex};
 use proptest::prelude::*;

@@ -19,6 +19,7 @@
 //! | [`h_decide_sound`] (`H-DECIDE-SOUND`) | static decision table soundness: the precompiled LL(1) fast path agrees exactly with full prediction and the derivation-counting oracle |
 //! | [`h_recover_sound`] (`H-RECOVER-SOUND`) | recovery soundness: accepted words give the byte-identical tree with zero diagnostics; rejected (incl. single-token-corrupted) words terminate with ≥1 diagnostic and a tree spelling the whole input; a `max_recoveries` cap is always honored |
 //! | [`h_audit_sound`] (`H-AUDIT-SOUND`) | audit certificate soundness: every certified lookahead bound `k` is minimal (its collide witness replays) and sufficient (no word of length `k` keeps the pair alive, by exhaustive enumeration), dead/shadowed verdicts agree with an independent derivation-search oracle, and the serialized `costar-cert-v1` document round-trips and replays |
+//! | [`h_cost_sound`] (`H-COST-SOUND`) | cost certificate soundness: every accepting or rejecting parse of `n` tokens consumes at most `CostModel::bound_for(n)` metered steps, the certified bound is exactly enough fuel (a budgeted re-run is outcome-identical), `bound_for` is monotone in `n`, and the serialized `costar-cost-v1` document round-trips and replays |
 
 use crate::grammars::{self, Template};
 use crate::nondet::{any_bignat, Nondet};
@@ -28,11 +29,12 @@ use costar::invariants::{
 };
 use costar::measure::{frame_score, meas, stack_score_prime, Measure};
 use costar::{
-    AbortReason, Budget, Machine, ParseOutcome, Parser, PredictionMode, SllCache, StepResult,
+    AbortReason, Budget, Machine, MetricsObserver, ParseOutcome, Parser, PredictionMode, SllCache,
+    StepResult,
 };
 use costar_grammar::analysis::{
-    parse_cert_json, replay_certificate, simulate_survivors, to_cert_json, GrammarAnalysis,
-    PairAudit, Position,
+    parse_cert_json, parse_cost_json, replay_certificate, replay_cost_certificate,
+    simulate_survivors, to_cert_json, to_cost_json, GrammarAnalysis, PairAudit, Position,
 };
 use costar_grammar::{check_tree, Grammar, NonTerminal, ProdId, Symbol, Terminal, Token};
 use std::collections::{BTreeSet, VecDeque};
@@ -1042,6 +1044,178 @@ fn check_pair_bound(
     Ok(())
 }
 
+/// `H-COST-SOUND` — soundness of the static cost certificate
+/// (`costar cost` / the `costar-cost-v1` certificate), over a
+/// nondeterministic template *or* a small arbitrary grammar and an
+/// arbitrary word:
+///
+/// * **Bound replay**: an unbudgeted accepting or rejecting parse of the
+///   `n`-token word consumes `steps_taken ≤ CostModel::bound_for(n)`
+///   metered steps, and the observer layer records exactly one cost
+///   check against exactly that bound with zero violations.
+/// * **Exact fuel**: re-running the same word under
+///   `Budget::with_max_steps(bound_for(n))` — the `--max-steps auto`
+///   budget — yields the byte-identical outcome, never an abort: the
+///   certificate really is enough fuel.
+/// * **Monotonicity**: `bound_for` is monotone in `n` (longer inputs
+///   never certify smaller budgets), and every bound is positive (even
+///   the empty input needs its final return and EOF check).
+/// * **Round-trip**: the serialized `costar-cost-v1` certificate parses
+///   back to an equal model and passes full replay validation
+///   ([`replay_cost_certificate`]) — the same gate the grammar-cache
+///   loader applies.
+///
+/// Left-recursive random grammars are skipped: the certificate's claim
+/// (like the paper's correctness theorems) presupposes the
+/// non-left-recursion precondition, under which `Error` outcomes are
+/// unreachable.
+pub fn h_cost_sound<N: Nondet>(nd: &mut N, max_word: usize) -> Result<StepKinds, HarnessViolation> {
+    const ID: &str = "H-COST-SOUND";
+    let owned;
+    let owned_analysis;
+    let (g, analysis, word): (&Grammar, &GrammarAnalysis, Vec<Token>);
+    if nd.any_bool() {
+        let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+        g = &t.grammar;
+        analysis = &t.analysis;
+        word = grammars::draw_word(nd, t, max_word);
+    } else {
+        owned = grammars::draw_random_grammar(nd);
+        owned_analysis = GrammarAnalysis::compute(&owned);
+        g = &owned;
+        analysis = &owned_analysis;
+        let alphabet: Vec<Terminal> = g.symbols().terminals().collect();
+        let len = if alphabet.is_empty() {
+            0
+        } else {
+            nd.choose(max_word + 1)
+        };
+        word = (0..len)
+            .map(|_| {
+                let a = alphabet[nd.choose(alphabet.len())];
+                Token::new(a, g.symbols().terminal_name(a))
+            })
+            .collect();
+    }
+    if !analysis.left_recursion.is_grammar_safe() {
+        return Ok(StepKinds::default()); // outside the certificate's claim
+    }
+    check_cost_certificate(ID, g, analysis, &word)
+}
+
+/// The shared obligation of `H-COST-SOUND`, also replayed against the
+/// bundled languages by the proptest suite: parse `word`, check the
+/// metered step count against the certified bound, re-run under exactly
+/// that fuel, and round-trip the serialized certificate.
+pub fn check_cost_certificate(
+    id: &'static str,
+    g: &Grammar,
+    analysis: &GrammarAnalysis,
+    word: &[Token],
+) -> Result<StepKinds, HarnessViolation> {
+    let cost = &analysis.cost;
+    let n = word.len() as u64;
+    let bound = cost.bound_for(n);
+
+    // Bound replay against a live metered parse.
+    let mut cache = SllCache::new();
+    let mut obs = MetricsObserver::new();
+    let outcome = Machine::new(g, analysis, word).run_observed(&mut cache, &mut obs);
+    let m = obs.into_metrics();
+    let mut kinds = StepKinds {
+        pushes: m.pushes,
+        consumes: m.consumes,
+        returns: m.returns,
+        ..Default::default()
+    };
+    match &outcome {
+        ParseOutcome::Unique(_) | ParseOutcome::Ambig(_) => kinds.accepts += 1,
+        ParseOutcome::Reject(_) => kinds.rejects += 1,
+        other => {
+            return Err(fail(
+                id,
+                format!("unbudgeted parse of a safe grammar returned {other:?}"),
+            ))
+        }
+    }
+    if m.meter_steps > bound {
+        return Err(fail(
+            id,
+            format!(
+                "a {n}-token parse took {} metered steps, above the certified bound {bound} \
+                 (a = {}, b = {}, linear = {})",
+                m.meter_steps,
+                cost.a,
+                cost.b,
+                cost.is_linear()
+            ),
+        ));
+    }
+    if m.cost_checks != 1 || m.cost_violations != 0 || m.predicted_steps != bound {
+        return Err(fail(
+            id,
+            format!(
+                "observer cost accounting is off: {} checks, {} violations, \
+                 predicted {} (want 1, 0, {bound})",
+                m.cost_checks, m.cost_violations, m.predicted_steps
+            ),
+        ));
+    }
+
+    // Exact fuel: the certified bound is itself a sufficient budget.
+    let mut cache2 = SllCache::new();
+    let budgeted = Machine::with_budget(
+        g,
+        analysis,
+        word,
+        PredictionMode::Adaptive,
+        &Budget::unlimited().with_max_steps(bound),
+    )
+    .run(&mut cache2);
+    if budgeted != outcome {
+        return Err(fail(
+            id,
+            format!(
+                "parsing under the certified fuel bound {bound} changed the outcome: \
+                 {budgeted:?} vs {outcome:?}"
+            ),
+        ));
+    }
+
+    // Monotonicity and positivity of the closed form.
+    if bound == 0 {
+        return Err(fail(id, "certified bound is zero"));
+    }
+    if cost.bound_for(n.saturating_add(1)) < bound {
+        return Err(fail(id, format!("bound_for is not monotone at n = {n}")));
+    }
+
+    // Round-trip and replay, the grammar-cache loader's gate.
+    let text = to_cost_json(g, cost);
+    let parsed = parse_cost_json(g, &text).ok_or_else(|| {
+        fail(
+            id,
+            "serialized cost certificate failed structural validation",
+        )
+    })?;
+    if &parsed != cost {
+        return Err(fail(id, "cost certificate round-trip changed the model"));
+    }
+    if !replay_cost_certificate(
+        g,
+        &analysis.nullable,
+        &analysis.left_recursion,
+        &analysis.audit,
+        &parsed,
+    ) {
+        return Err(fail(
+            id,
+            "freshly computed cost certificate failed replay validation",
+        ));
+    }
+    Ok(kinds)
+}
+
 /// Independent language oracle for dead/shadow verdicts: breadth-first
 /// derivation over sentential forms from `start`, collecting up to
 /// `max_words` distinct terminal words. The flag reports whether the
@@ -1265,6 +1439,8 @@ mod tests {
             h_recover_sound(&mut nd, 5).unwrap();
             let mut nd = RngNondet::new(seed);
             h_audit_sound(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_cost_sound(&mut nd, 5).unwrap();
         }
     }
 

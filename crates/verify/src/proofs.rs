@@ -99,6 +99,83 @@ fn proof_audit_sound() {
 }
 
 #[kani::proof]
+#[kani::unwind(300)]
+fn proof_cost_sound() {
+    let mut nd = KaniNondet;
+    // Like the audit proof, the certificate round-trip walks serialized
+    // JSON character by character, so the unwinding is wider than the
+    // machine-step bound alone would need.
+    if let Err(v) = harness::h_cost_sound(&mut nd, 2) {
+        panic!("{v}");
+    }
+}
+
+/// The per-step accounting lemma behind `CostModel::bound_for`, over
+/// fully symbolic `u64`s: for any pushes-per-epoch constant `c ≥ 1` and
+/// certified lookahead `k`, the closed form `a·n + b` with
+/// `a = 1 + c·(k+3)`, `b = c·(k+3) + k + 2` dominates the raw step
+/// decomposition
+///
+/// ```text
+/// steps ≤ (n + 2·pushes + 1)          machine steps: one per consume,
+///                                     push, and return, plus final EOF
+///       + (pushes + 1)·(k + 1)        prediction: ≤ one decision per
+///                                     push epoch, each ≤ k+1 steps
+/// ```
+///
+/// whenever `pushes ≤ (n+1)·c`, with every operation saturating exactly
+/// as the shipped code computes it; and the bound is monotone in `n` on
+/// both the linear and the quadratic (unbounded-lookahead) branch.
+#[kani::proof]
+fn proof_cost_accounting() {
+    use costar_grammar::analysis::CostModel;
+    use costar_grammar::NonTerminal;
+
+    let c: u64 = kani::any();
+    let k: u64 = kani::any();
+    let n: u64 = kani::any();
+    kani::assume(c >= 1);
+
+    let per_push = c.saturating_mul(k.saturating_add(3));
+    let mut model = CostModel {
+        nonterminals: 1,
+        max_rhs_nts: 1,
+        epsilon_max: 0,
+        nullable_hazard: false,
+        pushes_per_epoch: c,
+        k_max: k,
+        unbounded: Vec::new(),
+        superlinear: Vec::new(),
+        a: 1u64.saturating_add(per_push),
+        b: per_push.saturating_add(k).saturating_add(2),
+    };
+
+    let pushes: u64 = kani::any();
+    kani::assume(pushes <= n.saturating_add(1).saturating_mul(c));
+    let decisions: u64 = kani::any();
+    kani::assume(decisions <= pushes.saturating_add(1));
+
+    let machine = n.saturating_add(pushes.saturating_mul(2)).saturating_add(1);
+    let prediction = decisions.saturating_mul(k.saturating_add(1));
+    let steps = machine.saturating_add(prediction);
+
+    assert!(steps <= model.bound_for(n), "decomposition exceeds a·n + b");
+    assert!(
+        model.bound_for(n) <= model.bound_for(n.saturating_add(1)),
+        "linear bound not monotone"
+    );
+
+    // The quadratic envelope (unbounded lookahead) is monotone too.
+    model.unbounded = vec![NonTerminal::from_index(0)];
+    model.a = 0;
+    model.b = 0;
+    assert!(
+        model.bound_for(n) <= model.bound_for(n.saturating_add(1)),
+        "quadratic envelope not monotone"
+    );
+}
+
+#[kani::proof]
 #[kani::unwind(64)]
 fn proof_recover_sound() {
     let mut nd = KaniNondet;

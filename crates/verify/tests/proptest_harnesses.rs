@@ -5,11 +5,17 @@
 //! final results (accept, reject) across the aggregate, so the harnesses
 //! cannot silently go vacuous.
 
+use costar::bignat::BigNat;
+use costar::measure::meas;
+use costar::{Machine, SllCache, StepResult};
+use costar_grammar::analysis::GrammarAnalysis;
+use costar_verify::grammars;
 use costar_verify::harness::{
-    h_audit_sound, h_cache_bound, h_decide_sound, h_measure_dec, h_measure_ord, h_prefix_der,
-    h_recover_sound, h_stable_complete, h_stack_wf, h_visited, HarnessViolation, StepKinds,
+    check_cost_certificate, h_audit_sound, h_cache_bound, h_cost_sound, h_decide_sound,
+    h_measure_dec, h_measure_ord, h_prefix_der, h_recover_sound, h_stable_complete, h_stack_wf,
+    h_visited, HarnessViolation, StepKinds,
 };
-use costar_verify::nondet::RngNondet;
+use costar_verify::nondet::{Nondet, RngNondet};
 use proptest::prelude::*;
 
 /// Word-length bound for the machine-driving harnesses. Longer than the
@@ -75,6 +81,114 @@ proptest! {
     fn h_audit_sound_holds(seed in any::<u64>()) {
         ok(h_audit_sound(&mut RngNondet::new(seed), MAX_WORD))?;
     }
+
+    #[test]
+    fn h_cost_sound_holds(seed in any::<u64>()) {
+        ok(h_cost_sound(&mut RngNondet::new(seed), MAX_WORD))?;
+    }
+
+    /// Satellite of `H-MEASURE-DEC`: not only does `meas` decrease
+    /// lexicographically at every step, each machine step *kind* moves
+    /// the component the paper's Lemma 4.2 case analysis says it moves —
+    /// consume shrinks `tokens_remaining`, push keeps the token count
+    /// and strictly shrinks `stackScore` (the §4.3 exponent race), and
+    /// return keeps the token count while shrinking score or height.
+    #[test]
+    fn measure_components_are_monotone_per_step_kind(seed in any::<u64>()) {
+        let mut nd = RngNondet::new(seed);
+        let t = grammars::template(nd.choose(grammars::NUM_TEMPLATES));
+        let word = grammars::draw_word(&mut nd, t, MAX_WORD);
+        let g = &t.grammar;
+        let total = word.len();
+        let mut cache = SllCache::new();
+        let mut machine = Machine::new(g, &t.analysis, &word);
+        let mut prev = meas(g, machine.state(), total);
+        let mut steps = 0u32;
+        loop {
+            steps += 1;
+            prop_assert!(steps < 100_000, "machine exceeded the step ceiling");
+            let before = (machine.state().cursor, machine.state().stack_height());
+            match machine.step(&mut cache) {
+                StepResult::Cont => {
+                    let after = (machine.state().cursor, machine.state().stack_height());
+                    let now = meas(g, machine.state(), total);
+                    prop_assert!(now < prev, "measure did not decrease: {now} >= {prev}");
+                    if after.0 > before.0 {
+                        prop_assert!(now.tokens_remaining < prev.tokens_remaining,
+                            "consume step did not shrink tokens_remaining");
+                    } else if after.1 > before.1 {
+                        prop_assert_eq!(now.tokens_remaining, prev.tokens_remaining);
+                        prop_assert!(now.stack_score < prev.stack_score,
+                            "push step did not shrink stackScore");
+                    } else {
+                        prop_assert!(after.1 < before.1, "Cont step changed nothing");
+                        prop_assert_eq!(now.tokens_remaining, prev.tokens_remaining);
+                        prop_assert!(
+                            now.stack_score < prev.stack_score
+                                || (now.stack_score == prev.stack_score
+                                    && now.stack_height < prev.stack_height),
+                            "return step shrank neither stackScore nor height");
+                    }
+                    prev = now;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Satellite: `BigNat` addition agrees with `u128` arithmetic across
+    /// the word-size boundary, with the strategy biased toward the carry
+    /// edges (`u64::MAX`, `2⁶³`).
+    #[test]
+    fn bignat_add_matches_u128_at_word_boundaries(
+        a in boundary_u64(), b in boundary_u64()
+    ) {
+        let mut n = BigNat::from(a);
+        n.add_assign(&BigNat::from(b));
+        prop_assert_eq!(n, bignat_from_u128(u128::from(a) + u128::from(b)));
+    }
+
+    /// Satellite: `BigNat` limb multiplication agrees with `u128`
+    /// arithmetic across the word-size boundary, and `Ord` on the results
+    /// agrees with the integer order.
+    #[test]
+    fn bignat_mul_and_ord_match_u128_at_word_boundaries(
+        a in boundary_u64(), b in boundary_u64(), f in boundary_u64()
+    ) {
+        let mut x = BigNat::from(a);
+        x.mul_u64_assign(f);
+        let mut y = BigNat::from(b);
+        y.mul_u64_assign(f);
+        let xi = u128::from(a) * u128::from(f);
+        let yi = u128::from(b) * u128::from(f);
+        prop_assert_eq!(&x, &bignat_from_u128(xi));
+        prop_assert_eq!(&y, &bignat_from_u128(yi));
+        prop_assert_eq!(x.cmp(&y), xi.cmp(&yi));
+    }
+}
+
+/// A `u64` strategy weighted toward the carry/overflow edges of the word
+/// size, where limb arithmetic bugs live.
+fn boundary_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        Just(1u64 << 63),
+        Just((1u64 << 63) - 1),
+        any::<u64>(),
+    ]
+}
+
+/// Reference construction of a two-limb `BigNat` from a `u128`, built
+/// only from `From<u64>` and the shift-by-2⁶⁴ identity.
+fn bignat_from_u128(v: u128) -> BigNat {
+    let mut hi = BigNat::from((v >> 64) as u64);
+    hi.mul_u64_assign(1 << 32);
+    hi.mul_u64_assign(1 << 32);
+    hi.add_assign(&BigNat::from(v as u64));
+    hi
 }
 
 /// Aggregates one harness across a deterministic seed range and returns
@@ -107,4 +221,38 @@ fn h_measure_dec_covers_all_step_kinds() {
         total.covers_all_kinds(),
         "H-MEASURE-DEC left a step kind unexercised: {total:?}"
     );
+}
+
+#[test]
+fn h_cost_sound_covers_both_outcomes() {
+    let total = aggregate(|nd| h_cost_sound(nd, MAX_WORD));
+    assert!(
+        total.accepts > 0 && total.rejects > 0,
+        "H-COST-SOUND never exercised both accept and reject: {total:?}"
+    );
+}
+
+/// The deterministic leg of `H-COST-SOUND`: replay the certified bound
+/// against real metered parses of all four bundled languages
+/// (JSON, XML, DOT, Python), not just templates and sampled grammars.
+/// Every corpus file must parse within `CostModel::bound_for(n)` with
+/// zero `on_cost_check` violations — the same obligation `costar cost`
+/// certifies and `--max-steps auto` relies on.
+#[test]
+fn h_cost_sound_replays_on_bundled_languages() {
+    for (lang, generate) in costar_langs::all_languages() {
+        let g = lang.grammar();
+        let analysis = GrammarAnalysis::compute(g);
+        for (i, src) in costar_langs::corpus(generate, 0xC057, 4, 400)
+            .iter()
+            .enumerate()
+        {
+            let word = lang
+                .tokenize(src)
+                .unwrap_or_else(|e| panic!("{} corpus file {i}: {e}", lang.name));
+            check_cost_certificate("H-COST-SOUND", g, &analysis, &word).unwrap_or_else(|v| {
+                panic!("{} corpus file {i} ({} tokens): {v}", lang.name, word.len())
+            });
+        }
+    }
 }
