@@ -20,7 +20,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use costar::{Budget, MetricsObserver, NullObserver, Parser, TraceObserver};
+use costar::{Budget, Edit, EditSession, MetricsObserver, NullObserver, Parser, TraceObserver};
 use costar_baselines::AntlrSim;
 use costar_bench::synthetic_grammar;
 use costar_grammar::analysis::GrammarAnalysis;
@@ -240,6 +240,38 @@ fn ablation_static_fast_path(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_incremental(c: &mut Criterion) {
+    // Incremental lexing: splicing a single-token edit into a live
+    // EditSession vs re-lexing the whole file from scratch. The edit
+    // replaces the mid-file token's lexeme with itself — each iteration
+    // pays the same restart→resync relex cost as a real same-size change
+    // while leaving the session unchanged, so no per-iteration setup is
+    // needed. Python is absent: its INDENT/DEDENT synthesis is
+    // line-global, so it has no incremental path to measure.
+    let mut group = c.benchmark_group("ablation_incremental");
+    group.sample_size(10);
+    for (lang, generate) in all_languages() {
+        if !lang.incremental_lexing() {
+            continue;
+        }
+        let src = generate(29, 4_000);
+        let mut session = EditSession::new(lang.lexer(), &src).expect("corpus lexes");
+        let mid = session.tokens()[session.tokens().len() / 2].clone();
+        let span = mid.span();
+        let edit = Edit::new(span.offset..span.offset + span.len, mid.lexeme().to_owned());
+        assert!(session.apply(&edit).is_ok());
+        group.throughput(Throughput::Bytes(src.len() as u64));
+
+        group.bench_function(BenchmarkId::new("splice", lang.name), |b| {
+            b.iter(|| session.apply(black_box(&edit)).expect("self-splice lexes"))
+        });
+        group.bench_function(BenchmarkId::new("full_relex", lang.name), |b| {
+            b.iter(|| lang.tokenize(black_box(&src)))
+        });
+    }
+    group.finish();
+}
+
 fn ablation_observer_overhead(c: &mut Criterion) {
     // Cost of the observability layer per observer flavor. The "null"
     // arms are the ≤2%-overhead acceptance check: `parse` *is*
@@ -286,6 +318,7 @@ criterion_group!(
     ablation_grammar_size,
     ablation_budget_overhead,
     ablation_static_fast_path,
+    ablation_incremental,
     ablation_observer_overhead
 );
 criterion_main!(benches);

@@ -8,9 +8,9 @@
 //! for meaningful timings.
 
 use costar_bench::{
-    ablation_cache_reuse, ablation_general_cfg, ablation_grammar_size, ablation_recovery,
-    ablation_sll_cache, ablation_static_fast_path, fig10, fig11, fig8, fig9, prediction_profile,
-    Config,
+    ablation_cache_reuse, ablation_general_cfg, ablation_grammar_size, ablation_incremental,
+    ablation_recovery, ablation_sll_cache, ablation_static_fast_path, fig10, fig11, fig8, fig9,
+    prediction_profile, Config,
 };
 
 fn main() {
@@ -84,5 +84,6 @@ fn main() {
         println!("{}", ablation_general_cfg(&cfg));
         println!("{}", ablation_static_fast_path(&cfg));
         println!("{}", ablation_recovery(&cfg));
+        println!("{}", ablation_incremental(&cfg));
     }
 }

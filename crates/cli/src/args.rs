@@ -18,6 +18,8 @@ usage:
                   [--max-lookahead K]
   costar cost     (--lang L) | (--grammar G.ebnf)  [--format=human|json]
                   [--max-steps-per-token N]
+  costar edit     --lang L FILE --script EDITS.json [--format=human|json]
+                  [--oracle]
   costar generate --lang L [--size N] [--seed S]
   costar tokens   --lang L FILE
 
@@ -70,7 +72,20 @@ usage:
   (severity 0 < 4 < 1 < 3).
   Grammar analyses for --grammar files are cached on disk keyed by
   grammar content (COSTAR_CACHE_DIR, default <grammar dir>/.costar-cache);
-  --no-grammar-cache bypasses the cache entirely.";
+  --no-grammar-cache bypasses the cache entirely.
+  edit replays a JSON edit script against FILE in one live session:
+  each edit re-lexes only the damaged region, splices the fresh tokens
+  into the previous token vector, and skips the parse entirely when the
+  spliced vector is byte-identical to the previous one. Per-edit re-lex
+  and re-parse latency is printed (or, with --format=json, one JSON
+  document with every per-edit record). The script is
+  {\"edits\":[{\"start\":B,\"end\":B,\"replacement\":S},...]} with
+  byte offsets into the *current* (already-edited) source. --oracle
+  additionally re-tokenizes from scratch after every edit and fails on
+  any divergence from the spliced tokens. Python falls back to full
+  re-tokenization per edit (INDENT/DEDENT synthesis is line-global).
+  Exit codes: 0 final parse accepted, 1 rejected/error/oracle mismatch,
+  2 usage or script error, 3 budget aborted.";
 
 /// How `--stats` should report parse metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +214,20 @@ pub enum Command {
         format: LintFormat,
         /// Note a certified per-token cost exceeding this (L013).
         max_steps_per_token: Option<u64>,
+    },
+    /// Replay a JSON edit script through an incremental parse session.
+    Edit {
+        /// Language name.
+        lang: String,
+        /// Initial source file.
+        file: String,
+        /// Path of the JSON edit script.
+        script: String,
+        /// Output format (`json` prints one document with per-edit rows).
+        format: LintFormat,
+        /// After every edit, re-tokenize from scratch and fail on any
+        /// divergence from the spliced token vector.
+        oracle: bool,
     },
     /// Emit a synthetic corpus file.
     Generate {
@@ -483,6 +512,52 @@ impl Args {
                         source,
                         format,
                         max_steps_per_token,
+                    },
+                })
+            }
+            "edit" => {
+                let mut lang = None;
+                let mut file = None;
+                let mut script = None;
+                let mut format = LintFormat::Human;
+                let mut oracle = false;
+                while let Some(a) = args.next() {
+                    match a.as_str() {
+                        "--lang" => lang = Some(required(&mut args, "--lang")?),
+                        "--script" => script = Some(required(&mut args, "--script")?),
+                        "--format=json" => format = LintFormat::Json,
+                        "--format=human" => format = LintFormat::Human,
+                        "--format" => {
+                            format = match required(&mut args, "--format")?.as_str() {
+                                "json" => LintFormat::Json,
+                                "human" => LintFormat::Human,
+                                other => {
+                                    return Err(format!(
+                                        "unknown edit format {other:?} (try human or json)"
+                                    ))
+                                }
+                            }
+                        }
+                        other if other.starts_with("--format=") => {
+                            return Err(format!(
+                                "unknown edit format {:?} (try human or json)",
+                                &other["--format=".len()..]
+                            ));
+                        }
+                        "--oracle" => oracle = true,
+                        other if !other.starts_with('-') && file.is_none() => {
+                            file = Some(other.to_owned());
+                        }
+                        other => return Err(format!("unexpected argument {other:?}")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Edit {
+                        lang: lang.ok_or("edit needs --lang")?,
+                        file: file.ok_or("edit needs a FILE")?,
+                        script: script.ok_or("edit needs --script EDITS.json")?,
+                        format,
+                        oracle,
                     },
                 })
             }
@@ -964,6 +1039,58 @@ mod tests {
         assert!(parse(&["audit", "--lang", "json", "--grammar", "g.ebnf"]).is_err());
         assert!(parse(&["audit", "--lang", "json", "--format=yaml"]).is_err());
         assert!(parse(&["audit", "--lang", "json", "--max-lookahead", "deep"]).is_err());
+    }
+
+    #[test]
+    fn edit_command_and_flags() {
+        let a = parse(&["edit", "--lang", "json", "f.json", "--script", "e.json"]).unwrap();
+        assert_eq!(
+            a.command,
+            Command::Edit {
+                lang: "json".into(),
+                file: "f.json".into(),
+                script: "e.json".into(),
+                format: LintFormat::Human,
+                oracle: false,
+            }
+        );
+        let a = parse(&[
+            "edit",
+            "--lang",
+            "xml",
+            "--script",
+            "e.json",
+            "doc.xml",
+            "--format=json",
+            "--oracle",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.command,
+            Command::Edit {
+                lang: "xml".into(),
+                file: "doc.xml".into(),
+                script: "e.json".into(),
+                format: LintFormat::Json,
+                oracle: true,
+            }
+        );
+        // All three of --lang, FILE, --script are required.
+        assert!(parse(&["edit", "--lang", "json", "f.json"]).is_err());
+        assert!(parse(&["edit", "--lang", "json", "--script", "e.json"]).is_err());
+        assert!(parse(&["edit", "f.json", "--script", "e.json"]).is_err());
+        assert!(parse(&[
+            "edit",
+            "--lang",
+            "json",
+            "f",
+            "--script",
+            "e",
+            "--format=yaml"
+        ])
+        .is_err());
+        // A second positional file is an error, not silently ignored.
+        assert!(parse(&["edit", "--lang", "json", "a", "b", "--script", "e"]).is_err());
     }
 
     #[test]

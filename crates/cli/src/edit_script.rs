@@ -1,0 +1,267 @@
+//! The `costar edit` script format: a minimal, strict JSON reader for
+//! `{"edits":[{"start":B,"end":B,"replacement":S},...]}`.
+//!
+//! The workspace carries no serialization dependency, so like every other
+//! JSON surface in the repo this is hand-rolled. The reader is
+//! deliberately strict — unknown keys, floats, trailing commas, or any
+//! syntax error fail with a byte-offset error message rather than being
+//! guessed around — and total: no input can make it panic.
+//!
+//! Offsets in the script are **byte** offsets into the *current* source,
+//! i.e. each edit addresses the text as left by the previous edit, which
+//! is how editors emit change streams.
+
+/// One edit from the script: replace bytes `start..end` with
+/// `replacement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptEdit {
+    /// Start byte offset (inclusive) in the current source.
+    pub start: usize,
+    /// End byte offset (exclusive) in the current source.
+    pub end: usize,
+    /// Replacement text (may be empty: a pure deletion).
+    pub replacement: String,
+}
+
+/// Parses an edit script document. Returns the edits in script order.
+pub fn parse(text: &str) -> Result<Vec<ScriptEdit>, String> {
+    let mut p = Reader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    p.skip_ws();
+    let key = p.string()?;
+    if key != "edits" {
+        return Err(format!("expected top-level key \"edits\", found {key:?}"));
+    }
+    p.skip_ws();
+    p.expect(b':')?;
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut edits = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            edits.push(p.edit()?);
+            p.skip_ws();
+            match p.bump() {
+                Some(b',') => p.skip_ws(),
+                Some(b']') => break,
+                _ => return Err(p.err("expected `,` or `]` after an edit")),
+            }
+        }
+    }
+    p.skip_ws();
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the edit script"));
+    }
+    Ok(edits)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} (at byte {})", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", want as char)))
+        }
+    }
+
+    /// One `{"start":N,"end":N,"replacement":S}` object, keys in any
+    /// order, each required exactly once.
+    fn edit(&mut self) -> Result<ScriptEdit, String> {
+        self.expect(b'{')?;
+        let (mut start, mut end, mut replacement) = (None, None, None);
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "start" if start.is_none() => start = Some(self.number()?),
+                "end" if end.is_none() => end = Some(self.number()?),
+                "replacement" if replacement.is_none() => replacement = Some(self.string()?),
+                "start" | "end" | "replacement" => {
+                    return Err(self.err(&format!("duplicate key {key:?}")))
+                }
+                other => return Err(self.err(&format!("unknown edit key {other:?}"))),
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                _ => return Err(self.err("expected `,` or `}` inside an edit")),
+            }
+        }
+        let (Some(start), Some(end), Some(replacement)) = (start, end, replacement) else {
+            return Err(self.err("an edit needs \"start\", \"end\", and \"replacement\""));
+        };
+        if end < start {
+            return Err(format!("edit range {start}..{end} is reversed"));
+        }
+        Ok(ScriptEdit {
+            start,
+            end,
+            replacement,
+        })
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let at = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == at {
+            return Err(self.err("expected an unsigned integer"));
+        }
+        std::str::from_utf8(&self.bytes[at..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("integer out of range"))
+    }
+
+    /// A JSON string with the escapes the schema needs: `\"`, `\\`,
+    /// `\/`, `\n`, `\t`, `\r`, and `\uXXXX` (no surrogate pairs — the
+    /// replacement text is arbitrary UTF-8, written directly).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or_else(|| self.err("truncated \\u"))?;
+                            let v = (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.err("bad \\u hex digit"))?;
+                            code = code * 16 + v;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?,
+                        );
+                    }
+                    _ => return Err(self.err("unsupported escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(b) => {
+                    // Byte-accurate UTF-8 passthrough: collect the full
+                    // encoded character starting at b.
+                    let char_start = self.pos - 1;
+                    let width = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.pos = (char_start + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[char_start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_script() {
+        let edits = parse(
+            r#"{ "edits": [
+                {"start": 3, "end": 5, "replacement": "xy"},
+                {"replacement": "", "start": 0, "end": 1},
+                {"start": 7, "end": 7, "replacement": "a\nb\"c\\dA"}
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(edits.len(), 3);
+        assert_eq!(
+            edits[0],
+            ScriptEdit {
+                start: 3,
+                end: 5,
+                replacement: "xy".into()
+            }
+        );
+        assert_eq!(edits[1].replacement, "");
+        assert_eq!(edits[2].replacement, "a\nb\"c\\dA");
+    }
+
+    #[test]
+    fn empty_script_is_fine() {
+        assert_eq!(parse(r#"{"edits":[]}"#).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn utf8_replacements_pass_through() {
+        let edits = parse(r#"{"edits":[{"start":0,"end":0,"replacement":"héllo→∞"}]}"#).unwrap();
+        assert_eq!(edits[0].replacement, "héllo→∞");
+    }
+
+    #[test]
+    fn malformed_scripts_are_rejected_with_positions() {
+        for bad in [
+            "",
+            "[]",
+            r#"{"edits":}"#,
+            r#"{"edit":[]}"#,
+            r#"{"edits":[{"start":1,"end":2}]}"#,
+            r#"{"edits":[{"start":1,"end":2,"replacement":"x","start":3}]}"#,
+            r#"{"edits":[{"start":5,"end":2,"replacement":"x"}]}"#,
+            r#"{"edits":[{"start":1,"end":2,"replacement":"x","size":9}]}"#,
+            r#"{"edits":[{"start":-1,"end":2,"replacement":"x"}]}"#,
+            r#"{"edits":[{"start":1.5,"end":2,"replacement":"x"}]}"#,
+            r#"{"edits":[]} trailing"#,
+            r#"{"edits":[{"start":1,"end":2,"replacement":"unterminated}]}"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed script: {bad:?}");
+        }
+    }
+}

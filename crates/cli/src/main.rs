@@ -66,7 +66,8 @@
 //! accept — a bounded post-mortem of what the machine was doing.
 
 use costar::{
-    BatchItemResult, BatchParser, Budget, MetricsObserver, ParseOutcome, Parser, TraceObserver,
+    BatchItemResult, BatchParser, Budget, Edit, EditError, MetricsObserver, ParseOutcome, Parser,
+    TraceObserver,
 };
 use costar_baselines::Ll1Parser;
 use costar_grammar::analysis::GrammarAnalysis;
@@ -78,6 +79,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 mod args;
+mod edit_script;
 mod render;
 
 use args::{Args, Command, GrammarSource, LintFormat, MaxSteps, RecoverMode, StatsMode};
@@ -172,6 +174,13 @@ fn run(args: Args) -> Result<ExitCode, String> {
             print!("{}", generate(seed, size));
             Ok(ExitCode::SUCCESS)
         }
+        Command::Edit {
+            lang,
+            file,
+            script,
+            format,
+            oracle,
+        } => cmd_edit(&lang, &file, &script, format, oracle),
         Command::Tokens { lang, file } => {
             let (language, _) = args::find_language(&lang)?;
             let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
@@ -780,6 +789,339 @@ fn cmd_parse_batch(
     }
     let code = u8::try_from(result.exit_code()).unwrap_or(1);
     Ok(ExitCode::from(code))
+}
+
+/// One applied edit's report row, shared by the human and JSON renderers
+/// of `costar edit`.
+struct EditRow {
+    start: usize,
+    end: usize,
+    replacement_len: usize,
+    tokens_relexed: usize,
+    tokens_reused: usize,
+    unchanged: bool,
+    reused_parse: bool,
+    relex_micros: u64,
+    edit_micros: u64,
+    outcome: &'static str,
+    oracle_ok: Option<bool>,
+}
+
+impl EditRow {
+    fn human(&self, i: usize, tokens: usize) -> String {
+        let total = self.tokens_relexed + self.tokens_reused;
+        let frac = if total == 0 {
+            100.0
+        } else {
+            self.tokens_reused as f64 * 100.0 / total as f64
+        };
+        format!(
+            "edit {i}: {}..{} +{}B | relexed {}, reused {} ({frac:.1}%) | \
+             {} µs lex, {} µs total | {} ({tokens} tokens){}",
+            self.start,
+            self.end,
+            self.replacement_len,
+            self.tokens_relexed,
+            self.tokens_reused,
+            self.relex_micros,
+            self.edit_micros,
+            self.outcome,
+            if self.reused_parse {
+                " [parse skipped: tokens unchanged]"
+            } else {
+                ""
+            },
+        )
+    }
+
+    fn to_json(&self, i: usize) -> String {
+        let mut s = format!(
+            "{{\"index\":{i},\"start\":{},\"end\":{},\"replacement_len\":{},\
+             \"tokens_relexed\":{},\"tokens_reused\":{},\"unchanged\":{},\
+             \"reused_parse\":{},\"relex_micros\":{},\"edit_micros\":{},\
+             \"outcome\":\"{}\"",
+            self.start,
+            self.end,
+            self.replacement_len,
+            self.tokens_relexed,
+            self.tokens_reused,
+            self.unchanged,
+            self.reused_parse,
+            self.relex_micros,
+            self.edit_micros,
+            self.outcome,
+        );
+        if let Some(ok) = self.oracle_ok {
+            s.push_str(&format!(",\"oracle_ok\":{ok}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn outcome_word(o: &ParseOutcome) -> &'static str {
+    match o {
+        ParseOutcome::Unique(_) => "unique",
+        ParseOutcome::Ambig(_) => "ambiguous",
+        ParseOutcome::Reject(_) => "reject",
+        ParseOutcome::Error(_) => "error",
+        ParseOutcome::Aborted(_) => "aborted",
+    }
+}
+
+fn outcome_exit(o: &ParseOutcome) -> u8 {
+    match o {
+        ParseOutcome::Unique(_) | ParseOutcome::Ambig(_) => 0,
+        ParseOutcome::Reject(_) | ParseOutcome::Error(_) => 1,
+        ParseOutcome::Aborted(_) => 3,
+    }
+}
+
+/// `costar edit`: replay a JSON edit script against one source file,
+/// re-lexing incrementally and re-parsing only when the token vector
+/// changed, with per-edit latency reporting.
+///
+/// Exit codes: 0 = final source accepted, 1 = final source rejected /
+/// an edit produced unlexable text / `--oracle` found a splice
+/// divergence, 2 = the file, script, or an edit range is malformed,
+/// 3 = the final parse aborted on budget. Errors mid-script stop the
+/// replay; the JSON document still carries the rows applied so far plus
+/// an `"error"` field.
+fn cmd_edit(
+    lang: &str,
+    file: &str,
+    script: &str,
+    format: LintFormat,
+    oracle: bool,
+) -> Result<ExitCode, String> {
+    let json_mode = format == LintFormat::Json;
+    let (language, _) = match args::find_language(lang) {
+        Ok(l) => l,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let script_text = match std::fs::read_to_string(script) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {script}: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let edits = match edit_script::parse(&script_text) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("error: {script}: {msg}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let analysis = load_analysis(language.grammar(), None, false);
+    let mut parser = Parser::with_analysis(language.grammar().clone(), analysis);
+    let incremental = language.incremental_lexing();
+
+    // With `--format=json` stdout carries the document; human lines move
+    // to stderr (the same contract as `parse --stats=json`).
+    let verdict = |line: String| {
+        if json_mode {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let mut rows: Vec<EditRow> = Vec::new();
+    let mut error: Option<String> = None;
+    let mut exit: u8;
+    let final_line: String;
+
+    if incremental {
+        let mut session = match parser.parse_session(language.lexer(), &source) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        exit = outcome_exit(session.outcome());
+        verdict(format!(
+            "initial: {} ({} tokens, incremental lexing)",
+            outcome_word(session.outcome()),
+            session.tokens().len()
+        ));
+        for (i, e) in edits.iter().enumerate() {
+            let edit = Edit::new(e.start..e.end, e.replacement.clone());
+            match parser.reparse_after_edit_with_metrics(&mut session, &edit) {
+                Ok((reparse, metrics)) => {
+                    let oracle_ok = if oracle {
+                        Some(
+                            language.tokenize(session.source()).ok().as_deref()
+                                == Some(session.tokens()),
+                        )
+                    } else {
+                        None
+                    };
+                    let row = EditRow {
+                        start: e.start,
+                        end: e.end,
+                        replacement_len: e.replacement.len(),
+                        tokens_relexed: reparse.splice.tokens_relexed,
+                        tokens_reused: reparse.splice.tokens_reused,
+                        unchanged: reparse.splice.unchanged,
+                        reused_parse: reparse.reused,
+                        relex_micros: reparse.splice.relex_micros,
+                        edit_micros: metrics.total_nanos / 1_000,
+                        outcome: outcome_word(session.outcome()),
+                        oracle_ok,
+                    };
+                    exit = outcome_exit(session.outcome());
+                    if row.oracle_ok == Some(false) {
+                        eprintln!(
+                            "error: edit {i}: oracle mismatch — spliced tokens \
+                             differ from a from-scratch lex"
+                        );
+                        exit = 1;
+                    }
+                    if !json_mode {
+                        println!("{}", row.human(i, session.tokens().len()));
+                    }
+                    rows.push(row);
+                }
+                Err(err) => {
+                    let code = match &err {
+                        EditError::Lex(_) => 1,
+                        _ => 2,
+                    };
+                    eprintln!("error: edit {i}: {err}");
+                    error = Some(format!("edit {i}: {err}"));
+                    exit = code;
+                    break;
+                }
+            }
+        }
+        final_line = format!(
+            "final: {} ({} tokens)",
+            outcome_word(session.outcome()),
+            session.tokens().len()
+        );
+    } else {
+        // Full re-tokenize fallback: the language's token word is not a
+        // pure DFA pass over the text (Python's INDENT/DEDENT synthesis
+        // is line-global), so every edit re-lexes and re-parses from
+        // scratch. Rows report zero reuse.
+        let mut src = source;
+        let mut tokens = match language.tokenize(&src) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        let mut outcome = parser.parse(&tokens);
+        exit = outcome_exit(&outcome);
+        verdict(format!(
+            "initial: {} ({} tokens, full re-tokenize per edit: {} does not lex \
+             incrementally)",
+            outcome_word(&outcome),
+            tokens.len(),
+            language.name
+        ));
+        for (i, e) in edits.iter().enumerate() {
+            let edit = Edit::new(e.start..e.end, e.replacement.clone());
+            let edit_start = Instant::now();
+            src = match edit.apply_to(&src) {
+                Ok(s) => s,
+                Err(err) => {
+                    eprintln!("error: edit {i}: {err}");
+                    error = Some(format!("edit {i}: {err}"));
+                    exit = 2;
+                    break;
+                }
+            };
+            let lex_start = Instant::now();
+            tokens = match language.tokenize(&src) {
+                Ok(t) => t,
+                Err(err) => {
+                    eprintln!("error: edit {i}: {err}");
+                    error = Some(format!("edit {i}: {err}"));
+                    exit = 1;
+                    break;
+                }
+            };
+            let relex_micros = lex_start.elapsed().as_micros() as u64;
+            outcome = parser.parse(&tokens);
+            let row = EditRow {
+                start: e.start,
+                end: e.end,
+                replacement_len: e.replacement.len(),
+                tokens_relexed: tokens.len(),
+                tokens_reused: 0,
+                unchanged: false,
+                reused_parse: false,
+                relex_micros,
+                edit_micros: edit_start.elapsed().as_micros() as u64,
+                outcome: outcome_word(&outcome),
+                // The tokens ARE a from-scratch lex here; nothing to check.
+                oracle_ok: oracle.then_some(true),
+            };
+            exit = outcome_exit(&outcome);
+            if !json_mode {
+                println!("{}", row.human(i, tokens.len()));
+            }
+            rows.push(row);
+        }
+        final_line = format!(
+            "final: {} ({} tokens)",
+            outcome_word(&outcome),
+            tokens.len()
+        );
+    }
+
+    verdict(final_line);
+    let relexed: usize = rows.iter().map(|r| r.tokens_relexed).sum();
+    let reused: usize = rows.iter().map(|r| r.tokens_reused).sum();
+    let reuse_pct = if relexed + reused == 0 {
+        0.0
+    } else {
+        reused as f64 * 100.0 / (relexed + reused) as f64
+    };
+    let skipped = rows.iter().filter(|r| r.reused_parse).count();
+    let relex_total: u64 = rows.iter().map(|r| r.relex_micros).sum();
+    eprintln!(
+        "{} edit{} applied: {relexed} tokens re-lexed, {reused} reused \
+         ({reuse_pct:.1}% reuse), {skipped} parse{} skipped, {relex_total} µs re-lexing",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" },
+        if skipped == 1 { "" } else { "s" },
+    );
+
+    if json_mode {
+        let mut doc = format!(
+            "{{\"file\":\"{}\",\"lang\":\"{}\",\"incremental\":{incremental},\"edits\":[",
+            render::json_escape(file),
+            render::json_escape(language.name),
+        );
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&r.to_json(i));
+        }
+        doc.push(']');
+        if let Some(e) = &error {
+            doc.push_str(&format!(",\"error\":\"{}\"", render::json_escape(e)));
+        }
+        doc.push_str(&format!(",\"exit\":{exit}}}"));
+        println!("{doc}");
+    }
+    Ok(ExitCode::from(exit))
 }
 
 /// `costar lint`: structured grammar diagnostics with witnesses.

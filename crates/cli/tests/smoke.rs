@@ -509,6 +509,166 @@ fn max_steps_auto_derives_fuel_from_the_cost_certificate() {
 }
 
 #[test]
+fn edit_replays_a_script_incrementally() {
+    let src = tmp_file("edit-src", "[1, 2, 3]");
+    // Edit 0 replaces the `2` token; edit 1 swaps a space for a tab —
+    // same-width skipped trivia, so the token vector is unchanged and
+    // the parse must be skipped.
+    let script = tmp_file(
+        "edit-script",
+        r#"{"edits":[
+            {"start":4,"end":5,"replacement":"99"},
+            {"start":3,"end":4,"replacement":"\t"}
+        ]}"#,
+    );
+    let out = costar()
+        .args(["edit", "--lang", "json"])
+        .arg(&src)
+        .arg("--script")
+        .arg(&script)
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(out.status.success(), "{stdout}{stderr}");
+    assert!(stdout.contains("initial: unique"), "{stdout}");
+    assert!(stdout.contains("incremental lexing"), "{stdout}");
+    assert!(stdout.contains("edit 0:"), "{stdout}");
+    assert!(
+        stdout.contains("parse skipped: tokens unchanged"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("final: unique"), "{stdout}");
+    // The summary (stderr) reports aggregate reuse.
+    assert!(stderr.contains("2 edits applied"), "{stderr}");
+    assert!(stderr.contains("reuse"), "{stderr}");
+    // The edited file on disk is untouched: the session edits in memory.
+    assert_eq!(std::fs::read_to_string(&src).expect("read"), "[1, 2, 3]");
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(script);
+}
+
+#[test]
+fn edit_json_document_carries_oracle_verdicts() {
+    let src = tmp_file("edit-json-src", "{\"k\": [1, 2]}");
+    let script = tmp_file(
+        "edit-json-script",
+        r#"{"edits":[{"start":10,"end":11,"replacement":"true"}]}"#,
+    );
+    let out = costar()
+        .args(["edit", "--lang", "json"])
+        .arg(&src)
+        .arg("--script")
+        .arg(&script)
+        .args(["--format=json", "--oracle"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(out.status.success(), "{stdout}{stderr}");
+    // One JSON document on stdout; human lines move to stderr.
+    let trimmed = stdout.trim();
+    assert_eq!(trimmed.lines().count(), 1, "{stdout}");
+    assert!(trimmed.starts_with("{\"file\":"), "{stdout}");
+    assert!(trimmed.contains("\"incremental\":true"), "{stdout}");
+    assert!(trimmed.contains("\"tokens_relexed\":"), "{stdout}");
+    assert!(trimmed.contains("\"oracle_ok\":true"), "{stdout}");
+    assert!(trimmed.contains("\"outcome\":\"unique\""), "{stdout}");
+    assert!(trimmed.ends_with("\"exit\":0}"), "{stdout}");
+    assert!(stderr.contains("initial: unique"), "{stderr}");
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(script);
+}
+
+#[test]
+fn edit_error_contract_distinguishes_lex_from_bounds() {
+    let src = tmp_file("edit-err-src", "[1, 2]");
+    // An edit that produces unlexable text: exit 1 (the session survives
+    // in-process; here the replay just stops).
+    let bad_lex = tmp_file(
+        "edit-err-lex",
+        r#"{"edits":[{"start":1,"end":2,"replacement":"%"}]}"#,
+    );
+    let out = costar()
+        .args(["edit", "--lang", "json"])
+        .arg(&src)
+        .arg("--script")
+        .arg(&bad_lex)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("edit 0"), "{stderr}");
+
+    // An out-of-bounds range is a malformed script: exit 2.
+    let oob = tmp_file(
+        "edit-err-oob",
+        r#"{"edits":[{"start":90,"end":95,"replacement":"x"}]}"#,
+    );
+    let out = costar()
+        .args(["edit", "--lang", "json"])
+        .arg(&src)
+        .arg("--script")
+        .arg(&oob)
+        .args(["--format=json"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // The JSON document still appears, carrying the error and exit code.
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"error\":"), "{stdout}");
+    assert!(stdout.trim().ends_with("\"exit\":2}"), "{stdout}");
+
+    // A syntactically broken script never reaches the parser: exit 2.
+    let broken = tmp_file("edit-err-script", r#"{"edits":[{"start":}]}"#);
+    let out = costar()
+        .args(["edit", "--lang", "json"])
+        .arg(&src)
+        .arg("--script")
+        .arg(&broken)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    for p in [src, bad_lex, oob, broken] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn edit_python_falls_back_to_full_retokenize() {
+    // Python's INDENT/DEDENT synthesis is line-global, so `costar edit`
+    // re-tokenizes from scratch per edit and says so.
+    let out = costar()
+        .args([
+            "generate", "--lang", "python", "--size", "40", "--seed", "1",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let py = String::from_utf8(out.stdout).expect("utf8");
+    let src = tmp_file("edit-py-src", &py);
+    let script = tmp_file(
+        "edit-py-script",
+        r#"{"edits":[{"start":0,"end":0,"replacement":""}]}"#,
+    );
+    let out = costar()
+        .args(["edit", "--lang", "python"])
+        .arg(&src)
+        .arg("--script")
+        .arg(&script)
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(out.status.success(), "{stdout}{stderr}");
+    assert!(stdout.contains("full re-tokenize"), "{stdout}");
+    assert!(stdout.contains("reused 0 (0.0%)"), "{stdout}");
+    assert!(stdout.contains("final: unique"), "{stdout}");
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(script);
+}
+
+#[test]
 fn cost_subcommand_reports_certificate_and_findings() {
     // Human mode: the certified linear bound for a bundled language.
     let out = costar()

@@ -62,6 +62,11 @@
 //!   immutable grammar + analysis across a worker pool (per-worker
 //!   prediction caches, per-input budgets) with results deterministic in
 //!   input order regardless of worker count.
+//! * `session` (private module, types re-exported) — incremental editing:
+//!   [`ParseSession`] keeps source, token vector, and cached outcome
+//!   alive across [`Parser::reparse_after_edit`] calls, re-lexing only
+//!   the edited region and skipping the parse entirely when the spliced
+//!   token vector is byte-identical to the previous one.
 
 #![warn(missing_docs)]
 // The panic-freedom discipline (clippy.toml `disallowed_*` config) is
@@ -85,6 +90,7 @@ mod parser;
 mod prediction;
 pub mod recover;
 pub mod semantics;
+mod session;
 pub mod state;
 #[cfg(kani)]
 pub mod verify_hooks;
@@ -101,3 +107,7 @@ pub use observe::{
 pub use parser::{parse, Parser};
 pub use prediction::cache::{CacheStats, PredictionStats, SllCache};
 pub use recover::{Diagnostic, RecoveredParse};
+pub use session::{ParseSession, SessionReparse};
+// The lexer-side session vocabulary, re-exported so edit-session callers
+// (the CLI, the verify harnesses) need only this crate.
+pub use costar_lexer::{Edit, EditError, EditSession, SpliceReport};

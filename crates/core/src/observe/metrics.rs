@@ -180,6 +180,16 @@ pub struct ParseMetrics {
     pub recoveries: u64,
     /// Input tokens skipped by panic-mode resynchronization.
     pub tokens_skipped: u64,
+    /// Tokens produced by incremental re-lexing of edited regions
+    /// ([`Parser::reparse_after_edit`](crate::Parser::reparse_after_edit));
+    /// zero for from-scratch parses.
+    pub tokens_relexed: u64,
+    /// Tokens carried over unscanned from the previous lex (prefix +
+    /// rebased suffix) across incremental re-lexes.
+    pub tokens_reused: u64,
+    /// Wall-clock microseconds spent in incremental re-lexing, summed
+    /// across the edits this metrics object covers.
+    pub incremental_lex_micros: u64,
     /// Why the parse aborted, if it did.
     pub abort: Option<AbortReason>,
     /// `Meter::steps_taken()` at the end of the parse — the budget
@@ -243,6 +253,11 @@ impl ParseMetrics {
         self.closure_steps += other.closure_steps;
         self.recoveries += other.recoveries;
         self.tokens_skipped += other.tokens_skipped;
+        self.tokens_relexed += other.tokens_relexed;
+        self.tokens_reused += other.tokens_reused;
+        self.incremental_lex_micros = self
+            .incremental_lex_micros
+            .saturating_add(other.incremental_lex_micros);
         if self.abort.is_none() {
             self.abort = other.abort;
         }
@@ -266,6 +281,7 @@ impl ParseMetrics {
         m.sll_latency_ns = Histogram::default();
         m.ll_latency_ns = Histogram::default();
         m.total_nanos = 0;
+        m.incremental_lex_micros = 0;
         m
     }
 
@@ -279,6 +295,20 @@ impl ParseMetrics {
             0.0
         } else {
             self.predicted_steps as f64 / self.meter_steps as f64
+        }
+    }
+
+    /// Fraction of the spliced token vector carried over unscanned from
+    /// the previous lex: `tokens_reused / (tokens_relexed +
+    /// tokens_reused)`, 0.0 when no incremental re-lex ran. Near 1.0 for
+    /// small edits in large files — the quantity the incremental-lexing
+    /// speedup claim rides on.
+    pub fn splice_reuse_fraction(&self) -> f64 {
+        let total = self.tokens_relexed + self.tokens_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.tokens_reused as f64 / total as f64
         }
     }
 
@@ -340,6 +370,18 @@ impl ParseMetrics {
         let _ = write!(s, ",\"closure_steps\":{}", self.closure_steps);
         let _ = write!(s, ",\"recoveries\":{}", self.recoveries);
         let _ = write!(s, ",\"tokens_skipped\":{}", self.tokens_skipped);
+        let _ = write!(s, ",\"tokens_relexed\":{}", self.tokens_relexed);
+        let _ = write!(s, ",\"tokens_reused\":{}", self.tokens_reused);
+        let _ = write!(
+            s,
+            ",\"incremental_lex_micros\":{}",
+            self.incremental_lex_micros
+        );
+        let _ = write!(
+            s,
+            ",\"splice_reuse_fraction\":{:.4}",
+            self.splice_reuse_fraction()
+        );
         match &self.abort {
             Some(r) => {
                 let _ = write!(s, ",\"abort\":{:?}", r.to_string());
@@ -494,6 +536,12 @@ impl ParseObserver for MetricsObserver {
 
     fn on_resync_skip(&mut self, _cursor: usize) {
         self.m.tokens_skipped += 1;
+    }
+
+    fn on_incremental_relex(&mut self, tokens_relexed: u64, tokens_reused: u64, micros: u64) {
+        self.m.tokens_relexed += tokens_relexed;
+        self.m.tokens_reused += tokens_reused;
+        self.m.incremental_lex_micros = self.m.incremental_lex_micros.saturating_add(micros);
     }
 
     fn on_finish(&mut self, meter_steps: u64) {
@@ -709,6 +757,35 @@ mod tests {
         assert_eq!(sum.cost_checks, 4);
         assert_eq!(sum.cost_violations, 2);
         assert_eq!(ParseMetrics::default().cost_bound_ratio(), 0.0);
+    }
+
+    #[test]
+    fn incremental_relex_counters_and_reuse_fraction() {
+        let mut obs = MetricsObserver::new();
+        obs.on_incremental_relex(2, 98, 40);
+        obs.on_incremental_relex(3, 97, 2);
+        let m = obs.into_metrics();
+        assert_eq!(m.tokens_relexed, 5);
+        assert_eq!(m.tokens_reused, 195);
+        assert_eq!(m.incremental_lex_micros, 42);
+        assert!((m.splice_reuse_fraction() - 0.975).abs() < 1e-9);
+        let json = m.to_json();
+        assert!(json.contains("\"tokens_relexed\":5"));
+        assert!(json.contains("\"tokens_reused\":195"));
+        assert!(json.contains("\"incremental_lex_micros\":42"));
+        assert!(json.contains("\"splice_reuse_fraction\":0.9750"));
+        // The micros are wall clock and leave the deterministic view; the
+        // token counts are input-determined and stay.
+        let d = m.deterministic();
+        assert_eq!(d.incremental_lex_micros, 0);
+        assert_eq!(d.tokens_relexed, 5);
+        assert_eq!(d.tokens_reused, 195);
+        let mut sum = m.clone();
+        sum.merge(&m);
+        assert_eq!(sum.tokens_relexed, 10);
+        assert_eq!(sum.tokens_reused, 390);
+        assert_eq!(sum.incremental_lex_micros, 84);
+        assert_eq!(ParseMetrics::default().splice_reuse_fraction(), 0.0);
     }
 
     #[test]

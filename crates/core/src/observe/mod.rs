@@ -204,6 +204,15 @@ pub trait ParseObserver {
     #[inline]
     fn on_cost_check(&mut self, _predicted_steps: u64, _within_bound: bool) {}
 
+    /// An edit session spliced fresh tokens into its cached token vector
+    /// ([`crate::Parser::reparse_after_edit`]): `tokens_relexed` came from
+    /// re-scanning the damaged region, `tokens_reused` were carried over
+    /// from the previous lex (prefix + rebased suffix), and the re-lex
+    /// took `micros` microseconds of wall clock. Fires once per applied
+    /// edit, before any re-parse events; batch parses never fire it.
+    #[inline]
+    fn on_incremental_relex(&mut self, _tokens_relexed: u64, _tokens_reused: u64, _micros: u64) {}
+
     /// The parse finished with `meter_steps` total fuel charged —
     /// machine steps plus prediction lookahead.
     #[inline]
@@ -319,6 +328,13 @@ impl<A: ParseObserver, B: ParseObserver> ParseObserver for (A, B) {
     fn on_cost_check(&mut self, predicted_steps: u64, within_bound: bool) {
         self.0.on_cost_check(predicted_steps, within_bound);
         self.1.on_cost_check(predicted_steps, within_bound);
+    }
+    #[inline]
+    fn on_incremental_relex(&mut self, tokens_relexed: u64, tokens_reused: u64, micros: u64) {
+        self.0
+            .on_incremental_relex(tokens_relexed, tokens_reused, micros);
+        self.1
+            .on_incremental_relex(tokens_relexed, tokens_reused, micros);
     }
     #[inline]
     fn on_finish(&mut self, meter_steps: u64) {

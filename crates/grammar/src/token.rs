@@ -113,6 +113,18 @@ impl Token {
         }
     }
 
+    /// Creates a token that shares an already-allocated lexeme. Lexers
+    /// intern fixed spellings (keywords, punctuation) once per grammar and
+    /// hand out reference-count bumps here instead of allocating a fresh
+    /// `Arc<str>` per occurrence.
+    pub fn with_shared_lexeme(terminal: Terminal, lexeme: Arc<str>, span: Span) -> Self {
+        Token {
+            terminal,
+            lexeme,
+            span,
+        }
+    }
+
     /// The terminal symbol this token was classified as.
     pub fn terminal(&self) -> Terminal {
         self.terminal
@@ -131,6 +143,13 @@ impl Token {
     /// Source location of the lexeme.
     pub fn span(&self) -> Span {
         self.span
+    }
+
+    /// Replaces the token's span in place, keeping terminal and lexeme.
+    /// Incremental lexing rebases every downstream token after a splice
+    /// this way — an O(1) span update instead of a token rebuild.
+    pub fn set_span(&mut self, span: Span) {
+        self.span = span;
     }
 }
 

@@ -102,6 +102,16 @@ impl Language {
         }
     }
 
+    /// Whether [`Language::tokenize`] is exactly the DFA lexer over the
+    /// whole input — the precondition for incremental lexing
+    /// (`costar::Parser::parse_session` splices at DFA token boundaries).
+    /// `false` for Python, whose INDENT/DEDENT/NEWLINE synthesis is a
+    /// line-global pass over the raw token stream; editors of Python
+    /// sources must re-tokenize from scratch.
+    pub fn incremental_lexing(&self) -> bool {
+        self.tokenizer == TokenizerKind::Plain
+    }
+
     /// Grammar-size statistics for the Fig. 8 table: `(|T|, |N|, |P|)` of
     /// the desugared BNF grammar.
     pub fn grammar_stats(&self) -> (usize, usize, usize) {

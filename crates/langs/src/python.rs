@@ -173,10 +173,14 @@ pub fn tokenize_indented(lang: &Language, source: &str) -> Result<Vec<Token>, Le
     let open = ["(", "[", "{"].map(lookup);
     let close = [")", "]", "}"].map(lookup);
 
-    for line in source.split('\n') {
+    for raw_line in source.split('\n') {
         let line_offset = offset;
-        offset += line.len() + 1;
+        offset += raw_line.len() + 1;
         line_no = line_no.saturating_add(1);
+        // A CRLF terminator leaves a trailing '\r' on the split line; it
+        // belongs to the line ending, not the content — the per-line
+        // lexer has no rule for it.
+        let line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
         let trimmed = line.trim_start_matches([' ', '\t']);
         if depth == 0 {
             if trimmed.is_empty() || trimmed.starts_with('#') {
@@ -496,6 +500,23 @@ mod tests {
         let ks = kinds(&lang, src);
         assert_eq!(ks.iter().filter(|k| *k == "NEWLINE").count(), 1);
         assert!(!ks.contains(&"INDENT".to_owned()));
+    }
+
+    #[test]
+    fn crlf_lines_tokenize_like_lf_lines() {
+        let lang = language();
+        let lf = "if x:\n    y = 1\nz = 2\n";
+        let crlf = lf.replace('\n', "\r\n");
+        assert_eq!(kinds(&lang, &crlf), kinds(&lang, lf));
+        // Token lexemes survive unchanged; only byte offsets shift by
+        // the extra '\r' per preceding line ending.
+        let lf_toks = lang.tokenize(lf).unwrap();
+        let crlf_toks = lang.tokenize(&crlf).unwrap();
+        for (a, b) in lf_toks.iter().zip(&crlf_toks) {
+            assert_eq!(a.lexeme(), b.lexeme());
+            assert_eq!(a.span().line, b.span().line);
+            assert!(b.span().offset >= a.span().offset);
+        }
     }
 
     #[test]

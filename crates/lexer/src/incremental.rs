@@ -1,0 +1,718 @@
+//! Incremental lexing: edit sessions, damage tracking, and token splicing.
+//!
+//! An [`EditSession`] remembers the previous source text, its token
+//! vector, and the per-step DFA restart metadata recorded during the last
+//! scan. Applying an [`Edit`] re-lexes only the damaged region:
+//!
+//! 1. **Restart** — rewind to the nearest *safe* scan boundary at or
+//!    before the edit. A boundary `b` is safe when no earlier scan step's
+//!    *reach* (the exclusive end of the bytes the DFA examined, including
+//!    the byte that killed it) extends past the edit start: every step
+//!    before `b` then made its match decision from bytes the edit cannot
+//!    have changed, so a from-scratch lex of the new text reproduces the
+//!    prefix exactly.
+//! 2. **Resync** — scan forward from the restart point over the new text.
+//!    Because every scan step restarts the DFA in its start state, the
+//!    tokenization of the text after position `p` depends only on the
+//!    bytes from `p` onward. So as soon as the scanner lands on a position
+//!    past the replaced region that maps (by the edit's byte delta) onto a
+//!    scan boundary of the *old* text, the rest of the old scan replays
+//!    verbatim and scanning can stop.
+//! 3. **Splice** — stitch `prefix tokens ++ fresh tokens ++ rebased
+//!    suffix tokens`. Suffix spans shift by the constant byte delta; lines
+//!    shift by the constant line delta; columns shift only for tokens
+//!    still on the resync point's old line (after the first unchanged line
+//!    terminator, column arithmetic is untouched).
+//!
+//! The harness `H-INCR-LEX-SOUND` (crate `costar-verify`) checks the
+//! resulting token vector byte-identical — kind, lexeme, and span —
+//! against a from-scratch lex of the edited source, under proptest and a
+//! bounded kani proof.
+
+use crate::lexer::advance_line_col;
+use crate::{LexError, Lexer};
+use costar_grammar::{Span, Token};
+use std::fmt;
+use std::ops::Range;
+#[cfg(not(kani))]
+use std::time::Instant;
+
+/// Wall-clock anchor for the relex timer; under kani (which cannot model
+/// `Instant::now`) timing degrades to zero.
+#[cfg(not(kani))]
+type Timer = Instant;
+#[cfg(kani)]
+type Timer = ();
+
+fn timer_start() -> Timer {
+    #[cfg(not(kani))]
+    {
+        Instant::now()
+    }
+}
+
+fn micros_since(_t0: Timer) -> u64 {
+    #[cfg(not(kani))]
+    {
+        u64::try_from(_t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+    #[cfg(kani)]
+    {
+        0
+    }
+}
+
+/// A source edit: replace the bytes in `range` with `replacement`.
+///
+/// `range` is a byte range into the session's *current* source; an empty
+/// range is a pure insertion, an empty `replacement` a pure deletion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Byte range of the current source to replace.
+    pub range: Range<usize>,
+    /// Replacement text (may be empty).
+    pub replacement: String,
+}
+
+impl Edit {
+    /// Convenience constructor.
+    pub fn new(range: Range<usize>, replacement: impl Into<String>) -> Self {
+        Edit {
+            range,
+            replacement: replacement.into(),
+        }
+    }
+
+    /// Validates this edit against `source` (bounds, ordering, UTF-8 char
+    /// boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError::OutOfBounds`] or [`EditError::NotCharBoundary`].
+    pub fn validate(&self, source: &str) -> Result<(), EditError> {
+        let (start, end) = (self.range.start, self.range.end);
+        if start > end || end > source.len() {
+            return Err(EditError::OutOfBounds {
+                start,
+                end,
+                source_len: source.len(),
+            });
+        }
+        for offset in [start, end] {
+            if !source.is_char_boundary(offset) {
+                return Err(EditError::NotCharBoundary { offset });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies this edit to `source`, returning the edited text. This is
+    /// the from-scratch reference the splice path is checked against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] if the edit does not validate against `source`.
+    pub fn apply_to(&self, source: &str) -> Result<String, EditError> {
+        self.validate(source)?;
+        let mut out = String::with_capacity(
+            source.len() - (self.range.end - self.range.start) + self.replacement.len(),
+        );
+        out.push_str(&source[..self.range.start]);
+        out.push_str(&self.replacement);
+        out.push_str(&source[self.range.end..]);
+        Ok(out)
+    }
+}
+
+/// Errors from [`EditSession::apply`]. Invalid edits are rejected with a
+/// typed error and leave the session untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The edit range is reversed or extends past the end of the source.
+    OutOfBounds {
+        /// Range start of the offending edit.
+        start: usize,
+        /// Range end of the offending edit.
+        end: usize,
+        /// Length of the session source the edit was applied to.
+        source_len: usize,
+    },
+    /// An edit endpoint falls inside a multi-byte UTF-8 character.
+    NotCharBoundary {
+        /// The offending byte offset.
+        offset: usize,
+    },
+    /// The edited source fails to lex; carries the position where no rule
+    /// matches, exactly as a from-scratch lex of the edited text would
+    /// report it.
+    Lex(LexError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::OutOfBounds {
+                start,
+                end,
+                source_len,
+            } => write!(
+                f,
+                "edit range {start}..{end} is outside the source (len {source_len})"
+            ),
+            EditError::NotCharBoundary { offset } => {
+                write!(f, "edit offset {offset} splits a UTF-8 character")
+            }
+            EditError::Lex(e) => write!(f, "edited source fails to lex: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EditError::Lex(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LexError> for EditError {
+    fn from(e: LexError) -> Self {
+        EditError::Lex(e)
+    }
+}
+
+/// What one [`EditSession::apply`] did: the damage window, the work saved,
+/// and whether the spliced token vector is byte-identical to the previous
+/// one (so a cached parse outcome can be reused outright).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceReport {
+    /// Tokens produced by re-lexing the damaged region.
+    pub tokens_relexed: usize,
+    /// Old tokens carried over (prefix + rebased suffix).
+    pub tokens_reused: usize,
+    /// Bytes scanned between restart and resync.
+    pub relexed_bytes: usize,
+    /// Byte offset (in the new source) scanning restarted from.
+    pub restart_offset: usize,
+    /// Byte offset (in the new source) where the scan re-synchronized
+    /// with the old token stream; `None` means it re-lexed to EOF.
+    pub resync_offset: Option<usize>,
+    /// `true` when the spliced token vector — kind, lexeme, and span —
+    /// is byte-identical to the pre-edit vector (e.g. an edit confined
+    /// to skipped trivia of unchanged width).
+    pub unchanged: bool,
+    /// Wall-clock time of the incremental re-lex, in microseconds.
+    pub relex_micros: u64,
+}
+
+/// One recorded scan step of the previous lex: the boundary where the DFA
+/// restarted, how far that step's match examination reached, and the
+/// token/line/column state at the boundary. The final entry is an EOF
+/// sentinel (`start == source.len()`).
+#[derive(Debug, Clone, Copy)]
+struct Boundary {
+    /// Byte offset where this scan step started.
+    start: usize,
+    /// Exclusive end of the bytes this step examined (absolute);
+    /// `source.len() + 1` when input ended while the DFA was still alive.
+    reach: usize,
+    /// Max `reach` over all steps strictly before this boundary
+    /// (monotone in the boundary index).
+    prefix_max: usize,
+    /// Number of tokens emitted before this boundary.
+    token_index: usize,
+    /// 1-based line of `start`.
+    line: u32,
+    /// 1-based byte column of `start`.
+    col: u32,
+}
+
+/// An incremental lexing session: the current source, its token vector,
+/// and the scan-boundary metadata needed to re-lex only edited regions.
+///
+/// # Examples
+///
+/// ```
+/// use costar_lexer::{Edit, EditSession, Lexer, LexerSpec};
+/// use costar_grammar::SymbolTable;
+///
+/// let mut spec = LexerSpec::new();
+/// spec.token("Ident", "[a-z]+").token("Int", "[0-9]+").skip("ws", " +");
+/// let mut tab = SymbolTable::new();
+/// let lexer = Lexer::compile(&spec, &mut tab)?;
+///
+/// let mut session = EditSession::new(&lexer, "abc 42 xyz")?;
+/// let report = session.apply(&Edit::new(4..6, "777"))?;
+/// assert_eq!(session.source(), "abc 777 xyz");
+/// assert_eq!(session.tokens(), &lexer.tokenize("abc 777 xyz")?[..]);
+/// assert!(report.tokens_reused > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EditSession {
+    lexer: Lexer,
+    source: String,
+    tokens: Vec<Token>,
+    bounds: Vec<Boundary>,
+}
+
+impl EditSession {
+    /// Starts a session by fully lexing `source` and recording restart
+    /// metadata for every scan step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexError`] if `source` does not lex.
+    pub fn new(lexer: &Lexer, source: &str) -> Result<EditSession, LexError> {
+        let bytes = source.as_bytes();
+        let mut tokens = Vec::new();
+        let mut bounds = Vec::new();
+        let (mut pos, mut line, mut col) = (0usize, 1u32, 1u32);
+        let mut prefix_max = 0usize;
+        while pos < bytes.len() {
+            let (len, reach, token) = lexer.scan_one(source, pos, line, col)?;
+            bounds.push(Boundary {
+                start: pos,
+                reach,
+                prefix_max,
+                token_index: tokens.len(),
+                line,
+                col,
+            });
+            prefix_max = prefix_max.max(reach);
+            if let Some(t) = token {
+                tokens.push(t);
+            }
+            advance_line_col(bytes, pos..pos + len, &mut line, &mut col);
+            pos += len;
+        }
+        bounds.push(Boundary {
+            start: pos,
+            reach: pos,
+            prefix_max,
+            token_index: tokens.len(),
+            line,
+            col,
+        });
+        Ok(EditSession {
+            lexer: lexer.clone(),
+            source: source.to_owned(),
+            tokens,
+            bounds,
+        })
+    }
+
+    /// The current source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The current token vector — always equal to a from-scratch
+    /// `lexer.tokenize(self.source())`.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The lexer this session scans with.
+    pub fn lexer(&self) -> &Lexer {
+        &self.lexer
+    }
+
+    /// Applies `edit`, re-lexing only the damaged region and splicing the
+    /// result into the token vector. On error the session is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] for invalid ranges, offsets inside a UTF-8
+    /// character, or an edited source that no longer lexes.
+    pub fn apply(&mut self, edit: &Edit) -> Result<SpliceReport, EditError> {
+        let t0 = timer_start();
+        edit.validate(&self.source)?;
+        let (start, end) = (edit.range.start, edit.range.end);
+        let delta = edit.replacement.len() as isize - (end - start) as isize;
+
+        let mut new_source =
+            String::with_capacity((self.source.len() as isize + delta).unsigned_abs());
+        new_source.push_str(&self.source[..start]);
+        new_source.push_str(&edit.replacement);
+        new_source.push_str(&self.source[end..]);
+        let nbytes = new_source.as_bytes();
+        let new_end = start + edit.replacement.len();
+        let old_bytes = self.source.as_bytes();
+
+        // --- Restart: largest boundary `b <= start` none of whose earlier
+        // steps reached past `start`. `prefix_max` is monotone in the
+        // boundary index, so walking backwards terminates at index 0
+        // (whose prefix_max is 0). The extra `\r` guard covers the one
+        // byte of lookahead line counting uses: a boundary *at* the edit
+        // start whose preceding byte is `\r` recorded a line/column that
+        // depended on the first replaced byte.
+        let mut bi = self.bounds.partition_point(|b| b.start <= start) - 1;
+        while self.bounds[bi].prefix_max > start {
+            bi -= 1;
+        }
+        if self.bounds[bi].start == start && start > 0 && old_bytes[start - 1] == b'\r' && bi > 0 {
+            bi -= 1;
+        }
+        let restart = self.bounds[bi];
+
+        // --- Scan forward until resync (or EOF), collecting fresh tokens
+        // and fresh boundary metadata. All failure paths are exhausted in
+        // this phase; the session mutates only after it succeeds.
+        let mut fresh_tokens: Vec<Token> = Vec::new();
+        let mut fresh_bounds: Vec<Boundary> = Vec::new();
+        let mut running_max = restart.prefix_max;
+        let (mut pos, mut line, mut col) = (restart.start, restart.line, restart.col);
+        // (new-source offset, old boundary index) where the scan rejoined
+        // the previous lex.
+        let mut resync: Option<(usize, usize)> = None;
+        while pos < nbytes.len() {
+            if pos >= new_end {
+                // A position past the replaced region maps onto the old
+                // text at `pos - delta`; if that was a scan boundary, the
+                // old scan replays verbatim from here (each step restarts
+                // the DFA, so lexing past `pos` depends only on the
+                // unchanged suffix bytes).
+                let old_pos = (pos as isize - delta) as usize;
+                if let Ok(j) = self.bounds.binary_search_by(|b| b.start.cmp(&old_pos)) {
+                    resync = Some((pos, j));
+                    break;
+                }
+            }
+            let (len, reach, token) = self
+                .lexer
+                .scan_one(&new_source, pos, line, col)
+                .map_err(EditError::Lex)?;
+            fresh_bounds.push(Boundary {
+                start: pos,
+                reach,
+                prefix_max: running_max,
+                token_index: restart.token_index + fresh_tokens.len(),
+                line,
+                col,
+            });
+            running_max = running_max.max(reach);
+            if let Some(t) = token {
+                fresh_tokens.push(t);
+            }
+            advance_line_col(nbytes, pos..pos + len, &mut line, &mut col);
+            pos += len;
+        }
+
+        // --- Splice (infallible from here on).
+        let prefix_tokens = restart.token_index;
+        let relexed_bytes = pos - restart.start;
+        let tokens_relexed = fresh_tokens.len();
+        let report = match resync {
+            Some((resync_pos, j)) => {
+                let old = self.bounds[j];
+                let dline = i64::from(line) - i64::from(old.line);
+                let dcol = i64::from(col) - i64::from(old.col);
+                let suffix_tokens = self.tokens.len() - old.token_index;
+                // Byte-identical ⟺ the damage window re-lexed to the same
+                // tokens AND no downstream span moves (no downstream
+                // tokens, or all three rebase deltas are zero).
+                let suffix_unaffected =
+                    suffix_tokens == 0 || (delta == 0 && dline == 0 && dcol == 0);
+                let unchanged = suffix_unaffected
+                    && fresh_tokens[..] == self.tokens[prefix_tokens..old.token_index];
+
+                // Token vector: replace the damaged window, then rebase
+                // the suffix spans (offset by `delta`; line by `dline`;
+                // column by `dcol` only while still on the resync point's
+                // old line — the first unchanged line terminator makes
+                // later columns independent of the edit).
+                let fresh_count = fresh_tokens.len();
+                self.tokens
+                    .splice(prefix_tokens..old.token_index, fresh_tokens);
+                if delta != 0 || dline != 0 || dcol != 0 {
+                    for t in &mut self.tokens[prefix_tokens + fresh_count..] {
+                        let s = t.span();
+                        t.set_span(Span::new(
+                            (s.offset as isize + delta) as usize,
+                            s.len,
+                            rebase(s.line, dline),
+                            if s.line == old.line {
+                                rebase(s.col, dcol)
+                            } else {
+                                s.col
+                            },
+                        ));
+                    }
+                }
+
+                // Boundary metadata: prefix ++ fresh ++ rebased suffix,
+                // with `prefix_max` recomputed across the new middle.
+                let token_shift = prefix_tokens + fresh_count;
+                let mut bounds =
+                    Vec::with_capacity(bi + fresh_bounds.len() + (self.bounds.len() - j));
+                bounds.extend_from_slice(&self.bounds[..bi]);
+                bounds.extend(fresh_bounds);
+                for ob in &self.bounds[j..] {
+                    let b = Boundary {
+                        start: (ob.start as isize + delta) as usize,
+                        reach: (ob.reach as isize + delta) as usize,
+                        prefix_max: running_max,
+                        token_index: ob.token_index - old.token_index + token_shift,
+                        line: rebase(ob.line, dline),
+                        col: if ob.line == old.line {
+                            rebase(ob.col, dcol)
+                        } else {
+                            ob.col
+                        },
+                    };
+                    running_max = running_max.max(b.reach);
+                    bounds.push(b);
+                }
+                self.bounds = bounds;
+
+                SpliceReport {
+                    tokens_relexed,
+                    tokens_reused: prefix_tokens + suffix_tokens,
+                    relexed_bytes,
+                    restart_offset: restart.start,
+                    resync_offset: Some(resync_pos),
+                    unchanged,
+                    relex_micros: micros_since(t0),
+                }
+            }
+            None => {
+                // Re-lexed to EOF: everything from the restart point is
+                // fresh, so token-vector identity is just window equality
+                // (slice equality covers spans).
+                let unchanged = fresh_tokens[..] == self.tokens[prefix_tokens..];
+                self.tokens.truncate(prefix_tokens);
+                self.tokens.extend(fresh_tokens);
+                self.bounds.truncate(bi);
+                self.bounds.extend(fresh_bounds);
+                self.bounds.push(Boundary {
+                    start: pos,
+                    reach: pos,
+                    prefix_max: running_max,
+                    token_index: self.tokens.len(),
+                    line,
+                    col,
+                });
+                SpliceReport {
+                    tokens_relexed,
+                    tokens_reused: prefix_tokens,
+                    relexed_bytes,
+                    restart_offset: restart.start,
+                    resync_offset: None,
+                    unchanged,
+                    relex_micros: micros_since(t0),
+                }
+            }
+        };
+        self.source = new_source;
+        Ok(report)
+    }
+}
+
+/// Shifts a 1-based line/column by a signed delta, clamping at 1 (the
+/// deltas are exact for any source that has not saturated a `u32`).
+fn rebase(value: u32, delta: i64) -> u32 {
+    let shifted = i64::from(value) + delta;
+    u32::try_from(shifted).unwrap_or(if shifted < 1 { 1 } else { u32::MAX })
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+mod tests {
+    use super::*;
+    use crate::LexerSpec;
+    use costar_grammar::SymbolTable;
+
+    fn simple_lexer() -> Lexer {
+        let mut spec = LexerSpec::new();
+        spec.token_literal("If", "if");
+        spec.token_literal("LParen", "(");
+        spec.token_literal("RParen", ")");
+        spec.token_literal("EqEq", "==");
+        spec.token_literal("Eq", "=");
+        spec.token("Ident", "[a-z][a-z0-9_]*");
+        spec.token("Int", "[0-9]+");
+        spec.skip("ws", "[ \\t\\r\\n]+");
+        spec.skip("comment", "#[^\\n]*");
+        let mut tab = SymbolTable::new();
+        Lexer::compile(&spec, &mut tab).unwrap()
+    }
+
+    /// Applies `edit` both incrementally and from scratch and asserts the
+    /// token vectors (kind, lexeme, span) are byte-identical.
+    fn check(session: &mut EditSession, edit: Edit) -> SpliceReport {
+        let expected_src = edit.apply_to(session.source()).unwrap();
+        let report = session.apply(&edit).unwrap();
+        assert_eq!(session.source(), expected_src);
+        let oracle = session.lexer().tokenize(&expected_src).unwrap();
+        assert_eq!(
+            session.tokens(),
+            &oracle[..],
+            "splice diverged from full relex"
+        );
+        report
+    }
+
+    #[test]
+    fn single_token_edit_resyncs_quickly() {
+        let lexer = simple_lexer();
+        let src = "if (x == 42)\nfoo = bar1\nbaz = 7\n";
+        let mut s = EditSession::new(&lexer, src).unwrap();
+        let report = check(&mut s, Edit::new(8..10, "43"));
+        assert!(report.resync_offset.is_some());
+        assert!(
+            report.tokens_relexed <= 3,
+            "relexed {}",
+            report.tokens_relexed
+        );
+        assert!(report.tokens_reused >= 10);
+        assert!(!report.unchanged);
+    }
+
+    #[test]
+    fn trivia_edit_of_equal_width_reports_unchanged() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "a = b").unwrap();
+        // Swap a space for a tab: same widths, same tokens, same spans.
+        let report = check(&mut s, Edit::new(1..2, "\t"));
+        assert!(report.unchanged);
+    }
+
+    #[test]
+    fn pure_deletion_merges_adjacent_tokens() {
+        let lexer = simple_lexer();
+        // Deleting the middle space merges `= =` into `==` — the restart
+        // logic must rewind past the first `=` whose scan reached into
+        // the deleted byte.
+        let mut s = EditSession::new(&lexer, "a = = b").unwrap();
+        let report = check(&mut s, Edit::new(3..4, ""));
+        assert_eq!(report.resync_offset, Some(4));
+        assert_eq!(s.tokens().len(), 3);
+        assert_eq!(s.tokens()[1].lexeme(), "==");
+    }
+
+    #[test]
+    fn insertion_at_offset_zero() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "x = 1\n").unwrap();
+        let report = check(&mut s, Edit::new(0..0, "if "));
+        assert_eq!(report.restart_offset, 0);
+        assert_eq!(s.tokens()[0].lexeme(), "if");
+    }
+
+    #[test]
+    fn edit_past_eof_rejected_with_typed_error() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "abc").unwrap();
+        let before = s.tokens().to_vec();
+        let err = s.apply(&Edit::new(2..9, "x")).unwrap_err();
+        assert_eq!(
+            err,
+            EditError::OutOfBounds {
+                start: 2,
+                end: 9,
+                source_len: 3
+            }
+        );
+        // Reversed ranges are typed errors too, and the session is
+        // intact. The empty range is the point of the test.
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = Edit::new(2..1, "x");
+        assert!(matches!(
+            s.apply(&reversed).unwrap_err(),
+            EditError::OutOfBounds { .. }
+        ));
+        assert_eq!(s.tokens(), &before[..]);
+        assert_eq!(s.source(), "abc");
+    }
+
+    #[test]
+    fn edit_inside_utf8_char_rejected() {
+        let err = Edit::new(1..2, "x").apply_to("é").unwrap_err();
+        assert_eq!(err, EditError::NotCharBoundary { offset: 1 });
+    }
+
+    #[test]
+    fn adjacent_edits_with_overlapping_damage() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "aa bb cc dd\n").unwrap();
+        // First edit damages `bb`; the second, adjacent edit overlaps the
+        // freshly spliced region.
+        check(&mut s, Edit::new(3..5, "bbbb"));
+        assert_eq!(s.source(), "aa bbbb cc dd\n");
+        check(&mut s, Edit::new(5..7, "x"));
+        assert_eq!(s.source(), "aa bbx cc dd\n");
+        // And a third edit straddling both prior damage regions.
+        check(&mut s, Edit::new(2..7, " zz "));
+        assert_eq!(s.source(), "aa zz cc dd\n");
+    }
+
+    #[test]
+    fn lex_error_leaves_session_unchanged_and_matches_full_relex() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "ab cd").unwrap();
+        let before_tokens = s.tokens().to_vec();
+        let edit = Edit::new(3..3, "£");
+        let err = s.apply(&edit).unwrap_err();
+        let oracle = lexer
+            .tokenize(&edit.apply_to("ab cd").unwrap())
+            .unwrap_err();
+        assert_eq!(err, EditError::Lex(oracle));
+        assert_eq!(s.source(), "ab cd");
+        assert_eq!(s.tokens(), &before_tokens[..]);
+        // The session still works after the rejected edit.
+        check(&mut s, Edit::new(3..5, "xy"));
+    }
+
+    #[test]
+    fn edit_extending_a_comment_swallows_the_suffix() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "x #c\ny z").unwrap();
+        // Replacing the newline folds everything into the comment; no
+        // resync is possible and the splice re-lexes to EOF.
+        let report = check(&mut s, Edit::new(4..5, " "));
+        assert_eq!(report.resync_offset, None);
+        assert_eq!(s.tokens().len(), 1);
+    }
+
+    #[test]
+    fn splice_across_crlf_boundary_preserves_spans() {
+        let lexer = simple_lexer();
+        let src = "ab cd\r\nef gh\r\nij kl";
+        let mut s = EditSession::new(&lexer, src).unwrap();
+        // Edit on line 2; line-3 tokens keep line/col across the splice.
+        let report = check(&mut s, Edit::new(8..10, "ghgh"));
+        assert!(report.tokens_reused > 0);
+        let last = s.tokens().last().unwrap();
+        assert_eq!((last.span().line, last.span().col), (3, 4));
+        // Edit that deletes half of a CRLF pair, turning it into a lone
+        // CR line terminator.
+        check(&mut s, Edit::new(6..7, ""));
+        // Edit immediately after a CRLF pair (restart boundary lands on
+        // the guarded `\r` lookahead case).
+        let mut s = EditSession::new(&lexer, "ab\r\ncd ef").unwrap();
+        check(&mut s, Edit::new(4..6, "zz"));
+    }
+
+    #[test]
+    fn edit_at_eof_appends() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "ab cd").unwrap();
+        check(&mut s, Edit::new(5..5, " ef"));
+        assert_eq!(s.tokens().len(), 3);
+        // Appending to a token whose scan was still alive at EOF must
+        // rewind into that token (reach sentinel).
+        check(&mut s, Edit::new(8..8, "gh"));
+        assert_eq!(s.tokens().last().unwrap().lexeme(), "efgh");
+    }
+
+    #[test]
+    fn whole_source_replacement_degenerates_to_full_relex() {
+        let lexer = simple_lexer();
+        let mut s = EditSession::new(&lexer, "ab cd").unwrap();
+        let report = check(&mut s, Edit::new(0..5, "if (x == 1) # done"));
+        assert_eq!(report.restart_offset, 0);
+        assert_eq!(report.tokens_reused, 0);
+    }
+}

@@ -11,6 +11,7 @@ use crate::nfa::Nfa;
 use crate::regex::{escape_literal, parse_regex, RegexError};
 use costar_grammar::{Span, SymbolTable, Terminal, Token};
 use std::fmt;
+use std::sync::Arc;
 
 /// What to do when a rule matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +28,10 @@ pub struct LexRule {
     name: String,
     pattern: String,
     action: LexAction,
+    /// The fixed spelling for literal rules (keywords, punctuation). Such
+    /// rules match exactly one string, so the compiled lexer interns the
+    /// lexeme once and shares it across every occurrence.
+    literal: Option<String>,
 }
 
 /// An ordered list of lexer rules. Earlier rules win length ties, so
@@ -68,17 +73,21 @@ impl LexerSpec {
             name: terminal.to_owned(),
             pattern: pattern.to_owned(),
             action: LexAction::Emit(terminal.to_owned()),
+            literal: None,
         });
         self
     }
 
     /// Adds a token rule matching a literal spelling (escaped
-    /// automatically) — for keywords and punctuation.
+    /// automatically) — for keywords and punctuation. The spelling is
+    /// interned at compile time, so tokenizing does not allocate a fresh
+    /// lexeme per occurrence.
     pub fn token_literal(&mut self, terminal: &str, literal: &str) -> &mut Self {
         self.rules.push(LexRule {
             name: terminal.to_owned(),
             pattern: escape_literal(literal),
             action: LexAction::Emit(terminal.to_owned()),
+            literal: Some(literal.to_owned()),
         });
         self
     }
@@ -89,6 +98,7 @@ impl LexerSpec {
             name: name.to_owned(),
             pattern: pattern.to_owned(),
             action: LexAction::Skip,
+            literal: None,
         });
         self
     }
@@ -157,9 +167,12 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CompiledAction {
-    Emit(Terminal),
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CompiledAction {
+    /// Emit the terminal; for fixed-spelling rules the interned lexeme
+    /// rides along so tokenization hands out `Arc` clones, not fresh
+    /// allocations.
+    Emit(Terminal, Option<Arc<str>>),
     Skip,
 }
 
@@ -167,7 +180,41 @@ enum CompiledAction {
 #[derive(Debug, Clone)]
 pub struct Lexer {
     dfa: Dfa,
-    actions: Vec<CompiledAction>,
+    pub(crate) actions: Vec<CompiledAction>,
+}
+
+/// Advances a 1-based line/column pair over `bytes[range]`, with one byte
+/// of lookahead into the full `bytes` slice to classify `\r`.
+///
+/// Line terminators are `\n`, `\r\n` (counted once, at the `\n`), and a
+/// lone `\r` (classic-Mac / stray carriage returns — previously these
+/// advanced the column instead of the line). Columns count bytes. Both
+/// `Lexer::tokenize` and the incremental scanner call this one helper, so
+/// full and spliced lexes agree byte-for-byte on every span.
+pub(crate) fn advance_line_col(
+    bytes: &[u8],
+    range: std::ops::Range<usize>,
+    line: &mut u32,
+    col: &mut u32,
+) {
+    for i in range {
+        match bytes[i] {
+            b'\n' => {
+                *line = line.saturating_add(1);
+                *col = 1;
+            }
+            b'\r' if bytes.get(i + 1) == Some(&b'\n') => {
+                // First half of a CRLF pair: the `\n` terminates the line;
+                // the `\r` still occupies a byte column.
+                *col = col.saturating_add(1);
+            }
+            b'\r' => {
+                *line = line.saturating_add(1);
+                *col = 1;
+            }
+            _ => *col = col.saturating_add(1),
+        }
+    }
 }
 
 impl Lexer {
@@ -192,7 +239,10 @@ impl Lexer {
             })?;
             regexes.push(re);
             actions.push(match &rule.action {
-                LexAction::Emit(name) => CompiledAction::Emit(symbols.terminal(name)),
+                LexAction::Emit(name) => CompiledAction::Emit(
+                    symbols.terminal(name),
+                    rule.literal.as_deref().map(Arc::from),
+                ),
                 LexAction::Skip => CompiledAction::Skip,
             });
         }
@@ -220,43 +270,77 @@ impl Lexer {
         let mut line = 1u32;
         let mut col = 1u32;
         while pos < bytes.len() {
-            let (len, rule) = self.longest_match(&bytes[pos..]).ok_or_else(|| LexError {
-                at: pos,
-                snippet: input[pos..].chars().take(12).collect(),
-            })?;
-            debug_assert!(len > 0, "empty matches rejected at compile time");
-            if let CompiledAction::Emit(t) = self.actions[rule] {
-                let span = Span::new(pos, len, line, col);
-                tokens.push(Token::with_span(t, &input[pos..pos + len], span));
+            let (len, _reach, token) = self.scan_one(input, pos, line, col)?;
+            if let Some(t) = token {
+                tokens.push(t);
             }
-            for &b in &bytes[pos..pos + len] {
-                if b == b'\n' {
-                    line = line.saturating_add(1);
-                    col = 1;
-                } else {
-                    col = col.saturating_add(1);
-                }
-            }
+            advance_line_col(bytes, pos..pos + len, &mut line, &mut col);
             pos += len;
         }
         Ok(tokens)
     }
 
-    /// The longest prefix of `input` matched by any rule, with the winning
-    /// rule index.
-    fn longest_match(&self, input: &[u8]) -> Option<(usize, usize)> {
+    /// One maximal-munch scan step at byte `pos` of `source`, given the
+    /// 1-based line/column of `pos`. Returns the match length, the
+    /// absolute reach (see [`Lexer::longest_match_with_reach`]), and the
+    /// emitted token, if the winning rule emits one.
+    ///
+    /// Both [`Lexer::tokenize`] and the incremental [`crate::EditSession`]
+    /// scan through this single primitive, which is what makes spliced
+    /// token vectors byte-identical to from-scratch lexes: there is only
+    /// one definition of a scan step.
+    pub(crate) fn scan_one(
+        &self,
+        source: &str,
+        pos: usize,
+        line: u32,
+        col: u32,
+    ) -> Result<(usize, usize, Option<Token>), LexError> {
+        let bytes = source.as_bytes();
+        let (m, reach) = self.longest_match_with_reach(&bytes[pos..]);
+        let (len, rule) = m.ok_or_else(|| LexError {
+            at: pos,
+            snippet: source[pos..].chars().take(12).collect(),
+        })?;
+        debug_assert!(len > 0, "empty matches rejected at compile time");
+        let token = match &self.actions[rule] {
+            CompiledAction::Emit(t, lit) => {
+                let span = Span::new(pos, len, line, col);
+                Some(match lit {
+                    Some(shared) => Token::with_shared_lexeme(*t, Arc::clone(shared), span),
+                    None => Token::with_span(*t, &source[pos..pos + len], span),
+                })
+            }
+            CompiledAction::Skip => None,
+        };
+        Ok((len, pos.saturating_add(reach), token))
+    }
+
+    /// Maximal-munch scan of a prefix of `input`, additionally reporting
+    /// the scan's *reach*: the exclusive end of the byte range the DFA
+    /// examined before committing to the match.
+    ///
+    /// The reach is the incremental lexer's damage-tracking currency: a
+    /// token boundary is a safe restart point only if no earlier scan step
+    /// reached past it. When the DFA dies at byte `i` the reach is `i + 1`
+    /// (the killing byte was examined); when input ends while the DFA is
+    /// still alive the reach is `input.len() + 1` — a sentinel recording
+    /// that appending bytes could extend the match.
+    pub(crate) fn longest_match_with_reach(&self, input: &[u8]) -> (Option<(usize, usize)>, usize) {
         let mut state = self.dfa.start;
         let mut best: Option<(usize, usize)> = None;
+        let mut reach = input.len().saturating_add(1);
         for (i, &b) in input.iter().enumerate() {
             state = self.dfa.step(state, b);
             if state == DEAD {
+                reach = i + 1;
                 break;
             }
             if let Some(rule) = self.dfa.accept[state as usize] {
                 best = Some((i + 1, rule));
             }
         }
-        best
+        (best, reach)
     }
 
     /// Number of DFA states (after minimization) — exposed for the
@@ -394,6 +478,56 @@ mod tests {
             Lexer::compile(&LexerSpec::new(), &mut tab).unwrap_err(),
             LexerBuildError::Empty
         );
+    }
+
+    #[test]
+    fn crlf_line_endings_count_once() {
+        let (lexer, _) = simple_lexer();
+        // `\r\n` is one line terminator: tokens after it start at col 1 of
+        // the next line, and the pair never double-counts.
+        let toks = lexer.tokenize("ab cd\r\nif x\r\n42").unwrap();
+        let spans: Vec<(u32, u32)> = toks.iter().map(|t| (t.span().line, t.span().col)).collect();
+        assert_eq!(spans, vec![(1, 1), (1, 4), (2, 1), (2, 4), (3, 1)]);
+    }
+
+    #[test]
+    fn lone_carriage_return_terminates_a_line() {
+        let (lexer, _) = simple_lexer();
+        // Classic-Mac `\r` endings: previously these advanced the column
+        // instead of the line, so `cd` reported line 1, column 4.
+        let toks = lexer.tokenize("ab\rcd").unwrap();
+        assert_eq!(toks[1].span().line, 2);
+        assert_eq!(toks[1].span().col, 1);
+    }
+
+    #[test]
+    fn final_line_without_trailing_newline_has_spans() {
+        let (lexer, _) = simple_lexer();
+        let toks = lexer.tokenize("ab\r\ncd ef").unwrap();
+        let last = toks.last().unwrap();
+        assert_eq!((last.span().line, last.span().col), (2, 4));
+        assert_eq!(last.lexeme(), "ef");
+        // Same source with a trailing terminator: identical spans.
+        let with_nl = lexer.tokenize("ab\r\ncd ef\r\n").unwrap();
+        assert_eq!(toks, with_nl);
+    }
+
+    #[test]
+    fn fixed_lexeme_tokens_share_one_interned_allocation() {
+        let (lexer, _) = simple_lexer();
+        let toks = lexer.tokenize("if (if) if").unwrap();
+        let ifs: Vec<&Token> = toks.iter().filter(|t| t.lexeme() == "if").collect();
+        assert_eq!(ifs.len(), 3);
+        assert!(std::ptr::eq(
+            ifs[0].lexeme().as_ptr(),
+            ifs[2].lexeme().as_ptr()
+        ));
+        // Pattern-matched lexemes are still fresh per occurrence.
+        let nums = lexer.tokenize("1 1").unwrap();
+        assert!(!std::ptr::eq(
+            nums[0].lexeme().as_ptr(),
+            nums[1].lexeme().as_ptr()
+        ));
     }
 
     #[test]

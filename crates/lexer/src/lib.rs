@@ -39,9 +39,11 @@
 #![warn(clippy::disallowed_methods, clippy::disallowed_macros)]
 
 mod dfa;
+mod incremental;
 mod lexer;
 mod nfa;
 mod regex;
 
+pub use incremental::{Edit, EditError, EditSession, SpliceReport};
 pub use lexer::{LexAction, LexError, LexRule, Lexer, LexerBuildError, LexerSpec};
 pub use regex::{escape_literal, parse_regex, ByteSet, Regex, RegexError};

@@ -1,0 +1,107 @@
+//! Randomized splice-vs-full-relex oracle for `EditSession`, at the lexer
+//! crate level (the cross-crate `H-INCR-LEX-SOUND` harness in
+//! `costar-verify` is the CI gate; this is the fast local loop).
+//!
+//! For random sources and random edit scripts over a hazard-rich mini
+//! language (maximal-munch `=`/`==`, keyword/identifier overlap, comments
+//! whose scan reach runs to end of line, CRLF and lone-CR terminators),
+//! the spliced token vector must be byte-identical — kind, lexeme, span —
+//! to a from-scratch lex of the edited source, and lex failures must
+//! agree on the error position.
+
+// Tests are exempt from the crate's panic-freedom discipline
+// (crates/lexer/clippy.toml), same as the in-crate test modules.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+use costar_grammar::SymbolTable;
+use costar_lexer::{Edit, EditSession, Lexer, LexerSpec};
+use proptest::prelude::*;
+
+fn hazard_lexer() -> Lexer {
+    let mut spec = LexerSpec::new();
+    spec.token_literal("If", "if");
+    spec.token_literal("EqEq", "==");
+    spec.token_literal("Eq", "=");
+    spec.token_literal("LParen", "(");
+    spec.token_literal("RParen", ")");
+    spec.token("Ident", "[a-z][a-z0-9_]*");
+    spec.token("Int", "[0-9]+");
+    spec.skip("ws", "[ \\t\\r\\n]+");
+    spec.skip("comment", "#[^\\n]*");
+    let mut tab = SymbolTable::new();
+    Lexer::compile(&spec, &mut tab).unwrap()
+}
+
+/// Fragments biased toward boundary hazards; all ASCII, so every byte
+/// offset is a char boundary and edits never split a character.
+const FRAGMENTS: &[&str] = &[
+    "a", "b", "if", "iff", "x1", "=", "==", "(", ")", "0", "12", " ", "\t", "\n", "\r\n", "\r",
+    "# c", "#", "",
+];
+
+fn source_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..FRAGMENTS.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| FRAGMENTS[i]).collect())
+}
+
+/// An edit script: (start-fraction, len-fraction, replacement) triples,
+/// scaled to whatever the source length is when the edit applies.
+fn edits_strategy() -> impl Strategy<Value = Vec<(usize, usize, String)>> {
+    proptest::collection::vec(
+        (
+            0..=100usize,
+            0..=100usize,
+            proptest::collection::vec(0..FRAGMENTS.len(), 0..3)
+                .prop_map(|ix| ix.into_iter().map(|i| FRAGMENTS[i]).collect::<String>()),
+        ),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn splice_is_byte_identical_to_full_relex(
+        src in source_strategy(),
+        script in edits_strategy(),
+    ) {
+        let lexer = hazard_lexer();
+        let Ok(mut session) = EditSession::new(&lexer, &src) else {
+            // Source doesn't lex (e.g. a bare `"`#-free hazard); nothing
+            // to check incrementally.
+            return Ok(());
+        };
+        for (sf, lf, replacement) in script {
+            let len = session.source().len();
+            let start = sf * len / 100;
+            let end = (start + lf * (len - start).max(1) / 100).min(len);
+            let edit = Edit::new(start..end, replacement);
+            let edited = edit.apply_to(session.source()).unwrap();
+            let before = session.tokens().to_vec();
+            match (session.apply(&edit), lexer.tokenize(&edited)) {
+                (Ok(report), Ok(oracle)) => {
+                    prop_assert_eq!(session.source(), edited.as_str());
+                    prop_assert_eq!(session.tokens(), &oracle[..]);
+                    // `unchanged` must mean exactly "token vector is
+                    // byte-identical to before the edit".
+                    prop_assert_eq!(report.unchanged, before == oracle);
+                }
+                (Err(costar_lexer::EditError::Lex(e)), Err(oracle_err)) => {
+                    // Failed edits agree with the from-scratch error and
+                    // leave the session on its previous (lexable) source.
+                    prop_assert_eq!(e, oracle_err);
+                    prop_assert_ne!(session.source(), edited.as_str());
+                    let tokens = lexer.tokenize(session.source()).unwrap();
+                    prop_assert_eq!(session.tokens(), &tokens[..]);
+                }
+                (inc, full) => {
+                    return Err(TestCaseError::fail(format!(
+                        "incremental {inc:?} vs full {}",
+                        if full.is_ok() { "Ok" } else { "Err" }
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`h_recover_sound`] (`H-RECOVER-SOUND`) | recovery soundness: accepted words give the byte-identical tree with zero diagnostics; rejected (incl. single-token-corrupted) words terminate with ≥1 diagnostic and a tree spelling the whole input; a `max_recoveries` cap is always honored |
 //! | [`h_audit_sound`] (`H-AUDIT-SOUND`) | audit certificate soundness: every certified lookahead bound `k` is minimal (its collide witness replays) and sufficient (no word of length `k` keeps the pair alive, by exhaustive enumeration), dead/shadowed verdicts agree with an independent derivation-search oracle, and the serialized `costar-cert-v1` document round-trips and replays |
 //! | [`h_cost_sound`] (`H-COST-SOUND`) | cost certificate soundness: every accepting or rejecting parse of `n` tokens consumes at most `CostModel::bound_for(n)` metered steps, the certified bound is exactly enough fuel (a budgeted re-run is outcome-identical), `bound_for` is monotone in `n`, and the serialized `costar-cost-v1` document round-trips and replays |
+//! | [`h_incr_lex_sound`] (`H-INCR-LEX-SOUND`) | incremental-lexing soundness: after any edit, the spliced token vector is byte-identical (kind, lexeme, span) to a from-scratch lex of the edited source, the `unchanged` flag equals token-vector identity, splice accounting partitions the vector, and a failed edit leaves the session untouched |
 
 use crate::grammars::{self, Template};
 use crate::nondet::{any_bignat, Nondet};
@@ -29,8 +30,8 @@ use costar::invariants::{
 };
 use costar::measure::{frame_score, meas, stack_score_prime, Measure};
 use costar::{
-    AbortReason, Budget, Machine, MetricsObserver, ParseOutcome, Parser, PredictionMode, SllCache,
-    StepResult,
+    AbortReason, Budget, Edit, EditError, EditSession, Machine, MetricsObserver, ParseOutcome,
+    Parser, PredictionMode, SllCache, StepResult,
 };
 use costar_grammar::analysis::{
     parse_cert_json, parse_cost_json, replay_certificate, replay_cost_certificate,
@@ -1216,6 +1217,153 @@ pub fn check_cost_certificate(
     Ok(kinds)
 }
 
+/// The two lexer templates `H-INCR-LEX-SOUND` draws from: a generic
+/// idents/ints/brackets shape, and a maximal-munch operator shape where
+/// `==` shadows `=` and `->` shadows `-` — the case where an edit between
+/// two tokens can fuse them, so splice restart points earn their keep.
+/// Compiled once; the session machinery treats them as immutable.
+fn incr_lexers() -> &'static [costar_lexer::Lexer] {
+    use std::sync::OnceLock;
+    static LEXERS: OnceLock<Vec<costar_lexer::Lexer>> = OnceLock::new();
+    LEXERS.get_or_init(|| {
+        let mut out = Vec::new();
+        let mut spec = costar_lexer::LexerSpec::new();
+        spec.token("Ident", "[a-z]+")
+            .token("Int", "[0-9]+")
+            .token_literal("LParen", "(")
+            .token_literal("RParen", ")")
+            .skip("ws", "[ \t\r\n]+");
+        let mut tab = costar_grammar::SymbolTable::new();
+        out.push(costar_lexer::Lexer::compile(&spec, &mut tab).expect("incr template lexer 0"));
+        let mut spec = costar_lexer::LexerSpec::new();
+        spec.token_literal("EqEq", "==")
+            .token_literal("Eq", "=")
+            .token_literal("Arrow", "->")
+            .token_literal("Minus", "-")
+            .token("Ident", "[a-z]+")
+            .skip("ws", "[ \n]+");
+        let mut tab = costar_grammar::SymbolTable::new();
+        out.push(costar_lexer::Lexer::compile(&spec, &mut tab).expect("incr template lexer 1"));
+        out
+    })
+}
+
+/// `H-INCR-LEX-SOUND` — soundness of the incremental lexer
+/// ([`EditSession`], the substrate of `Parser::reparse_after_edit`), over
+/// a nondeterministic lexer template, source, and edit:
+///
+/// * **Batch equivalence**: after a successful `apply`, the spliced token
+///   vector is byte-identical — terminal, lexeme, *and* span — to a
+///   from-scratch lex of the edited source. This is the oracle the
+///   CLI's `costar edit --oracle` replays and the parse-reuse fast path
+///   (`SessionReparse::reused`) relies on.
+/// * **Honest `unchanged` flag**: `SpliceReport::unchanged` holds exactly
+///   when the spliced vector equals the pre-edit vector — the soundness
+///   condition for skipping the re-parse.
+/// * **Partition accounting**: `tokens_relexed + tokens_reused` equals
+///   the new vector's length, so reuse fractions cannot be gamed.
+/// * **Error safety**: a rejected edit (unlexable replacement, bad range,
+///   split char) leaves the session's source and tokens untouched.
+pub fn h_incr_lex_sound<N: Nondet>(nd: &mut N, max_frags: usize) -> Result<(), HarnessViolation> {
+    const ID: &str = "H-INCR-LEX-SOUND";
+    let which = nd.choose(2);
+    let lexer = &incr_lexers()[which];
+    // Pure-ASCII fragment pools, so every byte offset is a char boundary
+    // and edits can land anywhere — including mid-token and inside CRLF.
+    let frags: &[&str] = if which == 0 {
+        &["a", "ab", "7", "42", " ", "\n", "\r\n", "(", ")", "\t"]
+    } else {
+        &["x", "yz", "=", "==", "-", "->", " ", "\n"]
+    };
+    let n = nd.choose(max_frags + 1);
+    let mut source = String::new();
+    for _ in 0..n {
+        source.push_str(frags[nd.choose(frags.len())]);
+    }
+    let mut session = EditSession::new(lexer, &source)
+        .map_err(|e| fail(ID, format!("template source failed to lex: {e}")))?;
+
+    let start = nd.choose(source.len() + 1);
+    let end = start + nd.choose(source.len() - start + 1);
+    let mut replacement = String::new();
+    for _ in 0..nd.choose(3) {
+        replacement.push_str(frags[nd.choose(frags.len())]);
+    }
+    // Occasionally unlexable: neither template has a rule matching '%',
+    // so this exercises the error-safety leg.
+    if nd.choose(8) == 0 {
+        replacement.push('%');
+    }
+    check_incremental_edit(ID, lexer, &mut session, &Edit::new(start..end, replacement))
+}
+
+/// The shared obligation of `H-INCR-LEX-SOUND`, also replayed against the
+/// bundled languages by the proptest suite: apply one edit and check the
+/// splice against a from-scratch lex (or, on failure, that the session is
+/// untouched).
+pub fn check_incremental_edit(
+    id: &'static str,
+    lexer: &costar_lexer::Lexer,
+    session: &mut EditSession,
+    edit: &Edit,
+) -> Result<(), HarnessViolation> {
+    let before_tokens = session.tokens().to_vec();
+    let before_source = session.source().to_owned();
+    match session.apply(edit) {
+        Ok(report) => {
+            let oracle = lexer.tokenize(session.source()).map_err(|e| {
+                fail(
+                    id,
+                    format!("spliced source no longer lexes from scratch: {e}"),
+                )
+            })?;
+            if session.tokens() != oracle.as_slice() {
+                return Err(fail(
+                    id,
+                    format!(
+                        "spliced tokens diverge from a from-scratch lex after \
+                         {:?} -> {:?}: {} spliced vs {} oracle tokens",
+                        edit.range,
+                        edit.replacement,
+                        session.tokens().len(),
+                        oracle.len()
+                    ),
+                ));
+            }
+            let identical = session.tokens() == before_tokens.as_slice();
+            if report.unchanged != identical {
+                return Err(fail(
+                    id,
+                    format!(
+                        "unchanged flag is {} but token-vector identity is {identical}",
+                        report.unchanged
+                    ),
+                ));
+            }
+            if report.tokens_relexed + report.tokens_reused != session.tokens().len() {
+                return Err(fail(
+                    id,
+                    format!(
+                        "splice accounting does not partition the vector: \
+                         {} relexed + {} reused != {} tokens",
+                        report.tokens_relexed,
+                        report.tokens_reused,
+                        session.tokens().len()
+                    ),
+                ));
+            }
+        }
+        Err(
+            EditError::Lex(_) | EditError::OutOfBounds { .. } | EditError::NotCharBoundary { .. },
+        ) => {
+            if session.source() != before_source || session.tokens() != before_tokens.as_slice() {
+                return Err(fail(id, "a failed edit mutated the session"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Independent language oracle for dead/shadow verdicts: breadth-first
 /// derivation over sentential forms from `start`, collecting up to
 /// `max_words` distinct terminal words. The flag reports whether the
@@ -1441,6 +1589,8 @@ mod tests {
             h_audit_sound(&mut nd, 5).unwrap();
             let mut nd = RngNondet::new(seed);
             h_cost_sound(&mut nd, 5).unwrap();
+            let mut nd = RngNondet::new(seed);
+            h_incr_lex_sound(&mut nd, 6).unwrap();
         }
     }
 

@@ -176,6 +176,18 @@ fn proof_cost_accounting() {
 }
 
 #[kani::proof]
+#[kani::unwind(300)]
+fn proof_incr_lex_sound() {
+    let mut nd = KaniNondet;
+    // Two fragments of at most two bytes each keep the DFA scan loops
+    // tiny; the wide unwinding covers the one-time lexer compilation
+    // (regex parsing walks the pattern strings character by character).
+    if let Err(v) = harness::h_incr_lex_sound(&mut nd, 2) {
+        panic!("{v}");
+    }
+}
+
+#[kani::proof]
 #[kani::unwind(64)]
 fn proof_recover_sound() {
     let mut nd = KaniNondet;

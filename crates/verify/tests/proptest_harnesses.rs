@@ -11,9 +11,9 @@ use costar::{Machine, SllCache, StepResult};
 use costar_grammar::analysis::GrammarAnalysis;
 use costar_verify::grammars;
 use costar_verify::harness::{
-    check_cost_certificate, h_audit_sound, h_cache_bound, h_cost_sound, h_decide_sound,
-    h_measure_dec, h_measure_ord, h_prefix_der, h_recover_sound, h_stable_complete, h_stack_wf,
-    h_visited, HarnessViolation, StepKinds,
+    check_cost_certificate, check_incremental_edit, h_audit_sound, h_cache_bound, h_cost_sound,
+    h_decide_sound, h_incr_lex_sound, h_measure_dec, h_measure_ord, h_prefix_der, h_recover_sound,
+    h_stable_complete, h_stack_wf, h_visited, HarnessViolation, StepKinds,
 };
 use costar_verify::nondet::{Nondet, RngNondet};
 use proptest::prelude::*;
@@ -85,6 +85,11 @@ proptest! {
     #[test]
     fn h_cost_sound_holds(seed in any::<u64>()) {
         ok(h_cost_sound(&mut RngNondet::new(seed), MAX_WORD))?;
+    }
+
+    #[test]
+    fn h_incr_lex_sound_holds(seed in any::<u64>()) {
+        ok(h_incr_lex_sound(&mut RngNondet::new(seed), 8))?;
     }
 
     /// Satellite of `H-MEASURE-DEC`: not only does `meas` decrease
@@ -238,6 +243,59 @@ fn h_cost_sound_covers_both_outcomes() {
 /// Every corpus file must parse within `CostModel::bound_for(n)` with
 /// zero `on_cost_check` violations — the same obligation `costar cost`
 /// certifies and `--max-steps auto` relies on.
+/// The deterministic leg of `H-INCR-LEX-SOUND`: replay edit sessions
+/// against the real DFA lexers of all four bundled languages, not just
+/// the harness's lexer templates. Each corpus file takes a seeded burst
+/// of edits whose replacements are slices copied out of the file itself
+/// — some splice cleanly, some fail to lex (exercising error safety) —
+/// and after every edit the spliced token vector must be byte-identical
+/// to a from-scratch lex. Python participates at the DFA level with
+/// newline-free content: its INDENT/DEDENT synthesis sits *above* the
+/// lexer this claim is about (`Language::incremental_lexing` is how the
+/// CLI routes around it).
+#[test]
+fn h_incr_lex_sound_replays_on_bundled_languages() {
+    use costar::{Edit, EditSession};
+    for (lang, generate) in costar_langs::all_languages() {
+        for (i, src) in costar_langs::corpus(generate, 0x1EC5, 3, 400)
+            .iter()
+            .enumerate()
+        {
+            let src = if lang.incremental_lexing() {
+                src.clone()
+            } else {
+                src.replace('\n', " ")
+            };
+            let mut session = EditSession::new(lang.lexer(), &src)
+                .unwrap_or_else(|e| panic!("{} corpus file {i}: {e}", lang.name));
+            let mut nd = RngNondet::new(0x1EC5 ^ i as u64);
+            for round in 0..12 {
+                // Snap arbitrary offsets down to char boundaries so the
+                // edit is well-formed whatever the generator emitted.
+                let boundary = |s: &str, mut at: usize| {
+                    while !s.is_char_boundary(at) {
+                        at -= 1;
+                    }
+                    at
+                };
+                let len = session.source().len();
+                let start = boundary(session.source(), nd.choose(len + 1));
+                let end = boundary(session.source(), start + nd.choose(len - start + 1));
+                let from = boundary(session.source(), nd.choose(len + 1));
+                let to = boundary(session.source(), from + nd.choose((len - from).min(12) + 1));
+                let replacement = session.source()[from..to].to_owned();
+                check_incremental_edit(
+                    "H-INCR-LEX-SOUND",
+                    lang.lexer(),
+                    &mut session,
+                    &Edit::new(start..end, replacement),
+                )
+                .unwrap_or_else(|v| panic!("{} file {i}, edit {round}: {v}", lang.name));
+            }
+        }
+    }
+}
+
 #[test]
 fn h_cost_sound_replays_on_bundled_languages() {
     for (lang, generate) in costar_langs::all_languages() {
